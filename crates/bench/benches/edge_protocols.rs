@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks for the edge-coloring protocols:
+//! Algorithm 2 (Theorem 2), Lemma 5.1, and the zero-communication
+//! Theorem 3.
+
+use bichrome_core::edge::two_delta::solve_two_delta;
+use bichrome_core::edge::solve_edge_coloring;
+use bichrome_graph::partition::Partitioner;
+use bichrome_graph::gen;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_theorem2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge/theorem2");
+    group.sample_size(10);
+    for &n in &[256usize, 512, 1024] {
+        let g = gen::gnm_max_degree(n, n * 4, 12, 3);
+        let p = Partitioner::Random(1).split(&g);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| solve_edge_coloring(p, 0));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bounded_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge/lemma5.1");
+    group.sample_size(10);
+    let n = 512usize;
+    let g = gen::gnm_max_degree(n, n * 2, 6, 3);
+    let p = Partitioner::Random(1).split(&g);
+    group.bench_function("delta6_n512", |b| {
+        b.iter(|| solve_edge_coloring(&p, 0));
+    });
+    group.finish();
+}
+
+fn bench_two_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge/theorem3");
+    group.sample_size(10);
+    for &n in &[256usize, 1024] {
+        let g = gen::gnm_max_degree(n, n * 4, 12, 3);
+        let p = Partitioner::Random(1).split(&g);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| solve_two_delta(p));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_theorem2, bench_bounded_delta, bench_two_delta);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks for the k-Slack-Int machinery
+//! (Lemmas A.1/A.2) at several slack levels.
+
+use bichrome_core::slack_int::run_slack_int_session;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_slack_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slack_int/by_slack");
+    group.sample_size(20);
+    let m = 1024usize;
+    for &k in &[1usize, 32, 1023] {
+        let occupied = m - k;
+        let x: Vec<u64> = (0..(occupied as u64) / 2).collect();
+        let y: Vec<u64> = ((occupied as u64) / 2..occupied as u64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &(x, y), |b, (x, y)| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_slack_int_session(m, x, y, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_universe_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slack_int/by_universe");
+    group.sample_size(20);
+    for &m in &[64usize, 512, 4096] {
+        let x: Vec<u64> = (0..(m as u64) / 4).collect();
+        let y: Vec<u64> = ((m as u64) / 4..(m as u64) / 2).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &(x, y), |b, (x, y)| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_slack_int_session(m, x, y, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slack_levels, bench_universe_sizes);
+criterion_main!(benches);

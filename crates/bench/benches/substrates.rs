@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for the graph substrates the protocols
+//! stand on: Misra–Gries, constructive Fournier, Hopcroft–Karp
+//! Δ-perfect matching, and the greedy colorings.
+
+use bichrome_graph::edge_color::{fournier, misra_gries};
+use bichrome_graph::greedy::{greedy_edge_coloring, greedy_vertex_coloring};
+use bichrome_graph::matching::delta_perfect_matching;
+use bichrome_graph::gen;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_misra_gries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/misra_gries");
+    for &n in &[100usize, 400, 1600] {
+        let g = gen::gnm_max_degree(n, n * 4, 12, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| misra_gries(g));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fournier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/fournier");
+    for &n in &[100usize, 400, 1600] {
+        let g = gen::independent_max_degree(n, 8, n / 12, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| fournier(g).expect("valid instance"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/delta_matching");
+    for &n in &[100usize, 400, 1600] {
+        let g = gen::independent_max_degree(n, 8, n / 12, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| delta_perfect_matching(g).expect("Lemma 5.3"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/greedy");
+    let g = gen::gnm_max_degree(1000, 4000, 12, 4);
+    group.bench_function("vertex_n1000", |b| b.iter(|| greedy_vertex_coloring(&g)));
+    group.bench_function("edge_n1000", |b| b.iter(|| greedy_edge_coloring(&g)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_misra_gries,
+    bench_fournier,
+    bench_matching,
+    bench_greedy
+);
+criterion_main!(benches);

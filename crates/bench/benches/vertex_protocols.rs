@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the (Δ+1)-vertex-coloring
+//! protocols: Theorem 1 vs the baselines, across graph sizes.
+
+use bichrome_core::baselines::{run_baseline, Baseline};
+use bichrome_core::rct::RctConfig;
+use bichrome_core::vertex::solve_vertex_coloring;
+use bichrome_graph::partition::Partitioner;
+use bichrome_graph::gen;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_theorem1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vertex/theorem1");
+    group.sample_size(10);
+    for &n in &[128usize, 256, 512] {
+        let g = gen::near_regular(n, 12, 1);
+        let p = Partitioner::Random(2).split(&g);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                solve_vertex_coloring(p, seed, &RctConfig::default())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vertex/baselines");
+    group.sample_size(10);
+    let n = 256usize;
+    let g = gen::near_regular(n, 12, 1);
+    let p = Partitioner::Random(2).split(&g);
+    for baseline in
+        [Baseline::FlinMittal, Baseline::GreedyBinarySearch, Baseline::SendEverything]
+    {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(baseline),
+            &p,
+            |b, p| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    run_baseline(p, baseline, seed)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_theorem1, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks for the Section 6 game machinery.
+
+use bichrome_lb::repetition::run_parallel_repetition;
+use bichrome_lb::zec::{
+    estimate_win_probability, exact_win_probability, LabelingStrategy, RandomStrategy,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_exact_eval(c: &mut Criterion) {
+    let s = LabelingStrategy::shifted();
+    c.bench_function("zec/exact_441", |b| b.iter(|| exact_win_probability(&s)));
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let s = RandomStrategy;
+    let mut group = c.benchmark_group("zec/monte_carlo");
+    for &trials in &[1_000usize, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(trials),
+            &trials,
+            |b, &trials| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    estimate_win_probability(&s, trials, seed)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_repetition(c: &mut Criterion) {
+    let s = RandomStrategy;
+    c.bench_function("zec/repetition_16x1000", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_parallel_repetition(&s, 16, 1_000, seed)
+        });
+    });
+}
+
+criterion_group!(benches, bench_exact_eval, bench_monte_carlo, bench_repetition);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! **A1 (ablation)** — why `O(log log n)` Random-Color-Trial
+//! iterations before switching to D1LC (the design choice behind
+//! Theorem 1): sweep the iteration budget and measure the leftover-set
+//! size, total bits, and rounds of the full protocol.
+//!
+//! Too few iterations leave a large `Z` for the (more expensive per
+//! vertex) D1LC stage; too many buy nothing once `Z` is tiny but pay
+//! worst-case rounds. The paper's budget sits at the knee.
+
+use bichrome_bench::{mean, Table};
+use bichrome_core::rct::{paper_iterations, RctConfig};
+use bichrome_core::vertex::solve_vertex_coloring;
+use bichrome_graph::coloring::validate_vertex_coloring_with_palette;
+use bichrome_graph::partition::Partitioner;
+use bichrome_graph::gen;
+
+fn main() {
+    println!("A1: ablation — RCT iteration budget vs protocol cost\n");
+    let n = 1024usize;
+    let delta = 16usize;
+    let reps = 3u64;
+    println!("n = {n}, Δ = {delta}, paper budget = {} iterations\n", paper_iterations(n));
+
+    let mut t = Table::new(&[
+        "iterations", "leftover |Z|", "total bits", "bits/n", "rounds",
+    ]);
+    for &iters in &[0usize, 1, 2, 4, 8, 16, 32, 64] {
+        let mut leftover = Vec::new();
+        let mut bits = Vec::new();
+        let mut rounds = Vec::new();
+        for rep in 0..reps {
+            let g = gen::near_regular(n, delta, rep * 13 + 1);
+            let p = Partitioner::Random(rep).split(&g);
+            let cfg = RctConfig { iterations: Some(iters), early_exit: true };
+            let out = solve_vertex_coloring(&p, rep, &cfg);
+            validate_vertex_coloring_with_palette(&g, &out.coloring, delta + 1)
+                .expect("valid under every budget");
+            leftover.push(out.rct.remaining as f64);
+            bits.push(out.stats.total_bits() as f64);
+            rounds.push(out.stats.rounds as f64);
+        }
+        t.row(&[
+            &iters.to_string(),
+            &format!("{:.0}", mean(&leftover)),
+            &format!("{:.0}", mean(&bits)),
+            &format!("{:.1}", mean(&bits) / n as f64),
+            &format!("{:.0}", mean(&rounds)),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nReading: with 0 iterations everything lands in D1LC (pure palette \
+         sparsification — correct but with a log⁴n bit overhead); a few \
+         iterations collapse |Z| geometrically; beyond the knee extra \
+         iterations only add rounds. The paper's O(log log n) budget drives \
+         |Z| below n/log⁴n so the D1LC stage costs o(n) bits."
+    );
+}

@@ -1,0 +1,50 @@
+//! **A2 (ablation)** — Algorithm 3's sampling constant (the `150` in
+//! `p = min(1, 150·m/k̃²)`): sweep it and measure slack-int cost.
+//!
+//! A small constant makes samples too thin, so the deficit certificate
+//! `|S∩X| + |S∩Y| < |S|` keeps failing and the guess loop burns
+//! rounds; a huge constant inflates the sample and the binary search
+//! inside it. The paper's 150 guarantees a constant per-guess success
+//! probability (Markov on the sampled occupancy); the sweep shows the
+//! measured trade-off around it.
+
+use bichrome_bench::{mean, Table};
+use bichrome_core::slack_int::run_slack_int_session_with_constant;
+
+fn main() {
+    println!("A2: ablation — Algorithm 3's sampling constant\n");
+    let m = 4096usize;
+    let reps = 25u64;
+    for &k in &[64usize, 4] {
+        println!("universe m = {m}, slack k = {k}:");
+        let occupied = m - k;
+        let x: Vec<u64> = (0..(occupied as u64) / 2).collect();
+        let y: Vec<u64> = ((occupied as u64) / 2..occupied as u64).collect();
+        let mut t = Table::new(&["constant C", "bits mean", "rounds mean"]);
+        for &c in &[2.0f64, 10.0, 50.0, 150.0, 600.0, 2400.0] {
+            let mut bits = Vec::new();
+            let mut rounds = Vec::new();
+            for seed in 0..reps {
+                let (e, stats) =
+                    run_slack_int_session_with_constant(m, &x, &y, seed * 7 + 1, c);
+                assert!(e >= occupied as u64, "must find a free element");
+                bits.push(stats.total_bits() as f64);
+                rounds.push(stats.rounds as f64);
+            }
+            t.row(&[
+                &format!("{c}"),
+                &format!("{:.1}", mean(&bits)),
+                &format!("{:.1}", mean(&rounds)),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+    println!(
+        "Reading: tiny constants save bits per probe but repeat probes \
+         (rounds climb); very large constants certify immediately but pay a \
+         larger in-sample binary search. The paper's C = 150 sits in the \
+         flat region — any constant ≥ ~50 gives the same asymptotics, which \
+         is why the analysis only needs 'sufficiently large'."
+    );
+}

@@ -1,0 +1,50 @@
+//! **E5** — Theorem 2: deterministic `(2Δ−1)`-edge coloring in `O(n)`
+//! bits and `O(1)` rounds, across `n` and `Δ` sweeps and the whole
+//! partitioner family (taking the worst case over partitioners, as a
+//! stand-in for the adversary).
+
+use bichrome_bench::Table;
+use bichrome_core::edge::solve_edge_coloring;
+use bichrome_graph::coloring::validate_edge_coloring_with_palette;
+use bichrome_graph::partition::Partitioner;
+use bichrome_graph::gen;
+
+fn main() {
+    println!("E5: (2Δ−1)-edge coloring — communication & rounds (Theorem 2)\n");
+    let mut t = Table::new(&[
+        "Δ", "n", "m", "worst bits", "bits/n", "rounds", "trivial m·2logn",
+    ]);
+    for &delta in &[10usize, 16, 32] {
+        for &n in &[256usize, 512, 1024, 2048] {
+            let g = gen::gnm_max_degree(n, n * delta / 3, delta, (n + delta) as u64);
+            let mut worst_bits = 0u64;
+            let mut worst_rounds = 0u64;
+            for part in Partitioner::family(7) {
+                let p = part.split(&g);
+                let out = solve_edge_coloring(&p, 0);
+                let budget = 2 * g.max_degree() - 1;
+                validate_edge_coloring_with_palette(&g, &out.merged(), budget)
+                    .expect("valid");
+                worst_bits = worst_bits.max(out.stats.total_bits());
+                worst_rounds = worst_rounds.max(out.stats.rounds);
+            }
+            let trivial =
+                (g.num_edges() * 2 * (n as f64).log2().ceil() as usize) as u64;
+            t.row(&[
+                &delta.to_string(),
+                &n.to_string(),
+                &g.num_edges().to_string(),
+                &worst_bits.to_string(),
+                &format!("{:.1}", worst_bits as f64 / n as f64),
+                &worst_rounds.to_string(),
+                &trivial.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nClaim check: bits/n stays bounded as n and Δ grow (Theorem 2's \
+         O(n), independent of m), rounds are a constant 3, and the cost sits \
+         far below the trivial send-the-graph bound."
+    );
+}

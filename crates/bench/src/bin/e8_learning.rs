@@ -1,0 +1,38 @@
+//! **E8** — the learning reduction (§2.3): Bob reconstructs Alice's
+//! n-bit string from any `(Δ+1)`-coloring of the C4-gadget graph, so
+//! protocols must pay Ω(n) bits. Measures recovery accuracy and the
+//! protocol bits actually spent as n grows.
+
+use bichrome_bench::Table;
+use bichrome_lb::learning::run_learning_reduction;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    println!("E8: learning-problem reduction for (Δ+1)-vertex coloring (§2.3)\n");
+    let mut t = Table::new(&[
+        "string bits n", "gadget vertices", "recovered ok", "protocol bits", "bits per learned bit",
+    ]);
+    for &n in &[8usize, 16, 32, 64, 128, 256] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let bits: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        let (recovered, comm) = run_learning_reduction(&bits, 9);
+        let ok = recovered == bits;
+        t.row(&[
+            &n.to_string(),
+            &(4 * n).to_string(),
+            if ok { "yes" } else { "NO" },
+            &comm.to_string(),
+            &format!("{:.1}", comm as f64 / n as f64),
+        ]);
+        assert!(ok, "recovery must always succeed");
+    }
+    t.print();
+    println!(
+        "\nClaim check: recovery always succeeds — a correct protocol \
+         necessarily transfers Alice's n bits to Bob, so its communication \
+         is Ω(n) (Flin–Mittal's lower bound, reproduced constructively). \
+         The measured bits grow linearly in n, matching Theorem 1's O(n) \
+         upper bound from above."
+    );
+}

@@ -1,0 +1,75 @@
+//! **E9** — the W-streaming picture of §6.4 / Corollary 1.2: streaming
+//! algorithms' space vs colors, and the two-party simulation whose
+//! communication equals `passes × state` — the quantity Theorem 5
+//! lower-bounds by `Ω(n)`.
+
+use bichrome_bench::Table;
+use bichrome_graph::coloring::validate_edge_coloring;
+use bichrome_graph::partition::Partitioner;
+use bichrome_graph::gen;
+use bichrome_streaming::algorithms::{ChunkedWStreaming, GreedyWStreaming};
+use bichrome_streaming::reduction::simulate_streaming_two_party;
+use bichrome_streaming::weaker::validate_weaker_output;
+use bichrome_streaming::run_w_streaming;
+
+fn main() {
+    println!("E9: W-streaming edge coloring (§6.4, Corollary 1.2)\n");
+
+    println!("Streaming algorithms: space vs colors");
+    let mut t = Table::new(&["n", "Δ", "m", "algorithm", "colors", "state bits", "bits/n"]);
+    for &(n, delta) in &[(256usize, 16usize), (512, 32), (1024, 64)] {
+        let g = gen::gnm_max_degree(n, n * delta / 3, delta, 7);
+        let d = g.max_degree();
+        let mut greedy = GreedyWStreaming::new(n, d);
+        let (cg, sg) = run_w_streaming(&mut greedy, g.edges());
+        assert!(validate_edge_coloring(&g, &cg).is_ok());
+        t.row(&[
+            &n.to_string(),
+            &d.to_string(),
+            &g.num_edges().to_string(),
+            "greedy (2Δ−1)",
+            &cg.num_distinct_colors().to_string(),
+            &sg.max_state_bits.to_string(),
+            &format!("{:.1}", sg.max_state_bits as f64 / n as f64),
+        ]);
+        let mut chunked = ChunkedWStreaming::with_sqrt_delta_capacity(n, d);
+        let (cc, sc) = run_w_streaming(&mut chunked, g.edges());
+        assert!(validate_edge_coloring(&g, &cc).is_ok());
+        t.row(&[
+            &n.to_string(),
+            &d.to_string(),
+            &g.num_edges().to_string(),
+            "chunked Õ(n√Δ)",
+            &cc.num_distinct_colors().to_string(),
+            &sc.max_state_bits.to_string(),
+            &format!("{:.1}", sc.max_state_bits as f64 / n as f64),
+        ]);
+    }
+    t.print();
+
+    println!("\nTwo-party simulation (the §6.4 reduction): bits = passes × state");
+    let mut t = Table::new(&["n", "Δ", "algorithm", "sim bits", "rounds", "valid weaker output"]);
+    for &(n, delta) in &[(256usize, 16usize), (512, 32)] {
+        let g = gen::gnm_max_degree(n, n * delta / 3, delta, 9);
+        let d = g.max_degree();
+        let p = Partitioner::Random(1).split(&g);
+        let out = simulate_streaming_two_party(&p, || GreedyWStreaming::new(n, d), 0);
+        let ok = validate_weaker_output(&g, &out.output, 2 * d - 1).is_ok();
+        t.row(&[
+            &n.to_string(),
+            &d.to_string(),
+            "greedy (2Δ−1)",
+            &out.stats.total_bits().to_string(),
+            &out.stats.rounds.to_string(),
+            if ok { "yes" } else { "NO" },
+        ]);
+    }
+    t.print();
+    println!(
+        "\nClaim check: a (2Δ−1)-coloring streaming algorithm's state is Θ(n) \
+         bits and its two-party simulation transmits exactly that per pass; \
+         Theorem 5's Ω(n) bound on the weaker problem therefore forces Ω(n) \
+         streaming space (Corollary 1.2). The chunked algorithm dodges the \
+         bound only by spending ω(Δ) colors."
+    );
+}

@@ -1,0 +1,152 @@
+//! The round-synchronous duplex link between the parties.
+
+use crate::meter::Meter;
+use crate::wire::Message;
+use crate::Side;
+use crossbeam::channel::{Receiver, Sender};
+
+/// One party's end of the two-party link.
+///
+/// The fundamental operation is [`Endpoint::exchange`]: both parties
+/// send one message simultaneously and receive the other's — exactly
+/// one *round* of the model (footnote 1 of the paper). One-directional
+/// messages are exchanges where the other side sends
+/// [`Message::empty`].
+///
+/// Protocols must be written so both parties perform the same number
+/// of exchanges; a mismatch deadlocks (and is a protocol bug, not a
+/// substrate bug).
+#[derive(Debug)]
+pub struct Endpoint {
+    side: Side,
+    tx: Sender<Message>,
+    rx: Receiver<Message>,
+    meter: Meter,
+}
+
+impl Endpoint {
+    /// Which side this endpoint belongs to.
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// The shared meter (e.g. to name phases from protocol code).
+    pub fn meter(&self) -> &Meter {
+        &self.meter
+    }
+
+    /// Sends `msg` and receives the peer's message for this round.
+    ///
+    /// Counts `msg.len_bits()` toward this side's sent bits and one
+    /// round (rounds are counted once per exchange, from Alice's side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peer disconnected (its thread panicked).
+    pub fn exchange(&self, msg: Message) -> Message {
+        self.meter.on_message(self.side, msg.len_bits() as u64);
+        if self.side == Side::Alice {
+            self.meter.on_round();
+        }
+        self.tx.send(msg).expect("peer hung up before send");
+        self.rx.recv().expect("peer hung up before reply")
+    }
+
+    /// Sends `msg` expecting no payload back: sugar for an exchange
+    /// where this side talks and the peer must send an empty message
+    /// (asserted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peer's simultaneous message is nonempty, or if the
+    /// peer disconnected.
+    pub fn send(&self, msg: Message) {
+        let reply = self.exchange(msg);
+        assert!(reply.is_empty(), "peer sent {} unexpected bits", reply.len_bits());
+    }
+
+    /// Receives the peer's message while sending nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peer disconnected.
+    pub fn recv(&self) -> Message {
+        self.exchange(Message::empty())
+    }
+}
+
+/// Creates a connected pair of endpoints sharing `meter`.
+pub fn endpoint_pair(meter: Meter) -> (Endpoint, Endpoint) {
+    let (a_tx, a_rx) = crossbeam::channel::unbounded();
+    let (b_tx, b_rx) = crossbeam::channel::unbounded();
+    let alice = Endpoint { side: Side::Alice, tx: a_tx, rx: b_rx, meter: meter.clone() };
+    let bob = Endpoint { side: Side::Bob, tx: b_tx, rx: a_rx, meter };
+    (alice, bob)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::BitWriter;
+
+    #[test]
+    fn exchange_swaps_messages_and_meters() {
+        let meter = Meter::new();
+        let (alice, bob) = endpoint_pair(meter.clone());
+        let handle = std::thread::spawn(move || {
+            let mut w = BitWriter::new();
+            w.write_uint(9, 4);
+            let got = bob.exchange(w.finish());
+            got.reader().read_uint(3)
+        });
+        let mut w = BitWriter::new();
+        w.write_uint(5, 3);
+        let got = alice.exchange(w.finish());
+        assert_eq!(got.reader().read_uint(4), 9);
+        assert_eq!(handle.join().expect("bob ok"), 5);
+        let s = meter.snapshot();
+        assert_eq!(s.bits_alice_to_bob, 3);
+        assert_eq!(s.bits_bob_to_alice, 4);
+        assert_eq!(s.rounds, 1);
+    }
+
+    #[test]
+    fn send_and_recv_are_one_round() {
+        let meter = Meter::new();
+        let (alice, bob) = endpoint_pair(meter.clone());
+        let handle = std::thread::spawn(move || bob.recv());
+        let mut w = BitWriter::new();
+        w.write_uint(1, 1);
+        alice.send(w.finish());
+        let got = handle.join().expect("bob ok");
+        assert_eq!(got.len_bits(), 1);
+        assert_eq!(meter.snapshot().rounds, 1);
+        assert_eq!(meter.snapshot().total_bits(), 1);
+    }
+
+    #[test]
+    fn sides_are_labelled() {
+        let (alice, bob) = endpoint_pair(Meter::new());
+        assert_eq!(alice.side(), Side::Alice);
+        assert_eq!(bob.side(), Side::Bob);
+        assert_eq!(alice.side().other(), Side::Bob);
+    }
+
+    #[test]
+    fn empty_exchanges_cost_rounds_but_no_bits() {
+        let meter = Meter::new();
+        let (alice, bob) = endpoint_pair(meter.clone());
+        let handle = std::thread::spawn(move || {
+            for _ in 0..3 {
+                bob.exchange(Message::empty());
+            }
+        });
+        for _ in 0..3 {
+            alice.exchange(Message::empty());
+        }
+        handle.join().expect("bob ok");
+        let s = meter.snapshot();
+        assert_eq!(s.rounds, 3);
+        assert_eq!(s.total_bits(), 0);
+    }
+}

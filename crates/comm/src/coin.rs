@@ -1,0 +1,152 @@
+//! Public and private randomness.
+//!
+//! Both parties hold the same public seed and derive identical random
+//! streams from it without communicating — this is the model's
+//! public/shared randomness (§3.1). [`PublicCoin::stream`] namespaces
+//! the randomness (per vertex, per iteration, ...) so Alice's and
+//! Bob's threads sample identical values in whatever order their code
+//! reaches them, with no cross-thread synchronization.
+//!
+//! Newman's theorem \[New91\] converts any public-coin protocol into a
+//! private-coin one at an additive `O(log n + log(1/δ))` bits; we note
+//! this in the docs and keep the public-coin accounting (cost 0), as
+//! the paper does.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Shared public randomness.
+///
+/// Two `PublicCoin`s built from the same seed produce identical
+/// streams for identical stream ids.
+///
+/// # Example
+///
+/// ```
+/// use bichrome_comm::PublicCoin;
+/// use rand::Rng;
+///
+/// let alice = PublicCoin::new(7);
+/// let bob = PublicCoin::new(7);
+/// let a: u64 = alice.stream(&[1, 2]).gen();
+/// let b: u64 = bob.stream(&[1, 2]).gen();
+/// assert_eq!(a, b);
+/// let c: u64 = bob.stream(&[1, 3]).gen();
+/// assert_ne!(a, c);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublicCoin {
+    seed: u64,
+}
+
+/// SplitMix64 finalizer — a high-quality 64-bit mixer used to fold
+/// stream ids into the seed.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl PublicCoin {
+    /// A public coin from a shared seed.
+    pub fn new(seed: u64) -> Self {
+        PublicCoin { seed }
+    }
+
+    /// The shared seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A deterministic RNG for the given stream id path.
+    ///
+    /// Different paths give independent-looking streams; the same path
+    /// always gives the same stream. Conventionally the first element
+    /// identifies the protocol component and later elements identify
+    /// iteration/vertex.
+    pub fn stream(&self, ids: &[u64]) -> StdRng {
+        let mut state = splitmix64(self.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+        for (i, &id) in ids.iter().enumerate() {
+            state = splitmix64(state ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64 + 1));
+        }
+        StdRng::seed_from_u64(state)
+    }
+
+    /// Derives a sub-coin: a public coin whose streams are independent
+    /// of the parent's for distinct labels.
+    pub fn subcoin(&self, label: u64) -> PublicCoin {
+        PublicCoin { seed: splitmix64(self.seed ^ splitmix64(label)) }
+    }
+}
+
+/// A private RNG for one party, seeded independently of the public
+/// coin.
+pub fn private_rng(seed: u64, side_salt: u64) -> StdRng {
+    StdRng::seed_from_u64(splitmix64(seed ^ splitmix64(side_salt ^ 0x0DDB_A11)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_path_same_stream() {
+        let a = PublicCoin::new(123);
+        let b = PublicCoin::new(123);
+        let xs: Vec<u32> = a.stream(&[4, 5, 6]).sample_iter(rand::distributions::Standard).take(10).collect();
+        let ys: Vec<u32> = b.stream(&[4, 5, 6]).sample_iter(rand::distributions::Standard).take(10).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_paths_differ() {
+        let c = PublicCoin::new(123);
+        let x: u64 = c.stream(&[1]).gen();
+        let y: u64 = c.stream(&[2]).gen();
+        let z: u64 = c.stream(&[1, 0]).gen();
+        assert_ne!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let x: u64 = PublicCoin::new(1).stream(&[0]).gen();
+        let y: u64 = PublicCoin::new(2).stream(&[0]).gen();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn path_order_matters() {
+        let c = PublicCoin::new(9);
+        let x: u64 = c.stream(&[1, 2]).gen();
+        let y: u64 = c.stream(&[2, 1]).gen();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn subcoin_is_deterministic_and_distinct() {
+        let c = PublicCoin::new(77);
+        assert_eq!(c.subcoin(3), c.subcoin(3));
+        assert_ne!(c.subcoin(3), c.subcoin(4));
+        let x: u64 = c.subcoin(3).stream(&[0]).gen();
+        let y: u64 = c.stream(&[0]).gen();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn private_rngs_disagree_across_salts() {
+        let x: u64 = private_rng(5, 1).gen();
+        let y: u64 = private_rng(5, 2).gen();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn empty_path_is_valid() {
+        let c = PublicCoin::new(0);
+        let x: u64 = c.stream(&[]).gen();
+        let y: u64 = c.stream(&[]).gen();
+        assert_eq!(x, y);
+    }
+}

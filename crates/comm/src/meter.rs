@@ -1,0 +1,163 @@
+//! Shared accounting of communication cost.
+
+use crate::Side;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Immutable snapshot of a session's communication cost.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Bits sent by Alice to Bob.
+    pub bits_alice_to_bob: u64,
+    /// Bits sent by Bob to Alice.
+    pub bits_bob_to_alice: u64,
+    /// Number of communication rounds (one round = both parties send
+    /// one message simultaneously).
+    pub rounds: u64,
+    /// Total bits per protocol phase, in phase-name order.
+    pub bits_by_phase: BTreeMap<String, u64>,
+    /// Rounds per protocol phase.
+    pub rounds_by_phase: BTreeMap<String, u64>,
+}
+
+impl CommStats {
+    /// Total bits exchanged in both directions.
+    pub fn total_bits(&self) -> u64 {
+        self.bits_alice_to_bob + self.bits_bob_to_alice
+    }
+}
+
+impl std::fmt::Display for CommStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} bits ({} A→B, {} B→A) in {} rounds",
+            self.total_bits(),
+            self.bits_alice_to_bob,
+            self.bits_bob_to_alice,
+            self.rounds
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct MeterInner {
+    stats: CommStats,
+    phase: String,
+}
+
+/// Thread-shared communication meter.
+///
+/// Cloning shares the underlying counters. The channel layer calls
+/// [`Meter::on_message`] and [`Meter::on_round`]; protocol code may
+/// group costs with [`Meter::set_phase`].
+#[derive(Debug, Clone, Default)]
+pub struct Meter {
+    inner: Arc<Mutex<MeterInner>>,
+}
+
+impl Meter {
+    /// A fresh meter with all counters zero and an unnamed phase.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bits` sent by `from`.
+    pub fn on_message(&self, from: Side, bits: u64) {
+        let mut inner = self.inner.lock();
+        match from {
+            Side::Alice => inner.stats.bits_alice_to_bob += bits,
+            Side::Bob => inner.stats.bits_bob_to_alice += bits,
+        }
+        if !inner.phase.is_empty() {
+            let phase = inner.phase.clone();
+            *inner.stats.bits_by_phase.entry(phase).or_insert(0) += bits;
+        }
+    }
+
+    /// Records one completed round.
+    pub fn on_round(&self) {
+        let mut inner = self.inner.lock();
+        inner.stats.rounds += 1;
+        if !inner.phase.is_empty() {
+            let phase = inner.phase.clone();
+            *inner.stats.rounds_by_phase.entry(phase).or_insert(0) += 1;
+        }
+    }
+
+    /// Names the current phase; subsequent costs accrue to it.
+    ///
+    /// Either party may call this (they run the same protocol script,
+    /// so the phase labels agree); setting the same phase twice is
+    /// harmless.
+    pub fn set_phase(&self, phase: &str) {
+        self.inner.lock().phase = phase.to_owned();
+    }
+
+    /// A snapshot of the counters so far.
+    pub fn snapshot(&self) -> CommStats {
+        self.inner.lock().stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_directions_separately() {
+        let m = Meter::new();
+        m.on_message(Side::Alice, 10);
+        m.on_message(Side::Bob, 3);
+        m.on_message(Side::Alice, 1);
+        let s = m.snapshot();
+        assert_eq!(s.bits_alice_to_bob, 11);
+        assert_eq!(s.bits_bob_to_alice, 3);
+        assert_eq!(s.total_bits(), 14);
+    }
+
+    #[test]
+    fn counts_rounds() {
+        let m = Meter::new();
+        m.on_round();
+        m.on_round();
+        assert_eq!(m.snapshot().rounds, 2);
+    }
+
+    #[test]
+    fn phases_accumulate() {
+        let m = Meter::new();
+        m.set_phase("rct");
+        m.on_message(Side::Alice, 5);
+        m.on_round();
+        m.set_phase("d1lc");
+        m.on_message(Side::Bob, 7);
+        m.on_round();
+        m.on_round();
+        let s = m.snapshot();
+        assert_eq!(s.bits_by_phase["rct"], 5);
+        assert_eq!(s.bits_by_phase["d1lc"], 7);
+        assert_eq!(s.rounds_by_phase["rct"], 1);
+        assert_eq!(s.rounds_by_phase["d1lc"], 2);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = Meter::new();
+        let m2 = m.clone();
+        m2.on_message(Side::Alice, 4);
+        assert_eq!(m.snapshot().bits_alice_to_bob, 4);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = Meter::new();
+        m.on_message(Side::Alice, 2);
+        m.on_round();
+        let text = m.snapshot().to_string();
+        assert!(text.contains("2 bits"));
+        assert!(text.contains("1 rounds"));
+    }
+}

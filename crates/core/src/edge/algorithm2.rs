@@ -1,0 +1,448 @@
+//! **Algorithm 2** — the deterministic `(2Δ−1)`-edge-coloring protocol
+//! for `Δ ≥ 8` (Theorem 2): `O(n)` bits, three rounds.
+//!
+//! Per party (everything below is symmetric):
+//!
+//! 1. **Defer** edges joining two vertices of current remaining-degree
+//!    `≥ Δ−1`; the deferred subgraph `DG` has maximum degree 2
+//!    (Lemma 5.2).
+//! 2. Find a **Δ-perfect matching** `M` in the remaining subgraph `R`
+//!    covering every degree-Δ vertex (Lemma 5.3, via Hopcroft–Karp).
+//! 3. Color `R' = R − M` with the party's own `Δ−1` colors: its
+//!    maximum-degree vertices are independent, so constructive
+//!    Fournier (Proposition 3.5) applies.
+//! 4. **Round 1**: exchange two n-bit masks — vertices covered by `M`,
+//!    and vertices of own-degree `> Δ/2`.
+//! 5. **Round 2**: the Lemma 5.4 exchange — each party publishes
+//!    `O(log n)` colors of its palette plus shrinking bit-arrays that
+//!    hand the other party one available own-palette color for every
+//!    vertex of own-degree `≤ Δ/2` (`O(n)` bits total).
+//! 6. Color `M`: an edge `{hub, v}` takes the **special color** when
+//!    `v` is unmatched on the other side or the other side is busy at
+//!    `v` (degree `> Δ/2`); otherwise it takes the other party's
+//!    palette color delivered by step 5. The two parties' rules are
+//!    mutually exclusive at every shared vertex.
+//! 7. **Round 3**: exchange 7-bit-per-vertex masks of which of each
+//!    party's *first seven* palette colors are free, then greedily
+//!    color `DG` from the other party's first seven (Lemma 5.5: at
+//!    least five are free at each endpoint and `DG` has degree ≤ 2).
+
+use crate::edge::PaletteLayout;
+use crate::input::PartyInput;
+use bichrome_comm::session::PartyCtx;
+use bichrome_comm::wire::{width_for, BitWriter};
+use bichrome_graph::coloring::{ColorId, EdgeColoring};
+use bichrome_graph::edge_color::{fournier, misra_gries, remap_colors};
+use bichrome_graph::matching::matching_covering;
+use bichrome_graph::{Edge, Graph, VertexId};
+use std::collections::HashSet;
+
+/// One party's script for Algorithm 2.
+///
+/// # Panics
+///
+/// Panics if `Δ < 8` (the dispatcher routes smaller Δ to Lemma 5.1) or
+/// if an internal invariant of the paper's analysis fails.
+pub fn algorithm2_party(input: &PartyInput, ctx: &PartyCtx) -> EdgeColoring {
+    let delta = input.delta;
+    assert!(delta >= 8, "Algorithm 2 requires Δ ≥ 8, got {delta}");
+    ctx.endpoint.meter().set_phase("edge-algorithm2");
+    let g = &input.graph;
+    let n = input.num_vertices();
+    let layout = PaletteLayout::new(delta);
+    let my_palette = layout.own_palette(input.side);
+    let other_palette = layout.other_palette(input.side);
+    let special = layout.special();
+
+    // ---- Step 1: defer edges between two (Δ−1)+-degree vertices. ----
+    let mut deg: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+    let mut deferred: HashSet<Edge> = HashSet::new();
+    let mut stack: Vec<Edge> = g
+        .edges()
+        .iter()
+        .copied()
+        .filter(|e| deg[e.u().index()] >= delta - 1 && deg[e.v().index()] >= delta - 1)
+        .collect();
+    while let Some(e) = stack.pop() {
+        if deg[e.u().index()] >= delta - 1 && deg[e.v().index()] >= delta - 1 {
+            deferred.insert(e);
+            deg[e.u().index()] -= 1;
+            deg[e.v().index()] -= 1;
+        }
+    }
+    let dg_edges: Vec<Edge> = {
+        let mut v: Vec<Edge> = deferred.iter().copied().collect();
+        v.sort_unstable();
+        v
+    };
+    let r_graph = g.edge_subgraph(|e| !deferred.contains(&e));
+    debug_assert!(max_degree_of_edges(&dg_edges, n) <= 2, "Lemma 5.2");
+
+    // ---- Step 2: Δ-perfect matching in R. ----
+    let matching: Vec<(VertexId, VertexId)> = if r_graph.max_degree() == delta {
+        let targets = r_graph.vertices_of_degree(delta);
+        let edges = matching_covering(&r_graph, &targets)
+            .expect("Lemma 5.3: a covering matching exists");
+        edges
+            .iter()
+            .map(|e| {
+                let hub =
+                    if r_graph.degree(e.u()) == delta { e.u() } else { e.v() };
+                (hub, e.other(hub))
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let m_set: HashSet<Edge> =
+        matching.iter().map(|&(a, b)| Edge::new(a, b)).collect();
+
+    // ---- Step 3: color R' = R − M with my palette. ----
+    let r_prime = r_graph.edge_subgraph(|e| !m_set.contains(&e));
+    let d = r_prime.max_degree();
+    let mut coloring = if r_prime.num_edges() == 0 {
+        EdgeColoring::new()
+    } else if d == delta - 1 {
+        let raw = fournier(&r_prime).expect(
+            "deferral + matching removal leave max-degree vertices independent",
+        );
+        remap_colors(&raw, &my_palette)
+    } else {
+        debug_assert!(d + 1 <= delta - 1, "Vizing fits in the palette");
+        remap_colors(&misra_gries(&r_prime), &my_palette)
+    };
+
+    // ---- Round 1: matched mask + over-half-degree mask. ----
+    let my_matched = {
+        let mut mask = vec![false; n];
+        for &(hub, v) in &matching {
+            mask[hub.index()] = true;
+            mask[v.index()] = true;
+        }
+        mask
+    };
+    let my_over_half: Vec<bool> =
+        g.vertices().map(|v| g.degree(v) > delta / 2).collect();
+    let mut w = BitWriter::new();
+    w.write_bools(&my_matched);
+    w.write_bools(&my_over_half);
+    let incoming = ctx.endpoint.exchange(w.finish());
+    let mut r = incoming.reader();
+    let peer_matched = r.read_bools(n);
+    let peer_over_half = r.read_bools(n);
+
+    // ---- Round 2: Lemma 5.4 palette-covering exchange. ----
+    let my_k: Vec<VertexId> = g
+        .vertices()
+        .filter(|&v| !my_over_half[v.index()])
+        .collect();
+    let msg = encode_palette_covering(
+        &my_k,
+        &|v| free_in_palette(g, &coloring, &my_palette, v),
+        my_palette.len(),
+    );
+    let incoming = ctx.endpoint.exchange(msg);
+    let peer_k: Vec<VertexId> = g
+        .vertices()
+        .filter(|&v| !peer_over_half[v.index()])
+        .collect();
+    let peer_assigned = decode_palette_covering(
+        &mut incoming.reader(),
+        &peer_k,
+        &other_palette,
+        n,
+    );
+
+    // ---- Step 6: color the matching. ----
+    for &(hub, v) in &matching {
+        let e = Edge::new(hub, v);
+        let color = if !peer_matched[v.index()] || peer_over_half[v.index()] {
+            special
+        } else {
+            peer_assigned[v.index()]
+                .expect("Lemma 5.4 covers every low-degree vertex of the peer")
+        };
+        coloring.set(e, color);
+    }
+
+    // ---- Round 3: first-seven masks, then color DG. ----
+    let seven = 7usize.min(my_palette.len());
+    let mut w = BitWriter::new();
+    for v in g.vertices() {
+        // Matching colors live in the other palette (or special), so
+        // they never mask out own-palette colors here.
+        let free = free_in_palette(g, &coloring, &my_palette, v);
+        for &b in free.iter().take(seven) {
+            w.write_bit(b);
+        }
+    }
+    let incoming = ctx.endpoint.exchange(w.finish());
+    let mut r = incoming.reader();
+    let mut peer_free7 = vec![[false; 7]; n];
+    for v in 0..n {
+        for i in 0..seven {
+            peer_free7[v][i] = r.read_bit();
+        }
+    }
+
+    // My matching color at each vertex (to avoid in DG).
+    let mut my_match_color: Vec<Option<ColorId>> = vec![None; n];
+    for &(hub, v) in &matching {
+        let c = coloring.get(Edge::new(hub, v)).expect("just colored");
+        my_match_color[hub.index()] = Some(c);
+        my_match_color[v.index()] = Some(c);
+    }
+
+    for &e in &dg_edges {
+        let (a, b) = e.endpoints();
+        let mut blocked = [false; 7];
+        for w2 in [a, b] {
+            for (i, slot) in blocked.iter_mut().enumerate().take(seven) {
+                if !peer_free7[w2.index()][i] {
+                    *slot = true;
+                }
+            }
+            if let Some(c) = my_match_color[w2.index()] {
+                if let Some(i) = palette_index(&other_palette, c) {
+                    if i < 7 {
+                        blocked[i] = true;
+                    }
+                }
+            }
+            for &u in g.neighbors(w2) {
+                let f = Edge::new(u, w2);
+                if deferred.contains(&f) {
+                    if let Some(c) = coloring.get(f) {
+                        if let Some(i) = palette_index(&other_palette, c) {
+                            if i < 7 {
+                                blocked[i] = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let i = (0..seven)
+            .find(|&i| !blocked[i])
+            .expect("Lemma 5.5: at least one of the seven remains free");
+        coloring.set(e, other_palette[i]);
+    }
+
+    coloring
+}
+
+/// Which colors of `palette` are unused by `coloring` at edges of `g`
+/// incident to `v`.
+fn free_in_palette(
+    g: &Graph,
+    coloring: &EdgeColoring,
+    palette: &[ColorId],
+    v: VertexId,
+) -> Vec<bool> {
+    let mut free = vec![true; palette.len()];
+    for &u in g.neighbors(v) {
+        if let Some(c) = coloring.get(Edge::new(u, v)) {
+            if let Some(i) = palette_index(palette, c) {
+                free[i] = false;
+            }
+        }
+    }
+    free
+}
+
+/// Index of `c` within `palette`, if present.
+fn palette_index(palette: &[ColorId], c: ColorId) -> Option<usize> {
+    // Palettes are contiguous ranges; subtract the base.
+    let base = palette.first()?.0;
+    if c.0 >= base && ((c.0 - base) as usize) < palette.len() {
+        Some((c.0 - base) as usize)
+    } else {
+        None
+    }
+}
+
+/// Lemma 5.4 encoder: iteratively pick the palette color available for
+/// the largest fraction of the still-uncovered vertices (≥ 1/3 by the
+/// double-counting argument), announce it with a membership bit-array
+/// over the current uncovered list, and recurse on the rest.
+fn encode_palette_covering(
+    k: &[VertexId],
+    free_of: &impl Fn(VertexId) -> Vec<bool>,
+    palette_len: usize,
+) -> bichrome_comm::Message {
+    let free: Vec<Vec<bool>> = k.iter().map(|&v| free_of(v)).collect();
+    let mut u: Vec<usize> = (0..k.len()).collect();
+    let mut picks: Vec<(usize, Vec<bool>)> = Vec::new();
+    while !u.is_empty() {
+        let best = (0..palette_len)
+            .max_by_key(|&c| u.iter().filter(|&&i| free[i][c]).count())
+            .expect("palette nonempty");
+        let mask: Vec<bool> = u.iter().map(|&i| free[i][best]).collect();
+        let covered = mask.iter().filter(|&&b| b).count();
+        assert!(covered > 0, "every vertex has an available color (Δ ≥ 8)");
+        let next: Vec<usize> =
+            u.iter().zip(&mask).filter(|(_, &m)| !m).map(|(&i, _)| i).collect();
+        picks.push((best, mask));
+        u = next;
+    }
+    let mut w = BitWriter::new();
+    w.write_gamma(picks.len() as u64);
+    let cw = width_for(palette_len.saturating_sub(1) as u64);
+    for (c, mask) in &picks {
+        w.write_uint(*c as u64, cw);
+        w.write_bools(mask);
+    }
+    w.finish()
+}
+
+/// Lemma 5.4 decoder: reconstructs, for each vertex in `k`, the first
+/// announced color that is available for it (as an absolute
+/// [`ColorId`] via `palette`). Returns a dense option array over all
+/// `n` vertices.
+fn decode_palette_covering(
+    r: &mut bichrome_comm::BitReader<'_>,
+    k: &[VertexId],
+    palette: &[ColorId],
+    n: usize,
+) -> Vec<Option<ColorId>> {
+    let mut assigned: Vec<Option<ColorId>> = vec![None; n];
+    let t = r.read_gamma() as usize;
+    let cw = width_for(palette.len().saturating_sub(1) as u64);
+    let mut u: Vec<VertexId> = k.to_vec();
+    for _ in 0..t {
+        let c = palette[r.read_uint(cw) as usize];
+        let mask = r.read_bools(u.len());
+        let mut next = Vec::new();
+        for (i, &v) in u.iter().enumerate() {
+            if mask[i] {
+                assigned[v.index()] = Some(c);
+            } else {
+                next.push(v);
+            }
+        }
+        u = next;
+    }
+    assert!(u.is_empty(), "covering must assign every vertex in K");
+    assigned
+}
+
+fn max_degree_of_edges(edges: &[Edge], n: usize) -> usize {
+    let mut deg = vec![0usize; n];
+    for e in edges {
+        deg[e.u().index()] += 1;
+        deg[e.v().index()] += 1;
+    }
+    deg.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::solve_edge_coloring;
+    use bichrome_graph::coloring::validate_edge_coloring_with_palette;
+    use bichrome_graph::gen;
+    use bichrome_graph::partition::Partitioner;
+
+    fn check(g: &Graph, part: Partitioner, seed: u64) {
+        let p = part.split(g);
+        let out = solve_edge_coloring(&p, seed);
+        let budget = 2 * g.max_degree() - 1;
+        if let Err(e) = validate_edge_coloring_with_palette(g, &out.merged(), budget) {
+            panic!("invalid coloring on {g} under {part}: {e}");
+        }
+    }
+
+    #[test]
+    fn algorithm2_on_random_graphs() {
+        for seed in 0..6 {
+            let g = gen::gnm_max_degree(60, 270, 9, seed);
+            assert!(g.max_degree() >= 8, "want the Algorithm 2 path");
+            for part in Partitioner::family(seed) {
+                check(&g, part, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm2_on_denser_graphs() {
+        for seed in 0..3 {
+            let g = gen::gnm_max_degree(80, 600, 16, 100 + seed);
+            check(&g, Partitioner::Random(seed), seed);
+            check(&g, Partitioner::LowHalf, seed);
+        }
+    }
+
+    #[test]
+    fn algorithm2_on_near_regular() {
+        let g = gen::near_regular(70, 11, 5);
+        for part in Partitioner::family(2) {
+            check(&g, part, 0);
+        }
+    }
+
+    #[test]
+    fn algorithm2_on_star_like() {
+        // Stars stress the matching/special-color paths: hubs of full
+        // degree.
+        let g = gen::star(12); // Δ = 11
+        check(&g, Partitioner::Alternating, 0);
+        check(&g, Partitioner::AllToAlice, 0);
+        let g = gen::complete_bipartite(9, 9); // Δ = 9
+        check(&g, Partitioner::Random(4), 0);
+    }
+
+    #[test]
+    fn algorithm2_rounds_are_constant() {
+        for &n in &[40usize, 80, 160] {
+            let g = gen::gnm_max_degree(n, n * 5, 10, 3);
+            let p = Partitioner::Random(1).split(&g);
+            let out = solve_edge_coloring(&p, 0);
+            assert_eq!(out.stats.rounds, 3, "Algorithm 2 uses exactly 3 rounds");
+        }
+    }
+
+    #[test]
+    fn algorithm2_bits_are_linear() {
+        // O(n) bits: per-n cost must stay bounded as n doubles.
+        let mut per_n = Vec::new();
+        for &n in &[64usize, 128, 256] {
+            let g = gen::gnm_max_degree(n, n * 5, 12, 9);
+            let p = Partitioner::Random(2).split(&g);
+            let out = solve_edge_coloring(&p, 0);
+            per_n.push(out.stats.total_bits() as f64 / n as f64);
+        }
+        let min = per_n.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_n.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max / min < 1.8, "bits per vertex {per_n:?} must stay flat");
+    }
+
+    #[test]
+    fn covering_roundtrip() {
+        // Standalone encoder/decoder check.
+        let k: Vec<VertexId> = (0..10).map(VertexId).collect();
+        let palette: Vec<ColorId> = (0..9).map(ColorId).collect();
+        let free_of = |v: VertexId| -> Vec<bool> {
+            (0..9).map(|c| (v.0 as usize + c) % 3 != 0).collect()
+        };
+        let msg = encode_palette_covering(&k, &free_of, palette.len());
+        let assigned =
+            decode_palette_covering(&mut msg.reader(), &k, &palette, 12);
+        for &v in &k {
+            let c = assigned[v.index()].expect("assigned");
+            let idx = palette_index(&palette, c).expect("in palette");
+            assert!(free_of(v)[idx], "assigned color must be available");
+        }
+        assert!(assigned[10].is_none());
+    }
+
+    #[test]
+    fn palette_index_maps_contiguous_ranges() {
+        let p: Vec<ColorId> = (5..9).map(ColorId).collect();
+        assert_eq!(palette_index(&p, ColorId(5)), Some(0));
+        assert_eq!(palette_index(&p, ColorId(8)), Some(3));
+        assert_eq!(palette_index(&p, ColorId(9)), None);
+        assert_eq!(palette_index(&p, ColorId(4)), None);
+        assert_eq!(palette_index(&[], ColorId(0)), None);
+    }
+
+}

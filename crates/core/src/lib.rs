@@ -1,0 +1,52 @@
+//! `bichrome-core` — the protocols of *Round and Communication
+//! Efficient Graph Coloring* (Chang, Mishra, Nguyen, Salim; PODC
+//! 2025), implemented over the `bichrome-comm` two-party substrate and
+//! the `bichrome-graph` graph substrate.
+//!
+//! # What's here
+//!
+//! * [`slack_int`] — the `k-Slack-Int` set protocols (Appendix A):
+//!   deterministic binary search (Lemma A.1) and randomized
+//!   Algorithm 3 (Lemma A.2).
+//! * [`color_sample`] — uniform available-color sampling
+//!   (Lemma 3.1).
+//! * [`rct`] — `Random-Color-Trial` (Algorithm 1).
+//! * [`d1lc`] — the `(degree+1)`-list-coloring protocol with palette
+//!   sparsification (Proposition 3.2, Lemma 3.3).
+//! * [`vertex`] — **Theorem 1**: `(Δ+1)`-vertex coloring with `O(n)`
+//!   expected bits and `O(log log n · log Δ)` worst-case rounds.
+//! * [`edge`] — **Theorem 2**: deterministic `(2Δ−1)`-edge coloring
+//!   with `O(n)` bits and `O(1)` rounds; **Theorem 3**: `(2Δ)`-edge
+//!   coloring with zero communication; Lemma 5.1's constant-Δ
+//!   protocol.
+//! * [`baselines`] — Flin–Mittal, deterministic greedy+binary-search,
+//!   and send-everything comparators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bichrome_core::{rct::RctConfig, vertex::solve_vertex_coloring};
+//! use bichrome_graph::{gen, partition::Partitioner};
+//! use bichrome_graph::coloring::validate_vertex_coloring_with_palette;
+//!
+//! let g = gen::gnp(60, 0.1, 7);
+//! let partition = Partitioner::Random(1).split(&g);
+//! let out = solve_vertex_coloring(&partition, 42, &RctConfig::default());
+//! assert!(validate_vertex_coloring_with_palette(&g, &out.coloring, g.max_degree() + 1).is_ok());
+//! println!("{} bits, {} rounds", out.stats.total_bits(), out.stats.rounds);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod color_sample;
+pub mod d1lc;
+pub mod edge;
+pub mod input;
+pub mod rct;
+pub mod slack_int;
+pub mod vertex;
+
+pub use input::PartyInput;
+pub use vertex::{solve_vertex_coloring, VertexOutcome};

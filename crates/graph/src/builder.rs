@@ -1,0 +1,150 @@
+//! Incremental construction of [`Graph`] values.
+
+use crate::graph::{Edge, Graph, VertexId};
+
+/// Builder for [`Graph`] (C-BUILDER).
+///
+/// Collects edges (duplicates are tolerated and deduplicated), then
+/// [`build`](GraphBuilder::build)s the immutable CSR graph.
+///
+/// # Example
+///
+/// ```
+/// use bichrome_graph::{GraphBuilder, VertexId};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(VertexId(0), VertexId(1));
+/// b.add_edge(VertexId(1), VertexId(0)); // duplicate, ignored
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: u32,
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` vertices (ids `0..n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `u32::MAX`.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n: u32::try_from(n).expect("vertex count fits in u32"), edges: Vec::new() }
+    }
+
+    /// Number of vertices this builder was created with.
+    pub fn num_vertices(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Adds the undirected edge `{a, b}`.
+    ///
+    /// Returns `&mut self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either endpoint is out of range.
+    pub fn add_edge(&mut self, a: VertexId, b: VertexId) -> &mut Self {
+        assert!(a.0 < self.n && b.0 < self.n, "endpoint out of range ({a}, {b}, n={})", self.n);
+        self.edges.push(Edge::new(a, b));
+        self
+    }
+
+    /// Adds an already-constructed [`Edge`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn push(&mut self, e: Edge) -> &mut Self {
+        assert!(e.v().0 < self.n, "endpoint out of range ({e}, n={})", self.n);
+        self.edges.push(e);
+        self
+    }
+
+    /// Number of edges added so far (before deduplication).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges have been added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finalizes the graph, sorting and deduplicating edges.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        Graph::from_parts(self.n, self.edges)
+    }
+}
+
+impl Extend<Edge> for GraphBuilder {
+    fn extend<T: IntoIterator<Item = Edge>>(&mut self, iter: T) {
+        for e in iter {
+            self.push(e);
+        }
+    }
+}
+
+/// Builds a graph on `n` vertices directly from an edge iterator.
+///
+/// # Panics
+///
+/// Panics if an endpoint is out of range.
+///
+/// # Example
+///
+/// ```
+/// use bichrome_graph::{builder::from_edges, Edge, VertexId};
+/// let g = from_edges(3, [Edge::new(VertexId(0), VertexId(2))]);
+/// assert_eq!(g.num_edges(), 1);
+/// ```
+pub fn from_edges(n: usize, edges: impl IntoIterator<Item = Edge>) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    b.extend(edges);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_duplicate_edges() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(VertexId(0), VertexId(1));
+        b.add_edge(VertexId(1), VertexId(0));
+        b.add_edge(VertexId(0), VertexId(1));
+        assert_eq!(b.len(), 3);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(VertexId(0), VertexId(2));
+    }
+
+    #[test]
+    fn extend_and_from_edges() {
+        let edges = vec![
+            Edge::new(VertexId(0), VertexId(1)),
+            Edge::new(VertexId(2), VertexId(3)),
+        ];
+        let g = from_edges(4, edges.iter().copied());
+        assert_eq!(g.num_edges(), 2);
+        assert!(!GraphBuilder::new(1).is_empty() == false);
+    }
+
+    #[test]
+    fn chaining() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(VertexId(0), VertexId(1)).add_edge(VertexId(1), VertexId(2));
+        assert_eq!(b.build().num_edges(), 2);
+    }
+}

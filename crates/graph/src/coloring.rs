@@ -1,0 +1,603 @@
+//! Vertex and edge coloring containers and validators.
+//!
+//! Validators in this module are the ground truth the entire workspace
+//! tests against: a protocol's output is correct exactly when the
+//! corresponding `validate_*` function returns `Ok`.
+
+use crate::graph::{Edge, Graph, VertexId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A color index.
+///
+/// Palettes are sets of `ColorId`s; the paper's palette `[Δ+1]` maps to
+/// `ColorId(0) ..= ColorId(Δ)`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ColorId(pub u32);
+
+impl ColorId {
+    /// The color index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ColorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<u32> for ColorId {
+    fn from(i: u32) -> Self {
+        ColorId(i)
+    }
+}
+
+/// A (possibly partial) vertex coloring of an `n`-vertex graph.
+///
+/// # Example
+///
+/// ```
+/// use bichrome_graph::coloring::{ColorId, VertexColoring};
+/// use bichrome_graph::VertexId;
+///
+/// let mut c = VertexColoring::new(3);
+/// c.set(VertexId(0), ColorId(2));
+/// assert_eq!(c.get(VertexId(0)), Some(ColorId(2)));
+/// assert_eq!(c.get(VertexId(1)), None);
+/// assert_eq!(c.num_colored(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VertexColoring {
+    colors: Vec<Option<ColorId>>,
+}
+
+impl VertexColoring {
+    /// An all-uncolored coloring of `n` vertices.
+    pub fn new(n: usize) -> Self {
+        VertexColoring { colors: vec![None; n] }
+    }
+
+    /// Number of vertices the coloring is over.
+    pub fn len(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Whether the coloring covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+
+    /// The color of `v`, if assigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn get(&self, v: VertexId) -> Option<ColorId> {
+        self.colors[v.index()]
+    }
+
+    /// Assigns color `c` to `v`, returning the previous color if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn set(&mut self, v: VertexId, c: ColorId) -> Option<ColorId> {
+        self.colors[v.index()].replace(c)
+    }
+
+    /// Removes the color of `v`, returning it.
+    pub fn clear(&mut self, v: VertexId) -> Option<ColorId> {
+        self.colors[v.index()].take()
+    }
+
+    /// Whether `v` has been assigned a color.
+    #[inline]
+    pub fn is_colored(&self, v: VertexId) -> bool {
+        self.colors[v.index()].is_some()
+    }
+
+    /// Number of vertices with an assigned color.
+    pub fn num_colored(&self) -> usize {
+        self.colors.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Whether every vertex is colored.
+    pub fn is_complete(&self) -> bool {
+        self.colors.iter().all(|c| c.is_some())
+    }
+
+    /// The uncolored vertices, in increasing order.
+    pub fn uncolored_vertices(&self) -> Vec<VertexId> {
+        self.colors
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_none())
+            .map(|(i, _)| VertexId(i as u32))
+            .collect()
+    }
+
+    /// Largest color index used, if any vertex is colored.
+    pub fn max_color(&self) -> Option<ColorId> {
+        self.colors.iter().flatten().copied().max()
+    }
+
+    /// Number of distinct colors used.
+    pub fn num_distinct_colors(&self) -> usize {
+        let mut used: Vec<ColorId> = self.colors.iter().flatten().copied().collect();
+        used.sort_unstable();
+        used.dedup();
+        used.len()
+    }
+}
+
+/// A (possibly partial) edge coloring, keyed by [`Edge`].
+///
+/// # Example
+///
+/// ```
+/// use bichrome_graph::coloring::{ColorId, EdgeColoring};
+/// use bichrome_graph::{Edge, VertexId};
+///
+/// let mut c = EdgeColoring::new();
+/// let e = Edge::new(VertexId(0), VertexId(1));
+/// c.set(e, ColorId(0));
+/// assert_eq!(c.get(e), Some(ColorId(0)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeColoring {
+    colors: HashMap<Edge, ColorId>,
+}
+
+impl EdgeColoring {
+    /// An empty edge coloring.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The color of edge `e`, if assigned.
+    pub fn get(&self, e: Edge) -> Option<ColorId> {
+        self.colors.get(&e).copied()
+    }
+
+    /// Assigns color `c` to edge `e`, returning the previous color if any.
+    pub fn set(&mut self, e: Edge, c: ColorId) -> Option<ColorId> {
+        self.colors.insert(e, c)
+    }
+
+    /// Removes the color of `e`, returning it.
+    pub fn clear(&mut self, e: Edge) -> Option<ColorId> {
+        self.colors.remove(&e)
+    }
+
+    /// Number of colored edges.
+    pub fn len(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Whether no edge is colored.
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+
+    /// Iterator over `(edge, color)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Edge, ColorId)> + '_ {
+        self.colors.iter().map(|(&e, &c)| (e, c))
+    }
+
+    /// Largest color index used, if any.
+    pub fn max_color(&self) -> Option<ColorId> {
+        self.colors.values().copied().max()
+    }
+
+    /// Number of distinct colors used.
+    pub fn num_distinct_colors(&self) -> usize {
+        let mut used: Vec<ColorId> = self.colors.values().copied().collect();
+        used.sort_unstable();
+        used.dedup();
+        used.len()
+    }
+
+    /// Merges `other` into `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the conflicting edge if `other` assigns a *different*
+    /// color to an edge already colored in `self`.
+    pub fn merge(&mut self, other: &EdgeColoring) -> Result<(), Edge> {
+        for (e, c) in other.iter() {
+            match self.colors.get(&e) {
+                Some(&existing) if existing != c => return Err(e),
+                _ => {
+                    self.colors.insert(e, c);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Colors in use at edges incident to `v`.
+    pub fn colors_at(&self, g: &Graph, v: VertexId) -> Vec<ColorId> {
+        let mut out = Vec::new();
+        for &u in g.neighbors(v) {
+            if let Some(c) = self.get(Edge::new(u, v)) {
+                out.push(c);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl FromIterator<(Edge, ColorId)> for EdgeColoring {
+    fn from_iter<T: IntoIterator<Item = (Edge, ColorId)>>(iter: T) -> Self {
+        EdgeColoring { colors: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(Edge, ColorId)> for EdgeColoring {
+    fn extend<T: IntoIterator<Item = (Edge, ColorId)>>(&mut self, iter: T) {
+        self.colors.extend(iter);
+    }
+}
+
+/// Why a coloring failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColoringError {
+    /// A vertex has no assigned color.
+    UncoloredVertex(VertexId),
+    /// Two adjacent vertices share a color.
+    AdjacentVertices(VertexId, VertexId, ColorId),
+    /// A vertex color exceeds the allowed palette.
+    VertexPaletteExceeded(VertexId, ColorId, usize),
+    /// An edge has no assigned color.
+    UncoloredEdge(Edge),
+    /// Two incident edges share a color.
+    IncidentEdges(Edge, Edge, ColorId),
+    /// An edge color exceeds the allowed palette.
+    EdgePaletteExceeded(Edge, ColorId, usize),
+    /// A vertex color is outside its allowed list (D1LC).
+    ColorNotInList(VertexId, ColorId),
+}
+
+impl fmt::Display for ColoringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColoringError::UncoloredVertex(v) => write!(f, "vertex {v} is uncolored"),
+            ColoringError::AdjacentVertices(u, v, c) => {
+                write!(f, "adjacent vertices {u} and {v} both have color {c}")
+            }
+            ColoringError::VertexPaletteExceeded(v, c, k) => {
+                write!(f, "vertex {v} has color {c} outside palette of size {k}")
+            }
+            ColoringError::UncoloredEdge(e) => write!(f, "edge {e} is uncolored"),
+            ColoringError::IncidentEdges(e1, e2, c) => {
+                write!(f, "incident edges {e1} and {e2} both have color {c}")
+            }
+            ColoringError::EdgePaletteExceeded(e, c, k) => {
+                write!(f, "edge {e} has color {c} outside palette of size {k}")
+            }
+            ColoringError::ColorNotInList(v, c) => {
+                write!(f, "vertex {v} has color {c} outside its allowed list")
+            }
+        }
+    }
+}
+
+impl Error for ColoringError {}
+
+/// Validates a *complete, proper* vertex coloring of `g`.
+///
+/// # Errors
+///
+/// Returns the first violation found: an uncolored vertex or two
+/// adjacent vertices sharing a color.
+pub fn validate_vertex_coloring(g: &Graph, c: &VertexColoring) -> Result<(), ColoringError> {
+    for v in g.vertices() {
+        if c.get(v).is_none() {
+            return Err(ColoringError::UncoloredVertex(v));
+        }
+    }
+    validate_partial_vertex_coloring(g, c)
+}
+
+/// Validates that the colored portion of a vertex coloring is proper
+/// (uncolored vertices are allowed).
+///
+/// # Errors
+///
+/// Returns the first pair of adjacent vertices sharing a color.
+pub fn validate_partial_vertex_coloring(
+    g: &Graph,
+    c: &VertexColoring,
+) -> Result<(), ColoringError> {
+    for e in g.edges() {
+        let (u, v) = e.endpoints();
+        if let (Some(cu), Some(cv)) = (c.get(u), c.get(v)) {
+            if cu == cv {
+                return Err(ColoringError::AdjacentVertices(u, v, cu));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a complete proper vertex coloring confined to the palette
+/// `{0, ..., palette_size-1}` — e.g. `palette_size = Δ+1` for the
+/// paper's main problem.
+///
+/// # Errors
+///
+/// Returns the first violation: uncolored vertex, adjacent conflict, or
+/// out-of-palette color.
+pub fn validate_vertex_coloring_with_palette(
+    g: &Graph,
+    c: &VertexColoring,
+    palette_size: usize,
+) -> Result<(), ColoringError> {
+    validate_vertex_coloring(g, c)?;
+    for v in g.vertices() {
+        let col = c.get(v).expect("checked complete");
+        if col.index() >= palette_size {
+            return Err(ColoringError::VertexPaletteExceeded(v, col, palette_size));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a *complete, proper* edge coloring of `g`.
+///
+/// # Errors
+///
+/// Returns the first violation found: an uncolored edge or two incident
+/// edges sharing a color.
+pub fn validate_edge_coloring(g: &Graph, c: &EdgeColoring) -> Result<(), ColoringError> {
+    for &e in g.edges() {
+        if c.get(e).is_none() {
+            return Err(ColoringError::UncoloredEdge(e));
+        }
+    }
+    validate_partial_edge_coloring(g, c)
+}
+
+/// Validates that the colored portion of an edge coloring is proper.
+///
+/// # Errors
+///
+/// Returns the first pair of incident edges sharing a color.
+pub fn validate_partial_edge_coloring(g: &Graph, c: &EdgeColoring) -> Result<(), ColoringError> {
+    for v in g.vertices() {
+        let mut seen: HashMap<ColorId, Edge> = HashMap::new();
+        for &u in g.neighbors(v) {
+            let e = Edge::new(u, v);
+            if let Some(col) = c.get(e) {
+                if let Some(&prev) = seen.get(&col) {
+                    return Err(ColoringError::IncidentEdges(prev, e, col));
+                }
+                seen.insert(col, e);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a complete proper edge coloring confined to the palette
+/// `{0, ..., palette_size-1}` — e.g. `palette_size = 2Δ−1` for the
+/// paper's edge-coloring problem.
+///
+/// # Errors
+///
+/// Returns the first violation: uncolored edge, incident conflict, or
+/// out-of-palette color.
+pub fn validate_edge_coloring_with_palette(
+    g: &Graph,
+    c: &EdgeColoring,
+    palette_size: usize,
+) -> Result<(), ColoringError> {
+    validate_edge_coloring(g, c)?;
+    for &e in g.edges() {
+        let col = c.get(e).expect("checked complete");
+        if col.index() >= palette_size {
+            return Err(ColoringError::EdgePaletteExceeded(e, col, palette_size));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a (degree+1)-list coloring: complete, proper, and every
+/// vertex's color is inside its list.
+///
+/// # Errors
+///
+/// Returns the first violation. `lists[v]` must be sorted or not —
+/// membership is checked by linear scan.
+///
+/// # Panics
+///
+/// Panics if `lists.len() != g.num_vertices()`.
+pub fn validate_list_coloring(
+    g: &Graph,
+    c: &VertexColoring,
+    lists: &[Vec<ColorId>],
+) -> Result<(), ColoringError> {
+    assert_eq!(lists.len(), g.num_vertices(), "one list per vertex");
+    validate_vertex_coloring(g, c)?;
+    for v in g.vertices() {
+        let col = c.get(v).expect("checked complete");
+        if !lists[v.index()].contains(&col) {
+            return Err(ColoringError::ColorNotInList(v, col));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path3() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(VertexId(0), VertexId(1));
+        b.add_edge(VertexId(1), VertexId(2));
+        b.build()
+    }
+
+    #[test]
+    fn vertex_coloring_accessors() {
+        let mut c = VertexColoring::new(3);
+        assert!(!c.is_colored(VertexId(0)));
+        assert_eq!(c.set(VertexId(0), ColorId(1)), None);
+        assert_eq!(c.set(VertexId(0), ColorId(2)), Some(ColorId(1)));
+        assert_eq!(c.num_colored(), 1);
+        assert!(!c.is_complete());
+        assert_eq!(c.uncolored_vertices(), vec![VertexId(1), VertexId(2)]);
+        assert_eq!(c.max_color(), Some(ColorId(2)));
+        assert_eq!(c.clear(VertexId(0)), Some(ColorId(2)));
+        assert_eq!(c.num_colored(), 0);
+    }
+
+    #[test]
+    fn valid_vertex_coloring_passes() {
+        let g = path3();
+        let mut c = VertexColoring::new(3);
+        c.set(VertexId(0), ColorId(0));
+        c.set(VertexId(1), ColorId(1));
+        c.set(VertexId(2), ColorId(0));
+        assert!(validate_vertex_coloring(&g, &c).is_ok());
+        assert!(validate_vertex_coloring_with_palette(&g, &c, 2).is_ok());
+        assert_eq!(c.num_distinct_colors(), 2);
+    }
+
+    #[test]
+    fn adjacent_conflict_detected() {
+        let g = path3();
+        let mut c = VertexColoring::new(3);
+        c.set(VertexId(0), ColorId(0));
+        c.set(VertexId(1), ColorId(0));
+        c.set(VertexId(2), ColorId(1));
+        assert_eq!(
+            validate_vertex_coloring(&g, &c),
+            Err(ColoringError::AdjacentVertices(VertexId(0), VertexId(1), ColorId(0)))
+        );
+    }
+
+    #[test]
+    fn uncolored_vertex_detected() {
+        let g = path3();
+        let c = VertexColoring::new(3);
+        assert_eq!(
+            validate_vertex_coloring(&g, &c),
+            Err(ColoringError::UncoloredVertex(VertexId(0)))
+        );
+        // But the partial validator is fine with it.
+        assert!(validate_partial_vertex_coloring(&g, &c).is_ok());
+    }
+
+    #[test]
+    fn palette_violation_detected() {
+        let g = path3();
+        let mut c = VertexColoring::new(3);
+        c.set(VertexId(0), ColorId(0));
+        c.set(VertexId(1), ColorId(5));
+        c.set(VertexId(2), ColorId(0));
+        assert!(matches!(
+            validate_vertex_coloring_with_palette(&g, &c, 3),
+            Err(ColoringError::VertexPaletteExceeded(_, ColorId(5), 3))
+        ));
+    }
+
+    #[test]
+    fn edge_coloring_roundtrip() {
+        let g = path3();
+        let e01 = Edge::new(VertexId(0), VertexId(1));
+        let e12 = Edge::new(VertexId(1), VertexId(2));
+        let mut c = EdgeColoring::new();
+        c.set(e01, ColorId(0));
+        c.set(e12, ColorId(1));
+        assert!(validate_edge_coloring(&g, &c).is_ok());
+        assert!(validate_edge_coloring_with_palette(&g, &c, 2).is_ok());
+        assert_eq!(c.colors_at(&g, VertexId(1)), vec![ColorId(0), ColorId(1)]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.max_color(), Some(ColorId(1)));
+    }
+
+    #[test]
+    fn incident_edge_conflict_detected() {
+        let g = path3();
+        let e01 = Edge::new(VertexId(0), VertexId(1));
+        let e12 = Edge::new(VertexId(1), VertexId(2));
+        let mut c = EdgeColoring::new();
+        c.set(e01, ColorId(0));
+        c.set(e12, ColorId(0));
+        assert!(matches!(
+            validate_edge_coloring(&g, &c),
+            Err(ColoringError::IncidentEdges(_, _, ColorId(0)))
+        ));
+    }
+
+    #[test]
+    fn uncolored_edge_detected() {
+        let g = path3();
+        let c = EdgeColoring::new();
+        assert!(matches!(
+            validate_edge_coloring(&g, &c),
+            Err(ColoringError::UncoloredEdge(_))
+        ));
+        assert!(validate_partial_edge_coloring(&g, &c).is_ok());
+    }
+
+    #[test]
+    fn merge_detects_conflicts() {
+        let e = Edge::new(VertexId(0), VertexId(1));
+        let mut a = EdgeColoring::new();
+        a.set(e, ColorId(0));
+        let mut b = EdgeColoring::new();
+        b.set(e, ColorId(1));
+        assert_eq!(a.clone().merge(&b), Err(e));
+        let mut same = EdgeColoring::new();
+        same.set(e, ColorId(0));
+        assert!(a.merge(&same).is_ok());
+    }
+
+    #[test]
+    fn list_coloring_validation() {
+        let g = path3();
+        let mut c = VertexColoring::new(3);
+        c.set(VertexId(0), ColorId(0));
+        c.set(VertexId(1), ColorId(1));
+        c.set(VertexId(2), ColorId(0));
+        let lists = vec![
+            vec![ColorId(0), ColorId(1)],
+            vec![ColorId(1)],
+            vec![ColorId(0)],
+        ];
+        assert!(validate_list_coloring(&g, &c, &lists).is_ok());
+        let bad_lists = vec![vec![ColorId(1)], vec![ColorId(1)], vec![ColorId(0)]];
+        assert_eq!(
+            validate_list_coloring(&g, &c, &bad_lists),
+            Err(ColoringError::ColorNotInList(VertexId(0), ColorId(0)))
+        );
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let msgs = [
+            ColoringError::UncoloredVertex(VertexId(0)).to_string(),
+            ColoringError::AdjacentVertices(VertexId(0), VertexId(1), ColorId(0)).to_string(),
+            ColoringError::UncoloredEdge(Edge::new(VertexId(0), VertexId(1))).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+}

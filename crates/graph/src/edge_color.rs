@@ -1,0 +1,424 @@
+//! Constructive edge-coloring theorems.
+//!
+//! The paper's edge-coloring protocol (Algorithm 2) leans on two
+//! classical existential results:
+//!
+//! * **Proposition 3.4 (Vizing).** Every simple graph is edge colorable
+//!   with `Δ+1` colors — here realized by the Misra–Gries fan/Kempe
+//!   algorithm, [`misra_gries`].
+//! * **Proposition 3.5 (Fournier).** If the maximum-degree vertices
+//!   form an independent set, `Δ` colors suffice — here realized
+//!   constructively by [`fournier`] with an *ordered* fan insertion:
+//!   first all edges not touching a degree-Δ vertex (a max-degree-`Δ−1`
+//!   instance, so the Vizing fan argument with `Δ` colors applies),
+//!   then each edge incident to a degree-Δ vertex with the fan centered
+//!   on that vertex, whose neighbors all have degree `≤ Δ−1` by
+//!   independence and therefore always have a free color among `Δ`.
+//!
+//! Both run in `O(m · (n + Δ))` time and are validated by property
+//! tests against the checkers in [`crate::coloring`].
+
+use crate::coloring::{ColorId, EdgeColoring};
+use crate::graph::{Edge, Graph, VertexId};
+
+/// Failure of [`fournier`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FournierError {
+    /// The maximum-degree vertices are not an independent set, so
+    /// Proposition 3.5 does not apply.
+    MaxDegreeNotIndependent,
+    /// Internal invariant violation: the fan argument got stuck on the
+    /// reported edge. Cannot happen for inputs satisfying the
+    /// precondition; surfaced as an error so callers can assert on it.
+    FanStuck(Edge),
+}
+
+impl std::fmt::Display for FournierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FournierError::MaxDegreeNotIndependent => {
+                write!(f, "maximum-degree vertices are not an independent set")
+            }
+            FournierError::FanStuck(e) => write!(f, "fan argument stuck while coloring {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FournierError {}
+
+/// Mutable edge-coloring state with O(1) "which neighbor is joined to
+/// `v` by color `c`" lookups, the workhorse of the fan algorithm.
+struct FanState<'a> {
+    g: &'a Graph,
+    k: usize,
+    /// `tbl[v][c]` = neighbor joined to `v` by an edge colored `c`.
+    tbl: Vec<Vec<Option<VertexId>>>,
+    coloring: EdgeColoring,
+}
+
+impl<'a> FanState<'a> {
+    fn new(g: &'a Graph, k: usize) -> Self {
+        FanState {
+            g,
+            k,
+            tbl: vec![vec![None; k]; g.num_vertices()],
+            coloring: EdgeColoring::new(),
+        }
+    }
+
+    fn is_free(&self, v: VertexId, c: ColorId) -> bool {
+        self.tbl[v.index()][c.index()].is_none()
+    }
+
+    fn some_free(&self, v: VertexId) -> Option<ColorId> {
+        (0..self.k as u32).map(ColorId).find(|&c| self.is_free(v, c))
+    }
+
+    fn set(&mut self, a: VertexId, b: VertexId, c: ColorId) {
+        debug_assert!(self.is_free(a, c) && self.is_free(b, c), "color {c} not free");
+        self.tbl[a.index()][c.index()] = Some(b);
+        self.tbl[b.index()][c.index()] = Some(a);
+        self.coloring.set(Edge::new(a, b), c);
+    }
+
+    fn unset(&mut self, a: VertexId, b: VertexId) -> ColorId {
+        let c = self.coloring.clear(Edge::new(a, b)).expect("edge was colored");
+        self.tbl[a.index()][c.index()] = None;
+        self.tbl[b.index()][c.index()] = None;
+        c
+    }
+
+    fn color_of(&self, a: VertexId, b: VertexId) -> Option<ColorId> {
+        self.coloring.get(Edge::new(a, b))
+    }
+
+    /// Inverts the maximal alternating `c/d` path starting at `u`.
+    ///
+    /// Precondition: `c` is free at `u`. The path (if nonempty) starts
+    /// with the `d`-edge at `u` and alternates; since each vertex has
+    /// at most one edge of each color and `u` has no `c`-edge, the path
+    /// is simple.
+    fn invert_cd_path(&mut self, u: VertexId, c: ColorId, d: ColorId) {
+        debug_assert!(self.is_free(u, c));
+        let mut segments: Vec<(VertexId, VertexId, ColorId)> = Vec::new();
+        let mut cur = u;
+        let mut want = d;
+        while let Some(next) = self.tbl[cur.index()][want.index()] {
+            segments.push((cur, next, want));
+            cur = next;
+            want = if want == c { d } else { c };
+        }
+        for &(a, b, _) in &segments {
+            self.unset(a, b);
+        }
+        for &(a, b, col) in &segments {
+            let flipped = if col == c { d } else { c };
+            self.set(a, b, flipped);
+        }
+    }
+
+    /// Builds the maximal fan of `u` starting at `v`: distinct
+    /// neighbors `f_0 = v, f_1, ...` where edge `(u, f_{i+1})` is
+    /// colored with a color free at `f_i`.
+    fn maximal_fan(&self, u: VertexId, v: VertexId) -> Vec<VertexId> {
+        let mut fan = vec![v];
+        let mut in_fan = vec![false; self.g.num_vertices()];
+        in_fan[v.index()] = true;
+        'grow: loop {
+            let last = *fan.last().expect("fan nonempty");
+            for c in 0..self.k as u32 {
+                let c = ColorId(c);
+                if !self.is_free(last, c) {
+                    continue;
+                }
+                if let Some(w) = self.tbl[u.index()][c.index()] {
+                    if !in_fan[w.index()] {
+                        in_fan[w.index()] = true;
+                        fan.push(w);
+                        continue 'grow;
+                    }
+                }
+            }
+            return fan;
+        }
+    }
+
+    /// Checks the fan property of `fan[0..=j]` under current colors.
+    fn prefix_is_fan(&self, u: VertexId, fan: &[VertexId], j: usize) -> bool {
+        (0..j).all(|i| match self.color_of(u, fan[i + 1]) {
+            Some(c) => self.is_free(fan[i], c),
+            None => false,
+        })
+    }
+
+    /// Colors the uncolored edge `(u, v)` by the Misra–Gries fan /
+    /// Kempe-chain procedure with palette `[k]`, centering the fan at
+    /// `u`.
+    ///
+    /// Requires that `u` and every neighbor of `u` reachable as a fan
+    /// vertex have a free color; callers establish this via the
+    /// preconditions documented on [`misra_gries`] and [`fournier`].
+    fn color_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), FournierError> {
+        debug_assert!(self.color_of(u, v).is_none());
+        let fan = self.maximal_fan(u, v);
+        let stuck = || FournierError::FanStuck(Edge::new(u, v));
+        let c = self.some_free(u).ok_or_else(stuck)?;
+        let last = *fan.last().expect("fan nonempty");
+        let d = self.some_free(last).ok_or_else(stuck)?;
+        if !self.is_free(u, d) {
+            self.invert_cd_path(u, c, d);
+        }
+        debug_assert!(self.is_free(u, d), "d must be free at u after inversion");
+        // Find a rotation point: smallest j with d free at fan[j] and a
+        // valid fan prefix under post-inversion colors. Misra–Gries
+        // guarantees one exists.
+        let j = (0..fan.len())
+            .find(|&j| self.is_free(fan[j], d) && self.prefix_is_fan(u, &fan, j))
+            .ok_or_else(stuck)?;
+        // Rotate the prefix: shift each fan edge's color one step down.
+        for i in 0..j {
+            let col = self.unset(u, fan[i + 1]);
+            self.set(u, fan[i], col);
+        }
+        self.set(u, fan[j], d);
+        Ok(())
+    }
+}
+
+/// Misra–Gries edge coloring: a proper edge coloring of `g` with the
+/// palette `{0, ..., Δ}` (`Δ+1` colors), constructively realizing
+/// Vizing's theorem (Proposition 3.4).
+///
+/// # Example
+///
+/// ```
+/// use bichrome_graph::{gen, edge_color::misra_gries};
+/// use bichrome_graph::coloring::validate_edge_coloring_with_palette;
+///
+/// let g = gen::gnp(40, 0.15, 3);
+/// let c = misra_gries(&g);
+/// assert!(validate_edge_coloring_with_palette(&g, &c, g.max_degree() + 1).is_ok());
+/// ```
+pub fn misra_gries(g: &Graph) -> EdgeColoring {
+    let k = g.max_degree() + 1;
+    if g.num_edges() == 0 {
+        return EdgeColoring::new();
+    }
+    let mut st = FanState::new(g, k);
+    for &e in g.edges() {
+        // With k = Δ+1 every vertex always has a free color, so the fan
+        // procedure cannot get stuck.
+        st.color_edge(e.u(), e.v()).expect("Vizing: Δ+1 colors never get stuck");
+    }
+    st.coloring
+}
+
+/// Constructive Fournier coloring: a proper edge coloring of `g` with
+/// exactly `Δ` colors `{0, ..., Δ−1}`, valid whenever the
+/// maximum-degree vertices of `g` form an independent set
+/// (Proposition 3.5).
+///
+/// # Errors
+///
+/// Returns [`FournierError::MaxDegreeNotIndependent`] if the
+/// precondition fails. (`FanStuck` is unreachable for valid inputs.)
+///
+/// # Example
+///
+/// ```
+/// use bichrome_graph::{gen, edge_color::fournier};
+/// use bichrome_graph::coloring::validate_edge_coloring_with_palette;
+///
+/// let g = gen::independent_max_degree(40, 5, 6, 1);
+/// let c = fournier(&g).expect("precondition holds");
+/// assert!(validate_edge_coloring_with_palette(&g, &c, g.max_degree()).is_ok());
+/// ```
+pub fn fournier(g: &Graph) -> Result<EdgeColoring, FournierError> {
+    let d = g.max_degree();
+    if g.num_edges() == 0 {
+        return Ok(EdgeColoring::new());
+    }
+    let top = g.vertices_of_degree(d);
+    if !g.is_independent_set(&top) {
+        return Err(FournierError::MaxDegreeNotIndependent);
+    }
+    let mut is_top = vec![false; g.num_vertices()];
+    for &v in &top {
+        is_top[v.index()] = true;
+    }
+    let mut st = FanState::new(g, d);
+    // Phase 1: edges avoiding all degree-Δ vertices. Every vertex seen
+    // by the fan has degree ≤ Δ−1, hence a free color among Δ.
+    for &e in g.edges() {
+        if !is_top[e.u().index()] && !is_top[e.v().index()] {
+            st.color_edge(e.u(), e.v())?;
+        }
+    }
+    // Phase 2: edges incident to a degree-Δ vertex; center the fan
+    // there. Independence makes all fan vertices degree ≤ Δ−1.
+    for &e in g.edges() {
+        let (u, v) = e.endpoints();
+        if is_top[u.index()] {
+            st.color_edge(u, v)?;
+        } else if is_top[v.index()] {
+            st.color_edge(v, u)?;
+        }
+    }
+    Ok(st.coloring)
+}
+
+/// Remaps the colors of `coloring` through `palette`: color `i`
+/// becomes `palette[i]`.
+///
+/// Used by the protocols to express "color your subgraph with *your*
+/// palette": the fan algorithms emit colors `0..k`, and the caller maps
+/// them onto its assigned slice of the global `2Δ−1` palette.
+///
+/// # Panics
+///
+/// Panics if some color index is `>= palette.len()`.
+pub fn remap_colors(coloring: &EdgeColoring, palette: &[ColorId]) -> EdgeColoring {
+    coloring
+        .iter()
+        .map(|(e, c)| {
+            (
+                e,
+                *palette
+                    .get(c.index())
+                    .unwrap_or_else(|| panic!("color {c} outside palette of {}", palette.len())),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coloring::{validate_edge_coloring_with_palette, ColoringError};
+    use crate::gen;
+
+    #[test]
+    fn misra_gries_on_classics() {
+        for g in [gen::path(10), gen::cycle(9), gen::complete(7), gen::star(12)] {
+            let c = misra_gries(&g);
+            let k = g.max_degree() + 1;
+            assert!(
+                validate_edge_coloring_with_palette(&g, &c, k).is_ok(),
+                "failed on {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn misra_gries_even_cycle_could_use_two_but_three_allowed() {
+        let g = gen::cycle(8);
+        let c = misra_gries(&g);
+        assert!(validate_edge_coloring_with_palette(&g, &c, 3).is_ok());
+    }
+
+    #[test]
+    fn misra_gries_on_random_graphs() {
+        for seed in 0..20 {
+            let g = gen::gnp(40, 0.2, seed);
+            let c = misra_gries(&g);
+            assert!(validate_edge_coloring_with_palette(&g, &c, g.max_degree() + 1).is_ok());
+        }
+    }
+
+    #[test]
+    fn misra_gries_on_dense_and_bipartite() {
+        let g = gen::complete_bipartite(6, 9);
+        let c = misra_gries(&g);
+        assert!(validate_edge_coloring_with_palette(&g, &c, g.max_degree() + 1).is_ok());
+        let g = gen::complete(10);
+        let c = misra_gries(&g);
+        assert!(validate_edge_coloring_with_palette(&g, &c, 10).is_ok());
+    }
+
+    #[test]
+    fn misra_gries_empty() {
+        assert!(misra_gries(&gen::empty(5)).is_empty());
+    }
+
+    #[test]
+    fn fournier_on_generated_instances() {
+        for seed in 0..20 {
+            let g = gen::independent_max_degree(70, 6, 9, seed);
+            let d = g.max_degree();
+            let c = fournier(&g).expect("precondition holds by construction");
+            assert!(
+                validate_edge_coloring_with_palette(&g, &c, d).is_ok(),
+                "Fournier must use exactly Δ = {d} colors (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn fournier_beats_greedy_color_count() {
+        // Sanity: Δ colors is fewer than what greedy may need.
+        let g = gen::independent_max_degree(50, 5, 8, 3);
+        let c = fournier(&g).expect("valid");
+        assert!(c.max_color().expect("nonempty").index() < g.max_degree());
+    }
+
+    #[test]
+    fn fournier_rejects_adjacent_max_degree() {
+        // K2: both endpoints have max degree and are adjacent.
+        let g = gen::complete(2);
+        assert_eq!(fournier(&g), Err(FournierError::MaxDegreeNotIndependent));
+        // Even cycle: all vertices have max degree 2 and are adjacent.
+        let g = gen::cycle(6);
+        assert_eq!(fournier(&g), Err(FournierError::MaxDegreeNotIndependent));
+    }
+
+    #[test]
+    fn fournier_on_star_uses_delta() {
+        // A star has one hub; leaves have degree 1 < Δ.
+        let g = gen::star(9);
+        let c = fournier(&g).expect("hub is trivially independent");
+        assert!(validate_edge_coloring_with_palette(&g, &c, 8).is_ok());
+        assert_eq!(c.num_distinct_colors(), 8);
+    }
+
+    #[test]
+    fn fournier_empty() {
+        assert_eq!(fournier(&gen::empty(3)), Ok(EdgeColoring::new()));
+    }
+
+    #[test]
+    fn remap_colors_translates() {
+        let g = gen::path(3);
+        let c = misra_gries(&g);
+        let palette = [ColorId(10), ColorId(20), ColorId(30)];
+        let r = remap_colors(&c, &palette);
+        for (_, col) in r.iter() {
+            assert!(col.0 >= 10 && col.0 % 10 == 0);
+        }
+        assert!(crate::coloring::validate_edge_coloring(&g, &r).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside palette")]
+    fn remap_colors_panics_on_short_palette() {
+        let g = gen::complete(4); // needs ≥ 3 colors
+        let c = misra_gries(&g);
+        let _ = remap_colors(&c, &[ColorId(0)]);
+    }
+
+    #[test]
+    fn validators_catch_tampering() {
+        let g = gen::complete(5);
+        let mut c = misra_gries(&g);
+        let e = g.edges()[0];
+        let other = g.edges()[1];
+        let col = c.get(other).expect("colored");
+        c.set(e, col);
+        // Either an incident conflict or (if not incident) still fine;
+        // pick edges that share vertex 0 to force the conflict.
+        assert!(e.is_adjacent_to(other));
+        assert!(matches!(
+            validate_edge_coloring_with_palette(&g, &c, 5),
+            Err(ColoringError::IncidentEdges(..))
+        ));
+    }
+}

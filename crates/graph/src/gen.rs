@@ -1,0 +1,433 @@
+//! Graph generators for every family used in the paper and the
+//! experiments.
+//!
+//! All randomized generators take an explicit `seed` and are fully
+//! deterministic given it.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, VertexId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// The edgeless graph on `n` vertices.
+pub fn empty(n: usize) -> Graph {
+    GraphBuilder::new(n).build()
+}
+
+/// The path `0 - 1 - ... - (n-1)`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(VertexId(i as u32 - 1), VertexId(i as u32));
+    }
+    b.build()
+}
+
+/// The cycle `C_n`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(VertexId(i as u32), VertexId(((i + 1) % n) as u32));
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(VertexId(i as u32), VertexId(j as u32));
+        }
+    }
+    b.build()
+}
+
+/// The star `K_{1,n-1}` with center `0`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1, "star needs at least one vertex");
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(VertexId(0), VertexId(i as u32));
+    }
+    b.build()
+}
+
+/// The complete bipartite graph `K_{a,b}` on vertices `0..a` and `a..a+b`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut builder = GraphBuilder::new(a + b);
+    for i in 0..a {
+        for j in 0..b {
+            builder.add_edge(VertexId(i as u32), VertexId((a + j) as u32));
+        }
+    }
+    builder.build()
+}
+
+/// Erdős–Rényi `G(n, p)`: each of the `n(n-1)/2` possible edges is
+/// present independently with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p) {
+                b.add_edge(VertexId(i as u32), VertexId(j as u32));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random graph with `m` edges chosen uniformly without replacement,
+/// subject to a maximum-degree cap `dmax`.
+///
+/// The generator draws random candidate pairs and keeps those not
+/// violating the cap; it stops early (with fewer than `m` edges) if it
+/// cannot place more edges after `50 · m + 1000` attempts, so the result
+/// always satisfies `max_degree() <= dmax`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` while `m > 0`, or `dmax == 0` while `m > 0`.
+pub fn gnm_max_degree(n: usize, m: usize, dmax: usize, seed: u64) -> Graph {
+    if m > 0 {
+        assert!(n >= 2, "need at least two vertices to place an edge");
+        assert!(dmax >= 1, "dmax must be positive to place edges");
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut deg = vec![0usize; n];
+    let mut present = std::collections::HashSet::new();
+    let mut b = GraphBuilder::new(n);
+    let mut attempts = 0usize;
+    let max_attempts = 50 * m + 1000;
+    while present.len() < m && attempts < max_attempts {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v || deg[u] >= dmax || deg[v] >= dmax {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if present.insert(key) {
+            deg[u] += 1;
+            deg[v] += 1;
+            b.add_edge(VertexId(key.0 as u32), VertexId(key.1 as u32));
+        }
+    }
+    b.build()
+}
+
+/// Random near-`d`-regular graph: every vertex has degree `d` or `d-1`
+/// when the generator succeeds; in degenerate corners a few vertices
+/// may fall further short, but `max_degree() <= d` always holds.
+pub fn near_regular(n: usize, d: usize, seed: u64) -> Graph {
+    gnm_max_degree(n, n * d / 2, d, seed)
+}
+
+/// The union-of-`C4` "learning problem" gadget from Section 2.3 of the
+/// paper.
+///
+/// For each bit `x_i` of `bits`, four vertices `a_i, b_i, c_i, d_i`
+/// (ids `4i .. 4i+3`) carry edges `{a,b}` and `{c,d}` always, plus
+/// `{a,c}, {b,d}` if `x_i = 0` or `{a,d}, {b,c}` if `x_i = 1`. The
+/// resulting graph is a disjoint union of 4-cycles with Δ = 2, and any
+/// proper 3-vertex-coloring lets Bob reconstruct `bits` (see
+/// `bichrome-lb::learning`).
+pub fn c4_gadget_union(bits: &[bool]) -> Graph {
+    let n = 4 * bits.len();
+    let mut b = GraphBuilder::new(n);
+    for (i, &x) in bits.iter().enumerate() {
+        let base = (4 * i) as u32;
+        let (a, bb, c, d) =
+            (VertexId(base), VertexId(base + 1), VertexId(base + 2), VertexId(base + 3));
+        b.add_edge(a, bb);
+        b.add_edge(c, d);
+        if x {
+            b.add_edge(a, d);
+            b.add_edge(bb, c);
+        } else {
+            b.add_edge(a, c);
+            b.add_edge(bb, d);
+        }
+    }
+    b.build()
+}
+
+/// Random graph whose maximum-degree vertices form an independent set —
+/// the precondition of Fournier's theorem (Proposition 3.5).
+///
+/// Construction: `hubs` designated hub vertices each receive exactly
+/// `d` edges to non-hub vertices; non-hub vertices additionally get a
+/// sprinkling of random edges among themselves while staying strictly
+/// below degree `d`. The returned graph satisfies `max_degree() == d`
+/// (for feasible parameters) with the degree-`d` vertices independent.
+///
+/// # Panics
+///
+/// Panics if the parameters are infeasible: requires
+/// `hubs * d <= (n - hubs) * (d - 1)` and `hubs + d <= n` and `d >= 2`.
+pub fn independent_max_degree(n: usize, d: usize, hubs: usize, seed: u64) -> Graph {
+    assert!(d >= 2, "need d >= 2");
+    assert!(hubs >= 1 && hubs + d <= n, "need hubs >= 1 and hubs + d <= n");
+    assert!(
+        hubs * d <= (n - hubs) * (d - 1),
+        "non-hub capacity too small: {hubs} hubs of degree {d} need ≤ {} slots",
+        (n - hubs) * (d - 1)
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Non-hub vertices are hubs..n; keep their degree <= d-1.
+    let mut deg = vec![0usize; n];
+    let non_hubs: Vec<usize> = (hubs..n).collect();
+    for h in 0..hubs {
+        let mut chosen = std::collections::HashSet::new();
+        let mut guard = 0usize;
+        while chosen.len() < d {
+            guard += 1;
+            assert!(guard < 100_000, "failed to wire hub {h}; parameters too tight");
+            let &t = non_hubs.choose(&mut rng).expect("non-empty");
+            if deg[t] >= d - 1 || !chosen.insert(t) {
+                chosen.remove(&t);
+                // Fall back to a linear scan when random probing stalls.
+                if guard % 1000 == 0 {
+                    if let Some(&s) =
+                        non_hubs.iter().find(|&&s| deg[s] < d - 1 && !chosen.contains(&s))
+                    {
+                        chosen.insert(s);
+                    }
+                }
+                continue;
+            }
+        }
+        for &t in &chosen {
+            deg[t] += 1;
+            b.add_edge(VertexId(h as u32), VertexId(t as u32));
+        }
+        deg[h] = d;
+    }
+    // Sprinkle non-hub/non-hub edges, staying strictly below d.
+    let extra = n;
+    for _ in 0..extra {
+        let &u = non_hubs.choose(&mut rng).expect("non-empty");
+        let &v = non_hubs.choose(&mut rng).expect("non-empty");
+        if u != v && deg[u] < d - 1 && deg[v] < d - 1 {
+            deg[u] += 1;
+            deg[v] += 1;
+            b.add_edge(VertexId(u as u32), VertexId(v as u32));
+        }
+    }
+    b.build()
+}
+
+/// Disjoint union of `k` copies of `g`, vertex ids offset by
+/// `i * g.num_vertices()` for copy `i`.
+pub fn disjoint_copies(g: &Graph, k: usize) -> Graph {
+    let n = g.num_vertices();
+    let mut b = GraphBuilder::new(n * k);
+    for i in 0..k {
+        let off = (i * n) as u32;
+        for e in g.edges() {
+            b.add_edge(VertexId(e.u().0 + off), VertexId(e.v().0 + off));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_families_have_expected_shape() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(path(1).num_edges(), 0);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(cycle(5).max_degree(), 2);
+        assert_eq!(complete(6).num_edges(), 15);
+        assert_eq!(complete(6).max_degree(), 5);
+        assert_eq!(star(7).max_degree(), 6);
+        assert_eq!(complete_bipartite(3, 4).num_edges(), 12);
+        assert_eq!(complete_bipartite(3, 4).max_degree(), 4);
+        assert_eq!(empty(9).num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn cycle_too_small_panics() {
+        let _ = cycle(2);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn gnp_is_deterministic_per_seed() {
+        let a = gnp(50, 0.3, 42);
+        let b = gnp(50, 0.3, 42);
+        let c = gnp(50, 0.3, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnm_respects_degree_cap() {
+        let g = gnm_max_degree(100, 300, 9, 5);
+        assert!(g.max_degree() <= 9);
+        assert!(g.num_edges() <= 300);
+        // With generous capacity the target is reached.
+        assert_eq!(g.num_edges(), 300);
+    }
+
+    #[test]
+    fn near_regular_is_mostly_regular() {
+        let g = near_regular(200, 8, 3);
+        assert!(g.max_degree() <= 8);
+        let low = g.vertices().filter(|&v| g.degree(v) < 7).count();
+        assert!(low < 20, "too many low-degree vertices: {low}");
+    }
+
+    #[test]
+    fn c4_gadget_shape() {
+        let bits = [true, false, true];
+        let g = c4_gadget_union(&bits);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.max_degree(), 2);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 2, "every gadget vertex lies on a C4");
+        }
+    }
+
+    #[test]
+    fn c4_gadget_encodes_bits() {
+        let g0 = c4_gadget_union(&[false]);
+        let g1 = c4_gadget_union(&[true]);
+        assert!(g0.has_edge(VertexId(0), VertexId(2)));
+        assert!(!g0.has_edge(VertexId(0), VertexId(3)));
+        assert!(g1.has_edge(VertexId(0), VertexId(3)));
+        assert!(!g1.has_edge(VertexId(0), VertexId(2)));
+    }
+
+    #[test]
+    fn independent_max_degree_precondition_holds() {
+        for seed in 0..5 {
+            let g = independent_max_degree(60, 6, 8, seed);
+            let d = g.max_degree();
+            assert_eq!(d, 6);
+            let top = g.vertices_of_degree(d);
+            assert!(g.is_independent_set(&top), "max-degree vertices must be independent");
+        }
+    }
+
+    #[test]
+    fn disjoint_copies_scales() {
+        let g = disjoint_copies(&cycle(4), 3);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.max_degree(), 2);
+        assert!(!g.has_edge(VertexId(3), VertexId(4)));
+    }
+}
+
+/// The w × h king-move interference grid used by the frequency
+/// assignment example: vertices on a grid, edges to the right, down,
+/// and both diagonals (Δ ≤ 8) — a standard wireless interference
+/// model.
+pub fn grid_king(w: usize, h: usize) -> Graph {
+    let idx = |x: usize, y: usize| VertexId((y * w + x) as u32);
+    let mut b = GraphBuilder::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.add_edge(idx(x, y), idx(x + 1, y));
+            }
+            if y + 1 < h {
+                b.add_edge(idx(x, y), idx(x, y + 1));
+            }
+            if x + 1 < w && y + 1 < h {
+                b.add_edge(idx(x, y), idx(x + 1, y + 1));
+            }
+            if x >= 1 && y + 1 < h {
+                b.add_edge(idx(x, y), idx(x - 1, y + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+/// A caterpillar: a spine path of `spine` vertices, each carrying
+/// `legs` pendant leaves. Trees with very skewed degree sequences —
+/// useful to stress the high/low-degree case split of §4.3.
+///
+/// # Panics
+///
+/// Panics if `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine >= 1, "need a spine");
+    let n = spine * (1 + legs);
+    let mut b = GraphBuilder::new(n);
+    for s in 1..spine {
+        b.add_edge(VertexId(s as u32 - 1), VertexId(s as u32));
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            let leaf = (spine + s * legs + l) as u32;
+            b.add_edge(VertexId(s as u32), VertexId(leaf));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod extra_gen_tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn grid_king_shape() {
+        let g = grid_king(5, 4);
+        assert_eq!(g.num_vertices(), 20);
+        assert!(g.max_degree() <= 8);
+        assert!(analysis::is_connected(&g));
+        // Interior vertices have all 8 neighbors.
+        let stats = analysis::degree_stats(&g);
+        assert_eq!(stats.max, 8);
+        assert_eq!(stats.min, 3, "corners have 3 neighbors");
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(5, 3);
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), 4 + 15);
+        assert!(analysis::is_connected(&g));
+        assert!(analysis::bipartition(&g).is_some(), "trees are bipartite");
+        // Interior spine vertices: 2 spine + 3 legs.
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn caterpillar_single_spine_is_star() {
+        let g = caterpillar(1, 6);
+        assert_eq!(g.max_degree(), 6);
+        assert_eq!(g.num_edges(), 6);
+    }
+}

@@ -1,0 +1,305 @@
+//! Bipartite maximum matching (Hopcroft–Karp) and the Δ-perfect
+//! matching of Lemma 5.3.
+//!
+//! Lemma 5.3 states that in a graph with maximum degree Δ whose
+//! degree-Δ vertices form an independent set, there is a matching
+//! covering every degree-Δ vertex. The paper proves this with an LP
+//! argument; here we *find* the matching with Hopcroft–Karp on the
+//! bipartite graph (degree-Δ vertices vs. the rest) and the algorithms
+//! in `bichrome-core::edge` consume it.
+
+use crate::graph::{Edge, Graph, VertexId};
+
+const NIL: usize = usize::MAX;
+
+/// Maximum matching in a bipartite graph given by left-to-right
+/// adjacency lists.
+///
+/// `adj[l]` lists the right-vertices adjacent to left-vertex `l`;
+/// right vertices are `0..n_right`. Returns `pair_left` where
+/// `pair_left[l]` is the matched right vertex of `l`, or `None`.
+///
+/// Runs in `O(E sqrt(V))` (Hopcroft–Karp).
+///
+/// # Panics
+///
+/// Panics if an adjacency entry is `>= n_right`.
+pub fn hopcroft_karp(adj: &[Vec<usize>], n_right: usize) -> Vec<Option<usize>> {
+    let n_left = adj.len();
+    for nbrs in adj {
+        for &r in nbrs {
+            assert!(r < n_right, "right vertex {r} out of range {n_right}");
+        }
+    }
+    let mut pair_l = vec![NIL; n_left];
+    let mut pair_r = vec![NIL; n_right];
+    let mut dist = vec![0usize; n_left];
+
+    // BFS builds layered distances from free left vertices.
+    let bfs = |pair_l: &[usize], pair_r: &[usize], dist: &mut [usize]| -> bool {
+        let mut queue = std::collections::VecDeque::new();
+        for l in 0..n_left {
+            if pair_l[l] == NIL {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = usize::MAX;
+            }
+        }
+        let mut found = false;
+        while let Some(l) = queue.pop_front() {
+            for &r in &adj[l] {
+                let next = pair_r[r];
+                if next == NIL {
+                    found = true;
+                } else if dist[next] == usize::MAX {
+                    dist[next] = dist[l] + 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        found
+    };
+
+    // DFS augments along the layered structure.
+    fn dfs(
+        l: usize,
+        adj: &[Vec<usize>],
+        pair_l: &mut [usize],
+        pair_r: &mut [usize],
+        dist: &mut [usize],
+    ) -> bool {
+        for i in 0..adj[l].len() {
+            let r = adj[l][i];
+            let next = pair_r[r];
+            if next == NIL || (dist[next] == dist[l] + 1 && dfs(next, adj, pair_l, pair_r, dist)) {
+                pair_l[l] = r;
+                pair_r[r] = l;
+                return true;
+            }
+        }
+        dist[l] = usize::MAX;
+        false
+    }
+
+    while bfs(&pair_l, &pair_r, &mut dist) {
+        for l in 0..n_left {
+            if pair_l[l] == NIL {
+                let _ = dfs(l, adj, &mut pair_l, &mut pair_r, &mut dist);
+            }
+        }
+    }
+
+    pair_l
+        .into_iter()
+        .map(|r| if r == NIL { None } else { Some(r) })
+        .collect()
+}
+
+/// Finds a matching in `g` covering every vertex in `targets`, using
+/// only edges with exactly one endpoint in `targets`.
+///
+/// Returns `None` if no such matching exists. By Lemma 5.3 a matching
+/// always exists when `targets` is the set of maximum-degree vertices,
+/// every target has degree Δ, and `targets` is independent.
+///
+/// # Panics
+///
+/// Panics if `targets` contains duplicate vertices.
+pub fn matching_covering(g: &Graph, targets: &[VertexId]) -> Option<Vec<Edge>> {
+    let mut is_target = vec![false; g.num_vertices()];
+    for &t in targets {
+        assert!(!is_target[t.index()], "duplicate target {t}");
+        is_target[t.index()] = true;
+    }
+    // Right side: all non-target vertices, compacted.
+    let mut right_id = vec![usize::MAX; g.num_vertices()];
+    let mut right_vertices = Vec::new();
+    for v in g.vertices() {
+        if !is_target[v.index()] {
+            right_id[v.index()] = right_vertices.len();
+            right_vertices.push(v);
+        }
+    }
+    let adj: Vec<Vec<usize>> = targets
+        .iter()
+        .map(|&t| {
+            g.neighbors(t)
+                .iter()
+                .filter(|&&u| !is_target[u.index()])
+                .map(|&u| right_id[u.index()])
+                .collect()
+        })
+        .collect();
+    let pairs = hopcroft_karp(&adj, right_vertices.len());
+    let mut out = Vec::with_capacity(targets.len());
+    for (i, p) in pairs.iter().enumerate() {
+        let r = (*p)?;
+        out.push(Edge::new(targets[i], right_vertices[r]));
+    }
+    Some(out)
+}
+
+/// The Δ-perfect matching of Lemma 5.3: a matching covering all
+/// maximum-degree vertices of `g`.
+///
+/// Returns an empty matching for an edgeless graph.
+///
+/// # Errors
+///
+/// Returns [`DeltaMatchingError`] if the maximum-degree vertices do not
+/// form an independent set (precondition of the lemma), or if — against
+/// the lemma — no covering matching exists (impossible for valid
+/// inputs; kept as a checked error rather than a panic so the protocol
+/// layer can surface violated assumptions).
+pub fn delta_perfect_matching(g: &Graph) -> Result<Vec<Edge>, DeltaMatchingError> {
+    let d = g.max_degree();
+    if d == 0 {
+        return Ok(Vec::new());
+    }
+    let targets = g.vertices_of_degree(d);
+    if !g.is_independent_set(&targets) {
+        return Err(DeltaMatchingError::MaxDegreeNotIndependent);
+    }
+    matching_covering(g, &targets).ok_or(DeltaMatchingError::NoCoveringMatching)
+}
+
+/// Failure of [`delta_perfect_matching`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaMatchingError {
+    /// The degree-Δ vertices are not an independent set.
+    MaxDegreeNotIndependent,
+    /// No matching covers all degree-Δ vertices (cannot happen for
+    /// inputs satisfying Lemma 5.3's precondition).
+    NoCoveringMatching,
+}
+
+impl std::fmt::Display for DeltaMatchingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaMatchingError::MaxDegreeNotIndependent => {
+                write!(f, "maximum-degree vertices are not an independent set")
+            }
+            DeltaMatchingError::NoCoveringMatching => {
+                write!(f, "no matching covers all maximum-degree vertices")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaMatchingError {}
+
+/// Checks that `edges` form a matching (pairwise non-adjacent edges).
+pub fn is_matching(edges: &[Edge]) -> bool {
+    let mut seen = std::collections::HashSet::new();
+    for e in edges {
+        if !seen.insert(e.u()) || !seen.insert(e.v()) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, GraphBuilder};
+
+    #[test]
+    fn hk_perfect_on_complete_bipartite() {
+        let adj: Vec<Vec<usize>> = (0..4).map(|_| (0..4).collect()).collect();
+        let pairs = hopcroft_karp(&adj, 4);
+        assert!(pairs.iter().all(|p| p.is_some()));
+        let mut rs: Vec<usize> = pairs.into_iter().flatten().collect();
+        rs.sort_unstable();
+        assert_eq!(rs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn hk_respects_structure() {
+        // Left 0 -> {0}, Left 1 -> {0, 1}: maximum matching has size 2.
+        let adj = vec![vec![0], vec![0, 1]];
+        let pairs = hopcroft_karp(&adj, 2);
+        assert_eq!(pairs[0], Some(0));
+        assert_eq!(pairs[1], Some(1));
+    }
+
+    #[test]
+    fn hk_handles_unmatchable() {
+        // Two left vertices compete for one right vertex.
+        let adj = vec![vec![0], vec![0]];
+        let pairs = hopcroft_karp(&adj, 1);
+        let matched = pairs.iter().filter(|p| p.is_some()).count();
+        assert_eq!(matched, 1);
+    }
+
+    #[test]
+    fn hk_empty() {
+        assert!(hopcroft_karp(&[], 0).is_empty());
+        assert_eq!(hopcroft_karp(&[vec![]], 3), vec![None]);
+    }
+
+    #[test]
+    fn delta_matching_on_star_union() {
+        // Two disjoint stars: centers are the max-degree vertices.
+        let mut b = GraphBuilder::new(8);
+        for i in 1..4 {
+            b.add_edge(VertexId(0), VertexId(i));
+        }
+        for i in 5..8 {
+            b.add_edge(VertexId(4), VertexId(i));
+        }
+        let g = b.build();
+        let m = delta_perfect_matching(&g).expect("matching exists");
+        assert!(is_matching(&m));
+        assert_eq!(m.len(), 2);
+        let covered: Vec<VertexId> =
+            m.iter().flat_map(|e| [e.u(), e.v()]).collect();
+        assert!(covered.contains(&VertexId(0)));
+        assert!(covered.contains(&VertexId(4)));
+    }
+
+    #[test]
+    fn delta_matching_rejects_adjacent_hubs() {
+        // Path of 3: the two degree-... K2: both endpoints are max degree
+        // and adjacent.
+        let g = gen::complete(2);
+        assert_eq!(
+            delta_perfect_matching(&g),
+            Err(DeltaMatchingError::MaxDegreeNotIndependent)
+        );
+    }
+
+    #[test]
+    fn delta_matching_on_generated_instances() {
+        for seed in 0..10 {
+            let g = gen::independent_max_degree(80, 7, 9, seed);
+            let m = delta_perfect_matching(&g).expect("Lemma 5.3 guarantees a matching");
+            assert!(is_matching(&m));
+            let d = g.max_degree();
+            let mut covered = vec![false; g.num_vertices()];
+            for e in &m {
+                covered[e.u().index()] = true;
+                covered[e.v().index()] = true;
+            }
+            for v in g.vertices_of_degree(d) {
+                assert!(covered[v.index()], "degree-Δ vertex {v} uncovered");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_matching_empty_graph() {
+        assert_eq!(delta_perfect_matching(&gen::empty(5)), Ok(Vec::new()));
+    }
+
+    #[test]
+    fn is_matching_detects_shared_endpoint() {
+        let e1 = Edge::new(VertexId(0), VertexId(1));
+        let e2 = Edge::new(VertexId(1), VertexId(2));
+        let e3 = Edge::new(VertexId(2), VertexId(3));
+        assert!(is_matching(&[e1, e3]));
+        assert!(!is_matching(&[e1, e2]));
+        assert!(is_matching(&[]));
+    }
+}

@@ -1,0 +1,38 @@
+//! `bichrome-lb` — the lower-bound machinery of Section 6 of *Round
+//! and Communication Efficient Graph Coloring*.
+//!
+//! Lower bounds cannot be "run" the way protocols can, but every
+//! combinatorial object in their proofs can, and this crate makes them
+//! executable:
+//!
+//! * [`zec`] — the **zero-communication edge-coloring (ZEC) game**
+//!   (§6.2): the 9-vertex hard instance, a strategy interface, exact
+//!   evaluation of deterministic strategies over all 441 joint inputs,
+//!   Monte-Carlo evaluation of randomized ones, and the label analysis
+//!   (`L_A`/`L_B`) that drives Lemma 6.2's proof that *no* strategy
+//!   wins with probability above `11024/11025`.
+//! * [`repetition`] — the parallel-repetition harness: `n` independent
+//!   ZEC instances, whose win-all probability decays like `2^{−Ω(n)}`
+//!   (Lemma 6.4 via Raz's theorem), plus the communication-guessing
+//!   simulation of Lemma 6.1 that converts an `o(n)`-bit protocol into
+//!   a zero-communication one succeeding with probability `2^{−o(n)}`.
+//! * [`zec_new`] — the ZEC-NEW variant (§6.4) whose extra
+//!   hub-guessing win conditions transfer the bound to the
+//!   weaker-(2Δ−1) problem and hence to the W-streaming model
+//!   (Corollary 1.2).
+//! * [`learning`] — the learning-problem reduction (§2.3) behind the
+//!   `Ω(n)` bound for `(Δ+1)`-vertex coloring: from any proper
+//!   3-coloring of the union-of-C4 gadget graph, Bob reconstructs
+//!   Alice's n-bit string — demonstrated end-to-end against the actual
+//!   Theorem 1 protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod best_response;
+pub mod learning;
+pub mod repetition;
+pub mod zec;
+pub mod zec_new;
+
+pub use zec::{ZecStrategy, ZEC_WIN_BOUND};

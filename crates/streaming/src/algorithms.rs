@@ -1,0 +1,329 @@
+//! Concrete W-streaming edge-coloring algorithms.
+
+use crate::model::WStreamingAlgorithm;
+use bichrome_graph::coloring::{ColorId, EdgeColoring};
+use bichrome_graph::greedy::greedy_edge_coloring_with;
+use bichrome_graph::{builder, Edge};
+
+/// One-pass greedy `(2Δ−1)`-edge coloring.
+///
+/// Keeps, per vertex, the bitmask of colors already used at that
+/// vertex — `n·(2Δ−1)` bits of state. Every arriving edge gets the
+/// smallest color free at both endpoints (at most `2Δ−2` are blocked)
+/// and is emitted immediately; nothing else is stored. This is the
+/// "trivial" upper bound the paper's streaming discussion starts from,
+/// and its `Θ(n)`-for-constant-Δ space is exactly what Corollary 1.2
+/// proves necessary.
+#[derive(Debug, Clone)]
+pub struct GreedyWStreaming {
+    n: usize,
+    colors: usize,
+    used: Vec<Vec<bool>>,
+}
+
+impl GreedyWStreaming {
+    /// A greedy streamer for an `n`-vertex stream with maximum degree
+    /// `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta == 0`.
+    pub fn new(n: usize, delta: usize) -> Self {
+        assert!(delta >= 1, "need a positive maximum degree");
+        let colors = 2 * delta - 1;
+        GreedyWStreaming { n, colors, used: vec![vec![false; colors]; n] }
+    }
+
+    /// Number of colors in the palette (`2Δ−1`).
+    pub fn palette_size(&self) -> usize {
+        self.colors
+    }
+}
+
+impl WStreamingAlgorithm for GreedyWStreaming {
+    fn begin_pass(&mut self, pass: usize) {
+        assert_eq!(pass, 0, "single-pass algorithm");
+    }
+
+    fn process_edge(&mut self, e: Edge) -> Vec<(Edge, ColorId)> {
+        let (u, v) = (e.u().index(), e.v().index());
+        let c = (0..self.colors)
+            .find(|&c| !self.used[u][c] && !self.used[v][c])
+            .expect("an edge is adjacent to at most 2Δ−2 colored edges");
+        self.used[u][c] = true;
+        self.used[v][c] = true;
+        vec![(e, ColorId(c as u32))]
+    }
+
+    fn end_pass(&mut self) -> Vec<(Edge, ColorId)> {
+        Vec::new()
+    }
+
+    fn state_bits(&self) -> u64 {
+        (self.n * self.colors) as u64
+    }
+
+    fn export_state(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity((self.n * self.colors + 7) / 8);
+        let mut acc = 0u8;
+        let mut fill = 0;
+        for row in &self.used {
+            for &b in row {
+                if b {
+                    acc |= 1 << fill;
+                }
+                fill += 1;
+                if fill == 8 {
+                    out.push(acc);
+                    acc = 0;
+                    fill = 0;
+                }
+            }
+        }
+        if fill > 0 {
+            out.push(acc);
+        }
+        out
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) {
+        let mut iter = (0..self.n * self.colors).map(|i| {
+            let byte = bytes[i / 8];
+            (byte >> (i % 8)) & 1 == 1
+        });
+        for row in &mut self.used {
+            for slot in row.iter_mut() {
+                *slot = iter.next().expect("state length matches");
+            }
+        }
+    }
+}
+
+/// Bits needed to address a vertex of an `n`-vertex graph.
+fn vertex_bits(n: usize) -> usize {
+    (usize::BITS - n.max(2).saturating_sub(1).leading_zeros()) as usize
+}
+
+/// Chunked low-memory streamer in the spirit of the simple algorithms
+/// of \[ASZ22\] / \[SB24\]: buffer up to `chunk_capacity` edges, then
+/// properly color the buffered subgraph with a *fresh* palette slice
+/// and flush.
+///
+/// Because palette slices of different chunks are disjoint, incident
+/// edges in different chunks never clash; within a chunk the greedy
+/// subgraph coloring handles conflicts. With capacity `K`:
+///
+/// * **space** is `O(K log n)` bits (the buffer) — choosing
+///   `K = n·⌈√Δ⌉ / 2` gives the `Õ(n√Δ)` profile of \[SB24\];
+/// * **colors** total `Σ_chunks (2Δ_chunk − 1) = O((m/K)·Δ)` — the
+///   simple trade-off; the full \[SB24\] algorithm sharpens this to
+///   `O(Δ)` with a considerably more intricate chunk coloring, which
+///   is out of scope here (DESIGN.md records the substitution).
+#[derive(Debug, Clone)]
+pub struct ChunkedWStreaming {
+    n: usize,
+    chunk_capacity: usize,
+    buffer: Vec<Edge>,
+    next_color: u32,
+}
+
+impl ChunkedWStreaming {
+    /// A chunked streamer with the given buffer capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_capacity == 0`.
+    pub fn new(n: usize, chunk_capacity: usize) -> Self {
+        assert!(chunk_capacity >= 1, "need room for at least one edge");
+        ChunkedWStreaming { n, chunk_capacity, buffer: Vec::new(), next_color: 0 }
+    }
+
+    /// The `Õ(n√Δ)`-space parameterization: capacity `n·⌈√Δ⌉/2`
+    /// (at least 1).
+    pub fn with_sqrt_delta_capacity(n: usize, delta: usize) -> Self {
+        let cap = (n * (delta as f64).sqrt().ceil() as usize / 2).max(1);
+        Self::new(n, cap)
+    }
+
+    /// Total colors consumed so far.
+    pub fn colors_used(&self) -> usize {
+        self.next_color as usize
+    }
+
+    fn flush(&mut self) -> Vec<(Edge, ColorId)> {
+        if self.buffer.is_empty() {
+            return Vec::new();
+        }
+        let chunk = builder::from_edges(self.n, self.buffer.drain(..));
+        let colored = greedy_edge_coloring_with(
+            &chunk,
+            EdgeColoring::new(),
+            chunk.edges().iter().copied(),
+        );
+        let base = self.next_color;
+        let width = colored.max_color().map_or(0, |c| c.0 + 1);
+        self.next_color += width;
+        colored.iter().map(|(e, c)| (e, ColorId(base + c.0))).collect()
+    }
+}
+
+impl WStreamingAlgorithm for ChunkedWStreaming {
+    fn begin_pass(&mut self, pass: usize) {
+        assert_eq!(pass, 0, "single-pass algorithm");
+    }
+
+    fn process_edge(&mut self, e: Edge) -> Vec<(Edge, ColorId)> {
+        self.buffer.push(e);
+        if self.buffer.len() >= self.chunk_capacity {
+            self.flush()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn end_pass(&mut self) -> Vec<(Edge, ColorId)> {
+        self.flush()
+    }
+
+    fn state_bits(&self) -> u64 {
+        // Buffer entries at 2⌈log n⌉ bits each, plus the color cursor
+        // and length header.
+        self.buffer.len() as u64 * 2 * vertex_bits(self.n) as u64 + 64
+    }
+
+    fn export_state(&self) -> Vec<u8> {
+        // Bit-pack endpoints at ⌈log₂ n⌉ bits each so the serialized
+        // size matches `state_bits` (up to byte rounding) — the
+        // two-party simulation meters these bytes.
+        let vbits = vertex_bits(self.n);
+        let mut w = bichrome_comm::BitWriter::new();
+        w.write_uint(self.next_color as u64, 32);
+        w.write_uint(self.buffer.len() as u64, 32);
+        for e in &self.buffer {
+            w.write_uint(e.u().0 as u64, vbits);
+            w.write_uint(e.v().0 as u64, vbits);
+        }
+        let msg = w.finish();
+        let mut r = msg.reader();
+        let mut out = Vec::with_capacity(msg.len_bits() / 8 + 1);
+        while r.remaining() >= 8 {
+            out.push(r.read_uint(8) as u8);
+        }
+        if r.remaining() > 0 {
+            let rem = r.remaining();
+            out.push(r.read_uint(rem) as u8);
+        }
+        out
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) {
+        let vbits = vertex_bits(self.n);
+        let mut w = bichrome_comm::BitWriter::new();
+        for &b in bytes {
+            w.write_uint(b as u64, 8);
+        }
+        let msg = w.finish();
+        let mut r = msg.reader();
+        self.next_color = r.read_uint(32) as u32;
+        let len = r.read_uint(32) as usize;
+        self.buffer.clear();
+        for _ in 0..len {
+            let u = r.read_uint(vbits) as u32;
+            let v = r.read_uint(vbits) as u32;
+            self.buffer.push(Edge::new(u.into(), v.into()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::run_w_streaming;
+    use bichrome_graph::coloring::{validate_edge_coloring, validate_edge_coloring_with_palette};
+    use bichrome_graph::gen;
+
+    #[test]
+    fn greedy_streaming_is_proper_within_palette() {
+        for seed in 0..5 {
+            let g = gen::gnm_max_degree(50, 150, 8, seed);
+            let delta = g.max_degree().max(1);
+            let mut alg = GreedyWStreaming::new(50, delta);
+            let (coloring, stats) = run_w_streaming(&mut alg, g.edges());
+            assert!(
+                validate_edge_coloring_with_palette(&g, &coloring, 2 * delta - 1).is_ok()
+            );
+            assert_eq!(stats.max_state_bits, (50 * (2 * delta - 1)) as u64);
+        }
+    }
+
+    #[test]
+    fn greedy_state_roundtrips() {
+        let g = gen::gnm_max_degree(20, 40, 5, 1);
+        let mut a = GreedyWStreaming::new(20, 5);
+        a.begin_pass(0);
+        for &e in &g.edges()[..20] {
+            let _ = a.process_edge(e);
+        }
+        let mut b = GreedyWStreaming::new(20, 5);
+        b.import_state(&a.export_state());
+        assert_eq!(a.used, b.used);
+    }
+
+    #[test]
+    fn chunked_streaming_is_proper() {
+        for seed in 0..5 {
+            let g = gen::gnm_max_degree(40, 200, 12, seed);
+            let mut alg = ChunkedWStreaming::new(40, 25);
+            let (coloring, _) = run_w_streaming(&mut alg, g.edges());
+            assert!(validate_edge_coloring(&g, &coloring).is_ok());
+        }
+    }
+
+    #[test]
+    fn chunked_trades_space_for_colors() {
+        let g = gen::gnm_max_degree(60, 600, 24, 3);
+        let delta = g.max_degree();
+
+        let mut greedy = GreedyWStreaming::new(60, delta);
+        let (cg, sg) = run_w_streaming(&mut greedy, g.edges());
+
+        let mut chunked = ChunkedWStreaming::with_sqrt_delta_capacity(60, delta);
+        let (cc, sc) = run_w_streaming(&mut chunked, g.edges());
+
+        assert!(validate_edge_coloring(&g, &cg).is_ok());
+        assert!(validate_edge_coloring(&g, &cc).is_ok());
+        assert!(
+            sc.max_state_bits < sg.max_state_bits,
+            "chunked must use less space: {} vs {}",
+            sc.max_state_bits,
+            sg.max_state_bits
+        );
+        assert!(
+            cc.num_distinct_colors() >= cg.num_distinct_colors(),
+            "the space saving costs colors"
+        );
+    }
+
+    #[test]
+    fn chunked_state_roundtrips() {
+        let mut a = ChunkedWStreaming::new(10, 100);
+        a.begin_pass(0);
+        let _ = a.process_edge(Edge::new(0.into(), 1.into()));
+        let _ = a.process_edge(Edge::new(2.into(), 3.into()));
+        let mut b = ChunkedWStreaming::new(10, 100);
+        b.import_state(&a.export_state());
+        assert_eq!(a.buffer, b.buffer);
+        assert_eq!(a.next_color, b.next_color);
+    }
+
+    #[test]
+    fn chunked_capacity_one_gives_per_edge_palettes() {
+        // Degenerate corner: every edge its own chunk → every edge its
+        // own color, trivially proper.
+        let g = gen::path(5);
+        let mut alg = ChunkedWStreaming::new(5, 1);
+        let (coloring, _) = run_w_streaming(&mut alg, g.edges());
+        assert!(validate_edge_coloring(&g, &coloring).is_ok());
+        assert_eq!(coloring.num_distinct_colors(), 4);
+    }
+}

@@ -1,0 +1,40 @@
+//! `bichrome-streaming` — the W-streaming model of §6.4 and
+//! Corollary 1.2, made executable.
+//!
+//! In the **W-streaming model** the edges arrive as a stream, the
+//! algorithm keeps `s` bits of internal state, and — unlike classic
+//! streaming — it may also *emit* output (edge colors) as it goes, so
+//! `s` can be far below the output size. The paper proves the first
+//! non-trivial space lower bound for edge coloring here: any
+//! constant-pass `(2Δ−1)`-edge-coloring W-streaming algorithm needs
+//! `Ω(n)` bits of space (Corollary 1.2), via a reduction from the
+//! *weaker-(2Δ−1)* two-party problem.
+//!
+//! This crate provides:
+//!
+//! * [`model`] — the [`model::WStreamingAlgorithm`] trait with exact
+//!   self-reported space accounting, audited per edge by the harness
+//!   [`model::run_w_streaming`].
+//! * [`algorithms`] — two concrete algorithms: the one-pass greedy
+//!   `(2Δ−1)`-coloring with `Θ(nΔ)` bits of state, and a chunked
+//!   low-memory variant in the spirit of the simple algorithms of
+//!   Ansari–Saneian–Zarrabi-Zadeh / Saneian–Behnezhad (`Õ(n√Δ)` space,
+//!   more colors — see the type docs for the exact trade-off).
+//! * [`reduction`] — the §6.4 reduction direction made executable: two
+//!   parties simulate any W-streaming algorithm by shipping its state
+//!   once per pass, solving the *weaker* two-party problem with
+//!   `passes × state` bits; Theorem 5's `Ω(n)` bound on that problem
+//!   is what pushes the space bound back onto the streaming model.
+//! * [`weaker`] — the weaker-(2Δ−1) problem's output discipline and
+//!   validator (each edge's color must be output by *at least one*
+//!   party).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod model;
+pub mod reduction;
+pub mod weaker;
+
+pub use model::{run_w_streaming, SpaceStats, WStreamingAlgorithm};

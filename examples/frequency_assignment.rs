@@ -1,0 +1,60 @@
+//! Frequency assignment in a wireless network — the intro's motivating
+//! application for vertex coloring.
+//!
+//! Access points that interfere (are adjacent) must broadcast on
+//! different frequencies. The interference measurements are collected
+//! by two monitoring stations, each observing a subset of the
+//! interference pairs — exactly the two-party edge-partition model.
+//! `Δ+1` frequencies always suffice, and Theorem 1 finds the
+//! assignment with `O(n)` bits between the stations.
+//!
+//! ```sh
+//! cargo run -p bichrome-core --example frequency_assignment
+//! ```
+
+use bichrome_core::baselines::{run_baseline, Baseline};
+use bichrome_core::rct::RctConfig;
+use bichrome_core::vertex::solve_vertex_coloring;
+use bichrome_graph::coloring::validate_vertex_coloring_with_palette;
+use bichrome_graph::partition::{EdgePartition, Partitioner};
+use bichrome_graph::gen;
+
+fn main() {
+    // An "urban grid" interference graph: access points on a 24 × 16
+    // grid interfering with their king-move neighbors (Δ ≤ 8).
+    let g = gen::grid_king(24, 16); // 384 access points
+    let delta = g.max_degree();
+    println!("interference graph: {g} → {} frequencies suffice", delta + 1);
+
+    // Station A heard the east side, station B the west side — a
+    // structured, worst-case-flavored split.
+    let partition: EdgePartition = Partitioner::LowHalf.split(&g);
+
+    let out = solve_vertex_coloring(&partition, 99, &RctConfig::default());
+    validate_vertex_coloring_with_palette(&g, &out.coloring, delta + 1)
+        .expect("valid frequency assignment");
+    println!(
+        "theorem-1 protocol : {:>8} bits {:>6} rounds  ({} frequencies used)",
+        out.stats.total_bits(),
+        out.stats.rounds,
+        out.coloring.num_distinct_colors()
+    );
+
+    // Compare with the baselines the paper discusses.
+    for baseline in
+        [Baseline::FlinMittal, Baseline::GreedyBinarySearch, Baseline::SendEverything]
+    {
+        let (coloring, stats) = run_baseline(&partition, baseline, 99);
+        validate_vertex_coloring_with_palette(&g, &coloring, delta + 1)
+            .expect("baselines are also correct");
+        println!(
+            "{baseline:<19}: {:>8} bits {:>6} rounds",
+            stats.total_bits(),
+            stats.rounds
+        );
+    }
+    println!(
+        "\nTheorem 1 keeps the bit budget of Flin–Mittal while cutting \
+         rounds from Θ(n) to O(log log n · log Δ)."
+    );
+}

@@ -1,0 +1,65 @@
+//! Link scheduling via edge coloring — the classical application of
+//! `(2Δ−1)`-edge coloring.
+//!
+//! Each edge is a point-to-point transmission; two transmissions
+//! sharing an endpoint cannot run in the same time slot, so a proper
+//! edge coloring *is* a conflict-free schedule and the number of
+//! colors is its makespan. The link demands are logged at two
+//! controllers (the two parties). Theorem 2 schedules everything in
+//! `2Δ−1` slots with `O(n)` bits and 3 rounds; Theorem 3 shows `2Δ`
+//! slots need no coordination at all.
+//!
+//! ```sh
+//! cargo run -p bichrome-core --example link_scheduling
+//! ```
+
+use bichrome_core::edge::two_delta::solve_two_delta;
+use bichrome_core::edge::solve_edge_coloring;
+use bichrome_graph::coloring::validate_edge_coloring_with_palette;
+use bichrome_graph::partition::Partitioner;
+use bichrome_graph::gen;
+
+fn main() {
+    // A data-center-ish workload: 200 hosts, 1400 flows, at most 16
+    // concurrent flows per host.
+    let g = gen::gnm_max_degree(200, 1400, 16, 3);
+    let delta = g.max_degree();
+    println!("demand graph: {g}");
+    let partition = Partitioner::Random(8).split(&g);
+
+    // ---- Theorem 2: 2Δ−1 slots, O(n) bits, O(1) rounds. ----
+    let out = solve_edge_coloring(&partition, 0);
+    let merged = out.merged();
+    validate_edge_coloring_with_palette(&g, &merged, 2 * delta - 1)
+        .expect("a valid schedule");
+    let slots = merged.max_color().expect("nonempty").index() + 1;
+    println!(
+        "(2Δ−1)-protocol: schedule fits in {slots} ≤ {} slots, {} bits, {} rounds",
+        2 * delta - 1,
+        out.stats.total_bits(),
+        out.stats.rounds
+    );
+
+    // Per-slot utilization: how many links fire in each slot.
+    let mut per_slot = vec![0usize; 2 * delta - 1];
+    for (_, c) in merged.iter() {
+        per_slot[c.index()] += 1;
+    }
+    let busiest = per_slot.iter().max().copied().unwrap_or(0);
+    println!(
+        "busiest slot carries {busiest} links; average {:.1}",
+        g.num_edges() as f64 / slots as f64
+    );
+
+    // ---- Theorem 3: one more slot buys zero communication. ----
+    let (a, b) = solve_two_delta(&partition);
+    let mut merged2 = a;
+    merged2.merge(&b).expect("disjoint");
+    validate_edge_coloring_with_palette(&g, &merged2, 2 * delta)
+        .expect("valid 2Δ schedule");
+    println!(
+        "(2Δ)-protocol: {} slots with zero bits exchanged — the price of \
+         the last saved slot is Ω(n) bits (Theorem 4)",
+        merged2.max_color().expect("nonempty").index() + 1
+    );
+}

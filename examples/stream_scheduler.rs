@@ -1,0 +1,70 @@
+//! Edge coloring a link stream with bounded memory — the W-streaming
+//! model of §6.4.
+//!
+//! A switch sees flow requests one at a time and must assign each a
+//! time slot *immediately* (it cannot buffer the whole demand matrix).
+//! That is exactly W-streaming edge coloring: internal state is the
+//! scarce resource, output streams out. This example contrasts the
+//! `(2Δ−1)`-slot greedy scheduler (whose state is Θ(n·Δ) — and, by
+//! Corollary 1.2, Ω(n) is unavoidable at this slot count) with the
+//! chunked scheduler that slashes state by paying with extra slots.
+//!
+//! ```sh
+//! cargo run -p bichrome-lb --example stream_scheduler
+//! ```
+
+use bichrome_graph::coloring::validate_edge_coloring;
+use bichrome_graph::gen;
+use bichrome_graph::partition::Partitioner;
+use bichrome_streaming::algorithms::{ChunkedWStreaming, GreedyWStreaming};
+use bichrome_streaming::reduction::simulate_streaming_two_party;
+use bichrome_streaming::weaker::validate_weaker_output;
+use bichrome_streaming::run_w_streaming;
+
+fn main() {
+    // 400 hosts, ~4300 flows, at most 32 concurrent flows per host.
+    let g = gen::gnm_max_degree(400, 4300, 32, 21);
+    let n = g.num_vertices();
+    let delta = g.max_degree();
+    println!("flow stream: {g} ({} flows arriving one by one)\n", g.num_edges());
+
+    // Scheduler 1: greedy, 2Δ−1 slots, Θ(nΔ) bits of switch memory.
+    let mut greedy = GreedyWStreaming::new(n, delta);
+    let (schedule, space) = run_w_streaming(&mut greedy, g.edges());
+    validate_edge_coloring(&g, &schedule).expect("conflict-free schedule");
+    println!(
+        "greedy scheduler : {:>3} slots, {:>7} bits of state ({:.1} bits/host)",
+        schedule.num_distinct_colors(),
+        space.max_state_bits,
+        space.max_state_bits as f64 / n as f64
+    );
+
+    // Scheduler 2: chunked, Õ(n√Δ) memory, more slots.
+    let mut chunked = ChunkedWStreaming::with_sqrt_delta_capacity(n, delta);
+    let (schedule2, space2) = run_w_streaming(&mut chunked, g.edges());
+    validate_edge_coloring(&g, &schedule2).expect("conflict-free schedule");
+    println!(
+        "chunked scheduler: {:>3} slots, {:>7} bits of state ({:.1} bits/host)",
+        schedule2.num_distinct_colors(),
+        space2.max_state_bits,
+        space2.max_state_bits as f64 / n as f64
+    );
+
+    // The §6.4 reduction: two controllers each see half the flows and
+    // hand the scheduler state across once — communication equals the
+    // state size, which is why Theorem 5's Ω(n) communication bound
+    // becomes Corollary 1.2's Ω(n) space bound.
+    let p = Partitioner::Random(4).split(&g);
+    let sim = simulate_streaming_two_party(&p, || GreedyWStreaming::new(n, delta), 0);
+    validate_weaker_output(&g, &sim.output, 2 * delta - 1).expect("valid weaker output");
+    println!(
+        "\ntwo-controller simulation of the greedy scheduler: {} bits in {} round \
+         (= its state, byte-rounded)",
+        sim.stats.total_bits(),
+        sim.stats.rounds
+    );
+    println!(
+        "Corollary 1.2: at 2Δ−1 slots no streaming scheduler can beat Ω(n) \
+         bits of state — the memory above is not an implementation artifact."
+    );
+}

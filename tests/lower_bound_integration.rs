@@ -1,0 +1,100 @@
+//! Integration tests for the Section 6 lower-bound machinery,
+//! connecting the games to the actual protocols.
+
+use bichrome_core::edge::solve_edge_coloring;
+use bichrome_graph::coloring::validate_edge_coloring_with_palette;
+use bichrome_graph::partition::Partitioner;
+use bichrome_graph::gen;
+use bichrome_lb::learning::run_learning_reduction;
+use bichrome_lb::repetition::run_parallel_repetition;
+use bichrome_lb::zec::{
+    compute_labels, exact_win_probability, find_loss_witness, strategy_suite,
+    RandomStrategy, ZEC_WIN_BOUND,
+};
+use bichrome_lb::zec_new::{estimate_zec_new_win, ColorOnly, HUB_POOL, ZEC_NEW_WIN_BOUND};
+
+#[test]
+fn zec_bound_holds_across_the_suite() {
+    for s in strategy_suite() {
+        let p = if s.is_deterministic() {
+            exact_win_probability(s.as_ref())
+        } else {
+            bichrome_lb::zec::estimate_win_probability(s.as_ref(), 50_000, 1)
+        };
+        assert!(p <= ZEC_WIN_BOUND + 0.01, "{}: {p}", s.name());
+    }
+}
+
+#[test]
+fn every_deterministic_strategy_has_a_loss_witness() {
+    for s in strategy_suite().iter().filter(|s| s.is_deterministic()) {
+        let witness = find_loss_witness(&compute_labels(s.as_ref()));
+        assert!(witness.is_some(), "{} lacks a Lemma 6.2 witness", s.name());
+    }
+}
+
+#[test]
+fn repetition_decay_is_exponential_in_instances() {
+    let s = RandomStrategy;
+    let mut prev = 1.1f64;
+    for instances in [1usize, 4, 8, 12] {
+        let out = run_parallel_repetition(&s, instances, 20_000, 3);
+        let rate = out.win_all_rate();
+        assert!(rate < prev, "decay must be monotone: {rate} !< {prev}");
+        prev = rate.max(1e-9);
+    }
+    // At 12 instances with v ≈ 0.79 the win-all rate is ≈ 0.06.
+    assert!(prev < 0.15, "12-fold repetition should rarely be won: {prev}");
+}
+
+#[test]
+fn zec_new_bound_holds() {
+    let p = estimate_zec_new_win(
+        &ColorOnly(bichrome_lb::zec::LabelingStrategy::shifted()),
+        HUB_POOL,
+        30_000,
+        5,
+    );
+    assert!(p <= ZEC_NEW_WIN_BOUND + 0.01);
+}
+
+#[test]
+fn hard_instance_family_is_solvable_with_communication() {
+    // The lower-bound graphs (unions of the ZEC shape: Δ = 2) are of
+    // course solvable by the *communicating* protocol of Theorem 2 —
+    // the point of Theorem 4 is only that o(n) bits cannot do it.
+    let bits: Vec<bool> = (0..20).map(|i| i % 3 == 0).collect();
+    let g = gen::c4_gadget_union(&bits);
+    assert_eq!(g.max_degree(), 2);
+    for part in Partitioner::family(3) {
+        let p = part.split(&g);
+        let out = solve_edge_coloring(&p, 0);
+        validate_edge_coloring_with_palette(&g, &out.merged(), 3)
+            .unwrap_or_else(|e| panic!("{part}: {e}"));
+    }
+}
+
+#[test]
+fn learning_reduction_recovers_many_strings() {
+    for seed in 0..5u64 {
+        let bits: Vec<bool> =
+            (0..10).map(|i| (i * 7 + seed as usize) % 3 == 1).collect();
+        let (recovered, comm) = run_learning_reduction(&bits, seed);
+        assert_eq!(recovered, bits, "seed {seed}");
+        assert!(comm > 0);
+    }
+}
+
+#[test]
+fn communication_cost_scales_with_learned_bits() {
+    // Learning twice the bits costs (roughly) at least as much
+    // communication — the qualitative content of Ω(n).
+    let short: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+    let long: Vec<bool> = (0..32).map(|i| i % 2 == 0).collect();
+    let (_, c_short) = run_learning_reduction(&short, 9);
+    let (_, c_long) = run_learning_reduction(&long, 9);
+    assert!(
+        c_long > c_short,
+        "more gadgets, more bits: {c_short} vs {c_long}"
+    );
+}
