@@ -3,9 +3,9 @@
 //! Δ-perfect matching, and the greedy colorings.
 
 use bichrome_graph::edge_color::{fournier, misra_gries};
+use bichrome_graph::gen;
 use bichrome_graph::greedy::{greedy_edge_coloring, greedy_vertex_coloring};
 use bichrome_graph::matching::delta_perfect_matching;
-use bichrome_graph::gen;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_misra_gries(c: &mut Criterion) {

@@ -1,11 +1,16 @@
 //! Criterion micro-benchmarks for the (Δ+1)-vertex-coloring
 //! protocols: Theorem 1 vs the baselines, across graph sizes.
 
+// These micro-benchmarks time the raw protocol sessions, not the
+// runner harness (which adds validation), so they stay on the core
+// entry points.
+#![allow(deprecated)]
+
 use bichrome_core::baselines::{run_baseline, Baseline};
 use bichrome_core::rct::RctConfig;
 use bichrome_core::vertex::solve_vertex_coloring;
-use bichrome_graph::partition::Partitioner;
 use bichrome_graph::gen;
+use bichrome_graph::partition::Partitioner;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_theorem1(c: &mut Criterion) {
@@ -31,20 +36,18 @@ fn bench_baselines(c: &mut Criterion) {
     let n = 256usize;
     let g = gen::near_regular(n, 12, 1);
     let p = Partitioner::Random(2).split(&g);
-    for baseline in
-        [Baseline::FlinMittal, Baseline::GreedyBinarySearch, Baseline::SendEverything]
-    {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(baseline),
-            &p,
-            |b, p| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    run_baseline(p, baseline, seed)
-                });
-            },
-        );
+    for baseline in [
+        Baseline::FlinMittal,
+        Baseline::GreedyBinarySearch,
+        Baseline::SendEverything,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(baseline), &p, |b, p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_baseline(p, baseline, seed)
+            });
+        });
     }
     group.finish();
 }

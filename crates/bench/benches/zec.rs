@@ -41,5 +41,10 @@ fn bench_repetition(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_exact_eval, bench_monte_carlo, bench_repetition);
+criterion_group!(
+    benches,
+    bench_exact_eval,
+    bench_monte_carlo,
+    bench_repetition
+);
 criterion_main!(benches);

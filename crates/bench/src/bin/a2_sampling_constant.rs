@@ -25,8 +25,7 @@ fn main() {
             let mut bits = Vec::new();
             let mut rounds = Vec::new();
             for seed in 0..reps {
-                let (e, stats) =
-                    run_slack_int_session_with_constant(m, &x, &y, seed * 7 + 1, c);
+                let (e, stats) = run_slack_int_session_with_constant(m, &x, &y, seed * 7 + 1, c);
                 assert!(e >= occupied as u64, "must find a free element");
                 bits.push(stats.total_bits() as f64);
                 rounds.push(stats.rounds as f64);

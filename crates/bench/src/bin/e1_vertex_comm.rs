@@ -4,45 +4,56 @@
 //! bits per vertex (which must stay flat as `n` grows — that is the
 //! `O(n)` claim), and rounds. The Flin–Mittal baseline's bits are
 //! shown alongside: both are `Θ(n)`, the difference is rounds (E2).
+//!
+//! Ported to the unified `bichrome-runner` harness: instances are
+//! declared once and both protocols run through `TrialPlan`, with
+//! trials parallel across seeds.
 
-use bichrome_bench::{mean, Table};
-use bichrome_core::baselines::{run_baseline, Baseline};
-use bichrome_core::rct::RctConfig;
-use bichrome_core::vertex::solve_vertex_coloring;
-use bichrome_graph::coloring::validate_vertex_coloring_with_palette;
-use bichrome_graph::partition::Partitioner;
+use bichrome_bench::Table;
 use bichrome_graph::gen;
+use bichrome_graph::partition::Partitioner;
+use bichrome_runner::{registry, Instance, TrialPlan};
 
 fn main() {
     println!("E1: (Δ+1)-vertex coloring — communication (Theorem 1)\n");
+    let reg = registry();
     let reps = 3u64;
     let mut table = Table::new(&[
-        "Δ", "n", "ours bits", "ours bits/n", "FM bits", "FM bits/n", "ours rounds",
+        "Δ",
+        "n",
+        "ours bits",
+        "ours bits/n",
+        "FM bits",
+        "FM bits/n",
+        "ours rounds",
     ]);
     for &delta in &[8usize, 16, 32] {
         for &n in &[256usize, 512, 1024, 2048] {
-            let mut ours_bits = Vec::new();
-            let mut ours_rounds = Vec::new();
-            let mut fm_bits = Vec::new();
-            for rep in 0..reps {
-                let g = gen::near_regular(n, delta, rep * 100 + delta as u64);
-                let p = Partitioner::Random(rep).split(&g);
-                let out = solve_vertex_coloring(&p, rep + 1, &RctConfig::default());
-                validate_vertex_coloring_with_palette(&g, &out.coloring, delta + 1)
-                    .expect("valid");
-                ours_bits.push(out.stats.total_bits() as f64);
-                ours_rounds.push(out.stats.rounds as f64);
-                let (_, fm) = run_baseline(&p, Baseline::FlinMittal, rep + 1);
-                fm_bits.push(fm.total_bits() as f64);
-            }
+            // Same instance construction as the historical loop:
+            // graph seed rep*100+Δ, partition Random(rep), session
+            // seed rep+1.
+            let instances = || {
+                (0..reps).map(|rep| {
+                    let g = gen::near_regular(n, delta, rep * 100 + delta as u64);
+                    Instance::new("near-regular", Partitioner::Random(rep).split(&g), rep + 1)
+                })
+            };
+            let ours = TrialPlan::new(reg.get("vertex/theorem1").expect("registered"))
+                .instances(instances())
+                .run();
+            assert!(ours.all_valid(), "Theorem 1 must validate");
+            let fm = TrialPlan::new(reg.get("baseline/flin-mittal").expect("registered"))
+                .instances(instances())
+                .run();
+            assert!(fm.all_valid(), "Flin–Mittal must validate");
             table.row(&[
                 &delta.to_string(),
                 &n.to_string(),
-                &format!("{:.0}", mean(&ours_bits)),
-                &format!("{:.1}", mean(&ours_bits) / n as f64),
-                &format!("{:.0}", mean(&fm_bits)),
-                &format!("{:.1}", mean(&fm_bits) / n as f64),
-                &format!("{:.0}", mean(&ours_rounds)),
+                &format!("{:.0}", ours.summary.total_bits.mean),
+                &format!("{:.1}", ours.summary.bits_per_vertex.mean),
+                &format!("{:.0}", fm.summary.total_bits.mean),
+                &format!("{:.1}", fm.summary.bits_per_vertex.mean),
+                &format!("{:.0}", ours.summary.rounds.mean),
             ]);
         }
     }

@@ -3,30 +3,33 @@
 //! deterministic greedy+binary-search is `Θ(n log Δ)`.
 //!
 //! Two sweeps: rounds vs `n` at fixed Δ (the headline), and rounds vs
-//! `Δ` at fixed `n`.
+//! `Δ` at fixed `n`. All three protocols run through one
+//! `bichrome-runner` `TrialPlan` per cell.
 
-use bichrome_bench::{mean, Table};
-use bichrome_core::baselines::{run_baseline, Baseline};
-use bichrome_core::rct::RctConfig;
-use bichrome_core::vertex::solve_vertex_coloring;
-use bichrome_graph::partition::Partitioner;
+use bichrome_bench::Table;
 use bichrome_graph::gen;
+use bichrome_graph::partition::Partitioner;
+use bichrome_runner::{registry, Instance, TrialPlan};
 
+/// Mean rounds per protocol key over `reps` seeded instances.
 fn rounds_for(n: usize, delta: usize, reps: u64) -> (f64, f64, f64) {
-    let mut ours = Vec::new();
-    let mut fm = Vec::new();
-    let mut gbs = Vec::new();
-    for rep in 0..reps {
-        let g = gen::near_regular(n, delta, rep * 31 + n as u64);
-        let p = Partitioner::Random(rep).split(&g);
-        let out = solve_vertex_coloring(&p, rep, &RctConfig::default());
-        ours.push(out.stats.rounds as f64);
-        let (_, s) = run_baseline(&p, Baseline::FlinMittal, rep);
-        fm.push(s.rounds as f64);
-        let (_, s) = run_baseline(&p, Baseline::GreedyBinarySearch, rep);
-        gbs.push(s.rounds as f64);
-    }
-    (mean(&ours), mean(&fm), mean(&gbs))
+    let reg = registry();
+    let mean_rounds = |key: &str| {
+        let instances = (0..reps).map(|rep| {
+            let g = gen::near_regular(n, delta, rep * 31 + n as u64);
+            Instance::new("near-regular", Partitioner::Random(rep).split(&g), rep)
+        });
+        let report = TrialPlan::new(reg.get(key).expect("registered"))
+            .instances(instances)
+            .run();
+        assert!(report.all_valid(), "{key} must validate");
+        report.summary.rounds.mean
+    };
+    (
+        mean_rounds("vertex/theorem1"),
+        mean_rounds("baseline/flin-mittal"),
+        mean_rounds("baseline/greedy-binary-search"),
+    )
 }
 
 fn main() {

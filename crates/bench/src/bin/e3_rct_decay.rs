@@ -4,12 +4,12 @@
 //! per-vertex communication cost.
 
 use bichrome_bench::{mean, Table};
+use bichrome_comm::session::run_two_party_ctx;
 use bichrome_core::input::PartyInput;
 use bichrome_core::rct::{paper_iterations, run_random_color_trial, RctConfig};
-use bichrome_comm::session::run_two_party_ctx;
 use bichrome_graph::coloring::VertexColoring;
-use bichrome_graph::partition::Partitioner;
 use bichrome_graph::gen;
+use bichrome_graph::partition::Partitioner;
 
 fn main() {
     println!("E3: Random-Color-Trial internals (Lemma 4.1 and friends)\n");

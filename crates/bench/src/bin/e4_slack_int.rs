@@ -10,7 +10,11 @@ fn main() {
     let m = 1024usize;
     let reps = 25u64;
     let mut t = Table::new(&[
-        "k (slack)", "log²((m+1)/k)", "bits mean", "bits sd", "rounds mean",
+        "k (slack)",
+        "log²((m+1)/k)",
+        "bits mean",
+        "bits sd",
+        "rounds mean",
     ]);
     for &k in &[1023usize, 512, 256, 64, 16, 4, 1] {
         // |X| + |Y| = m − k exactly: X takes the low half of the

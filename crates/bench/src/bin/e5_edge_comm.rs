@@ -2,42 +2,50 @@
 //! bits and `O(1)` rounds, across `n` and `Δ` sweeps and the whole
 //! partitioner family (taking the worst case over partitioners, as a
 //! stand-in for the adversary).
+//!
+//! Ported to `bichrome-runner`: one `TrialPlan` per graph, with one
+//! instance per partitioner, and the worst case read off the report's
+//! max aggregates.
 
 use bichrome_bench::Table;
-use bichrome_core::edge::solve_edge_coloring;
-use bichrome_graph::coloring::validate_edge_coloring_with_palette;
-use bichrome_graph::partition::Partitioner;
 use bichrome_graph::gen;
+use bichrome_graph::partition::Partitioner;
+use bichrome_runner::{registry, Instance, TrialPlan};
 
 fn main() {
     println!("E5: (2Δ−1)-edge coloring — communication & rounds (Theorem 2)\n");
+    let reg = registry();
     let mut t = Table::new(&[
-        "Δ", "n", "m", "worst bits", "bits/n", "rounds", "trivial m·2logn",
+        "Δ",
+        "n",
+        "m",
+        "worst bits",
+        "bits/n",
+        "rounds",
+        "trivial m·2logn",
     ]);
     for &delta in &[10usize, 16, 32] {
         for &n in &[256usize, 512, 1024, 2048] {
             let g = gen::gnm_max_degree(n, n * delta / 3, delta, (n + delta) as u64);
-            let mut worst_bits = 0u64;
-            let mut worst_rounds = 0u64;
-            for part in Partitioner::family(7) {
-                let p = part.split(&g);
-                let out = solve_edge_coloring(&p, 0);
-                let budget = 2 * g.max_degree() - 1;
-                validate_edge_coloring_with_palette(&g, &out.merged(), budget)
-                    .expect("valid");
-                worst_bits = worst_bits.max(out.stats.total_bits());
-                worst_rounds = worst_rounds.max(out.stats.rounds);
-            }
-            let trivial =
-                (g.num_edges() * 2 * (n as f64).log2().ceil() as usize) as u64;
+            let instances = Partitioner::family(7)
+                .into_iter()
+                .map(|part| Instance::new(part.to_string(), part.split(&g), 0));
+            let report = TrialPlan::new(reg.get("edge/theorem2").expect("registered"))
+                .instances(instances)
+                .run();
+            assert!(
+                report.all_valid(),
+                "Theorem 2 must validate on every partition"
+            );
+            let worst_bits = report.summary.total_bits.max;
             t.row(&[
                 &delta.to_string(),
                 &n.to_string(),
                 &g.num_edges().to_string(),
-                &worst_bits.to_string(),
-                &format!("{:.1}", worst_bits as f64 / n as f64),
-                &worst_rounds.to_string(),
-                &trivial.to_string(),
+                &format!("{worst_bits:.0}"),
+                &format!("{:.1}", worst_bits / n as f64),
+                &format!("{:.0}", report.summary.rounds.max),
+                &((g.num_edges() * 2 * (n as f64).log2().ceil() as usize) as u64).to_string(),
             ]);
         }
     }

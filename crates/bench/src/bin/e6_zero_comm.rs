@@ -1,41 +1,42 @@
 //! **E6** — Theorem 3 (`2Δ` colors, zero communication) and Lemma 5.1
 //! (constant Δ, one round): the color-count / communication trade-off
 //! around the Ω(n) threshold of Theorem 4.
+//!
+//! Ported to `bichrome-runner`: both sides of the trade-off are
+//! registry protocols run on the same instance.
 
 use bichrome_bench::Table;
-use bichrome_core::edge::two_delta::solve_two_delta;
-use bichrome_core::edge::solve_edge_coloring;
-use bichrome_graph::coloring::validate_edge_coloring_with_palette;
-use bichrome_graph::partition::Partitioner;
 use bichrome_graph::gen;
+use bichrome_graph::partition::Partitioner;
+use bichrome_runner::{registry, Instance};
 
 fn main() {
     println!("E6: the last color costs Ω(n) bits (Theorems 2, 3, 4)\n");
+    let reg = registry();
+    let zero_comm = reg.get("edge/theorem3-zero-comm").expect("registered");
+    let theorem2 = reg.get("edge/theorem2").expect("registered");
     let mut t = Table::new(&["n", "Δ", "colors", "bits", "rounds", "protocol"]);
     for &n in &[256usize, 1024] {
         for &delta in &[6usize, 12] {
             let g = gen::gnm_max_degree(n, n * delta / 3, delta, 5);
             let d = g.max_degree();
-            let p = Partitioner::Random(3).split(&g);
+            let inst = Instance::new("gnm", Partitioner::Random(3).split(&g), 0);
 
             // (2Δ)-coloring: zero communication (Theorem 3).
-            let (a, b) = solve_two_delta(&p);
-            let mut merged = a;
-            merged.merge(&b).expect("disjoint");
-            validate_edge_coloring_with_palette(&g, &merged, 2 * d).expect("valid");
+            let out = zero_comm.run(&inst);
+            assert!(out.verdict.is_valid(), "Theorem 3 must validate");
             t.row(&[
                 &n.to_string(),
                 &d.to_string(),
                 &format!("2Δ = {}", 2 * d),
-                "0",
-                "0",
+                &out.stats.total_bits().to_string(),
+                &out.stats.rounds.to_string(),
                 "Theorem 3 (local only)",
             ]);
 
             // (2Δ−1)-coloring: Θ(n) bits (Theorem 2; lower bound Thm 4).
-            let out = solve_edge_coloring(&p, 0);
-            validate_edge_coloring_with_palette(&g, &out.merged(), 2 * d - 1)
-                .expect("valid");
+            let out = theorem2.run(&inst);
+            assert!(out.verdict.is_valid(), "Theorem 2 must validate");
             let label = if d <= 7 { "Lemma 5.1" } else { "Algorithm 2" };
             t.row(&[
                 &n.to_string(),

@@ -6,29 +6,33 @@ use bichrome_bench::Table;
 use bichrome_lb::best_response::optimized_strategy;
 use bichrome_lb::repetition::{guessing_success_rate, run_parallel_repetition};
 use bichrome_lb::zec::{
-    estimate_win_probability, exact_win_probability, strategy_suite, RandomStrategy,
-    ZEC_WIN_BOUND,
+    estimate_win_probability, exact_win_probability, strategy_suite, RandomStrategy, ZEC_WIN_BOUND,
 };
 use bichrome_lb::zec_new::{estimate_zec_new_win, ColorOnly, HUB_POOL, ZEC_NEW_WIN_BOUND};
 
 fn main() {
     println!("E7: zero-communication edge-coloring games (Section 6)\n");
 
-    println!(
-        "Strategy win rates (Lemma 6.2 bound: 11024/11025 ≈ {ZEC_WIN_BOUND:.6}):"
-    );
+    println!("Strategy win rates (Lemma 6.2 bound: 11024/11025 ≈ {ZEC_WIN_BOUND:.6}):");
     let mut t = Table::new(&["strategy", "evaluation", "win rate", "≤ bound?"]);
     for s in strategy_suite() {
         let (eval, p) = if s.is_deterministic() {
             ("exact 441 inputs", exact_win_probability(s.as_ref()))
         } else {
-            ("monte-carlo 2e5", estimate_win_probability(s.as_ref(), 200_000, 11))
+            (
+                "monte-carlo 2e5",
+                estimate_win_probability(s.as_ref(), 200_000, 11),
+            )
         };
         t.row(&[
             s.name(),
             eval,
             &format!("{p:.4}"),
-            if p <= ZEC_WIN_BOUND + 0.01 { "yes" } else { "NO" },
+            if p <= ZEC_WIN_BOUND + 0.01 {
+                "yes"
+            } else {
+                "NO"
+            },
         ]);
     }
     // The strongest deterministic play we can find: multi-start
@@ -68,9 +72,7 @@ fn main() {
     }
     t.print();
 
-    println!(
-        "\nZEC-NEW (§6.4, bound 33074/33075 ≈ {ZEC_NEW_WIN_BOUND:.6}), hub pool {HUB_POOL}:"
-    );
+    println!("\nZEC-NEW (§6.4, bound 33074/33075 ≈ {ZEC_NEW_WIN_BOUND:.6}), hub pool {HUB_POOL}:");
     let p = estimate_zec_new_win(
         &ColorOnly(bichrome_lb::zec::LabelingStrategy::shifted()),
         HUB_POOL,

@@ -11,7 +11,11 @@ use rand::{Rng, SeedableRng};
 fn main() {
     println!("E8: learning-problem reduction for (Δ+1)-vertex coloring (§2.3)\n");
     let mut t = Table::new(&[
-        "string bits n", "gadget vertices", "recovered ok", "protocol bits", "bits per learned bit",
+        "string bits n",
+        "gadget vertices",
+        "recovered ok",
+        "protocol bits",
+        "bits per learned bit",
     ]);
     for &n in &[8usize, 16, 32, 64, 128, 256] {
         let mut rng = StdRng::seed_from_u64(n as u64);

@@ -5,12 +5,12 @@
 
 use bichrome_bench::Table;
 use bichrome_graph::coloring::validate_edge_coloring;
-use bichrome_graph::partition::Partitioner;
 use bichrome_graph::gen;
+use bichrome_graph::partition::Partitioner;
 use bichrome_streaming::algorithms::{ChunkedWStreaming, GreedyWStreaming};
 use bichrome_streaming::reduction::simulate_streaming_two_party;
-use bichrome_streaming::weaker::validate_weaker_output;
 use bichrome_streaming::run_w_streaming;
+use bichrome_streaming::weaker::validate_weaker_output;
 
 fn main() {
     println!("E9: W-streaming edge coloring (§6.4, Corollary 1.2)\n");
@@ -48,7 +48,14 @@ fn main() {
     t.print();
 
     println!("\nTwo-party simulation (the §6.4 reduction): bits = passes × state");
-    let mut t = Table::new(&["n", "Δ", "algorithm", "sim bits", "rounds", "valid weaker output"]);
+    let mut t = Table::new(&[
+        "n",
+        "Δ",
+        "algorithm",
+        "sim bits",
+        "rounds",
+        "valid weaker output",
+    ]);
     for &(n, delta) in &[(256usize, 16usize), (512, 32)] {
         let g = gen::gnm_max_degree(n, n * delta / 3, delta, 9);
         let d = g.max_degree();

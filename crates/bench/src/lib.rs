@@ -1,84 +1,25 @@
-//! Shared plumbing for the experiment binaries (`e1` – `e8`).
+//! Shared plumbing for the experiment binaries (`e1` – `e9`).
 //!
-//! Each binary regenerates one table of EXPERIMENTS.md; this crate
-//! holds the text-table printer and small statistics helpers they
-//! share. See DESIGN.md for the experiment index.
+//! Each binary regenerates one table of EXPERIMENTS.md. The
+//! text-table printer is the runner crate's (one implementation for
+//! the whole workspace); this crate re-exports it and keeps the small
+//! statistics helpers the unported binaries still use.
+//!
+//! # Example
+//!
+//! ```
+//! use bichrome_bench::Table;
+//! let mut t = Table::new(&["n", "bits", "bits/n"]);
+//! t.row(&["256", "12000", "46.9"]);
+//! let s = t.render();
+//! assert!(s.contains("bits/n"));
+//! assert!(s.contains("46.9"));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-/// A plain-text table printer with right-aligned columns.
-///
-/// # Example
-///
-/// ```
-/// use bichrome_bench::Table;
-/// let mut t = Table::new(&["n", "bits", "bits/n"]);
-/// t.row(&["256", "12000", "46.9"]);
-/// let s = t.render();
-/// assert!(s.contains("bits/n"));
-/// assert!(s.contains("46.9"));
-/// ```
-#[derive(Debug, Clone)]
-pub struct Table {
-    headers: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// A table with the given column headers.
-    pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
-    }
-
-    /// Appends a row.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the arity differs from the header's.
-    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
-        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
-        self
-    }
-
-    /// Renders to an aligned string (with trailing newline).
-    pub fn render(&self) -> String {
-        let cols = self.headers.len();
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
-        for row in &self.rows {
-            for c in 0..cols {
-                widths[c] = widths[c].max(row[c].len());
-            }
-        }
-        let mut out = String::new();
-        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            let mut line = String::new();
-            for (c, cell) in cells.iter().enumerate() {
-                if c > 0 {
-                    line.push_str("  ");
-                }
-                line.push_str(&" ".repeat(widths[c] - cell.len()));
-                line.push_str(cell);
-            }
-            line
-        };
-        out.push_str(&fmt_row(&self.headers, &widths));
-        out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&fmt_row(row, &widths));
-            out.push('\n');
-        }
-        out
-    }
-
-    /// Prints the rendered table to stdout.
-    pub fn print(&self) {
-        print!("{}", self.render());
-    }
-}
+pub use bichrome_runner::table::Table;
 
 /// Mean of a sample.
 pub fn mean(xs: &[f64]) -> f64 {

@@ -3,7 +3,7 @@
 use crate::meter::Meter;
 use crate::wire::Message;
 use crate::Side;
-use crossbeam::channel::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, Sender};
 
 /// One party's end of the two-party link.
 ///
@@ -62,7 +62,11 @@ impl Endpoint {
     /// peer disconnected.
     pub fn send(&self, msg: Message) {
         let reply = self.exchange(msg);
-        assert!(reply.is_empty(), "peer sent {} unexpected bits", reply.len_bits());
+        assert!(
+            reply.is_empty(),
+            "peer sent {} unexpected bits",
+            reply.len_bits()
+        );
     }
 
     /// Receives the peer's message while sending nothing.
@@ -77,10 +81,20 @@ impl Endpoint {
 
 /// Creates a connected pair of endpoints sharing `meter`.
 pub fn endpoint_pair(meter: Meter) -> (Endpoint, Endpoint) {
-    let (a_tx, a_rx) = crossbeam::channel::unbounded();
-    let (b_tx, b_rx) = crossbeam::channel::unbounded();
-    let alice = Endpoint { side: Side::Alice, tx: a_tx, rx: b_rx, meter: meter.clone() };
-    let bob = Endpoint { side: Side::Bob, tx: b_tx, rx: a_rx, meter };
+    let (a_tx, a_rx) = std::sync::mpsc::channel();
+    let (b_tx, b_rx) = std::sync::mpsc::channel();
+    let alice = Endpoint {
+        side: Side::Alice,
+        tx: a_tx,
+        rx: b_rx,
+        meter: meter.clone(),
+    };
+    let bob = Endpoint {
+        side: Side::Bob,
+        tx: b_tx,
+        rx: a_rx,
+        meter,
+    };
     (alice, bob)
 }
 

@@ -68,7 +68,11 @@ impl PublicCoin {
     pub fn stream(&self, ids: &[u64]) -> StdRng {
         let mut state = splitmix64(self.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
         for (i, &id) in ids.iter().enumerate() {
-            state = splitmix64(state ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64 + 1));
+            state = splitmix64(
+                state
+                    ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64 + 1),
+            );
         }
         StdRng::seed_from_u64(state)
     }
@@ -76,14 +80,16 @@ impl PublicCoin {
     /// Derives a sub-coin: a public coin whose streams are independent
     /// of the parent's for distinct labels.
     pub fn subcoin(&self, label: u64) -> PublicCoin {
-        PublicCoin { seed: splitmix64(self.seed ^ splitmix64(label)) }
+        PublicCoin {
+            seed: splitmix64(self.seed ^ splitmix64(label)),
+        }
     }
 }
 
 /// A private RNG for one party, seeded independently of the public
 /// coin.
 pub fn private_rng(seed: u64, side_salt: u64) -> StdRng {
-    StdRng::seed_from_u64(splitmix64(seed ^ splitmix64(side_salt ^ 0x0DDB_A11)))
+    StdRng::seed_from_u64(splitmix64(seed ^ splitmix64(side_salt ^ 0x0DD_BA11)))
 }
 
 #[cfg(test)]
@@ -95,8 +101,16 @@ mod tests {
     fn same_path_same_stream() {
         let a = PublicCoin::new(123);
         let b = PublicCoin::new(123);
-        let xs: Vec<u32> = a.stream(&[4, 5, 6]).sample_iter(rand::distributions::Standard).take(10).collect();
-        let ys: Vec<u32> = b.stream(&[4, 5, 6]).sample_iter(rand::distributions::Standard).take(10).collect();
+        let xs: Vec<u32> = a
+            .stream(&[4, 5, 6])
+            .sample_iter(rand::distributions::Standard)
+            .take(10)
+            .collect();
+        let ys: Vec<u32> = b
+            .stream(&[4, 5, 6])
+            .sample_iter(rand::distributions::Standard)
+            .take(10)
+            .collect();
         assert_eq!(xs, ys);
     }
 

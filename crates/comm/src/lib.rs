@@ -17,10 +17,18 @@
 //!   Alice and Bob each send one message to the other simultaneously
 //!   (footnote 1 of the paper).
 //! * [`session`] — runs Alice's and Bob's protocol code on two OS
-//!   threads joined by crossbeam channels.
+//!   threads joined by std mpsc channels.
 //! * [`machine`] — sans-io round machines plus a lock-step driver, so
 //!   many per-vertex subprotocols can share each round's message, the
 //!   way Algorithm 1 runs all `Color-Sample` instances "in parallel".
+//!
+//! Protocol code groups its costs with RAII phase labels
+//! ([`meter::Meter::phase_scope`]), and the per-phase breakdown rides
+//! along in every [`CommStats`]. To *run* whole protocols uniformly
+//! (configure → execute → repeat → report), use the `bichrome-runner`
+//! crate: its `Protocol` trait and `TrialPlan` builder wrap this
+//! substrate, and its `json` module serializes [`CommStats`]
+//! round-trippably.
 //!
 //! # Example
 //!

@@ -50,8 +50,9 @@ pub trait RoundMachine {
 pub fn drive_lockstep(ep: &Endpoint, machines: &mut [&mut dyn RoundMachine]) -> u64 {
     let mut rounds = 0;
     loop {
-        let active: Vec<usize> =
-            (0..machines.len()).filter(|&i| !machines[i].is_done()).collect();
+        let active: Vec<usize> = (0..machines.len())
+            .filter(|&i| !machines[i].is_done())
+            .collect();
         if active.is_empty() {
             return rounds;
         }
@@ -64,7 +65,11 @@ pub fn drive_lockstep(ep: &Endpoint, machines: &mut [&mut dyn RoundMachine]) -> 
         for &i in &active {
             machines[i].read_round(&mut r);
         }
-        assert_eq!(r.remaining(), 0, "peer sent more bits than machines consumed");
+        assert_eq!(
+            r.remaining(),
+            0,
+            "peer sent more bits than machines consumed"
+        );
         rounds += 1;
     }
 }
@@ -90,7 +95,11 @@ mod tests {
 
     impl Summer {
         fn new(mine: Vec<u8>) -> Self {
-            Summer { mine, pos: 0, total: 0 }
+            Summer {
+                mine,
+                pos: 0,
+                total: 0,
+            }
         }
     }
 
@@ -136,15 +145,13 @@ mod tests {
         let (ra, rb, stats) = run_two_party(
             0,
             move |ep| {
-                let mut ms: Vec<Summer> =
-                    lens.iter().map(|&l| Summer::new(vec![1; l])).collect();
+                let mut ms: Vec<Summer> = lens.iter().map(|&l| Summer::new(vec![1; l])).collect();
                 let mut refs: Vec<&mut dyn RoundMachine> =
                     ms.iter_mut().map(|m| m as &mut dyn RoundMachine).collect();
                 drive_lockstep(&ep, &mut refs)
             },
             move |ep| {
-                let mut ms: Vec<Summer> =
-                    ms_from(&lens);
+                let mut ms: Vec<Summer> = ms_from(&lens);
                 let mut refs: Vec<&mut dyn RoundMachine> =
                     ms.iter_mut().map(|m| m as &mut dyn RoundMachine).collect();
                 drive_lockstep(&ep, &mut refs)
@@ -216,11 +223,17 @@ mod failure_injection {
         let _ = run_two_party(
             0,
             |ep| {
-                let mut m = Overwriter { rounds_left: 1, extra: true };
+                let mut m = Overwriter {
+                    rounds_left: 1,
+                    extra: true,
+                };
                 drive_single(&ep, &mut m)
             },
             |ep| {
-                let mut m = Overwriter { rounds_left: 1, extra: false };
+                let mut m = Overwriter {
+                    rounds_left: 1,
+                    extra: false,
+                };
                 drive_single(&ep, &mut m)
             },
         );
@@ -235,7 +248,10 @@ mod failure_injection {
         let _ = run_two_party(
             0,
             |ep| {
-                let mut m = Overwriter { rounds_left: 1, extra: false };
+                let mut m = Overwriter {
+                    rounds_left: 1,
+                    extra: false,
+                };
                 drive_single(&ep, &mut m)
             },
             |ep| {

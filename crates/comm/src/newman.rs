@@ -28,7 +28,10 @@ use rand::Rng;
 pub fn candidate_seed(family: u64, idx: u64) -> u64 {
     // Reuse the public coin's stream derivation for high-quality
     // mixing.
-    PublicCoin::new(family).subcoin(0x4E57_4D41).subcoin(idx).seed()
+    PublicCoin::new(family)
+        .subcoin(0x4E57_4D41)
+        .subcoin(idx)
+        .seed()
 }
 
 /// Runs a public-coin two-party protocol using only *private*
@@ -54,7 +57,10 @@ where
     RA: Send,
     RB: Send,
 {
-    assert!(num_candidates >= 1, "Newman needs at least one candidate seed");
+    assert!(
+        num_candidates >= 1,
+        "Newman needs at least one candidate seed"
+    );
     let meter = Meter::new();
     let (a_ep, b_ep) = endpoint_pair(meter.clone());
     let width = width_for(num_candidates - 1);
@@ -67,13 +73,19 @@ where
             w.write_uint(idx, width);
             a_ep.send(w.finish());
             let coin = PublicCoin::new(candidate_seed(family, idx));
-            alice(PartyCtx { endpoint: a_ep, coin })
+            alice(PartyCtx {
+                endpoint: a_ep,
+                coin,
+            })
         });
         let hb = s.spawn(move || {
             let msg = b_ep.exchange(Message::empty());
             let idx = msg.reader().read_uint(width);
             let coin = PublicCoin::new(candidate_seed(family, idx));
-            bob(PartyCtx { endpoint: b_ep, coin })
+            bob(PartyCtx {
+                endpoint: b_ep,
+                coin,
+            })
         });
         let ra = match ha.join() {
             Ok(v) => v,

@@ -51,8 +51,14 @@ where
     let meter = Meter::new();
     let (a_ep, b_ep) = endpoint_pair(meter.clone());
     let coin = PublicCoin::new(seed);
-    let a_ctx = PartyCtx { endpoint: a_ep, coin };
-    let b_ctx = PartyCtx { endpoint: b_ep, coin };
+    let a_ctx = PartyCtx {
+        endpoint: a_ep,
+        coin,
+    };
+    let b_ctx = PartyCtx {
+        endpoint: b_ep,
+        coin,
+    };
     let (ra, rb) = std::thread::scope(|s| {
         let ha = s.spawn(move || alice(a_ctx));
         let hb = s.spawn(move || bob(b_ctx));
@@ -130,11 +136,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn party_panic_propagates() {
-        let _ = run_two_party(
-            0,
-            |_ep| panic!("alice exploded"),
-            |_ep| (),
-        );
+        let _ = run_two_party(0, |_ep| panic!("alice exploded"), |_ep| ());
     }
 
     #[test]

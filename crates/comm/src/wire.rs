@@ -11,7 +11,7 @@
 //! protocol itself specifies — the meter counts exactly the paper's
 //! bits.
 
-use bytes::Bytes;
+use std::sync::Arc;
 
 /// Number of bits needed to encode any value in `0..=max_value`.
 ///
@@ -123,15 +123,27 @@ impl BitWriter {
 
     /// Freezes into an immutable [`Message`].
     pub fn finish(self) -> Message {
-        Message { buf: Bytes::from(self.buf), len_bits: self.len_bits }
+        Message {
+            buf: Arc::from(self.buf),
+            len_bits: self.len_bits,
+        }
     }
 }
 
 /// An immutable bit message, cheap to clone (ref-counted buffer).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
-    buf: Bytes,
+    buf: Arc<[u8]>,
     len_bits: usize,
+}
+
+impl Default for Message {
+    fn default() -> Self {
+        Message {
+            buf: Arc::from(Vec::new()),
+            len_bits: 0,
+        }
+    }
 }
 
 impl Message {
@@ -152,7 +164,11 @@ impl Message {
 
     /// A cursor for reading the message from the start.
     pub fn reader(&self) -> BitReader<'_> {
-        BitReader { buf: &self.buf, len_bits: self.len_bits, pos: 0 }
+        BitReader {
+            buf: &self.buf,
+            len_bits: self.len_bits,
+            pos: 0,
+        }
     }
 }
 
@@ -319,6 +335,99 @@ mod tests {
         w.write_uint(u64::MAX, 64);
         let msg = w.finish();
         assert_eq!(msg.reader().read_uint(64), u64::MAX);
+    }
+
+    #[test]
+    fn randomized_uint_width_roundtrips() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(0xB17_B17);
+        for _ in 0..500 {
+            let count = rng.gen_range(0..12usize);
+            let fields: Vec<(u64, usize)> = (0..count)
+                .map(|_| {
+                    let width = rng.gen_range(0..=64usize);
+                    let value = if width == 0 {
+                        0
+                    } else if width == 64 {
+                        rng.gen()
+                    } else {
+                        rng.gen_range(0..(1u64 << width))
+                    };
+                    (value, width)
+                })
+                .collect();
+            let mut w = BitWriter::new();
+            for &(v, width) in &fields {
+                w.write_uint(v, width);
+            }
+            let expected_bits: usize = fields.iter().map(|&(_, w)| w).sum();
+            let msg = w.finish();
+            assert_eq!(msg.len_bits(), expected_bits, "bit accounting is exact");
+            let mut r = msg.reader();
+            for &(v, width) in &fields {
+                assert_eq!(r.read_uint(width), v, "width {width}");
+            }
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn randomized_bit_sequence_roundtrips() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(0xB001);
+        for _ in 0..200 {
+            let len = rng.gen_range(0..300usize);
+            let bits: Vec<bool> = (0..len).map(|_| rng.gen()).collect();
+            let mut w = BitWriter::new();
+            w.write_bools(&bits);
+            let msg = w.finish();
+            assert_eq!(msg.len_bits(), bits.len());
+            assert_eq!(msg.is_empty(), bits.is_empty());
+            assert_eq!(msg.reader().read_bools(bits.len()), bits);
+        }
+    }
+
+    #[test]
+    fn randomized_mixed_fields_with_gamma() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(0x6A77A);
+        for _ in 0..200 {
+            // Interleave bits, uints, and gamma codes; empty messages
+            // occur when count == 0.
+            let count = rng.gen_range(0..10usize);
+            let mut script: Vec<(u8, u64, usize)> = Vec::new();
+            for _ in 0..count {
+                match rng.gen_range(0..3u8) {
+                    0 => script.push((0, rng.gen::<u64>() & 1, 1)),
+                    1 => {
+                        let width = rng.gen_range(1..=32usize);
+                        script.push((1, rng.gen_range(0..(1u64 << width)), width));
+                    }
+                    _ => script.push((2, rng.gen_range(0..1_000_000u64), 0)),
+                }
+            }
+            let mut w = BitWriter::new();
+            for &(kind, v, width) in &script {
+                match kind {
+                    0 => w.write_bit(v == 1),
+                    1 => w.write_uint(v, width),
+                    _ => w.write_gamma(v),
+                }
+            }
+            let msg = w.finish();
+            if script.is_empty() {
+                assert!(msg.is_empty());
+            }
+            let mut r = msg.reader();
+            for &(kind, v, width) in &script {
+                match kind {
+                    0 => assert_eq!(r.read_bit(), v == 1),
+                    1 => assert_eq!(r.read_uint(width), v),
+                    _ => assert_eq!(r.read_gamma(), v),
+                }
+            }
+            assert_eq!(r.remaining(), 0);
+        }
     }
 }
 

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate keeps
+//! `use serde::{Deserialize, Serialize}` and the corresponding
+//! `#[derive(...)]` attributes compiling without pulling in the real
+//! dependency. The derives are no-ops; real JSON encoding/decoding
+//! for report types lives in `bichrome_runner::json`, which is
+//! hand-written and tested against round-trips.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the
+/// offline stand-in).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the
+/// offline stand-in).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The offline `serde` stand-in in this workspace keeps the derive
+//! *syntax* compiling; actual serialization is provided by
+//! hand-written JSON code in `bichrome-runner` (see its `json`
+//! module). These derives intentionally expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` invocation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` invocation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

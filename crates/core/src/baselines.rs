@@ -55,15 +55,19 @@ impl std::fmt::Display for Baseline {
 
 /// One party's script for the Flin–Mittal baseline \[FM25\].
 pub fn flin_mittal(input: &PartyInput, ctx: &PartyCtx) -> VertexColoring {
-    ctx.endpoint.meter().set_phase("flin-mittal");
+    let _phase = ctx.endpoint.meter().phase_scope("flin-mittal");
     let n = input.num_vertices();
     let palette = input.delta + 1;
     let mut order: Vec<VertexId> = input.graph.vertices().collect();
     order.shuffle(&mut ctx.coin.stream(&[FM_ORDER_TAG]));
     let mut coloring = VertexColoring::new(n);
     for (idx, &v) in order.iter().enumerate() {
-        let occupied: Vec<ColorId> =
-            input.graph.neighbors(v).iter().filter_map(|&u| coloring.get(u)).collect();
+        let occupied: Vec<ColorId> = input
+            .graph
+            .neighbors(v)
+            .iter()
+            .filter_map(|&u| coloring.get(u))
+            .collect();
         let mut machine = ColorSample::new(
             palette,
             dedup(occupied),
@@ -84,15 +88,19 @@ pub fn greedy_binary_search(input: &PartyInput, ctx: &PartyCtx) -> VertexColorin
     let palette = input.delta + 1;
     let mut coloring = VertexColoring::new(n);
     for v in input.graph.vertices() {
-        let occupied: Vec<ColorId> =
-            input.graph.neighbors(v).iter().filter_map(|&u| coloring.get(u)).collect();
+        let occupied: Vec<ColorId> = input
+            .graph
+            .neighbors(v)
+            .iter()
+            .filter_map(|&u| coloring.get(u))
+            .collect();
         let occupied = dedup(occupied);
-        let membership =
-            SetMembership::from_elements(palette, occupied.iter().map(|c| c.0 as u64));
-        let mut machine =
-            DetSlackInt::new(membership, (0..palette as u64).collect());
+        let membership = SetMembership::from_elements(palette, occupied.iter().map(|c| c.0 as u64));
+        let mut machine = DetSlackInt::new(membership, (0..palette as u64).collect());
         drive_single(&ctx.endpoint, &mut machine);
-        let c = machine.result().expect("deficit holds: ≤ Δ occupied of Δ+1");
+        let c = machine
+            .result()
+            .expect("deficit holds: ≤ Δ occupied of Δ+1");
         coloring.set(v, ColorId(c as u32));
     }
     coloring
@@ -138,6 +146,11 @@ fn dedup(mut colors: Vec<ColorId>) -> Vec<ColorId> {
 /// # Panics
 ///
 /// Panics if the parties disagree on the coloring.
+#[deprecated(
+    since = "0.1.0",
+    note = "use bichrome_runner: registry().get(\"baseline/flin-mittal\") (or the other \
+            baseline keys) and Protocol::run, or TrialPlan for repeated trials"
+)]
 pub fn run_baseline(
     partition: &EdgePartition,
     baseline: Baseline,
@@ -159,18 +172,22 @@ pub fn run_baseline(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shim stays covered until it is removed
+
     use super::*;
     use bichrome_graph::coloring::validate_vertex_coloring_with_palette;
-    use bichrome_graph::partition::Partitioner;
     use bichrome_graph::gen;
+    use bichrome_graph::partition::Partitioner;
 
     #[test]
     fn all_baselines_color_correctly() {
         let g = gen::gnp(40, 0.15, 2);
         let p = Partitioner::Random(7).split(&g);
-        for baseline in
-            [Baseline::FlinMittal, Baseline::GreedyBinarySearch, Baseline::SendEverything]
-        {
+        for baseline in [
+            Baseline::FlinMittal,
+            Baseline::GreedyBinarySearch,
+            Baseline::SendEverything,
+        ] {
             let (c, _) = run_baseline(&p, baseline, 11);
             assert!(
                 validate_vertex_coloring_with_palette(&g, &c, g.max_degree() + 1).is_ok(),
@@ -200,7 +217,10 @@ mod tests {
         };
         let r30 = rounds(30);
         let r60 = rounds(60);
-        assert!(r60 as f64 > 1.5 * r30 as f64, "FM rounds must grow ~linearly: {r30} vs {r60}");
+        assert!(
+            r60 as f64 > 1.5 * r30 as f64,
+            "FM rounds must grow ~linearly: {r30} vs {r60}"
+        );
         assert!(r30 >= 30, "at least one round per vertex");
     }
 
@@ -227,12 +247,9 @@ mod tests {
                     Baseline::SendEverything,
                 ] {
                     let (c, _) = run_baseline(&p, baseline, 4);
-                    assert!(validate_vertex_coloring_with_palette(
-                        &g,
-                        &c,
-                        g.max_degree() + 1
-                    )
-                    .is_ok());
+                    assert!(
+                        validate_vertex_coloring_with_palette(&g, &c, g.max_degree() + 1).is_ok()
+                    );
                 }
             }
         }
@@ -241,7 +258,10 @@ mod tests {
     #[test]
     fn display_labels() {
         assert_eq!(Baseline::FlinMittal.to_string(), "flin-mittal");
-        assert_eq!(Baseline::GreedyBinarySearch.to_string(), "greedy-binary-search");
+        assert_eq!(
+            Baseline::GreedyBinarySearch.to_string(),
+            "greedy-binary-search"
+        );
         assert_eq!(Baseline::SendEverything.to_string(), "send-everything");
     }
 }

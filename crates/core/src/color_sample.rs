@@ -68,7 +68,10 @@ impl ColorSample {
         }
         let mut bits = vec![false; palette_size];
         for c in occupied {
-            assert!(c.index() < palette_size, "occupied color {c} outside palette");
+            assert!(
+                c.index() < palette_size,
+                "occupied color {c} outside palette"
+            );
             bits[pos_of[c.index()] as usize] = true;
         }
         let membership = SetMembership::from_fn(palette_size, |j| bits[j as usize]);
@@ -115,22 +118,14 @@ mod tests {
         let (ra, rb, stats) = run_two_party_ctx(
             seed,
             move |ctx| {
-                let mut m = ColorSample::new(
-                    palette,
-                    a.into_iter().map(ColorId),
-                    &ctx.coin,
-                    &[7, 1],
-                );
+                let mut m =
+                    ColorSample::new(palette, a.into_iter().map(ColorId), &ctx.coin, &[7, 1]);
                 drive_single(&ctx.endpoint, &mut m);
                 m.result().expect("done")
             },
             move |ctx| {
-                let mut m = ColorSample::new(
-                    palette,
-                    b.into_iter().map(ColorId),
-                    &ctx.coin,
-                    &[7, 1],
-                );
+                let mut m =
+                    ColorSample::new(palette, b.into_iter().map(ColorId), &ctx.coin, &[7, 1]);
                 drive_single(&ctx.endpoint, &mut m);
                 m.result().expect("done")
             },

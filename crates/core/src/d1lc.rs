@@ -32,7 +32,7 @@ use bichrome_graph::coloring::{ColorId, VertexColoring};
 use bichrome_graph::{Edge, Graph, VertexId};
 
 /// Stream tag for sparsification sampling.
-const SPARSIFY_TAG: u64 = 0xD1_1C_0001;
+const SPARSIFY_TAG: u64 = 0xD11C_0001;
 
 /// One party's input to the D1LC protocol.
 ///
@@ -115,8 +115,10 @@ pub fn solve_d1lc(input: &D1lcInput, ctx: &PartyCtx) -> VertexColoring {
         }
     }
     {
-        let mut refs: Vec<&mut dyn RoundMachine> =
-            machines.iter_mut().map(|m| m as &mut dyn RoundMachine).collect();
+        let mut refs: Vec<&mut dyn RoundMachine> = machines
+            .iter_mut()
+            .map(|m| m as &mut dyn RoundMachine)
+            .collect();
         drive_lockstep(&ctx.endpoint, &mut refs);
     }
     let mut lists: Vec<Vec<ColorId>> = vec![Vec::new(); zlen];
@@ -250,7 +252,9 @@ fn fallback_exchange(input: &D1lcInput, ctx: &PartyCtx, zpos: &[usize]) -> Vec<C
             ctx.endpoint.send(w.finish());
             let msg = ctx.endpoint.recv();
             let mut r = msg.reader();
-            (0..zlen).map(|_| ColorId(r.read_uint(cwidth) as u32)).collect()
+            (0..zlen)
+                .map(|_| ColorId(r.read_uint(cwidth) as u32))
+                .collect()
         }
         Side::Alice => {
             let msg = ctx.endpoint.recv();
@@ -275,14 +279,12 @@ fn fallback_exchange(input: &D1lcInput, ctx: &PartyCtx, zpos: &[usize]) -> Vec<C
             let mut palettes: Vec<Vec<ColorId>> = Vec::with_capacity(zlen);
             for psi_a in &input.psi {
                 let mask = r.read_bools(input.palette);
-                palettes
-                    .push(psi_a.iter().copied().filter(|c| mask[c.index()]).collect());
+                palettes.push(psi_a.iter().copied().filter(|c| mask[c.index()]).collect());
             }
             // Greedy D1LC: under |Ψ(v)| ≥ deg+1 a color always remains.
             let mut colors: Vec<Option<ColorId>> = vec![None; zlen];
             for i in 0..zlen {
-                let used: Vec<ColorId> =
-                    adj[i].iter().filter_map(|&j| colors[j]).collect();
+                let used: Vec<ColorId> = adj[i].iter().filter_map(|&j| colors[j]).collect();
                 let c = palettes[i]
                     .iter()
                     .copied()
@@ -356,8 +358,8 @@ fn list_color_backtracking(
 mod tests {
     use super::*;
     use bichrome_comm::session::run_two_party_ctx;
-    use bichrome_graph::partition::Partitioner;
     use bichrome_graph::gen;
+    use bichrome_graph::partition::Partitioner;
 
     /// Builds a realistic D1LC instance the way Theorem 1 does: color
     /// a prefix of the vertices greedily (publicly), take Z = the
@@ -430,8 +432,7 @@ mod tests {
     fn d1lc_solves_coloring_induced_instances() {
         for seed in 0..5 {
             let g = gen::gnp(30, 0.15, seed);
-            let (ia, ib, lists, z) =
-                coloring_induced_instance(&g, Partitioner::Random(seed), 3);
+            let (ia, ib, lists, z) = coloring_induced_instance(&g, Partitioner::Random(seed), 3);
             let (ca, cb, _) = run_two_party_ctx(
                 seed,
                 move |ctx| solve_d1lc(&ia, &ctx),
@@ -441,9 +442,7 @@ mod tests {
             // Validate against the induced subgraph on Z with the true
             // lists.
             let zset: std::collections::HashSet<VertexId> = z.iter().copied().collect();
-            let gz = g.edge_subgraph(|e| {
-                zset.contains(&e.u()) && zset.contains(&e.v())
-            });
+            let gz = g.edge_subgraph(|e| zset.contains(&e.u()) && zset.contains(&e.v()));
             for (i, &v) in z.iter().enumerate() {
                 let c = ca.get(v).expect("every z vertex colored");
                 assert!(lists[i].contains(&c), "color of {v} outside Ψ(v)");
@@ -467,8 +466,13 @@ mod tests {
             psi: vec![],
             palette: 3,
         };
-        let ib =
-            D1lcInput { side: Side::Bob, graph: p.bob().clone(), z: vec![], psi: vec![], palette: 3 };
+        let ib = D1lcInput {
+            side: Side::Bob,
+            graph: p.bob().clone(),
+            z: vec![],
+            psi: vec![],
+            palette: 3,
+        };
         let (ca, cb, stats) = run_two_party_ctx(
             0,
             move |ctx| solve_d1lc(&ia, &ctx),
@@ -501,7 +505,10 @@ mod tests {
         );
         assert_eq!(ca, cb);
         let c = ca.get(VertexId(1)).expect("colored");
-        assert!(c == ColorId(2) || c == ColorId(3), "must pick from Ψ, got {c}");
+        assert!(
+            c == ColorId(2) || c == ColorId(3),
+            "must pick from Ψ, got {c}"
+        );
     }
 
     #[test]
@@ -525,7 +532,13 @@ mod tests {
             psi: psi_a,
             palette: 3,
         };
-        let ib = D1lcInput { side: Side::Bob, graph: p.bob().clone(), z, psi: psi_b, palette: 3 };
+        let ib = D1lcInput {
+            side: Side::Bob,
+            graph: p.bob().clone(),
+            z,
+            psi: psi_b,
+            palette: 3,
+        };
         let (ca, cb, _) = run_two_party_ctx(
             5,
             move |ctx| solve_d1lc(&ia, &ctx),
@@ -541,8 +554,7 @@ mod tests {
         // Triangle with lists of size 2 each but only 2 colors total:
         // uncolorable.
         let adj = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
-        let short: Vec<Vec<ColorId>> =
-            vec![vec![ColorId(0), ColorId(1)]; 3];
+        let short: Vec<Vec<ColorId>> = vec![vec![ColorId(0), ColorId(1)]; 3];
         assert!(list_color_backtracking(&adj, &short, 10_000).is_none());
         // With three colors somewhere it works.
         let ok: Vec<Vec<ColorId>> = vec![

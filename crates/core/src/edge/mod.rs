@@ -37,7 +37,9 @@ impl PaletteLayout {
 
     /// Alice's palette: colors `0 .. Δ−1`.
     pub fn alice_palette(&self) -> Vec<ColorId> {
-        (0..self.delta.saturating_sub(1) as u32).map(ColorId).collect()
+        (0..self.delta.saturating_sub(1) as u32)
+            .map(ColorId)
+            .collect()
     }
 
     /// Bob's palette: colors `Δ−1 .. 2Δ−2`.
@@ -85,29 +87,43 @@ impl EdgeOutcome {
     /// (impossible for a correct protocol: edge sets are disjoint).
     pub fn merged(&self) -> EdgeColoring {
         let mut all = self.alice.clone();
-        all.merge(&self.bob).expect("parties color disjoint edge sets");
+        all.merge(&self.bob)
+            .expect("parties color disjoint edge sets");
         all
     }
 }
 
-/// Runs **Theorem 2**: deterministic `(2Δ−1)`-edge coloring in `O(n)`
-/// bits and `O(1)` rounds.
+/// One party's script for **Theorem 2**, with the canonical dispatch:
+/// `Δ = 0` needs nothing; `Δ ≤ 7` uses the one-round constant-Δ
+/// protocol of Lemma 5.1; `Δ ≥ 8` runs Algorithm 2. (`Δ` is the whole
+/// graph's maximum degree, carried in [`PartyInput::delta`].)
 ///
-/// Dispatch: `Δ = 0` needs nothing; `Δ ≤ 7` uses the one-round
-/// constant-Δ protocol of Lemma 5.1; `Δ ≥ 8` runs Algorithm 2.
+/// Every entry point — the deprecated [`solve_edge_coloring`] shim
+/// and the `bichrome-runner` registry's `edge/theorem2` — routes
+/// through this one function, so the dispatch cannot diverge.
+pub fn theorem2_party(input: &PartyInput, ctx: &bichrome_comm::session::PartyCtx) -> EdgeColoring {
+    match input.delta {
+        0 => EdgeColoring::new(),
+        1..=7 => bounded::bounded_delta_party(input, ctx),
+        _ => algorithm2::algorithm2_party(input, ctx),
+    }
+}
+
+/// Runs **Theorem 2**: deterministic `(2Δ−1)`-edge coloring in `O(n)`
+/// bits and `O(1)` rounds (dispatch described at [`theorem2_party`]).
 ///
 /// The protocol is deterministic; the `seed` only feeds the session
 /// plumbing and does not affect the output.
+#[deprecated(
+    since = "0.1.0",
+    note = "use bichrome_runner: registry().get(\"edge/theorem2\") and Protocol::run, \
+            or TrialPlan for repeated trials"
+)]
 pub fn solve_edge_coloring(partition: &EdgePartition, seed: u64) -> EdgeOutcome {
     let a = PartyInput::alice(partition);
     let b = PartyInput::bob(partition);
-    let delta = partition.max_degree();
     let script = move |input: PartyInput| {
-        move |ctx: bichrome_comm::session::PartyCtx| match delta {
-            0 => EdgeColoring::new(),
-            1..=7 => bounded::bounded_delta_party(&input, &ctx),
-            _ => algorithm2::algorithm2_party(&input, &ctx),
-        }
+        move |ctx: bichrome_comm::session::PartyCtx| theorem2_party(&input, &ctx)
     };
     let (alice, bob, stats) = run_two_party_ctx(seed, script(a), script(b));
     EdgeOutcome { alice, bob, stats }
@@ -115,6 +131,8 @@ pub fn solve_edge_coloring(partition: &EdgePartition, seed: u64) -> EdgeOutcome 
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shim stays covered until it is removed
+
     use super::*;
     use bichrome_comm::Side;
     use bichrome_graph::coloring::validate_edge_coloring_with_palette;
@@ -130,8 +148,12 @@ mod tests {
         assert_eq!(b.len(), 9);
         assert_eq!(layout.special(), ColorId(18));
         // Disjoint and jointly covering 0..19.
-        let mut all: Vec<u32> =
-            a.iter().chain(b.iter()).map(|c| c.0).chain([layout.special().0]).collect();
+        let mut all: Vec<u32> = a
+            .iter()
+            .chain(b.iter())
+            .map(|c| c.0)
+            .chain([layout.special().0])
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..19).collect::<Vec<_>>());
         assert_eq!(layout.own_palette(Side::Alice), a);

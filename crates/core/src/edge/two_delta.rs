@@ -58,8 +58,7 @@ pub fn two_delta_party(input: &PartyInput) -> EdgeColoring {
     let mut coloring = if d == 0 {
         EdgeColoring::new()
     } else if d == delta {
-        let raw = fournier(&remaining)
-            .expect("deferral leaves the degree-Δ vertices independent");
+        let raw = fournier(&remaining).expect("deferral leaves the degree-Δ vertices independent");
         remap_colors(&raw, &my_palette)
     } else {
         // Max degree dropped below Δ: Vizing's Δ'+1 ≤ Δ colors.
@@ -72,9 +71,7 @@ pub fn two_delta_party(input: &PartyInput) -> EdgeColoring {
     // colors them all.
     for &e in &deferred {
         debug_assert!(
-            !deferred
-                .iter()
-                .any(|&f| f != e && f.is_adjacent_to(e)),
+            !deferred.iter().any(|&f| f != e && f.is_adjacent_to(e)),
             "deferred edges must form a matching"
         );
         coloring.set(e, other_first);
@@ -133,7 +130,10 @@ mod tests {
         // single color.
         let mut b = bichrome_graph::GraphBuilder::new(6);
         for i in 0..3 {
-            b.add_edge(bichrome_graph::VertexId(2 * i), bichrome_graph::VertexId(2 * i + 1));
+            b.add_edge(
+                bichrome_graph::VertexId(2 * i),
+                bichrome_graph::VertexId(2 * i + 1),
+            );
         }
         let g = b.build();
         check(&g, Partitioner::Alternating);

@@ -20,12 +20,20 @@ pub struct PartyInput {
 impl PartyInput {
     /// Alice's input extracted from a partition.
     pub fn alice(p: &EdgePartition) -> Self {
-        PartyInput { side: Side::Alice, graph: p.alice().clone(), delta: p.max_degree() }
+        PartyInput {
+            side: Side::Alice,
+            graph: p.alice().clone(),
+            delta: p.max_degree(),
+        }
     }
 
     /// Bob's input extracted from a partition.
     pub fn bob(p: &EdgePartition) -> Self {
-        PartyInput { side: Side::Bob, graph: p.bob().clone(), delta: p.max_degree() }
+        PartyInput {
+            side: Side::Bob,
+            graph: p.bob().clone(),
+            delta: p.max_degree(),
+        }
     }
 
     /// Number of vertices `n` (public).
@@ -48,7 +56,10 @@ mod tests {
         assert_eq!(a.delta, 9);
         assert_eq!(b.delta, 9);
         assert_eq!(a.num_vertices(), 10);
-        assert!(a.graph.max_degree() < 9, "alice holds only part of the star");
+        assert!(
+            a.graph.max_degree() < 9,
+            "alice holds only part of the star"
+        );
         assert_eq!(a.side, Side::Alice);
         assert_eq!(b.side, Side::Bob);
     }

@@ -24,17 +24,26 @@
 //!
 //! # Quickstart
 //!
+//! Protocol *scripts* (the per-party functions) live here; the
+//! uniform way to execute them is the `bichrome-runner` crate, whose
+//! registry wraps every protocol behind one `Protocol` trait:
+//!
 //! ```
-//! use bichrome_core::{rct::RctConfig, vertex::solve_vertex_coloring};
+//! use bichrome_runner::{registry, Instance};
 //! use bichrome_graph::{gen, partition::Partitioner};
-//! use bichrome_graph::coloring::validate_vertex_coloring_with_palette;
 //!
 //! let g = gen::gnp(60, 0.1, 7);
-//! let partition = Partitioner::Random(1).split(&g);
-//! let out = solve_vertex_coloring(&partition, 42, &RctConfig::default());
-//! assert!(validate_vertex_coloring_with_palette(&g, &out.coloring, g.max_degree() + 1).is_ok());
+//! let inst = Instance::new("demo", Partitioner::Random(1).split(&g), 42);
+//! let out = registry().get("vertex/theorem1").expect("registered").run(&inst);
+//! assert!(out.verdict.is_valid());
 //! println!("{} bits, {} rounds", out.stats.total_bits(), out.stats.rounds);
 //! ```
+//!
+//! Party scripts compose directly when you need custom sessions:
+//! [`vertex::vertex_coloring_party`], [`baselines::flin_mittal`],
+//! [`edge::algorithm2::algorithm2_party`], ... each take a
+//! [`PartyInput`] and a `PartyCtx` and can be driven by
+//! `bichrome_comm::session::run_two_party_ctx`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,4 +58,5 @@ pub mod slack_int;
 pub mod vertex;
 
 pub use input::PartyInput;
+#[allow(deprecated)]
 pub use vertex::{solve_vertex_coloring, VertexOutcome};

@@ -41,7 +41,10 @@ pub struct RctConfig {
 
 impl Default for RctConfig {
     fn default() -> Self {
-        RctConfig { iterations: None, early_exit: true }
+        RctConfig {
+            iterations: None,
+            early_exit: true,
+        }
     }
 }
 
@@ -86,8 +89,10 @@ pub fn run_random_color_trial(
 
     let mut report = RctReport::default();
     for iter in 0..iterations {
-        let active: Vec<VertexId> =
-            (0..n as u32).map(VertexId).filter(|&v| !coloring.is_colored(v)).collect();
+        let active: Vec<VertexId> = (0..n as u32)
+            .map(VertexId)
+            .filter(|&v| !coloring.is_colored(v))
+            .collect();
         if active.is_empty() && config.early_exit {
             break;
         }
@@ -99,7 +104,9 @@ pub fn run_random_color_trial(
             .iter()
             .copied()
             .filter(|v| {
-                ctx.coin.stream(&[WAKE_TAG, iter as u64, v.0 as u64]).gen_bool(0.5)
+                ctx.coin
+                    .stream(&[WAKE_TAG, iter as u64, v.0 as u64])
+                    .gen_bool(0.5)
             })
             .collect();
         if awake.is_empty() {
@@ -125,12 +132,16 @@ pub fn run_random_color_trial(
             })
             .collect();
         {
-            let mut refs: Vec<&mut dyn RoundMachine> =
-                machines.iter_mut().map(|m| m as &mut dyn RoundMachine).collect();
+            let mut refs: Vec<&mut dyn RoundMachine> = machines
+                .iter_mut()
+                .map(|m| m as &mut dyn RoundMachine)
+                .collect();
             drive_lockstep(&ctx.endpoint, &mut refs);
         }
-        let proposals: Vec<ColorId> =
-            machines.iter().map(|m| m.result().expect("driven to completion")).collect();
+        let proposals: Vec<ColorId> = machines
+            .iter()
+            .map(|m| m.result().expect("driven to completion"))
+            .collect();
 
         // Confirmation round: for each awake vertex, one bit saying "no
         // neighbor of mine picked the same color this iteration".
@@ -161,7 +172,9 @@ pub fn run_random_color_trial(
             }
         }
     }
-    report.remaining = (0..n as u32).filter(|&v| !coloring.is_colored(VertexId(v))).count();
+    report.remaining = (0..n as u32)
+        .filter(|&v| !coloring.is_colored(VertexId(v)))
+        .count();
     report
 }
 
@@ -213,7 +226,10 @@ mod tests {
         let big = paper_iterations(1 << 16);
         assert!(big > small);
         // log log growth: doubling the exponent adds ~ 4·ln(2)/ln(24/23) ≈ 65.
-        assert!(big - small < 100, "growth must be additive-ish: {small} -> {big}");
+        assert!(
+            big - small < 100,
+            "growth must be additive-ish: {small} -> {big}"
+        );
     }
 
     #[test]
@@ -221,7 +237,7 @@ mod tests {
         let g = gen::gnp(60, 0.1, 5);
         let (c, rep, _) = run_rct(&g, Partitioner::Random(3), 11, RctConfig::default());
         assert!(validate_partial_vertex_coloring(&g, &c).is_ok());
-        assert!(c.max_color().map_or(true, |m| m.index() <= g.max_degree()));
+        assert!(c.max_color().is_none_or(|m| m.index() <= g.max_degree()));
         assert_eq!(rep.remaining, c.uncolored_vertices().len());
     }
 
@@ -269,7 +285,10 @@ mod tests {
     #[test]
     fn rct_respects_fixed_iteration_budget() {
         let g = gen::cycle(30);
-        let cfg = RctConfig { iterations: Some(2), early_exit: false };
+        let cfg = RctConfig {
+            iterations: Some(2),
+            early_exit: false,
+        };
         let (_, rep, _) = run_rct(&g, Partitioner::Alternating, 5, cfg);
         assert_eq!(rep.iterations_run, 2);
         assert_eq!(rep.active_per_iteration.len(), 2);

@@ -44,8 +44,10 @@ impl SetMembership {
     }
 
     /// Membership from a closure over `0..m`.
-    pub fn from_fn(m: usize, mut f: impl FnMut(u64) -> bool) -> Self {
-        SetMembership { bits: (0..m as u64).map(|e| f(e)).collect() }
+    pub fn from_fn(m: usize, f: impl FnMut(u64) -> bool) -> Self {
+        SetMembership {
+            bits: (0..m as u64).map(f).collect(),
+        }
     }
 
     /// Universe size `m`.
@@ -98,10 +100,19 @@ impl DetSlackInt {
     ///
     /// Panics if `candidates` is empty.
     pub fn new(my: SetMembership, candidates: Vec<u64>) -> Self {
-        assert!(!candidates.is_empty(), "cannot search an empty candidate list");
+        assert!(
+            !candidates.is_empty(),
+            "cannot search an empty candidate list"
+        );
         let hi = candidates.len();
-        let mut machine =
-            DetSlackInt { my, candidates, lo: 0, hi, pending_width: 0, result: None };
+        let mut machine = DetSlackInt {
+            my,
+            candidates,
+            lo: 0,
+            hi,
+            pending_width: 0,
+            result: None,
+        };
         machine.settle();
         machine
     }
@@ -114,7 +125,10 @@ impl DetSlackInt {
     }
 
     fn my_count(&self, lo: usize, hi: usize) -> u64 {
-        self.candidates[lo..hi].iter().filter(|&&e| self.my.contains(e)).count() as u64
+        self.candidates[lo..hi]
+            .iter()
+            .filter(|&&e| self.my.contains(e))
+            .count() as u64
     }
 
     /// The agreed element, if the search finished.
@@ -210,7 +224,15 @@ impl RandSlackInt {
         assert!(constant > 0.0, "sampling constant must be positive");
         let k_guess = m as u64;
         let phase = Self::probe_phase(m, k_guess, constant, &mut rng);
-        RandSlackInt { my, m, rng, k_guess, constant, phase, result: None }
+        RandSlackInt {
+            my,
+            m,
+            rng,
+            k_guess,
+            constant,
+            phase,
+            result: None,
+        }
     }
 
     fn probe_phase(m: usize, k_guess: u64, constant: f64, rng: &mut StdRng) -> RandPhase {
@@ -241,8 +263,7 @@ impl RoundMachine for RandSlackInt {
     fn write_round(&mut self, w: &mut BitWriter) {
         match &mut self.phase {
             RandPhase::Probe { sample, width } => {
-                let count =
-                    sample.iter().filter(|&&e| self.my.contains(e)).count() as u64;
+                let count = sample.iter().filter(|&&e| self.my.contains(e)).count() as u64;
                 w.write_uint(count, *width);
             }
             RandPhase::Search(det) => det.write_round(w),
@@ -253,8 +274,7 @@ impl RoundMachine for RandSlackInt {
         match &mut self.phase {
             RandPhase::Probe { sample, width } => {
                 let peer = r.read_uint(*width);
-                let mine =
-                    sample.iter().filter(|&&e| self.my.contains(e)).count() as u64;
+                let mine = sample.iter().filter(|&&e| self.my.contains(e)).count() as u64;
                 if !sample.is_empty() && mine + peer < sample.len() as u64 {
                     // Deficit certified: a free element is inside the sample.
                     let candidates = std::mem::take(sample);
@@ -374,14 +394,12 @@ mod tests {
         let (ra, rb, _) = run_two_party_ctx(
             0,
             move |ctx| {
-                let mut machine =
-                    DetSlackInt::new(SetMembership::from_elements(m, x), candidates);
+                let mut machine = DetSlackInt::new(SetMembership::from_elements(m, x), candidates);
                 drive_single(&ctx.endpoint, &mut machine);
                 machine.result().expect("done")
             },
             move |ctx| {
-                let mut machine =
-                    DetSlackInt::new(SetMembership::from_elements(m, y), cand2);
+                let mut machine = DetSlackInt::new(SetMembership::from_elements(m, y), cand2);
                 drive_single(&ctx.endpoint, &mut machine);
                 machine.result().expect("done")
             },
@@ -448,7 +466,10 @@ mod tests {
         assert_eq!(e, 0);
         // Guess k̃ = 1 immediately samples everything; one probe round
         // suffices and the window has size 1.
-        assert!(stats.rounds <= 2, "tiny universe should be near-free, got {stats}");
+        assert!(
+            stats.rounds <= 2,
+            "tiny universe should be near-free, got {stats}"
+        );
     }
 
     #[test]
@@ -488,21 +509,27 @@ mod tests {
         let (ra, _, stats) = run_two_party_ctx(
             0,
             move |ctx| {
-                let mut machine =
-                    DetSlackInt::new(SetMembership::from_elements(m, x), candidates);
+                let mut machine = DetSlackInt::new(SetMembership::from_elements(m, x), candidates);
                 drive_single(&ctx.endpoint, &mut machine);
                 machine.result().expect("done")
             },
             move |ctx| {
-                let mut machine =
-                    DetSlackInt::new(SetMembership::from_elements(m, y), cand2);
+                let mut machine = DetSlackInt::new(SetMembership::from_elements(m, y), cand2);
                 drive_single(&ctx.endpoint, &mut machine);
                 machine.result().expect("done")
             },
         );
         assert!(ra == 511 || ra == 1023);
-        assert!(stats.rounds <= 11, "binary search depth, got {}", stats.rounds);
-        assert!(stats.total_bits() <= 220, "O(log² m) bits, got {}", stats.total_bits());
+        assert!(
+            stats.rounds <= 11,
+            "binary search depth, got {}",
+            stats.rounds
+        );
+        assert!(
+            stats.total_bits() <= 220,
+            "O(log² m) bits, got {}",
+            stats.total_bits()
+        );
     }
 
     #[test]

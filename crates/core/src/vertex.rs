@@ -81,6 +81,11 @@ pub fn vertex_coloring_party(
 ///
 /// Panics if the two parties disagree on the output (a protocol bug,
 /// checked defensively) or a party thread panics.
+#[deprecated(
+    since = "0.1.0",
+    note = "use bichrome_runner: registry().get(\"vertex/theorem1\") and Protocol::run, \
+            or TrialPlan for repeated trials"
+)]
 pub fn solve_vertex_coloring(
     partition: &EdgePartition,
     seed: u64,
@@ -97,15 +102,21 @@ pub fn solve_vertex_coloring(
     );
     assert_eq!(ca, cb, "both parties must output the same coloring");
     assert_eq!(ra, rb, "RCT reports are public state");
-    VertexOutcome { coloring: ca, stats, rct: ra }
+    VertexOutcome {
+        coloring: ca,
+        stats,
+        rct: ra,
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shim stays covered until it is removed
+
     use super::*;
     use bichrome_graph::coloring::validate_vertex_coloring_with_palette;
-    use bichrome_graph::partition::Partitioner;
     use bichrome_graph::gen;
+    use bichrome_graph::partition::Partitioner;
 
     #[test]
     fn theorem1_on_random_graphs() {
@@ -136,7 +147,12 @@ mod tests {
 
     #[test]
     fn theorem1_on_structured_graphs() {
-        for g in [gen::cycle(21), gen::star(17), gen::complete(9), gen::path(13)] {
+        for g in [
+            gen::cycle(21),
+            gen::star(17),
+            gen::complete(9),
+            gen::path(13),
+        ] {
             let p = Partitioner::Alternating.split(&g);
             let out = solve_vertex_coloring(&p, 4, &RctConfig::default());
             assert!(

@@ -31,7 +31,10 @@ impl GraphBuilder {
     ///
     /// Panics if `n` exceeds `u32::MAX`.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n: u32::try_from(n).expect("vertex count fits in u32"), edges: Vec::new() }
+        GraphBuilder {
+            n: u32::try_from(n).expect("vertex count fits in u32"),
+            edges: Vec::new(),
+        }
     }
 
     /// Number of vertices this builder was created with.
@@ -47,7 +50,11 @@ impl GraphBuilder {
     ///
     /// Panics if `a == b` or either endpoint is out of range.
     pub fn add_edge(&mut self, a: VertexId, b: VertexId) -> &mut Self {
-        assert!(a.0 < self.n && b.0 < self.n, "endpoint out of range ({a}, {b}, n={})", self.n);
+        assert!(
+            a.0 < self.n && b.0 < self.n,
+            "endpoint out of range ({a}, {b}, n={})",
+            self.n
+        );
         self.edges.push(Edge::new(a, b));
         self
     }
@@ -58,7 +65,11 @@ impl GraphBuilder {
     ///
     /// Panics if an endpoint is out of range.
     pub fn push(&mut self, e: Edge) -> &mut Self {
-        assert!(e.v().0 < self.n, "endpoint out of range ({e}, n={})", self.n);
+        assert!(
+            e.v().0 < self.n,
+            "endpoint out of range ({e}, n={})",
+            self.n
+        );
         self.edges.push(e);
         self
     }
@@ -132,19 +143,20 @@ mod tests {
 
     #[test]
     fn extend_and_from_edges() {
-        let edges = vec![
+        let edges = [
             Edge::new(VertexId(0), VertexId(1)),
             Edge::new(VertexId(2), VertexId(3)),
         ];
         let g = from_edges(4, edges.iter().copied());
         assert_eq!(g.num_edges(), 2);
-        assert!(!GraphBuilder::new(1).is_empty() == false);
+        assert!(GraphBuilder::new(1).is_empty());
     }
 
     #[test]
     fn chaining() {
         let mut b = GraphBuilder::new(3);
-        b.add_edge(VertexId(0), VertexId(1)).add_edge(VertexId(1), VertexId(2));
+        b.add_edge(VertexId(0), VertexId(1))
+            .add_edge(VertexId(1), VertexId(2));
         assert_eq!(b.build().num_edges(), 2);
     }
 }

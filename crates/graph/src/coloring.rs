@@ -61,7 +61,9 @@ pub struct VertexColoring {
 impl VertexColoring {
     /// An all-uncolored coloring of `n` vertices.
     pub fn new(n: usize) -> Self {
-        VertexColoring { colors: vec![None; n] }
+        VertexColoring {
+            colors: vec![None; n],
+        }
     }
 
     /// Number of vertices the coloring is over.
@@ -240,7 +242,9 @@ impl EdgeColoring {
 
 impl FromIterator<(Edge, ColorId)> for EdgeColoring {
     fn from_iter<T: IntoIterator<Item = (Edge, ColorId)>>(iter: T) -> Self {
-        EdgeColoring { colors: iter.into_iter().collect() }
+        EdgeColoring {
+            colors: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -487,7 +491,11 @@ mod tests {
         c.set(VertexId(2), ColorId(1));
         assert_eq!(
             validate_vertex_coloring(&g, &c),
-            Err(ColoringError::AdjacentVertices(VertexId(0), VertexId(1), ColorId(0)))
+            Err(ColoringError::AdjacentVertices(
+                VertexId(0),
+                VertexId(1),
+                ColorId(0)
+            ))
         );
     }
 

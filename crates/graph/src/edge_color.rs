@@ -71,18 +71,26 @@ impl<'a> FanState<'a> {
     }
 
     fn some_free(&self, v: VertexId) -> Option<ColorId> {
-        (0..self.k as u32).map(ColorId).find(|&c| self.is_free(v, c))
+        (0..self.k as u32)
+            .map(ColorId)
+            .find(|&c| self.is_free(v, c))
     }
 
     fn set(&mut self, a: VertexId, b: VertexId, c: ColorId) {
-        debug_assert!(self.is_free(a, c) && self.is_free(b, c), "color {c} not free");
+        debug_assert!(
+            self.is_free(a, c) && self.is_free(b, c),
+            "color {c} not free"
+        );
         self.tbl[a.index()][c.index()] = Some(b);
         self.tbl[b.index()][c.index()] = Some(a);
         self.coloring.set(Edge::new(a, b), c);
     }
 
     fn unset(&mut self, a: VertexId, b: VertexId) -> ColorId {
-        let c = self.coloring.clear(Edge::new(a, b)).expect("edge was colored");
+        let c = self
+            .coloring
+            .clear(Edge::new(a, b))
+            .expect("edge was colored");
         self.tbl[a.index()][c.index()] = None;
         self.tbl[b.index()][c.index()] = None;
         c
@@ -208,7 +216,8 @@ pub fn misra_gries(g: &Graph) -> EdgeColoring {
     for &e in g.edges() {
         // With k = Δ+1 every vertex always has a free color, so the fan
         // procedure cannot get stuck.
-        st.color_edge(e.u(), e.v()).expect("Vizing: Δ+1 colors never get stuck");
+        st.color_edge(e.u(), e.v())
+            .expect("Vizing: Δ+1 colors never get stuck");
     }
     st.coloring
 }
@@ -299,7 +308,12 @@ mod tests {
 
     #[test]
     fn misra_gries_on_classics() {
-        for g in [gen::path(10), gen::cycle(9), gen::complete(7), gen::star(12)] {
+        for g in [
+            gen::path(10),
+            gen::cycle(9),
+            gen::complete(7),
+            gen::star(12),
+        ] {
             let c = misra_gries(&g);
             let k = g.max_degree() + 1;
             assert!(

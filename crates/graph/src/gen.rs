@@ -153,8 +153,12 @@ pub fn c4_gadget_union(bits: &[bool]) -> Graph {
     let mut b = GraphBuilder::new(n);
     for (i, &x) in bits.iter().enumerate() {
         let base = (4 * i) as u32;
-        let (a, bb, c, d) =
-            (VertexId(base), VertexId(base + 1), VertexId(base + 2), VertexId(base + 3));
+        let (a, bb, c, d) = (
+            VertexId(base),
+            VertexId(base + 1),
+            VertexId(base + 2),
+            VertexId(base + 3),
+        );
         b.add_edge(a, bb);
         b.add_edge(c, d);
         if x {
@@ -183,7 +187,10 @@ pub fn c4_gadget_union(bits: &[bool]) -> Graph {
 /// `hubs * d <= (n - hubs) * (d - 1)` and `hubs + d <= n` and `d >= 2`.
 pub fn independent_max_degree(n: usize, d: usize, hubs: usize, seed: u64) -> Graph {
     assert!(d >= 2, "need d >= 2");
-    assert!(hubs >= 1 && hubs + d <= n, "need hubs >= 1 and hubs + d <= n");
+    assert!(
+        hubs >= 1 && hubs + d <= n,
+        "need hubs >= 1 and hubs + d <= n"
+    );
     assert!(
         hubs * d <= (n - hubs) * (d - 1),
         "non-hub capacity too small: {hubs} hubs of degree {d} need ≤ {} slots",
@@ -199,14 +206,18 @@ pub fn independent_max_degree(n: usize, d: usize, hubs: usize, seed: u64) -> Gra
         let mut guard = 0usize;
         while chosen.len() < d {
             guard += 1;
-            assert!(guard < 100_000, "failed to wire hub {h}; parameters too tight");
+            assert!(
+                guard < 100_000,
+                "failed to wire hub {h}; parameters too tight"
+            );
             let &t = non_hubs.choose(&mut rng).expect("non-empty");
             if deg[t] >= d - 1 || !chosen.insert(t) {
                 chosen.remove(&t);
                 // Fall back to a linear scan when random probing stalls.
-                if guard % 1000 == 0 {
-                    if let Some(&s) =
-                        non_hubs.iter().find(|&&s| deg[s] < d - 1 && !chosen.contains(&s))
+                if guard.is_multiple_of(1000) {
+                    if let Some(&s) = non_hubs
+                        .iter()
+                        .find(|&&s| deg[s] < d - 1 && !chosen.contains(&s))
                     {
                         chosen.insert(s);
                     }
@@ -333,7 +344,10 @@ mod tests {
             let d = g.max_degree();
             assert_eq!(d, 6);
             let top = g.vertices_of_degree(d);
-            assert!(g.is_independent_set(&top), "max-degree vertices must be independent");
+            assert!(
+                g.is_independent_set(&top),
+                "max-degree vertices must be independent"
+            );
         }
     }
 

@@ -54,9 +54,7 @@ impl From<u32> for VertexId {
 /// assert_eq!(e.u(), VertexId(2));
 /// assert_eq!(e.v(), VertexId(5));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Edge {
     u: VertexId,
     v: VertexId,
@@ -168,7 +166,10 @@ pub struct Graph {
 
 impl Graph {
     pub(crate) fn from_parts(n: u32, edges: Vec<Edge>) -> Self {
-        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges sorted+deduped");
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges sorted+deduped"
+        );
         let mut deg = vec![0u32; n as usize];
         for e in &edges {
             deg[e.u().index()] += 1;
@@ -199,7 +200,13 @@ impl Graph {
             neighbors[lo..hi].sort_unstable();
         }
         let max_degree = deg.iter().copied().max().unwrap_or(0);
-        Graph { n, offsets, neighbors, edges, max_degree }
+        Graph {
+            n,
+            offsets,
+            neighbors,
+            edges,
+            max_degree,
+        }
     }
 
     /// Number of vertices `n`.
@@ -259,7 +266,11 @@ impl Graph {
             return false;
         }
         // Search from the lower-degree endpoint.
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(a).binary_search(&b).is_ok()
     }
 
@@ -293,8 +304,12 @@ impl Graph {
     /// Panics if the vertex counts differ.
     pub fn union(&self, other: &Graph) -> Graph {
         assert_eq!(self.n, other.n, "union requires equal vertex sets");
-        let mut edges: Vec<Edge> =
-            self.edges.iter().chain(other.edges.iter()).copied().collect();
+        let mut edges: Vec<Edge> = self
+            .edges
+            .iter()
+            .chain(other.edges.iter())
+            .copied()
+            .collect();
         edges.sort_unstable();
         edges.dedup();
         Graph::from_parts(self.n, edges)

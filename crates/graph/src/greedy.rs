@@ -47,7 +47,9 @@ pub fn greedy_vertex_coloring_in_order(
                 }
             }
         }
-        let c = (0..used.len()).find(|&i| used[i] != stamp).expect("Δ+2 slots suffice");
+        let c = (0..used.len())
+            .find(|&i| used[i] != stamp)
+            .expect("Δ+2 slots suffice");
         coloring.set(v, ColorId(c as u32));
     }
     debug_assert!(coloring.is_complete(), "order must cover all vertices");
@@ -121,10 +123,7 @@ pub fn greedy_edge_coloring_with(
 /// # Panics
 ///
 /// Panics if `lists.len() != g.num_vertices()`.
-pub fn greedy_list_coloring(
-    g: &Graph,
-    lists: &[Vec<ColorId>],
-) -> Result<VertexColoring, VertexId> {
+pub fn greedy_list_coloring(g: &Graph, lists: &[Vec<ColorId>]) -> Result<VertexColoring, VertexId> {
     assert_eq!(lists.len(), g.num_vertices(), "one list per vertex");
     let mut coloring = VertexColoring::new(g.num_vertices());
     for v in g.vertices() {
@@ -134,7 +133,11 @@ pub fn greedy_list_coloring(
                 used.insert(c);
             }
         }
-        let c = lists[v.index()].iter().copied().find(|c| !used.contains(c)).ok_or(v)?;
+        let c = lists[v.index()]
+            .iter()
+            .copied()
+            .find(|c| !used.contains(c))
+            .ok_or(v)?;
         coloring.set(v, c);
     }
     Ok(coloring)

@@ -253,8 +253,7 @@ mod tests {
         let m = delta_perfect_matching(&g).expect("matching exists");
         assert!(is_matching(&m));
         assert_eq!(m.len(), 2);
-        let covered: Vec<VertexId> =
-            m.iter().flat_map(|e| [e.u(), e.v()]).collect();
+        let covered: Vec<VertexId> = m.iter().flat_map(|e| [e.u(), e.v()]).collect();
         assert!(covered.contains(&VertexId(0)));
         assert!(covered.contains(&VertexId(4)));
     }

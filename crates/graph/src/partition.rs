@@ -157,12 +157,14 @@ impl Partitioner {
         let alice: Vec<Edge> = match self {
             Partitioner::AllToAlice => g.edges().to_vec(),
             Partitioner::AllToBob => Vec::new(),
-            Partitioner::Alternating => {
-                g.edges().iter().copied().step_by(2).collect()
-            }
+            Partitioner::Alternating => g.edges().iter().copied().step_by(2).collect(),
             Partitioner::Random(seed) => {
                 let mut rng = StdRng::seed_from_u64(seed);
-                g.edges().iter().copied().filter(|_| rng.gen_bool(0.5)).collect()
+                g.edges()
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.gen_bool(0.5))
+                    .collect()
             }
             Partitioner::ParitySum => g
                 .edges()

@@ -39,7 +39,10 @@ pub fn input_index(input: PairInput) -> usize {
 impl TabledStrategy {
     /// Tabulates an arbitrary deterministic strategy.
     pub fn from_strategy(s: &dyn ZecStrategy) -> Self {
-        assert!(s.is_deterministic(), "only deterministic strategies are tables");
+        assert!(
+            s.is_deterministic(),
+            "only deterministic strategies are tables"
+        );
         let mut rng = StdRng::seed_from_u64(0);
         let mut alice = [[0; 2]; INPUTS];
         let mut bob = [[0; 2]; INPUTS];
@@ -148,7 +151,11 @@ pub fn best_response_dynamics(
     let mut cur = start;
     let mut trajectory = vec![cur.win_probability()];
     for step in 0..iterations {
-        cur = if step % 2 == 0 { best_response_bob(&cur) } else { best_response_alice(&cur) };
+        cur = if step % 2 == 0 {
+            best_response_bob(&cur)
+        } else {
+            best_response_alice(&cur)
+        };
         trajectory.push(cur.win_probability());
     }
     (cur, trajectory)
@@ -161,7 +168,7 @@ pub fn optimized_strategy(starts: u64, iterations: usize) -> (TabledStrategy, f6
     for seed in 0..starts {
         let (s, traj) = best_response_dynamics(TabledStrategy::random(seed), iterations);
         let p = *traj.last().expect("nonempty");
-        if best.as_ref().map_or(true, |(_, bp)| p > *bp) {
+        if best.as_ref().is_none_or(|(_, bp)| p > *bp) {
             best = Some((s, p));
         }
     }
@@ -204,7 +211,10 @@ mod tests {
     fn dynamics_trajectory_monotone_and_bounded() {
         let (final_s, traj) = best_response_dynamics(TabledStrategy::random(7), 8);
         for w in traj.windows(2) {
-            assert!(w[1] >= w[0] - 1e-12, "trajectory must be monotone: {traj:?}");
+            assert!(
+                w[1] >= w[0] - 1e-12,
+                "trajectory must be monotone: {traj:?}"
+            );
         }
         let p = final_s.win_probability();
         assert!(
@@ -221,7 +231,10 @@ mod tests {
         assert!(p <= ZEC_WIN_BOUND);
         // Coordinated deterministic play beats naive labelings by a
         // wide margin — but cannot reach 1.
-        assert!(p > 0.90, "best response should reach a strong local optimum: {p}");
+        assert!(
+            p > 0.90,
+            "best response should reach a strong local optimum: {p}"
+        );
         assert!(p < 1.0, "no strategy wins always (Lemma 6.2)");
     }
 

@@ -12,6 +12,7 @@
 //! have cost `Ω(n)` communication.
 
 use bichrome_core::rct::RctConfig;
+#[allow(deprecated)] // this crate sits below bichrome-runner; see run_learning_reduction
 use bichrome_core::vertex::solve_vertex_coloring;
 use bichrome_graph::coloring::VertexColoring;
 use bichrome_graph::partition::Partitioner;
@@ -40,7 +41,9 @@ pub fn gadget_graph(bits: &[bool]) -> bichrome_graph::Graph {
 pub fn recover_bit(coloring: &VertexColoring, gadget: usize) -> bool {
     let base = 4 * gadget as u32;
     let col = |off: u32| {
-        coloring.get(VertexId(base + off)).expect("gadget vertices are colored")
+        coloring
+            .get(VertexId(base + off))
+            .expect("gadget vertices are colored")
     };
     let (a, b, c, d) = (col(0), col(1), col(2), col(3));
     // Common edges {a,b}, {c,d} must be proper either way.
@@ -68,6 +71,9 @@ pub fn recover_bits(coloring: &VertexColoring, n_bits: usize) -> Vec<bool> {
 pub fn run_learning_reduction(bits: &[bool], seed: u64) -> (Vec<bool>, u64) {
     let g = gadget_graph(bits);
     let partition = Partitioner::AllToAlice.split(&g);
+    // This crate sits below bichrome-runner in the dependency graph,
+    // so it drives the session through the core shim directly.
+    #[allow(deprecated)]
     let out = solve_vertex_coloring(&partition, seed, &RctConfig::default());
     let recovered = recover_bits(&out.coloring, bits.len());
     (recovered, out.stats.total_bits())

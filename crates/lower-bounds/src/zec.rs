@@ -40,7 +40,10 @@ impl PairInput {
     ///
     /// Panics unless `a != b` and both are below 7.
     pub fn new(a: u8, b: u8) -> Self {
-        assert!(a != b && a < MIDDLE as u8 && b < MIDDLE as u8, "bad pair ({a},{b})");
+        assert!(
+            a != b && a < MIDDLE as u8 && b < MIDDLE as u8,
+            "bad pair ({a},{b})"
+        );
         if a < b {
             PairInput { i: a, j: b }
         } else {
@@ -125,7 +128,10 @@ pub fn is_win(
 ///
 /// Panics if called on a randomized strategy.
 pub fn exact_win_probability(strategy: &dyn ZecStrategy) -> f64 {
-    assert!(strategy.is_deterministic(), "exact evaluation needs determinism");
+    assert!(
+        strategy.is_deterministic(),
+        "exact evaluation needs determinism"
+    );
     let mut rng = StdRng::seed_from_u64(0); // ignored by deterministic strategies
     let all = PairInput::all();
     let mut wins = 0usize;
@@ -142,11 +148,7 @@ pub fn exact_win_probability(strategy: &dyn ZecStrategy) -> f64 {
 }
 
 /// Monte-Carlo estimate of a strategy's win probability.
-pub fn estimate_win_probability(
-    strategy: &dyn ZecStrategy,
-    trials: usize,
-    seed: u64,
-) -> f64 {
+pub fn estimate_win_probability(strategy: &dyn ZecStrategy, trials: usize, seed: u64) -> f64 {
     let mut referee = StdRng::seed_from_u64(seed ^ 0x5EED_0001);
     let mut a_rng = StdRng::seed_from_u64(seed ^ 0x5EED_000A);
     let mut b_rng = StdRng::seed_from_u64(seed ^ 0x5EED_000B);
@@ -270,7 +272,7 @@ pub struct ComplementStrategy;
 impl ZecStrategy for ComplementStrategy {
     fn alice(&self, input: PairInput, _rng: &mut StdRng) -> [GameColor; 2] {
         // Alice prefers colors {0, 1}.
-        if input.i % 2 == 0 {
+        if input.i.is_multiple_of(2) {
             [0, 1]
         } else {
             [1, 0]
@@ -279,7 +281,7 @@ impl ZecStrategy for ComplementStrategy {
     fn bob(&self, input: PairInput, _rng: &mut StdRng) -> [GameColor; 2] {
         // Bob prefers colors {2, and the one Alice is least likely to
         // put here}.
-        if input.j % 2 == 0 {
+        if input.j.is_multiple_of(2) {
             [2, 0]
         } else {
             [2, 1]
@@ -318,7 +320,10 @@ pub struct Labels {
 
 /// Computes the Lemma 6.2 labels of a deterministic strategy.
 pub fn compute_labels(strategy: &dyn ZecStrategy) -> Labels {
-    assert!(strategy.is_deterministic(), "labels are defined per deterministic run");
+    assert!(
+        strategy.is_deterministic(),
+        "labels are defined per deterministic run"
+    );
     let mut rng = StdRng::seed_from_u64(0);
     let mut alice = vec![Vec::new(); MIDDLE];
     let mut bob = vec![Vec::new(); MIDDLE];
@@ -392,7 +397,10 @@ pub fn find_loss_witness(labels: &Labels) -> Option<LossWitness> {
         if labels.alice[v].len() >= 2 && labels.bob[v].len() >= 2 {
             for &c in &labels.alice[v] {
                 if labels.bob[v].contains(&c) {
-                    return Some(LossWitness::SharedColor { vertex: v as u8, color: c });
+                    return Some(LossWitness::SharedColor {
+                        vertex: v as u8,
+                        color: c,
+                    });
                 }
             }
         }
@@ -467,7 +475,10 @@ mod tests {
         let s = LabelingStrategy::shifted();
         let exact = exact_win_probability(&s);
         let est = estimate_win_probability(&s, 60_000, 3);
-        assert!((exact - est).abs() < 0.02, "exact {exact} vs estimate {est}");
+        assert!(
+            (exact - est).abs() < 0.02,
+            "exact {exact} vs estimate {est}"
+        );
     }
 
     #[test]
@@ -508,8 +519,7 @@ mod tests {
                     .copied()
                     .find(|inp| {
                         let c = s.alice(*inp, &mut rng);
-                        (inp.i == vertex && c[0] == color)
-                            || (inp.j == vertex && c[1] == color)
+                        (inp.i == vertex && c[0] == color) || (inp.j == vertex && c[1] == color)
                     })
                     .expect("label membership implies such an input");
                 let b_in = all
@@ -517,15 +527,18 @@ mod tests {
                     .copied()
                     .find(|inp| {
                         let c = s.bob(*inp, &mut rng);
-                        (inp.i == vertex && c[0] == color)
-                            || (inp.j == vertex && c[1] == color)
+                        (inp.i == vertex && c[0] == color) || (inp.j == vertex && c[1] == color)
                     })
                     .expect("label membership implies such an input");
                 let ac = s.alice(a_in, &mut rng);
                 let bc = s.bob(b_in, &mut rng);
                 assert!(!is_win(a_in, ac, b_in, bc), "witness input must lose");
             }
-            LossWitness::SingletonCollision { alice_side, vertices, .. } => {
+            LossWitness::SingletonCollision {
+                alice_side,
+                vertices,
+                ..
+            } => {
                 // Give that player both vertices: hub conflict after
                 // tie-breaking may still dodge, but the *pair* of
                 // forced colors collides at the hub for labels without

@@ -107,12 +107,7 @@ mod tests {
         for (name, p) in [
             (
                 "shifted",
-                estimate_zec_new_win(
-                    &ColorOnly(LabelingStrategy::shifted()),
-                    HUB_POOL,
-                    30_000,
-                    1,
-                ),
+                estimate_zec_new_win(&ColorOnly(LabelingStrategy::shifted()), HUB_POOL, 30_000, 1),
             ),
             (
                 "random",
@@ -130,20 +125,10 @@ mod tests {
         /// guessing.
         struct GuessOnly;
         impl ZecNewStrategy for GuessOnly {
-            fn alice(
-                &self,
-                _h: u64,
-                _i: PairInput,
-                _r: &mut StdRng,
-            ) -> ([GameColor; 2], u64) {
+            fn alice(&self, _h: u64, _i: PairInput, _r: &mut StdRng) -> ([GameColor; 2], u64) {
                 ([0, 0], 0) // improper at the hub: never a coloring win
             }
-            fn bob(
-                &self,
-                _h: u64,
-                _i: PairInput,
-                _r: &mut StdRng,
-            ) -> ([GameColor; 2], u64) {
+            fn bob(&self, _h: u64, _i: PairInput, _r: &mut StdRng) -> ([GameColor; 2], u64) {
                 ([0, 0], 0)
             }
             fn name(&self) -> &'static str {
@@ -163,8 +148,7 @@ mod tests {
         // At the paper's pool size the guessing arm contributes
         // ≤ 2/33075 ≈ 6e-5 — invisible at this sample size, so the
         // color-only and ZEC win rates coincide within noise.
-        let zec_new =
-            estimate_zec_new_win(&ColorOnly(RandomStrategy), HUB_POOL, 30_000, 9);
+        let zec_new = estimate_zec_new_win(&ColorOnly(RandomStrategy), HUB_POOL, 30_000, 9);
         let zec = crate::zec::estimate_win_probability(&RandomStrategy, 30_000, 9);
         assert!((zec_new - zec).abs() < 0.02, "{zec_new} vs {zec}");
     }

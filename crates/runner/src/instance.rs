@@ -1,0 +1,158 @@
+//! Problem instances: a graph, an adversarial edge partition, and a
+//! seed, bundled so every protocol can be configured and executed the
+//! same way.
+
+use bichrome_graph::gen;
+use bichrome_graph::partition::{EdgePartition, Partitioner};
+use bichrome_graph::Graph;
+
+/// A declarative description of an input graph family, buildable at
+/// any seed. This is what [`crate::TrialPlan::graphs`] accepts: the
+/// plan instantiates one graph per trial seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphSpec {
+    /// `n` isolated vertices.
+    Empty {
+        /// Number of vertices.
+        n: usize,
+    },
+    /// A path on `n` vertices.
+    Path {
+        /// Number of vertices.
+        n: usize,
+    },
+    /// A cycle on `n` vertices.
+    Cycle {
+        /// Number of vertices.
+        n: usize,
+    },
+    /// The complete graph `K_n`.
+    Complete {
+        /// Number of vertices.
+        n: usize,
+    },
+    /// A star with `n − 1` leaves.
+    Star {
+        /// Number of vertices.
+        n: usize,
+    },
+    /// Erdős–Rényi `G(n, p)`.
+    Gnp {
+        /// Number of vertices.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+    },
+    /// A random near-`d`-regular graph.
+    NearRegular {
+        /// Number of vertices.
+        n: usize,
+        /// Target degree.
+        d: usize,
+    },
+    /// A random graph with `m` edges and maximum degree at most
+    /// `dmax`.
+    GnmMaxDegree {
+        /// Number of vertices.
+        n: usize,
+        /// Number of edges.
+        m: usize,
+        /// Maximum-degree cap.
+        dmax: usize,
+    },
+}
+
+impl GraphSpec {
+    /// Materializes the graph at the given seed (deterministic; the
+    /// seed is ignored by the deterministic families).
+    pub fn build(&self, seed: u64) -> Graph {
+        match *self {
+            GraphSpec::Empty { n } => gen::empty(n),
+            GraphSpec::Path { n } => gen::path(n),
+            GraphSpec::Cycle { n } => gen::cycle(n),
+            GraphSpec::Complete { n } => gen::complete(n),
+            GraphSpec::Star { n } => gen::star(n),
+            GraphSpec::Gnp { n, p } => gen::gnp(n, p, seed),
+            GraphSpec::NearRegular { n, d } => gen::near_regular(n, d, seed),
+            GraphSpec::GnmMaxDegree { n, m, dmax } => gen::gnm_max_degree(n, m, dmax, seed),
+        }
+    }
+}
+
+impl std::fmt::Display for GraphSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            GraphSpec::Empty { n } => write!(f, "empty(n={n})"),
+            GraphSpec::Path { n } => write!(f, "path(n={n})"),
+            GraphSpec::Cycle { n } => write!(f, "cycle(n={n})"),
+            GraphSpec::Complete { n } => write!(f, "complete(n={n})"),
+            GraphSpec::Star { n } => write!(f, "star(n={n})"),
+            GraphSpec::Gnp { n, p } => write!(f, "gnp(n={n},p={p})"),
+            GraphSpec::NearRegular { n, d } => write!(f, "near-regular(n={n},d={d})"),
+            GraphSpec::GnmMaxDegree { n, m, dmax } => {
+                write!(f, "gnm(n={n},m={m},dmax={dmax})")
+            }
+        }
+    }
+}
+
+/// One concrete trial input: the partitioned graph plus the seed fed
+/// to the protocol session (public randomness, private randomness,
+/// session plumbing).
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Human-readable label (graph family / origin), carried into
+    /// trial records.
+    pub label: String,
+    /// The adversarially split input graph.
+    pub partition: EdgePartition,
+    /// Seed for the protocol session.
+    pub seed: u64,
+}
+
+impl Instance {
+    /// An instance from explicit parts.
+    pub fn new(label: impl Into<String>, partition: EdgePartition, seed: u64) -> Self {
+        Instance {
+            label: label.into(),
+            partition,
+            seed,
+        }
+    }
+
+    /// Builds `spec` at `graph_seed`, splits it with `partitioner`,
+    /// and tags the protocol run with `seed`.
+    pub fn from_spec(
+        spec: &GraphSpec,
+        partitioner: Partitioner,
+        graph_seed: u64,
+        seed: u64,
+    ) -> Self {
+        let g = spec.build(graph_seed);
+        Instance {
+            label: spec.to_string(),
+            partition: partitioner.split(&g),
+            seed,
+        }
+    }
+
+    /// The whole (unsplit) input graph.
+    pub fn graph(&self) -> &Graph {
+        self.partition.whole()
+    }
+
+    /// Number of vertices `n`.
+    pub fn n(&self) -> usize {
+        self.graph().num_vertices()
+    }
+
+    /// Number of edges `m`.
+    pub fn m(&self) -> usize {
+        self.graph().num_edges()
+    }
+
+    /// Maximum degree `Δ` of the whole graph.
+    pub fn delta(&self) -> usize {
+        self.graph().max_degree()
+    }
+}

@@ -1,0 +1,404 @@
+//! Repeated-trial execution: a builder-style [`TrialPlan`] runs one
+//! protocol over many instances — rayon-parallel across seeds — and
+//! aggregates the outcomes into a [`Report`] with JSON and text-table
+//! output. This replaces the hand-rolled trial loops the experiment
+//! binaries used to copy-paste.
+
+use crate::instance::{GraphSpec, Instance};
+use crate::protocol::Protocol;
+use crate::table::Table;
+use bichrome_comm::PublicCoin;
+use bichrome_graph::partition::Partitioner;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Builder for a batch of repeated trials of one protocol.
+///
+/// # Example
+///
+/// ```
+/// use bichrome_runner::{registry, GraphSpec, TrialPlan};
+///
+/// let proto = registry().get("edge/theorem2").expect("registered");
+/// let report = TrialPlan::new(proto)
+///     .graphs(GraphSpec::GnmMaxDegree { n: 60, m: 150, dmax: 8 })
+///     .seeds(0..8)
+///     .parallel(true)
+///     .run();
+/// assert!(report.all_valid());
+/// assert_eq!(report.trials.len(), 8);
+/// ```
+pub struct TrialPlan {
+    protocol: Arc<dyn Protocol>,
+    graphs: Option<GraphSpec>,
+    partitioner: Option<Partitioner>,
+    seeds: Vec<u64>,
+    explicit: Vec<Instance>,
+    parallel: bool,
+}
+
+impl TrialPlan {
+    /// A plan for `protocol` with no instances yet.
+    pub fn new(protocol: Arc<dyn Protocol>) -> Self {
+        TrialPlan {
+            protocol,
+            graphs: None,
+            partitioner: None,
+            seeds: Vec::new(),
+            explicit: Vec::new(),
+            parallel: true,
+        }
+    }
+
+    /// Generates one instance per seed from this graph family.
+    pub fn graphs(mut self, spec: GraphSpec) -> Self {
+        self.graphs = Some(spec);
+        self
+    }
+
+    /// Fixes the edge partitioner. Default: a fresh random adversary
+    /// per trial — `Partitioner::Random` keyed by a SplitMix64-mixed
+    /// copy of the trial seed, so the split is decorrelated from the
+    /// graph generator's randomness (which consumes the raw seed).
+    pub fn partitioner(mut self, p: Partitioner) -> Self {
+        self.partitioner = Some(p);
+        self
+    }
+
+    /// The trial seeds. Each seed feeds the graph generator (when
+    /// [`TrialPlan::graphs`] is used) and the protocol session.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Appends explicitly constructed instances (escape hatch for
+    /// exact reproduction of historical experiment setups).
+    pub fn instances(mut self, insts: impl IntoIterator<Item = Instance>) -> Self {
+        self.explicit.extend(insts);
+        self
+    }
+
+    /// Whether to run trials in parallel across worker threads
+    /// (default: true). Trial results are identical either way; each
+    /// trial's randomness is derived only from its own seed.
+    pub fn parallel(mut self, yes: bool) -> Self {
+        self.parallel = yes;
+        self
+    }
+
+    /// Materializes the instance list without running anything.
+    fn build_instances(&mut self) -> Vec<Instance> {
+        let mut insts = std::mem::take(&mut self.explicit);
+        if let Some(spec) = &self.graphs {
+            for &seed in &self.seeds {
+                // The default partition seed is mixed, not the raw
+                // trial seed: the generator and the partitioner both
+                // expand their seed through the same RNG, so feeding
+                // them identical values would correlate the "random"
+                // split with the graph's own coin flips.
+                let partitioner = self
+                    .partitioner
+                    .unwrap_or(Partitioner::Random(mix_partition_seed(seed)));
+                insts.push(Instance::from_spec(spec, partitioner, seed, seed));
+            }
+        }
+        insts
+    }
+
+    /// Runs every trial and aggregates a [`Report`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has no instances (no `graphs`+`seeds` and no
+    /// explicit `instances`).
+    pub fn run(mut self) -> Report {
+        let instances = self.build_instances();
+        assert!(
+            !instances.is_empty(),
+            "TrialPlan has no instances: set .graphs(..).seeds(..) or .instances(..)"
+        );
+        let proto = &*self.protocol;
+        let trial = |inst: &Instance| -> TrialRecord {
+            let outcome = proto.run(inst);
+            TrialRecord {
+                label: inst.label.clone(),
+                seed: inst.seed,
+                n: inst.n(),
+                m: inst.m(),
+                delta: inst.delta(),
+                bits_alice_to_bob: outcome.stats.bits_alice_to_bob,
+                bits_bob_to_alice: outcome.stats.bits_bob_to_alice,
+                rounds: outcome.stats.rounds,
+                colors_used: outcome.artifact.colors_used(),
+                palette_budget: outcome.palette_budget,
+                valid: outcome.verdict.is_valid(),
+                error: match &outcome.verdict {
+                    crate::protocol::Verdict::Valid => None,
+                    crate::protocol::Verdict::Invalid(msg) => Some(msg.clone()),
+                },
+            }
+        };
+        let trials: Vec<TrialRecord> = if self.parallel {
+            instances.par_iter().map(trial).collect()
+        } else {
+            instances.iter().map(trial).collect()
+        };
+        Report::new(self.protocol.name().to_string(), trials)
+    }
+}
+
+/// Stream tag for deriving the default partition seed.
+const PARTITION_TAG: u64 = 0x9A27_0001;
+
+/// Decorrelates the default partition seed from the graph-generation
+/// seed via the comm crate's sub-coin derivation (both the generator
+/// and the partitioner expand their seed through the same RNG).
+fn mix_partition_seed(seed: u64) -> u64 {
+    PublicCoin::new(seed).subcoin(PARTITION_TAG).seed()
+}
+
+impl std::fmt::Debug for TrialPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrialPlan")
+            .field("protocol", &self.protocol.name())
+            .field("graphs", &self.graphs)
+            .field("seeds", &self.seeds.len())
+            .field("explicit", &self.explicit.len())
+            .field("parallel", &self.parallel)
+            .finish()
+    }
+}
+
+/// One trial's flattened result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    /// Instance label (graph family).
+    pub label: String,
+    /// The trial seed.
+    pub seed: u64,
+    /// Vertices of the input graph.
+    pub n: usize,
+    /// Edges of the input graph.
+    pub m: usize,
+    /// Maximum degree of the input graph.
+    pub delta: usize,
+    /// Bits Alice sent to Bob.
+    pub bits_alice_to_bob: u64,
+    /// Bits Bob sent to Alice.
+    pub bits_bob_to_alice: u64,
+    /// Communication rounds.
+    pub rounds: u64,
+    /// Distinct colors in the artifact.
+    pub colors_used: usize,
+    /// Palette budget validated against, if any.
+    pub palette_budget: Option<usize>,
+    /// Whether the validators accepted the outcome.
+    pub valid: bool,
+    /// Validator / failure message when invalid.
+    pub error: Option<String>,
+}
+
+impl TrialRecord {
+    /// Total bits in both directions.
+    pub fn total_bits(&self) -> u64 {
+        self.bits_alice_to_bob + self.bits_bob_to_alice
+    }
+}
+
+/// Mean / population-stddev / min / max of one metric across trials.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Aggregate {
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Aggregate {
+    /// Aggregates a sample (all zeros when empty).
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Aggregate::default();
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Aggregate {
+            mean,
+            stddev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+}
+
+/// Cross-trial summary of a [`Report`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Summary {
+    /// Number of trials.
+    pub trials: usize,
+    /// Number of trials the validators accepted.
+    pub valid: usize,
+    /// Total-bits aggregate.
+    pub total_bits: Aggregate,
+    /// Rounds aggregate.
+    pub rounds: Aggregate,
+    /// Bits-per-vertex aggregate (total bits / n).
+    pub bits_per_vertex: Aggregate,
+}
+
+/// The aggregated result of a [`TrialPlan`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Registry key of the protocol that ran.
+    pub protocol: String,
+    /// Every trial, in instance order.
+    pub trials: Vec<TrialRecord>,
+    /// Cross-trial aggregates.
+    pub summary: Summary,
+}
+
+impl Report {
+    /// Builds a report (computing the summary) from raw trials.
+    pub fn new(protocol: String, trials: Vec<TrialRecord>) -> Self {
+        let bits: Vec<f64> = trials.iter().map(|t| t.total_bits() as f64).collect();
+        let rounds: Vec<f64> = trials.iter().map(|t| t.rounds as f64).collect();
+        let bpv: Vec<f64> = trials
+            .iter()
+            .map(|t| {
+                if t.n == 0 {
+                    0.0
+                } else {
+                    t.total_bits() as f64 / t.n as f64
+                }
+            })
+            .collect();
+        let summary = Summary {
+            trials: trials.len(),
+            valid: trials.iter().filter(|t| t.valid).count(),
+            total_bits: Aggregate::of(&bits),
+            rounds: Aggregate::of(&rounds),
+            bits_per_vertex: Aggregate::of(&bpv),
+        };
+        Report {
+            protocol,
+            trials,
+            summary,
+        }
+    }
+
+    /// Whether every trial validated.
+    pub fn all_valid(&self) -> bool {
+        self.summary.valid == self.summary.trials
+    }
+
+    /// Renders the per-trial table plus a summary line.
+    pub fn render_table(&self) -> String {
+        let mut t = Table::new(&[
+            "trial",
+            "label",
+            "seed",
+            "n",
+            "m",
+            "Δ",
+            "bits A→B",
+            "bits B→A",
+            "total",
+            "rounds",
+            "colors",
+            "ok",
+        ]);
+        for (i, r) in self.trials.iter().enumerate() {
+            t.row(&[
+                &i.to_string(),
+                &r.label,
+                &r.seed.to_string(),
+                &r.n.to_string(),
+                &r.m.to_string(),
+                &r.delta.to_string(),
+                &r.bits_alice_to_bob.to_string(),
+                &r.bits_bob_to_alice.to_string(),
+                &r.total_bits().to_string(),
+                &r.rounds.to_string(),
+                &r.colors_used.to_string(),
+                if r.valid { "✓" } else { "✗" },
+            ]);
+        }
+        let s = &self.summary;
+        format!(
+            "{}\n{}: {}/{} valid · bits {:.1} ± {:.1} (max {:.0}) · rounds {:.1} ± {:.1} (max {:.0}) · bits/n {:.2}\n",
+            t.render(),
+            self.protocol,
+            s.valid,
+            s.trials,
+            s.total_bits.mean,
+            s.total_bits.stddev,
+            s.total_bits.max,
+            s.rounds.mean,
+            s.rounds.stddev,
+            s.rounds.max,
+            s.bits_per_vertex.mean,
+        )
+    }
+
+    /// Serializes the full report (trials + summary) as JSON.
+    pub fn to_json(&self) -> String {
+        let mut w = crate::json::Writer::object();
+        w.field_str("protocol", &self.protocol);
+        w.field_raw("summary", &{
+            let mut s = crate::json::Writer::object();
+            s.field_u64("trials", self.summary.trials as u64);
+            s.field_u64("valid", self.summary.valid as u64);
+            s.field_raw("total_bits", &aggregate_json(&self.summary.total_bits));
+            s.field_raw("rounds", &aggregate_json(&self.summary.rounds));
+            s.field_raw(
+                "bits_per_vertex",
+                &aggregate_json(&self.summary.bits_per_vertex),
+            );
+            s.finish()
+        });
+        let trials: Vec<String> = self
+            .trials
+            .iter()
+            .map(|t| {
+                let mut o = crate::json::Writer::object();
+                o.field_str("label", &t.label);
+                o.field_u64("seed", t.seed);
+                o.field_u64("n", t.n as u64);
+                o.field_u64("m", t.m as u64);
+                o.field_u64("delta", t.delta as u64);
+                o.field_u64("bits_alice_to_bob", t.bits_alice_to_bob);
+                o.field_u64("bits_bob_to_alice", t.bits_bob_to_alice);
+                o.field_u64("rounds", t.rounds);
+                o.field_u64("colors_used", t.colors_used as u64);
+                match t.palette_budget {
+                    Some(b) => o.field_u64("palette_budget", b as u64),
+                    None => o.field_null("palette_budget"),
+                }
+                o.field_bool("valid", t.valid);
+                match &t.error {
+                    Some(e) => o.field_str("error", e),
+                    None => o.field_null("error"),
+                }
+                o.finish()
+            })
+            .collect();
+        w.field_raw("trials", &format!("[{}]", trials.join(",")));
+        w.finish()
+    }
+}
+
+fn aggregate_json(a: &Aggregate) -> String {
+    let mut w = crate::json::Writer::object();
+    w.field_f64("mean", a.mean);
+    w.field_f64("stddev", a.stddev);
+    w.field_f64("min", a.min);
+    w.field_f64("max", a.max);
+    w.finish()
+}

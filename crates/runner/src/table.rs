@@ -1,0 +1,90 @@
+//! Plain-text table rendering for [`crate::Report`]s (right-aligned
+//! columns, same look as the experiment binaries' tables).
+
+/// A plain-text table with right-aligned columns.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header's.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Renders to an aligned string (with trailing newline).
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let width = |s: &str| s.chars().count();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| width(h)).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(width(&row[c]));
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&" ".repeat(widths[c] - width(cell)));
+                line.push_str(cell);
+            }
+            line
+        };
+        let mut out = fmt_row(&self.headers);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let mut t = Table::new(&["col", "n"]);
+        t.row(&["x", "12345"]).row(&["longer", "7"]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with("12345"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_bad_arity() {
+        Table::new(&["a"]).row(&["1", "2"]);
+    }
+}

@@ -31,7 +31,11 @@ impl GreedyWStreaming {
     pub fn new(n: usize, delta: usize) -> Self {
         assert!(delta >= 1, "need a positive maximum degree");
         let colors = 2 * delta - 1;
-        GreedyWStreaming { n, colors, used: vec![vec![false; colors]; n] }
+        GreedyWStreaming {
+            n,
+            colors,
+            used: vec![vec![false; colors]; n],
+        }
     }
 
     /// Number of colors in the palette (`2Δ−1`).
@@ -64,7 +68,7 @@ impl WStreamingAlgorithm for GreedyWStreaming {
     }
 
     fn export_state(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity((self.n * self.colors + 7) / 8);
+        let mut out = Vec::with_capacity((self.n * self.colors).div_ceil(8));
         let mut acc = 0u8;
         let mut fill = 0;
         for row in &self.used {
@@ -135,7 +139,12 @@ impl ChunkedWStreaming {
     /// Panics if `chunk_capacity == 0`.
     pub fn new(n: usize, chunk_capacity: usize) -> Self {
         assert!(chunk_capacity >= 1, "need room for at least one edge");
-        ChunkedWStreaming { n, chunk_capacity, buffer: Vec::new(), next_color: 0 }
+        ChunkedWStreaming {
+            n,
+            chunk_capacity,
+            buffer: Vec::new(),
+            next_color: 0,
+        }
     }
 
     /// The `Õ(n√Δ)`-space parameterization: capacity `n·⌈√Δ⌉/2`
@@ -155,15 +164,15 @@ impl ChunkedWStreaming {
             return Vec::new();
         }
         let chunk = builder::from_edges(self.n, self.buffer.drain(..));
-        let colored = greedy_edge_coloring_with(
-            &chunk,
-            EdgeColoring::new(),
-            chunk.edges().iter().copied(),
-        );
+        let colored =
+            greedy_edge_coloring_with(&chunk, EdgeColoring::new(), chunk.edges().iter().copied());
         let base = self.next_color;
         let width = colored.max_color().map_or(0, |c| c.0 + 1);
         self.next_color += width;
-        colored.iter().map(|(e, c)| (e, ColorId(base + c.0))).collect()
+        colored
+            .iter()
+            .map(|(e, c)| (e, ColorId(base + c.0)))
+            .collect()
     }
 }
 
@@ -249,9 +258,7 @@ mod tests {
             let delta = g.max_degree().max(1);
             let mut alg = GreedyWStreaming::new(50, delta);
             let (coloring, stats) = run_w_streaming(&mut alg, g.edges());
-            assert!(
-                validate_edge_coloring_with_palette(&g, &coloring, 2 * delta - 1).is_ok()
-            );
+            assert!(validate_edge_coloring_with_palette(&g, &coloring, 2 * delta - 1).is_ok());
             assert_eq!(stats.max_state_bits, (50 * (2 * delta - 1)) as u64);
         }
     }

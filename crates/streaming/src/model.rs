@@ -118,8 +118,10 @@ mod tests {
 
     #[test]
     fn harness_collects_outputs_and_space() {
-        let stream =
-            vec![Edge::new(VertexId(0), VertexId(1)), Edge::new(VertexId(2), VertexId(3))];
+        let stream = vec![
+            Edge::new(VertexId(0), VertexId(1)),
+            Edge::new(VertexId(2), VertexId(3)),
+        ];
         let (coloring, stats) = run_w_streaming(&mut AllZero, &stream);
         assert_eq!(coloring.len(), 2);
         assert_eq!(stats.max_state_bits, 0);

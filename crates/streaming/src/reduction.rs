@@ -47,8 +47,11 @@ where
     let make_ref = &make_alg;
 
     let party = |side: Side| {
-        let my_edges =
-            if side == Side::Alice { alice_edges.clone() } else { bob_edges.clone() };
+        let my_edges = if side == Side::Alice {
+            alice_edges.clone()
+        } else {
+            bob_edges.clone()
+        };
         move |ctx: bichrome_comm::session::PartyCtx| {
             let mut alg = make_ref();
             let mut reported = EdgeColoring::new();
@@ -89,9 +92,11 @@ where
         }
     };
 
-    let (alice, bob, stats) =
-        run_two_party_ctx(seed, party(Side::Alice), party(Side::Bob));
-    SimulationOutcome { output: WeakerOutput { alice, bob }, stats }
+    let (alice, bob, stats) = run_two_party_ctx(seed, party(Side::Alice), party(Side::Bob));
+    SimulationOutcome {
+        output: WeakerOutput { alice, bob },
+        stats,
+    }
 }
 
 fn bytes_to_bits(bytes: &[u8]) -> Message {
@@ -127,8 +132,7 @@ mod tests {
             let delta = g.max_degree().max(1);
             for part in Partitioner::family(seed) {
                 let p = part.split(&g);
-                let out =
-                    simulate_streaming_two_party(&p, || GreedyWStreaming::new(40, delta), 0);
+                let out = simulate_streaming_two_party(&p, || GreedyWStreaming::new(40, delta), 0);
                 validate_weaker_output(&g, &out.output, 2 * delta - 1)
                     .unwrap_or_else(|e| panic!("{part}: {e}"));
             }
@@ -143,7 +147,7 @@ mod tests {
         let out = simulate_streaming_two_party(&p, || GreedyWStreaming::new(50, delta), 0);
         // One pass → exactly one state transfer (byte-rounded).
         let state_bits = (50 * (2 * delta - 1)) as u64;
-        let expected = (state_bits + 7) / 8 * 8;
+        let expected = state_bits.div_ceil(8) * 8;
         assert_eq!(out.stats.total_bits(), expected);
         assert_eq!(out.stats.rounds, 1);
     }
@@ -155,8 +159,7 @@ mod tests {
         let g = gen::gnm_max_degree(64, 900, 32, 5);
         let delta = g.max_degree();
         let p = Partitioner::Alternating.split(&g);
-        let greedy =
-            simulate_streaming_two_party(&p, || GreedyWStreaming::new(64, delta), 0);
+        let greedy = simulate_streaming_two_party(&p, || GreedyWStreaming::new(64, delta), 0);
         let chunked = simulate_streaming_two_party(
             &p,
             || ChunkedWStreaming::with_sqrt_delta_capacity(64, delta),
@@ -179,8 +182,7 @@ mod tests {
         let delta = g.max_degree();
         for part in [Partitioner::AllToAlice, Partitioner::AllToBob] {
             let p = part.split(&g);
-            let out =
-                simulate_streaming_two_party(&p, || GreedyWStreaming::new(30, delta), 0);
+            let out = simulate_streaming_two_party(&p, || GreedyWStreaming::new(30, delta), 0);
             validate_weaker_output(&g, &out.output, 2 * delta - 1)
                 .unwrap_or_else(|e| panic!("{part}: {e}"));
         }

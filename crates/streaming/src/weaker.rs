@@ -8,9 +8,7 @@
 //! is being processed — and Theorem 5 shows it still needs `Ω(n)`
 //! bits.
 
-use bichrome_graph::coloring::{
-    validate_edge_coloring_with_palette, ColoringError, EdgeColoring,
-};
+use bichrome_graph::coloring::{validate_edge_coloring_with_palette, ColoringError, EdgeColoring};
 use bichrome_graph::Graph;
 
 /// Both parties' reported outputs for a weaker-(2Δ−1) instance.
@@ -52,9 +50,7 @@ pub fn validate_weaker_output(
     out: &WeakerOutput,
     palette_size: usize,
 ) -> Result<(), ColoringError> {
-    let combined = out
-        .combined()
-        .map_err(ColoringError::UncoloredEdge)?; // conflicting report
+    let combined = out.combined().map_err(ColoringError::UncoloredEdge)?; // conflicting report
     validate_edge_coloring_with_palette(g, &combined, palette_size)
 }
 
@@ -73,7 +69,10 @@ mod tests {
         let mut alice = EdgeColoring::new();
         alice.set(e01, ColorId(0));
         alice.set(e12, ColorId(1));
-        let out = WeakerOutput { alice, bob: EdgeColoring::new() };
+        let out = WeakerOutput {
+            alice,
+            bob: EdgeColoring::new(),
+        };
         assert!(validate_weaker_output(&g, &out, 3).is_ok());
     }
 

@@ -9,48 +9,47 @@
 //! assignment with `O(n)` bits between the stations.
 //!
 //! ```sh
-//! cargo run -p bichrome-core --example frequency_assignment
+//! cargo run --example frequency_assignment
 //! ```
 
-use bichrome_core::baselines::{run_baseline, Baseline};
-use bichrome_core::rct::RctConfig;
-use bichrome_core::vertex::solve_vertex_coloring;
-use bichrome_graph::coloring::validate_vertex_coloring_with_palette;
-use bichrome_graph::partition::{EdgePartition, Partitioner};
 use bichrome_graph::gen;
+use bichrome_graph::partition::{EdgePartition, Partitioner};
+use bichrome_runner::{registry, Instance};
 
 fn main() {
     // An "urban grid" interference graph: access points on a 24 × 16
     // grid interfering with their king-move neighbors (Δ ≤ 8).
     let g = gen::grid_king(24, 16); // 384 access points
     let delta = g.max_degree();
-    println!("interference graph: {g} → {} frequencies suffice", delta + 1);
+    println!(
+        "interference graph: {g} → {} frequencies suffice",
+        delta + 1
+    );
 
     // Station A heard the east side, station B the west side — a
     // structured, worst-case-flavored split.
     let partition: EdgePartition = Partitioner::LowHalf.split(&g);
+    let inst = Instance::new("grid-king", partition, 99);
 
-    let out = solve_vertex_coloring(&partition, 99, &RctConfig::default());
-    validate_vertex_coloring_with_palette(&g, &out.coloring, delta + 1)
-        .expect("valid frequency assignment");
-    println!(
-        "theorem-1 protocol : {:>8} bits {:>6} rounds  ({} frequencies used)",
-        out.stats.total_bits(),
-        out.stats.rounds,
-        out.coloring.num_distinct_colors()
-    );
-
-    // Compare with the baselines the paper discusses.
-    for baseline in
-        [Baseline::FlinMittal, Baseline::GreedyBinarySearch, Baseline::SendEverything]
-    {
-        let (coloring, stats) = run_baseline(&partition, baseline, 99);
-        validate_vertex_coloring_with_palette(&g, &coloring, delta + 1)
-            .expect("baselines are also correct");
+    // Theorem 1 and the three baselines are all registry entries; one
+    // loop compares them on identical inputs.
+    let reg = registry();
+    for key in [
+        "vertex/theorem1",
+        "baseline/flin-mittal",
+        "baseline/greedy-binary-search",
+        "baseline/send-everything",
+    ] {
+        let out = reg.get(key).expect("registered").run(&inst);
+        assert!(
+            out.verdict.is_valid(),
+            "{key} must produce a valid assignment"
+        );
         println!(
-            "{baseline:<19}: {:>8} bits {:>6} rounds",
-            stats.total_bits(),
-            stats.rounds
+            "{key:<29}: {:>8} bits {:>6} rounds  ({} frequencies used)",
+            out.stats.total_bits(),
+            out.stats.rounds,
+            out.artifact.colors_used()
         );
     }
     println!(

@@ -10,14 +10,12 @@
 //! slots need no coordination at all.
 //!
 //! ```sh
-//! cargo run -p bichrome-core --example link_scheduling
+//! cargo run --example link_scheduling
 //! ```
 
-use bichrome_core::edge::two_delta::solve_two_delta;
-use bichrome_core::edge::solve_edge_coloring;
-use bichrome_graph::coloring::validate_edge_coloring_with_palette;
-use bichrome_graph::partition::Partitioner;
 use bichrome_graph::gen;
+use bichrome_graph::partition::Partitioner;
+use bichrome_runner::{registry, Artifact, Instance};
 
 fn main() {
     // A data-center-ish workload: 200 hosts, 1400 flows, at most 16
@@ -25,13 +23,16 @@ fn main() {
     let g = gen::gnm_max_degree(200, 1400, 16, 3);
     let delta = g.max_degree();
     println!("demand graph: {g}");
-    let partition = Partitioner::Random(8).split(&g);
+    let inst = Instance::new("demands", Partitioner::Random(8).split(&g), 0);
+    let reg = registry();
 
     // ---- Theorem 2: 2Δ−1 slots, O(n) bits, O(1) rounds. ----
-    let out = solve_edge_coloring(&partition, 0);
-    let merged = out.merged();
-    validate_edge_coloring_with_palette(&g, &merged, 2 * delta - 1)
-        .expect("a valid schedule");
+    let out = reg.get("edge/theorem2").expect("registered").run(&inst);
+    assert!(out.verdict.is_valid(), "a valid schedule");
+    let merged = match &out.artifact {
+        Artifact::Edge(c) => c.clone(),
+        other => panic!("edge protocol must yield an edge coloring, got {other:?}"),
+    };
     let slots = merged.max_color().expect("nonempty").index() + 1;
     println!(
         "(2Δ−1)-protocol: schedule fits in {slots} ≤ {} slots, {} bits, {} rounds",
@@ -52,14 +53,18 @@ fn main() {
     );
 
     // ---- Theorem 3: one more slot buys zero communication. ----
-    let (a, b) = solve_two_delta(&partition);
-    let mut merged2 = a;
-    merged2.merge(&b).expect("disjoint");
-    validate_edge_coloring_with_palette(&g, &merged2, 2 * delta)
-        .expect("valid 2Δ schedule");
+    let out = reg
+        .get("edge/theorem3-zero-comm")
+        .expect("registered")
+        .run(&inst);
+    assert!(out.verdict.is_valid(), "valid 2Δ schedule");
+    assert_eq!(out.stats.total_bits(), 0, "Theorem 3 never talks");
+    let slots2 = match &out.artifact {
+        Artifact::Edge(c) => c.max_color().expect("nonempty").index() + 1,
+        other => panic!("edge protocol must yield an edge coloring, got {other:?}"),
+    };
     println!(
-        "(2Δ)-protocol: {} slots with zero bits exchanged — the price of \
-         the last saved slot is Ω(n) bits (Theorem 4)",
-        merged2.max_color().expect("nonempty").index() + 1
+        "(2Δ)-protocol: {slots2} slots with zero bits exchanged — the price of \
+         the last saved slot is Ω(n) bits (Theorem 4)"
     );
 }

@@ -26,7 +26,11 @@ fn main() {
         } else {
             estimate_win_probability(s.as_ref(), 200_000, 42)
         };
-        let kind = if s.is_deterministic() { "exact " } else { "~est. " };
+        let kind = if s.is_deterministic() {
+            "exact "
+        } else {
+            "~est. "
+        };
         println!("  {:<20} {kind} win rate: {p:.4}", s.name());
         if s.is_deterministic() {
             let witness = find_loss_witness(&compute_labels(s.as_ref()));

@@ -1,24 +1,18 @@
 //! Quickstart: color a random graph with both of the paper's
-//! protocols and print what they cost.
+//! protocols through the unified runner API and print what they cost.
 //!
 //! ```sh
-//! cargo run -p bichrome-core --example quickstart
+//! cargo run --example quickstart
 //! ```
 
-use bichrome_core::edge::solve_edge_coloring;
-use bichrome_core::rct::RctConfig;
-use bichrome_core::vertex::solve_vertex_coloring;
-use bichrome_graph::coloring::{
-    validate_edge_coloring_with_palette, validate_vertex_coloring_with_palette,
-};
-use bichrome_graph::partition::Partitioner;
 use bichrome_graph::gen;
+use bichrome_graph::partition::Partitioner;
+use bichrome_runner::{registry, GraphSpec, Instance, TrialPlan};
 
 fn main() {
     // An input graph: n = 300, m ≈ 1200, Δ capped at 12 — think of it
     // as a communication network whose links are logged at two sites.
     let g = gen::gnm_max_degree(300, 1200, 12, 7);
-    let delta = g.max_degree();
     println!("input: {g}");
 
     // The adversary splits the edges between Alice and Bob.
@@ -28,34 +22,43 @@ fn main() {
         partition.alice().num_edges(),
         partition.bob().num_edges()
     );
+    let inst = Instance::new("quickstart", partition, 1);
 
-    // ---- Theorem 1: (Δ+1)-vertex coloring. ----
-    let out = solve_vertex_coloring(&partition, 1, &RctConfig::default());
-    validate_vertex_coloring_with_palette(&g, &out.coloring, delta + 1)
-        .expect("protocol output is a proper (Δ+1)-coloring");
-    println!(
-        "vertex coloring: {} colors, {} bits ({:.1} bits/vertex), {} rounds",
-        out.coloring.num_distinct_colors(),
-        out.stats.total_bits(),
-        out.stats.total_bits() as f64 / g.num_vertices() as f64,
-        out.stats.rounds,
-    );
-    println!(
-        "  random-color-trial left {} of {} vertices for the D1LC stage",
-        out.rct.remaining,
-        g.num_vertices()
-    );
+    // Every protocol hangs off the same registry; running one is
+    // uniform regardless of which theorem it implements.
+    let reg = registry();
+    for key in [
+        "vertex/theorem1",
+        "edge/theorem2",
+        "edge/theorem3-zero-comm",
+    ] {
+        let proto = reg.get(key).expect("registered");
+        let out = proto.run(&inst);
+        assert!(out.verdict.is_valid(), "{key} must validate");
+        println!(
+            "{key:<24}: {:>7} bits ({:.1} bits/vertex), {:>3} rounds, {} colors ≤ {:?}",
+            out.stats.total_bits(),
+            out.stats.total_bits() as f64 / inst.n() as f64,
+            out.stats.rounds,
+            out.artifact.colors_used(),
+            out.palette_budget,
+        );
+    }
 
-    // ---- Theorem 2: (2Δ−1)-edge coloring. ----
-    let out = solve_edge_coloring(&partition, 1);
-    let merged = out.merged();
-    validate_edge_coloring_with_palette(&g, &merged, 2 * delta - 1)
-        .expect("protocol output is a proper (2Δ−1)-edge coloring");
+    // Repeated, seed-parallel trials are one builder chain; the
+    // report aggregates mean/stddev/max and serializes to JSON.
+    let report = TrialPlan::new(reg.get("vertex/theorem1").expect("registered"))
+        .graphs(GraphSpec::GnmMaxDegree {
+            n: 300,
+            m: 1200,
+            dmax: 12,
+        })
+        .seeds(0..8)
+        .parallel(true)
+        .run();
     println!(
-        "edge coloring: {} colors, {} bits ({:.1} bits/vertex), {} rounds",
-        merged.num_distinct_colors(),
-        out.stats.total_bits(),
-        out.stats.total_bits() as f64 / g.num_vertices() as f64,
-        out.stats.rounds,
+        "\n8 seeded trials of vertex/theorem1:\n{}",
+        report.render_table()
     );
+    println!("JSON head: {}…", &report.to_json()[..72]);
 }

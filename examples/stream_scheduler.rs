@@ -18,15 +18,18 @@ use bichrome_graph::gen;
 use bichrome_graph::partition::Partitioner;
 use bichrome_streaming::algorithms::{ChunkedWStreaming, GreedyWStreaming};
 use bichrome_streaming::reduction::simulate_streaming_two_party;
-use bichrome_streaming::weaker::validate_weaker_output;
 use bichrome_streaming::run_w_streaming;
+use bichrome_streaming::weaker::validate_weaker_output;
 
 fn main() {
     // 400 hosts, ~4300 flows, at most 32 concurrent flows per host.
     let g = gen::gnm_max_degree(400, 4300, 32, 21);
     let n = g.num_vertices();
     let delta = g.max_degree();
-    println!("flow stream: {g} ({} flows arriving one by one)\n", g.num_edges());
+    println!(
+        "flow stream: {g} ({} flows arriving one by one)\n",
+        g.num_edges()
+    );
 
     // Scheduler 1: greedy, 2Δ−1 slots, Θ(nΔ) bits of switch memory.
     let mut greedy = GreedyWStreaming::new(n, delta);

@@ -1,15 +1,13 @@
 //! Integration tests for the Section 6 lower-bound machinery,
 //! connecting the games to the actual protocols.
 
-use bichrome_core::edge::solve_edge_coloring;
-use bichrome_graph::coloring::validate_edge_coloring_with_palette;
-use bichrome_graph::partition::Partitioner;
 use bichrome_graph::gen;
+use bichrome_graph::partition::Partitioner;
 use bichrome_lb::learning::run_learning_reduction;
 use bichrome_lb::repetition::run_parallel_repetition;
 use bichrome_lb::zec::{
-    compute_labels, exact_win_probability, find_loss_witness, strategy_suite,
-    RandomStrategy, ZEC_WIN_BOUND,
+    compute_labels, exact_win_probability, find_loss_witness, strategy_suite, RandomStrategy,
+    ZEC_WIN_BOUND,
 };
 use bichrome_lb::zec_new::{estimate_zec_new_win, ColorOnly, HUB_POOL, ZEC_NEW_WIN_BOUND};
 
@@ -44,7 +42,10 @@ fn repetition_decay_is_exponential_in_instances() {
         prev = rate.max(1e-9);
     }
     // At 12 instances with v ≈ 0.79 the win-all rate is ≈ 0.06.
-    assert!(prev < 0.15, "12-fold repetition should rarely be won: {prev}");
+    assert!(
+        prev < 0.15,
+        "12-fold repetition should rarely be won: {prev}"
+    );
 }
 
 #[test]
@@ -66,19 +67,19 @@ fn hard_instance_family_is_solvable_with_communication() {
     let bits: Vec<bool> = (0..20).map(|i| i % 3 == 0).collect();
     let g = gen::c4_gadget_union(&bits);
     assert_eq!(g.max_degree(), 2);
+    use bichrome_runner::{registry, Instance};
+    let proto = registry().get("edge/theorem2").expect("registered");
     for part in Partitioner::family(3) {
-        let p = part.split(&g);
-        let out = solve_edge_coloring(&p, 0);
-        validate_edge_coloring_with_palette(&g, &out.merged(), 3)
-            .unwrap_or_else(|e| panic!("{part}: {e}"));
+        let out = proto.run(&Instance::new(part.to_string(), part.split(&g), 0));
+        assert!(out.verdict.is_valid(), "{part}: {:?}", out.verdict);
+        assert_eq!(out.palette_budget, Some(3));
     }
 }
 
 #[test]
 fn learning_reduction_recovers_many_strings() {
     for seed in 0..5u64 {
-        let bits: Vec<bool> =
-            (0..10).map(|i| (i * 7 + seed as usize) % 3 == 1).collect();
+        let bits: Vec<bool> = (0..10).map(|i| (i * 7 + seed as usize) % 3 == 1).collect();
         let (recovered, comm) = run_learning_reduction(&bits, seed);
         assert_eq!(recovered, bits, "seed {seed}");
         assert!(comm > 0);

@@ -4,17 +4,13 @@
 //! theorems.
 
 use bichrome_core::edge::two_delta::solve_two_delta;
-use bichrome_core::edge::solve_edge_coloring;
-use bichrome_core::rct::RctConfig;
 use bichrome_core::slack_int::run_slack_int_session;
-use bichrome_core::vertex::solve_vertex_coloring;
-use bichrome_graph::coloring::{
-    validate_edge_coloring_with_palette, validate_vertex_coloring_with_palette,
-};
+use bichrome_graph::coloring::validate_edge_coloring_with_palette;
 use bichrome_graph::edge_color::{fournier, misra_gries};
 use bichrome_graph::matching::{delta_perfect_matching, is_matching};
 use bichrome_graph::partition::Partitioner;
 use bichrome_graph::{gen, Edge, Graph, GraphBuilder, VertexId};
+use bichrome_runner::{registry, Instance};
 use proptest::prelude::*;
 
 /// Strategy: a random simple graph with `n ∈ [2, 40]` and each
@@ -42,18 +38,16 @@ proptest! {
 
     #[test]
     fn prop_theorem1_always_valid(g in arb_graph(), part in arb_partitioner(), seed in 0u64..1000) {
-        let p = part.split(&g);
-        let out = solve_vertex_coloring(&p, seed, &RctConfig::default());
-        prop_assert!(validate_vertex_coloring_with_palette(
-            &g, &out.coloring, g.max_degree() + 1).is_ok());
+        let inst = Instance::new("prop", part.split(&g), seed);
+        let out = registry().get("vertex/theorem1").expect("registered").run(&inst);
+        prop_assert!(out.verdict.is_valid(), "{:?}", out.verdict);
     }
 
     #[test]
     fn prop_theorem2_always_valid(g in arb_graph(), part in arb_partitioner()) {
-        let p = part.split(&g);
-        let out = solve_edge_coloring(&p, 0);
-        let budget = (2 * g.max_degree()).saturating_sub(1).max(1);
-        prop_assert!(validate_edge_coloring_with_palette(&g, &out.merged(), budget).is_ok());
+        let inst = Instance::new("prop", part.split(&g), 0);
+        let out = registry().get("edge/theorem2").expect("registered").run(&inst);
+        prop_assert!(out.verdict.is_valid(), "{:?}", out.verdict);
         prop_assert!(out.stats.rounds <= 3);
     }
 

@@ -2,14 +2,14 @@
 //! rest of the workspace: streaming algorithms vs the two-party
 //! protocols on shared workloads, and the weaker-output reduction.
 
-use bichrome_core::edge::solve_edge_coloring;
 use bichrome_graph::coloring::{validate_edge_coloring, validate_edge_coloring_with_palette};
-use bichrome_graph::partition::Partitioner;
 use bichrome_graph::gen;
+use bichrome_graph::partition::Partitioner;
+use bichrome_runner::{registry, Instance};
 use bichrome_streaming::algorithms::{ChunkedWStreaming, GreedyWStreaming};
 use bichrome_streaming::reduction::simulate_streaming_two_party;
-use bichrome_streaming::weaker::validate_weaker_output;
 use bichrome_streaming::run_w_streaming;
+use bichrome_streaming::weaker::validate_weaker_output;
 use proptest::prelude::*;
 
 #[test]
@@ -25,12 +25,30 @@ fn streaming_and_two_party_agree_on_validity() {
             .expect("streaming valid");
 
         let p = Partitioner::Random(seed).split(&g);
-        let two_party = solve_edge_coloring(&p, 0);
-        validate_edge_coloring_with_palette(&g, &two_party.merged(), 2 * delta - 1)
-            .expect("two-party valid");
+        let two_party = registry()
+            .get("edge/theorem2")
+            .expect("registered")
+            .run(&Instance::new("gnm", p.clone(), 0));
+        assert!(
+            two_party.verdict.is_valid(),
+            "two-party valid: {:?}",
+            two_party.verdict
+        );
 
         let sim = simulate_streaming_two_party(&p, || GreedyWStreaming::new(80, delta), 0);
         validate_weaker_output(&g, &sim.output, 2 * delta - 1).expect("simulation valid");
+
+        // The same simulation is also a registry protocol.
+        let via_registry = registry()
+            .get("streaming/greedy-w")
+            .expect("registered")
+            .run(&Instance::new("gnm", p, 0));
+        assert!(
+            via_registry.verdict.is_valid(),
+            "{:?}",
+            via_registry.verdict
+        );
+        assert_eq!(via_registry.stats.total_bits(), sim.stats.total_bits());
     }
 }
 
@@ -41,10 +59,13 @@ fn theorem2_beats_streaming_simulation_on_bits() {
     // better than simulating the trivial streamer, as it should be.
     let n = 256;
     let g = gen::gnm_max_degree(n, n * 5, 16, 3);
-    let delta = g.max_degree();
-    let p = Partitioner::Random(1).split(&g);
-    let direct = solve_edge_coloring(&p, 0);
-    let sim = simulate_streaming_two_party(&p, || GreedyWStreaming::new(n, delta), 0);
+    let reg = registry();
+    let inst = Instance::new("gnm", Partitioner::Random(1).split(&g), 0);
+    let direct = reg.get("edge/theorem2").expect("registered").run(&inst);
+    let sim = reg
+        .get("streaming/greedy-w")
+        .expect("registered")
+        .run(&inst);
     assert!(
         direct.stats.total_bits() < sim.stats.total_bits(),
         "direct {} must beat simulated {}",
@@ -92,7 +113,7 @@ proptest! {
         prop_assert!(validate_weaker_output(&g, &sim.output, 2 * delta - 1).is_ok());
         // One pass: bits equal the byte-rounded state size.
         let state = (n * (2 * delta - 1)) as u64;
-        prop_assert_eq!(sim.stats.total_bits(), (state + 7) / 8 * 8);
+        prop_assert_eq!(sim.stats.total_bits(), state.div_ceil(8) * 8);
     }
 
     #[test]

@@ -1,13 +1,11 @@
 //! End-to-end integration tests for the (Δ+1)-vertex-coloring stack:
 //! Theorem 1 against every generator family, partitioner, and the
-//! baselines.
+//! baselines — all driven through the unified `bichrome_runner` API.
 
-use bichrome_core::baselines::{run_baseline, Baseline};
-use bichrome_core::rct::{paper_iterations, RctConfig};
-use bichrome_core::vertex::solve_vertex_coloring;
-use bichrome_graph::coloring::validate_vertex_coloring_with_palette;
+use bichrome_core::rct::paper_iterations;
 use bichrome_graph::partition::Partitioner;
 use bichrome_graph::{gen, Graph};
+use bichrome_runner::{registry, Instance, Registry, TrialPlan};
 
 fn graph_zoo(seed: u64) -> Vec<(String, Graph)> {
     vec![
@@ -22,7 +20,10 @@ fn graph_zoo(seed: u64) -> Vec<(String, Graph)> {
         ("gnp-dense".into(), gen::gnp(40, 0.3, seed)),
         ("near-regular".into(), gen::near_regular(60, 7, seed)),
         ("capped".into(), gen::gnm_max_degree(80, 240, 9, seed)),
-        ("c4-gadgets".into(), gen::c4_gadget_union(&[true, false, true, true, false])),
+        (
+            "c4-gadgets".into(),
+            gen::c4_gadget_union(&[true, false, true, true, false]),
+        ),
         (
             "independent-max".into(),
             gen::independent_max_degree(50, 6, 6, seed),
@@ -32,26 +33,38 @@ fn graph_zoo(seed: u64) -> Vec<(String, Graph)> {
     ]
 }
 
+fn theorem1(reg: &Registry) -> std::sync::Arc<dyn bichrome_runner::Protocol> {
+    reg.get("vertex/theorem1").expect("registered")
+}
+
 #[test]
 fn theorem1_valid_on_the_whole_zoo() {
-    for (name, g) in graph_zoo(5) {
-        let p = Partitioner::Random(3).split(&g);
-        let out = solve_vertex_coloring(&p, 17, &RctConfig::default());
-        validate_vertex_coloring_with_palette(&g, &out.coloring, g.max_degree() + 1)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    // The zoo as one parallel TrialPlan: every family, one report.
+    let instances = graph_zoo(5)
+        .into_iter()
+        .map(|(name, g)| Instance::new(name, Partitioner::Random(3).split(&g), 17));
+    let report = TrialPlan::new(theorem1(&registry()))
+        .instances(instances)
+        .run();
+    for t in &report.trials {
+        assert!(t.valid, "{}: {:?}", t.label, t.error);
     }
 }
 
 #[test]
 fn theorem1_valid_under_every_partitioner() {
     let g = gen::gnm_max_degree(70, 220, 8, 2);
-    for part in Partitioner::family(11) {
-        let p = part.split(&g);
-        for seed in [0u64, 1, 2] {
-            let out = solve_vertex_coloring(&p, seed, &RctConfig::default());
-            validate_vertex_coloring_with_palette(&g, &out.coloring, g.max_degree() + 1)
-                .unwrap_or_else(|e| panic!("{part}/seed{seed}: {e}"));
-        }
+    let g = &g;
+    let instances = Partitioner::family(11).into_iter().flat_map(|part| {
+        [0u64, 1, 2]
+            .into_iter()
+            .map(move |seed| Instance::new(part.to_string(), part.split(g), seed))
+    });
+    let report = TrialPlan::new(theorem1(&registry()))
+        .instances(instances)
+        .run();
+    for t in &report.trials {
+        assert!(t.valid, "{}/seed{}: {:?}", t.label, t.seed, t.error);
     }
 }
 
@@ -59,20 +72,25 @@ fn theorem1_valid_under_every_partitioner() {
 fn theorem1_beats_flin_mittal_on_rounds_at_same_bits_scale() {
     // The headline comparison of the paper (§1.1): same O(n) bits, but
     // rounds drop from Θ(n) to O(log log n · log Δ).
+    let reg = registry();
     let g = gen::near_regular(240, 8, 4);
-    let p = Partitioner::Random(5).split(&g);
+    let inst = Instance::new("near-regular", Partitioner::Random(5).split(&g), 7);
 
-    let ours = solve_vertex_coloring(&p, 7, &RctConfig::default());
-    let (_, fm) = run_baseline(&p, Baseline::FlinMittal, 7);
+    let ours = theorem1(&reg).run(&inst);
+    let fm = reg
+        .get("baseline/flin-mittal")
+        .expect("registered")
+        .run(&inst);
+    assert!(ours.verdict.is_valid() && fm.verdict.is_valid());
 
     assert!(
-        ours.stats.rounds * 3 < fm.rounds,
+        ours.stats.rounds * 3 < fm.stats.rounds,
         "ours = {} rounds must be far below Flin–Mittal = {} rounds",
         ours.stats.rounds,
-        fm.rounds
+        fm.stats.rounds
     );
     // Bits stay within a moderate constant of each other (both O(n)).
-    let ratio = ours.stats.total_bits() as f64 / fm.total_bits().max(1) as f64;
+    let ratio = ours.stats.total_bits() as f64 / fm.stats.total_bits().max(1) as f64;
     assert!(
         ratio < 8.0,
         "our bits should be within a constant of FM's: ratio {ratio}"
@@ -83,11 +101,12 @@ fn theorem1_beats_flin_mittal_on_rounds_at_same_bits_scale() {
 fn theorem1_bits_scale_linearly() {
     // Doubling n at fixed Δ should roughly double the bits — not
     // quadruple them (the bits/vertex ratio stays bounded).
+    let proto = theorem1(&registry());
     let mut bits = Vec::new();
     for &n in &[128usize, 256, 512] {
         let g = gen::near_regular(n, 8, 6);
-        let p = Partitioner::Random(1).split(&g);
-        let out = solve_vertex_coloring(&p, 3, &RctConfig::default());
+        let out = proto.run(&Instance::new("nr", Partitioner::Random(1).split(&g), 3));
+        assert!(out.verdict.is_valid());
         bits.push(out.stats.total_bits() as f64 / n as f64);
     }
     let min = bits.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -100,11 +119,8 @@ fn theorem1_rounds_track_paper_budget() {
     // Worst-case rounds O(log log n · log Δ): compare against an
     // explicit constant times the formula.
     let g = gen::near_regular(300, 16, 8);
-    let p = Partitioner::Random(2).split(&g);
-    let out = solve_vertex_coloring(&p, 11, &RctConfig::default());
-    let budget = paper_iterations(300) as u64
-        * (2 * (16f64).log2().ceil() as u64 + 8)
-        + 200;
+    let out = theorem1(&registry()).run(&Instance::new("nr", Partitioner::Random(2).split(&g), 11));
+    let budget = paper_iterations(300) as u64 * (2 * (16f64).log2().ceil() as u64 + 8) + 200;
     assert!(
         out.stats.rounds <= budget,
         "rounds {} exceed paper-shaped budget {budget}",
@@ -114,29 +130,35 @@ fn theorem1_rounds_track_paper_budget() {
 
 #[test]
 fn all_protocols_agree_on_validity_never_on_colors() {
-    // Different protocols give different colorings, but all valid.
+    // Different registry protocols give different colorings, but the
+    // validators accept every one of them.
+    let reg = registry();
     let g = gen::gnp(50, 0.15, 9);
-    let p = Partitioner::Alternating.split(&g);
-    let k = g.max_degree() + 1;
-    let ours = solve_vertex_coloring(&p, 3, &RctConfig::default()).coloring;
-    for baseline in
-        [Baseline::FlinMittal, Baseline::GreedyBinarySearch, Baseline::SendEverything]
-    {
-        let (c, _) = run_baseline(&p, baseline, 3);
-        validate_vertex_coloring_with_palette(&g, &c, k)
-            .unwrap_or_else(|e| panic!("{baseline}: {e}"));
+    let inst = Instance::new("gnp", Partitioner::Alternating.split(&g), 3);
+    for key in [
+        "vertex/theorem1",
+        "baseline/flin-mittal",
+        "baseline/greedy-binary-search",
+        "baseline/send-everything",
+    ] {
+        let out = reg.get(key).expect("registered").run(&inst);
+        assert!(out.verdict.is_valid(), "{key}: {:?}", out.verdict);
+        assert_eq!(out.palette_budget, Some(g.max_degree() + 1));
     }
-    validate_vertex_coloring_with_palette(&g, &ours, k).expect("ours valid");
 }
 
 #[test]
 fn theorem1_under_newman_private_coins() {
     // §3.1: public randomness can be replaced by private coins at an
     // additive O(log n + log 1/δ) bits (Newman). Run the full
-    // Theorem 1 protocol with only a private seed announcement.
+    // Theorem 1 protocol with only a private seed announcement. The
+    // Newman wrapper composes with the party scripts directly, below
+    // the runner's session assembly.
     use bichrome_comm::newman::run_newman;
+    use bichrome_core::rct::RctConfig;
     use bichrome_core::vertex::vertex_coloring_party;
     use bichrome_core::PartyInput;
+    use bichrome_graph::coloring::validate_vertex_coloring_with_palette;
 
     let g = gen::gnm_max_degree(60, 180, 8, 4);
     let p = Partitioner::Random(2).split(&g);
@@ -158,10 +180,16 @@ fn theorem1_under_newman_private_coins() {
 #[test]
 fn repeated_runs_with_distinct_seeds_all_valid() {
     let g = gen::gnm_max_degree(60, 200, 10, 3);
-    let p = Partitioner::ParitySum.split(&g);
-    for seed in 0..10 {
-        let out = solve_vertex_coloring(&p, seed, &RctConfig::default());
-        validate_vertex_coloring_with_palette(&g, &out.coloring, g.max_degree() + 1)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-    }
+    let instances =
+        (0..10).map(|seed| Instance::new("paritysum", Partitioner::ParitySum.split(&g), seed));
+    let report = TrialPlan::new(theorem1(&registry()))
+        .instances(instances)
+        .parallel(true)
+        .run();
+    assert!(
+        report.all_valid(),
+        "{:?}",
+        report.trials.iter().find(|t| !t.valid)
+    );
+    assert_eq!(report.summary.trials, 10);
 }
