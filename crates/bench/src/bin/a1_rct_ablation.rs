@@ -1,33 +1,50 @@
-//! **A1 (ablation)** — why `O(log log n)` Random-Color-Trial
+//! **A1 (ablation)** — regenerates the EXPERIMENTS.md
+//! iteration-budget table: why `O(log log n)` Random-Color-Trial
 //! iterations before switching to D1LC (the design choice behind
-//! Theorem 1): sweep the iteration budget and measure the leftover-set
-//! size, total bits, and rounds of the full protocol.
+//! Theorem 1) — leftover-set size, total bits, and rounds of the full
+//! protocol across the budget sweep.
+//!
+//! Driven by the one-line campaign
+//! `Campaign::new().protocol_labeled("iters=N", VertexTheorem1 { config }).graphs([near-regular(n=1024,d=16)]).seeds(0..3)` —
+//! the budget sweep is a *labeled protocol axis* (same registry key,
+//! different tuning), and the leftover `|Z|` arrives as the
+//! `rct_remaining` metric the registry protocol now reports.
 //!
 //! Too few iterations leave a large `Z` for the (more expensive per
 //! vertex) D1LC stage; too many buy nothing once `Z` is tiny but pay
 //! worst-case rounds. The paper's budget sits at the knee.
 
-// This ablation reads RCT-internal instrumentation (`out.rct`), which
-// sits below the runner's uniform Outcome, so it stays on the core
-// entry point.
-#![allow(deprecated)]
-
-use bichrome_bench::{mean, Table};
+use bichrome_bench::Table;
 use bichrome_core::rct::{paper_iterations, RctConfig};
-use bichrome_core::vertex::solve_vertex_coloring;
-use bichrome_graph::coloring::validate_vertex_coloring_with_palette;
-use bichrome_graph::gen;
-use bichrome_graph::partition::Partitioner;
+use bichrome_runner::registry::VertexTheorem1;
+use bichrome_runner::{Campaign, GraphSpec, Protocol};
+use std::sync::Arc;
 
 fn main() {
     println!("A1: ablation — RCT iteration budget vs protocol cost\n");
     let n = 1024usize;
     let delta = 16usize;
-    let reps = 3u64;
     println!(
         "n = {n}, Δ = {delta}, paper budget = {} iterations\n",
         paper_iterations(n)
     );
+
+    let budgets = [0usize, 1, 2, 4, 8, 16, 32, 64];
+    let mut campaign = Campaign::new()
+        .graphs([GraphSpec::NearRegular { n, d: delta }])
+        .seeds(0..3);
+    for &iters in &budgets {
+        let config = RctConfig {
+            iterations: Some(iters),
+            early_exit: true,
+        };
+        campaign = campaign.protocol_labeled(
+            format!("iters={iters}"),
+            Arc::new(VertexTheorem1 { config }) as Arc<dyn Protocol>,
+        );
+    }
+    let report = campaign.run();
+    assert!(report.all_valid(), "valid under every budget");
 
     let mut t = Table::new(&[
         "iterations",
@@ -36,30 +53,14 @@ fn main() {
         "bits/n",
         "rounds",
     ]);
-    for &iters in &[0usize, 1, 2, 4, 8, 16, 32, 64] {
-        let mut leftover = Vec::new();
-        let mut bits = Vec::new();
-        let mut rounds = Vec::new();
-        for rep in 0..reps {
-            let g = gen::near_regular(n, delta, rep * 13 + 1);
-            let p = Partitioner::Random(rep).split(&g);
-            let cfg = RctConfig {
-                iterations: Some(iters),
-                early_exit: true,
-            };
-            let out = solve_vertex_coloring(&p, rep, &cfg);
-            validate_vertex_coloring_with_palette(&g, &out.coloring, delta + 1)
-                .expect("valid under every budget");
-            leftover.push(out.rct.remaining as f64);
-            bits.push(out.stats.total_bits() as f64);
-            rounds.push(out.stats.rounds as f64);
-        }
+    for (cell, &iters) in report.cells.iter().zip(&budgets) {
+        let s = cell.summary();
         t.row(&[
             &iters.to_string(),
-            &format!("{:.0}", mean(&leftover)),
-            &format!("{:.0}", mean(&bits)),
-            &format!("{:.1}", mean(&bits) / n as f64),
-            &format!("{:.0}", mean(&rounds)),
+            &format!("{:.0}", s.metric("rct_remaining").mean),
+            &format!("{:.0}", s.total_bits.mean),
+            &format!("{:.1}", s.bits_per_vertex.mean),
+            &format!("{:.0}", s.rounds.mean),
         ]);
     }
     t.print();

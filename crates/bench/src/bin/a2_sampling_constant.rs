@@ -1,5 +1,10 @@
-//! **A2 (ablation)** — Algorithm 3's sampling constant (the `150` in
-//! `p = min(1, 150·m/k̃²)`): sweep it and measure slack-int cost.
+//! **A2 (ablation)** — regenerates the EXPERIMENTS.md
+//! sampling-constant table: Algorithm 3's constant (the `150` in
+//! `p = min(1, 150·m/k̃²)`), swept against slack-int cost.
+//!
+//! Driven by one campaign per slack:
+//! `Campaign::new().protocols(cs.map(|c| SlackIntProbe::with_constant(m, k, c))).graphs([empty(n=1)]).seeds(0..25)` —
+//! the constant sweep is the protocol axis.
 //!
 //! A small constant makes samples too thin, so the deficit certificate
 //! `|S∩X| + |S∩Y| < |S|` keeps failing and the guess loop burns
@@ -8,32 +13,34 @@
 //! probability (Markov on the sampled occupancy); the sweep shows the
 //! measured trade-off around it.
 
-use bichrome_bench::{mean, Table};
-use bichrome_core::slack_int::run_slack_int_session_with_constant;
+use bichrome_bench::Table;
+use bichrome_runner::probes::{unit_graph, SlackIntProbe};
+use bichrome_runner::{Campaign, Protocol};
+use std::sync::Arc;
 
 fn main() {
     println!("A2: ablation — Algorithm 3's sampling constant\n");
     let m = 4096usize;
-    let reps = 25u64;
+    let constants = [2.0f64, 10.0, 50.0, 150.0, 600.0, 2400.0];
     for &k in &[64usize, 4] {
         println!("universe m = {m}, slack k = {k}:");
-        let occupied = m - k;
-        let x: Vec<u64> = (0..(occupied as u64) / 2).collect();
-        let y: Vec<u64> = ((occupied as u64) / 2..occupied as u64).collect();
+        let report = Campaign::new()
+            .protocols(
+                constants
+                    .iter()
+                    .map(|&c| Arc::new(SlackIntProbe::with_constant(m, k, c)) as Arc<dyn Protocol>),
+            )
+            .graphs([unit_graph()])
+            .seeds(0..25)
+            .run();
+        assert!(report.all_valid(), "must find a free element");
         let mut t = Table::new(&["constant C", "bits mean", "rounds mean"]);
-        for &c in &[2.0f64, 10.0, 50.0, 150.0, 600.0, 2400.0] {
-            let mut bits = Vec::new();
-            let mut rounds = Vec::new();
-            for seed in 0..reps {
-                let (e, stats) = run_slack_int_session_with_constant(m, &x, &y, seed * 7 + 1, c);
-                assert!(e >= occupied as u64, "must find a free element");
-                bits.push(stats.total_bits() as f64);
-                rounds.push(stats.rounds as f64);
-            }
+        for (cell, &c) in report.cells.iter().zip(&constants) {
+            let s = cell.summary();
             t.row(&[
                 &format!("{c}"),
-                &format!("{:.1}", mean(&bits)),
-                &format!("{:.1}", mean(&rounds)),
+                &format!("{:.1}", s.total_bits.mean),
+                &format!("{:.1}", s.rounds.mean),
             ]);
         }
         t.print();

@@ -1,0 +1,69 @@
+//! **bench-campaign** — the repo's perf-trajectory benchmark: runs a
+//! fixed smoke grid (every registry protocol × 3 graph families ×
+//! 4 seeds) through the campaign executor and writes
+//! `BENCH_campaign.json` — cells/sec, trials/sec, total bits, wall
+//! time — so CI can chart orchestration throughput across PRs.
+//!
+//! ```sh
+//! cargo run --release -p bichrome-bench --bin bench_campaign [out.json]
+//! ```
+
+use bichrome_runner::{registry, Campaign, GraphSpec};
+use std::time::Instant;
+
+/// The fixed smoke grid: small enough for CI, wide enough to touch
+/// every protocol and the three main graph families.
+fn smoke_grid() -> Campaign {
+    Campaign::new()
+        .protocol_keys(registry().names())
+        .graphs([
+            GraphSpec::NearRegular { n: 64, d: 6 },
+            GraphSpec::Gnp { n: 64, p: 0.1 },
+            GraphSpec::GnmMaxDegree {
+                n: 64,
+                m: 160,
+                dmax: 8,
+            },
+        ])
+        .seeds(0..4)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_campaign.json".to_string());
+    let campaign = smoke_grid();
+    let cells = campaign.cell_count();
+    println!("bench-campaign: running the {cells}-cell smoke grid...");
+
+    let started = Instant::now();
+    let report = campaign.run();
+    let wall = started.elapsed();
+
+    assert!(
+        report.all_valid(),
+        "the smoke grid must be validator-valid:\n{}",
+        report.render_table()
+    );
+    let wall_secs = wall.as_secs_f64();
+    let trials = report.total_trials();
+
+    let mut w = bichrome_runner::json::Writer::object();
+    w.field_str("benchmark", "campaign-smoke-grid");
+    w.field_u64("cells", report.cells.len() as u64);
+    w.field_u64("trials", trials as u64);
+    w.field_u64("total_bits", report.total_bits());
+    w.field_bool("all_valid", true);
+    w.field_f64("wall_seconds", wall_secs);
+    w.field_f64("cells_per_sec", report.cells.len() as f64 / wall_secs);
+    w.field_f64("trials_per_sec", trials as f64 / wall_secs);
+    let json = w.finish();
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+
+    println!("{}", report.render_table());
+    println!(
+        "wall {wall_secs:.3}s · {:.1} cells/sec · {:.1} trials/sec → {out_path}",
+        report.cells.len() as f64 / wall_secs,
+        trials as f64 / wall_secs,
+    );
+}

@@ -1,62 +1,49 @@
 //! **E3** — inside `Random-Color-Trial` (Lemmas 4.3–4.5, 4.13):
-//! active-vertex decay per iteration against the `(23/24)^{i−1}`
-//! bound, the leftover count against `n/log⁴ n`, and the O(1)
-//! per-vertex communication cost.
+//! regenerates the EXPERIMENTS.md active-vertex-decay table — decay
+//! per iteration against the `(23/24)^{i−1}` bound, the leftover
+//! count against `n/log⁴ n`, and the O(1) per-vertex communication.
+//!
+//! Driven by the one-line campaign
+//! `Campaign::new().protocols([RctDecayProbe]).graphs([near-regular(n=4096,d=16)]).seeds(0..3)`;
+//! the per-iteration trajectory arrives as `active_iter_NN` metrics
+//! aggregated in the cell summary.
 
-use bichrome_bench::{mean, Table};
-use bichrome_comm::session::run_two_party_ctx;
-use bichrome_core::input::PartyInput;
-use bichrome_core::rct::{paper_iterations, run_random_color_trial, RctConfig};
-use bichrome_graph::coloring::VertexColoring;
-use bichrome_graph::gen;
-use bichrome_graph::partition::Partitioner;
+use bichrome_bench::Table;
+use bichrome_core::rct::paper_iterations;
+use bichrome_runner::probes::RctDecayProbe;
+use bichrome_runner::{Campaign, GraphSpec, Protocol};
+use std::sync::Arc;
 
 fn main() {
     println!("E3: Random-Color-Trial internals (Lemma 4.1 and friends)\n");
     let n = 4096usize;
     let delta = 16usize;
-    let reps = 3u64;
 
-    let mut actives: Vec<Vec<usize>> = Vec::new();
-    let mut bits_per_vertex = Vec::new();
-    let mut remaining = Vec::new();
-    for rep in 0..reps {
-        let g = gen::near_regular(n, delta, rep * 7 + 1);
-        let p = Partitioner::Random(rep).split(&g);
-        let (a, b) = (PartyInput::alice(&p), PartyInput::bob(&p));
-        let cfg = RctConfig::default();
-        let ((rep_a, _), (_rep_b, _), stats) = run_two_party_ctx(
-            rep,
-            move |ctx| {
-                let mut c = VertexColoring::new(n);
-                let r = run_random_color_trial(&a, &ctx, &mut c, &cfg);
-                (r, c.num_colored())
-            },
-            move |ctx| {
-                let mut c = VertexColoring::new(n);
-                let r = run_random_color_trial(&b, &ctx, &mut c, &cfg);
-                (r, c.num_colored())
-            },
-        );
-        remaining.push(rep_a.remaining as f64);
-        bits_per_vertex.push(stats.total_bits() as f64 / n as f64);
-        actives.push(rep_a.active_per_iteration.clone());
-    }
+    let report = Campaign::new()
+        .protocols([Arc::new(RctDecayProbe::default()) as Arc<dyn Protocol>])
+        .graphs([GraphSpec::NearRegular { n, d: delta }])
+        .seeds(0..3)
+        .run();
+    assert!(report.all_valid(), "RCT parties must agree");
+    let summary = report.cells[0].summary().clone();
 
     println!("Active vertices per iteration (n = {n}, Δ = {delta}):");
     let mut t = Table::new(&["iter", "active (mean)", "fraction", "(23/24)^(i-1) bound"]);
-    let longest = actives.iter().map(|a| a.len()).max().unwrap_or(0);
-    for i in 0..longest.min(24) {
-        let vals: Vec<f64> = actives
-            .iter()
-            .map(|a| a.get(i).copied().unwrap_or(0) as f64)
-            .collect();
-        let m = mean(&vals);
+    for (key, agg) in &summary.metrics {
+        let Some(iter) = key.strip_prefix("active_iter_") else {
+            continue;
+        };
+        // Trajectories are zero-padded to a fixed length; a row where
+        // no trial was active is past every termination point.
+        if agg.max == 0.0 {
+            continue;
+        }
+        let i: usize = iter.parse().expect("metric key carries the iteration");
         t.row(&[
-            &(i + 1).to_string(),
-            &format!("{m:.0}"),
-            &format!("{:.4}", m / n as f64),
-            &format!("{:.4}", (23.0f64 / 24.0).powi(i as i32)),
+            &i.to_string(),
+            &format!("{:.0}", agg.mean),
+            &format!("{:.4}", agg.mean / n as f64),
+            &format!("{:.4}", (23.0f64 / 24.0).powi(i as i32 - 1)),
         ]);
     }
     t.print();
@@ -65,13 +52,13 @@ fn main() {
     println!(
         "\nLeftover after the trial: mean {:.1} vertices (Lemma 4.1(i) budget \
          n/log⁴n = {loglog_budget:.1}; paper iteration cap {} — early exit engaged)",
-        mean(&remaining),
+        summary.metric("remaining").mean,
         paper_iterations(n),
     );
     println!(
         "Communication: mean {:.2} bits per vertex across the whole trial \
          (Lemmas 4.5 + 4.13 predict O(1))",
-        mean(&bits_per_vertex)
+        summary.bits_per_vertex.mean
     );
     println!(
         "\nClaim check: the empirical decay is at or below the (23/24)^i \

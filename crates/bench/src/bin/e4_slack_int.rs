@@ -1,14 +1,37 @@
 //! **E4** — the `k-Slack-Int` cost curve (Lemma A.2 / Lemma 3.1):
-//! expected bits `O(log²((m+1)/k))` and rounds `O(log((m+1)/k))`,
-//! measured over a slack sweep at fixed universe size.
+//! regenerates the EXPERIMENTS.md cost-vs-slack table — expected bits
+//! `O(log²((m+1)/k))` and rounds `O(log((m+1)/k))` over a slack sweep
+//! at fixed universe size.
+//!
+//! Driven by the one-line campaign
+//! `Campaign::new().protocols(ks.map(SlackIntProbe::new)).graphs([empty(n=1)]).seeds(0..25)` —
+//! the slack sweep is the protocol axis; the probe's verdict checks
+//! every found element really is free.
 
-use bichrome_bench::{mean, stddev, Table};
-use bichrome_core::slack_int::run_slack_int_session;
+use bichrome_bench::Table;
+use bichrome_runner::probes::{unit_graph, SlackIntProbe};
+use bichrome_runner::{Campaign, Protocol};
+use std::sync::Arc;
 
 fn main() {
     println!("E4: k-Slack-Int — cost vs slack (Lemma A.2)\n");
     let m = 1024usize;
-    let reps = 25u64;
+    let slacks = [1023usize, 512, 256, 64, 16, 4, 1];
+
+    let report = Campaign::new()
+        .protocols(
+            slacks
+                .iter()
+                .map(|&k| Arc::new(SlackIntProbe::new(m, k)) as Arc<dyn Protocol>),
+        )
+        .graphs([unit_graph()])
+        .seeds(0..25)
+        .run();
+    assert!(
+        report.all_valid(),
+        "every found element must be outside both sets"
+    );
+
     let mut t = Table::new(&[
         "k (slack)",
         "log²((m+1)/k)",
@@ -16,30 +39,14 @@ fn main() {
         "bits sd",
         "rounds mean",
     ]);
-    for &k in &[1023usize, 512, 256, 64, 16, 4, 1] {
-        // |X| + |Y| = m − k exactly: X takes the low half of the
-        // occupied range, Y the high half.
-        let occupied = m - k;
-        let x: Vec<u64> = (0..(occupied as u64) / 2).collect();
-        let y: Vec<u64> = ((occupied as u64) / 2..occupied as u64).collect();
-        let mut bits = Vec::new();
-        let mut rounds = Vec::new();
-        for seed in 0..reps {
-            let (e, stats) = run_slack_int_session(m, &x, &y, seed * 31 + k as u64);
-            assert!(
-                e >= occupied as u64,
-                "found element must be outside both sets"
-            );
-            bits.push(stats.total_bits() as f64);
-            rounds.push(stats.rounds as f64);
-        }
-        let ratio = ((m + 1) as f64 / k as f64).log2().powi(2);
+    for (cell, &k) in report.cells.iter().zip(&slacks) {
+        let s = cell.summary();
         t.row(&[
             &k.to_string(),
-            &format!("{ratio:.1}"),
-            &format!("{:.1}", mean(&bits)),
-            &format!("{:.1}", stddev(&bits)),
-            &format!("{:.1}", mean(&rounds)),
+            &format!("{:.1}", s.metric("predicted_bits_scale").mean),
+            &format!("{:.1}", s.total_bits.mean),
+            &format!("{:.1}", s.total_bits.stddev),
+            &format!("{:.1}", s.rounds.mean),
         ]);
     }
     t.print();

@@ -1,15 +1,33 @@
-//! **E8** — the learning reduction (§2.3): Bob reconstructs Alice's
-//! n-bit string from any `(Δ+1)`-coloring of the C4-gadget graph, so
-//! protocols must pay Ω(n) bits. Measures recovery accuracy and the
-//! protocol bits actually spent as n grows.
+//! **E8** — the learning reduction (§2.3): regenerates the
+//! EXPERIMENTS.md recovery table — Bob reconstructs Alice's n-bit
+//! string from any `(Δ+1)`-coloring of the C4-gadget graph, so
+//! protocols must pay Ω(n) bits.
+//!
+//! Driven by the one-line campaign
+//! `Campaign::new().protocols(ns.map(LearningProbe::new)).graphs([empty(n=1)]).seeds(0..3)`;
+//! the probe's verdict *is* the recovery check, so `all_valid()`
+//! asserts recovery always succeeds.
 
 use bichrome_bench::Table;
-use bichrome_lb::learning::run_learning_reduction;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bichrome_runner::probes::{unit_graph, LearningProbe};
+use bichrome_runner::{Campaign, Protocol};
+use std::sync::Arc;
 
 fn main() {
     println!("E8: learning-problem reduction for (Δ+1)-vertex coloring (§2.3)\n");
+    let sizes = [8usize, 16, 32, 64, 128, 256];
+
+    let report = Campaign::new()
+        .protocols(
+            sizes
+                .iter()
+                .map(|&n| Arc::new(LearningProbe::new(n)) as Arc<dyn Protocol>),
+        )
+        .graphs([unit_graph()])
+        .seeds(0..3)
+        .run();
+    assert!(report.all_valid(), "recovery must always succeed");
+
     let mut t = Table::new(&[
         "string bits n",
         "gadget vertices",
@@ -17,19 +35,15 @@ fn main() {
         "protocol bits",
         "bits per learned bit",
     ]);
-    for &n in &[8usize, 16, 32, 64, 128, 256] {
-        let mut rng = StdRng::seed_from_u64(n as u64);
-        let bits: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
-        let (recovered, comm) = run_learning_reduction(&bits, 9);
-        let ok = recovered == bits;
+    for (cell, &n) in report.cells.iter().zip(&sizes) {
+        let s = cell.summary();
         t.row(&[
             &n.to_string(),
-            &(4 * n).to_string(),
-            if ok { "yes" } else { "NO" },
-            &comm.to_string(),
-            &format!("{:.1}", comm as f64 / n as f64),
+            &format!("{:.0}", s.metric("gadget_vertices").mean),
+            if s.valid == s.trials { "yes" } else { "NO" },
+            &format!("{:.0}", s.total_bits.mean),
+            &format!("{:.1}", s.metric("bits_per_learned_bit").mean),
         ]);
-        assert!(ok, "recovery must always succeed");
     }
     t.print();
     println!(

@@ -1,74 +1,81 @@
-//! **E9** — the W-streaming picture of §6.4 / Corollary 1.2: streaming
-//! algorithms' space vs colors, and the two-party simulation whose
-//! communication equals `passes × state` — the quantity Theorem 5
-//! lower-bounds by `Ω(n)`.
+//! **E9** — the W-streaming picture of §6.4 / Corollary 1.2:
+//! regenerates the EXPERIMENTS.md space-vs-colors table and the
+//! two-party-simulation table whose communication equals
+//! `passes × state` — the quantity Theorem 5 lower-bounds by `Ω(n)`.
+//!
+//! Driven by two campaigns: space via
+//! `Campaign::new().protocols([WStreamingSpaceProbe::greedy(), ::chunked()]).graphs(gnm-specs).seeds([7])`
+//! and the §6.4 reduction via
+//! `Campaign::new().protocol_keys(["streaming/greedy-w"]).graphs(gnm-specs).partitioners([random(1)]).seeds([0])`.
 
 use bichrome_bench::Table;
-use bichrome_graph::coloring::validate_edge_coloring;
-use bichrome_graph::gen;
 use bichrome_graph::partition::Partitioner;
-use bichrome_streaming::algorithms::{ChunkedWStreaming, GreedyWStreaming};
-use bichrome_streaming::reduction::simulate_streaming_two_party;
-use bichrome_streaming::run_w_streaming;
-use bichrome_streaming::weaker::validate_weaker_output;
+use bichrome_runner::probes::WStreamingSpaceProbe;
+use bichrome_runner::{Campaign, GraphSpec, Protocol};
+use std::sync::Arc;
+
+/// The (n, Δ) sweep of the historical table, as graph specs with
+/// `m = nΔ/3`.
+fn specs(points: &[(usize, usize)]) -> Vec<GraphSpec> {
+    points
+        .iter()
+        .map(|&(n, delta)| GraphSpec::GnmMaxDegree {
+            n,
+            m: n * delta / 3,
+            dmax: delta,
+        })
+        .collect()
+}
 
 fn main() {
     println!("E9: W-streaming edge coloring (§6.4, Corollary 1.2)\n");
 
     println!("Streaming algorithms: space vs colors");
-    let mut t = Table::new(&["n", "Δ", "m", "algorithm", "colors", "state bits", "bits/n"]);
-    for &(n, delta) in &[(256usize, 16usize), (512, 32), (1024, 64)] {
-        let g = gen::gnm_max_degree(n, n * delta / 3, delta, 7);
-        let d = g.max_degree();
-        let mut greedy = GreedyWStreaming::new(n, d);
-        let (cg, sg) = run_w_streaming(&mut greedy, g.edges());
-        assert!(validate_edge_coloring(&g, &cg).is_ok());
+    let space = Campaign::new()
+        .protocols([
+            Arc::new(WStreamingSpaceProbe::greedy()) as Arc<dyn Protocol>,
+            Arc::new(WStreamingSpaceProbe::chunked()) as Arc<dyn Protocol>,
+        ])
+        .graphs(specs(&[(256, 16), (512, 32), (1024, 64)]))
+        .seeds([7])
+        .run();
+    assert!(space.all_valid(), "streamed colorings must validate");
+    let mut t = Table::new(&["graph", "algorithm", "colors", "state bits", "bits/n"]);
+    for cell in &space.cells {
+        let s = cell.summary();
         t.row(&[
-            &n.to_string(),
-            &d.to_string(),
-            &g.num_edges().to_string(),
-            "greedy (2Δ−1)",
-            &cg.num_distinct_colors().to_string(),
-            &sg.max_state_bits.to_string(),
-            &format!("{:.1}", sg.max_state_bits as f64 / n as f64),
-        ]);
-        let mut chunked = ChunkedWStreaming::with_sqrt_delta_capacity(n, d);
-        let (cc, sc) = run_w_streaming(&mut chunked, g.edges());
-        assert!(validate_edge_coloring(&g, &cc).is_ok());
-        t.row(&[
-            &n.to_string(),
-            &d.to_string(),
-            &g.num_edges().to_string(),
-            "chunked Õ(n√Δ)",
-            &cc.num_distinct_colors().to_string(),
-            &sc.max_state_bits.to_string(),
-            &format!("{:.1}", sc.max_state_bits as f64 / n as f64),
+            &cell.spec.to_string(),
+            &cell.protocol,
+            &format!("{:.0}", s.colors.mean),
+            &format!("{:.0}", s.metric("state_bits").mean),
+            &format!("{:.1}", s.metric("state_bits_per_vertex").mean),
         ]);
     }
     t.print();
 
     println!("\nTwo-party simulation (the §6.4 reduction): bits = passes × state");
+    let sim = Campaign::new()
+        .protocol_keys(["streaming/greedy-w"])
+        .graphs(specs(&[(256, 16), (512, 32)]))
+        .partitioners([Partitioner::Random(1)])
+        .seeds([0])
+        .run();
+    assert!(sim.all_valid(), "weaker outputs must validate");
     let mut t = Table::new(&[
-        "n",
-        "Δ",
+        "graph",
         "algorithm",
         "sim bits",
         "rounds",
         "valid weaker output",
     ]);
-    for &(n, delta) in &[(256usize, 16usize), (512, 32)] {
-        let g = gen::gnm_max_degree(n, n * delta / 3, delta, 9);
-        let d = g.max_degree();
-        let p = Partitioner::Random(1).split(&g);
-        let out = simulate_streaming_two_party(&p, || GreedyWStreaming::new(n, d), 0);
-        let ok = validate_weaker_output(&g, &out.output, 2 * d - 1).is_ok();
+    for cell in &sim.cells {
+        let s = cell.summary();
         t.row(&[
-            &n.to_string(),
-            &d.to_string(),
+            &cell.spec.to_string(),
             "greedy (2Δ−1)",
-            &out.stats.total_bits().to_string(),
-            &out.stats.rounds.to_string(),
-            if ok { "yes" } else { "NO" },
+            &format!("{:.0}", s.total_bits.mean),
+            &format!("{:.0}", s.rounds.mean),
+            if s.valid == s.trials { "yes" } else { "NO" },
         ]);
     }
     t.print();

@@ -1,42 +1,28 @@
-//! Shared plumbing for the experiment binaries (`e1` – `e9`).
+//! Shared plumbing for the experiment binaries (`e1` – `e9`,
+//! `a1` – `a2`, `bench_campaign`).
 //!
-//! Each binary regenerates one table of EXPERIMENTS.md. The
-//! text-table printer is the runner crate's (one implementation for
-//! the whole workspace); this crate re-exports it and keeps the small
-//! statistics helpers the unported binaries still use.
+//! Each binary regenerates one table of EXPERIMENTS.md by declaring a
+//! `bichrome_runner::Campaign` (or, for the pinned historical setups,
+//! a `TrialPlan`). The text-table printer and the statistics are the
+//! runner crate's — exactly one implementation of each in the
+//! workspace — so this crate only re-exports them.
 //!
 //! # Example
 //!
 //! ```
-//! use bichrome_bench::Table;
+//! use bichrome_bench::{Aggregate, Table};
 //! let mut t = Table::new(&["n", "bits", "bits/n"]);
 //! t.row(&["256", "12000", "46.9"]);
-//! let s = t.render();
-//! assert!(s.contains("bits/n"));
-//! assert!(s.contains("46.9"));
+//! assert!(t.render().contains("46.9"));
+//! let a = Aggregate::of(&[2.0, 4.0]);
+//! assert_eq!((a.mean, a.stddev), (3.0, 1.0));
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use bichrome_runner::table::Table;
-
-/// Mean of a sample.
-pub fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
-    }
-    xs.iter().sum::<f64>() / xs.len() as f64
-}
-
-/// Population standard deviation of a sample.
-pub fn stddev(xs: &[f64]) -> f64 {
-    if xs.len() < 2 {
-        return 0.0;
-    }
-    let m = mean(xs);
-    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
-}
+pub use bichrome_runner::{Aggregate, Summary};
 
 #[cfg(test)]
 mod tests {
@@ -60,10 +46,12 @@ mod tests {
     }
 
     #[test]
-    fn stats_helpers() {
-        assert_eq!(mean(&[]), 0.0);
-        assert_eq!(mean(&[2.0, 4.0]), 3.0);
-        assert_eq!(stddev(&[5.0]), 0.0);
-        assert!((stddev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    fn reexported_aggregate_is_the_runner_statistics() {
+        assert_eq!(Aggregate::of(&[]), Aggregate::default());
+        let a = Aggregate::of(&[2.0, 4.0]);
+        assert_eq!(a.mean, 3.0);
+        assert_eq!(a.stddev, 1.0);
+        assert_eq!(a.min, 2.0);
+        assert_eq!(a.max, 4.0);
     }
 }

@@ -3,7 +3,7 @@
 //! The build environment has no network access to crates.io, so this
 //! workspace vendors a minimal, API-compatible subset of `rand 0.8`
 //! implemented from scratch: a deterministic xoshiro256** generator
-//! behind the familiar [`Rng`] / [`SeedableRng`] / [`SliceRandom`]
+//! behind the familiar [`Rng`] / [`SeedableRng`] / [`seq::SliceRandom`]
 //! traits. Everything the `bichrome` crates call is here; nothing
 //! else is. Streams are fully deterministic per seed, which is what
 //! the two-party protocols rely on for shared public randomness.

@@ -209,6 +209,61 @@ impl fmt::Display for Partitioner {
     }
 }
 
+/// Why a partitioner string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsePartitionerError {
+    /// Not one of the known strategy names.
+    UnknownStrategy(String),
+    /// `random(...)` whose seed is not a `u64`.
+    BadSeed(String),
+}
+
+impl fmt::Display for ParsePartitionerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePartitionerError::UnknownStrategy(s) => {
+                write!(
+                    f,
+                    "unknown partitioner {s:?} (expected all-to-alice, all-to-bob, \
+                     alternating, random(<seed>), parity-sum, or low-half)"
+                )
+            }
+            ParsePartitionerError::BadSeed(s) => {
+                write!(f, "partitioner seed {s:?} is not an unsigned integer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParsePartitionerError {}
+
+impl std::str::FromStr for Partitioner {
+    type Err = ParsePartitionerError;
+
+    /// Parses the round-trip [`Display`](fmt::Display) form, e.g.
+    /// `"alternating"` or `"random(7)"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "all-to-alice" => Ok(Partitioner::AllToAlice),
+            "all-to-bob" => Ok(Partitioner::AllToBob),
+            "alternating" => Ok(Partitioner::Alternating),
+            "parity-sum" => Ok(Partitioner::ParitySum),
+            "low-half" => Ok(Partitioner::LowHalf),
+            other => match other
+                .strip_prefix("random(")
+                .and_then(|rest| rest.strip_suffix(')'))
+            {
+                Some(seed) => seed
+                    .trim()
+                    .parse()
+                    .map(Partitioner::Random)
+                    .map_err(|_| ParsePartitionerError::BadSeed(seed.trim().to_string())),
+                None => Err(ParsePartitionerError::UnknownStrategy(other.to_string())),
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,5 +340,34 @@ mod tests {
     fn party_other_flips() {
         assert_eq!(Party::Alice.other(), Party::Bob);
         assert_eq!(Party::Bob.other(), Party::Alice);
+    }
+
+    #[test]
+    fn partitioner_display_round_trips() {
+        for part in Partitioner::family(123_456_789) {
+            let text = part.to_string();
+            let back: Partitioner = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(back, part, "{text} must round-trip");
+        }
+        assert_eq!(
+            " random( 7 ) ".parse::<Partitioner>(),
+            Ok(Partitioner::Random(7))
+        );
+    }
+
+    #[test]
+    fn partitioner_parsing_rejects_malformed_input() {
+        assert_eq!(
+            "frobnicate".parse::<Partitioner>(),
+            Err(ParsePartitionerError::UnknownStrategy("frobnicate".into()))
+        );
+        assert_eq!(
+            "random(-1)".parse::<Partitioner>(),
+            Err(ParsePartitionerError::BadSeed("-1".into()))
+        );
+        assert_eq!(
+            "random(7".parse::<Partitioner>(),
+            Err(ParsePartitionerError::UnknownStrategy("random(7".into()))
+        );
     }
 }

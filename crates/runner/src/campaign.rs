@@ -1,0 +1,772 @@
+//! Grid-structured experiment orchestration: a [`Campaign`] takes
+//! *sets* of axes — protocols × graph families × sizes × partitioners
+//! × seeds — materializes the cross-product into one flat work queue,
+//! and executes the whole grid through the same shared executor that
+//! powers [`crate::TrialPlan`] (which is now a single-cell campaign).
+//!
+//! The paper's results are all comparisons over exactly such grids
+//! (protocol × graph family × size × partition adversary), so every
+//! experiment binary declares its table as a campaign instead of
+//! hand-rolling trial loops.
+//!
+//! # Example
+//!
+//! ```
+//! use bichrome_runner::{Campaign, GraphSpec, GroupBy};
+//!
+//! let report = Campaign::new()
+//!     .protocol_keys(["vertex/theorem1", "baseline/send-everything"])
+//!     .graphs([GraphSpec::NearRegular { n: 40, d: 4 }])
+//!     .sizes([40, 80])
+//!     .seeds(0..3)
+//!     .baseline("baseline/send-everything")
+//!     .run();
+//!
+//! assert!(report.all_valid());
+//! assert_eq!(report.cells.len(), 4); // 2 protocols × 2 sizes
+//! println!("{}", report.render_table());
+//! for (proto, summary) in report.group_by(GroupBy::Protocol) {
+//!     println!("{proto}: {:.1} bits", summary.total_bits.mean);
+//! }
+//! let csv = report.to_csv();
+//! assert!(csv.starts_with("protocol,graph,"));
+//! ```
+
+use crate::csv::Csv;
+use crate::exec::{self, WorkItem};
+use crate::instance::{GraphSpec, Instance};
+use crate::plan::{mix_partition_seed, Report, Summary};
+use crate::protocol::Protocol;
+use crate::registry::registry;
+use crate::table::Table;
+use bichrome_graph::partition::Partitioner;
+use std::sync::Arc;
+
+/// Placeholder label for the default partition axis entry (a fresh
+/// decorrelated `Partitioner::Random` per seed — see
+/// [`crate::TrialPlan::partitioner`]).
+const DEFAULT_PARTITIONER_LABEL: &str = "random(per-seed)";
+
+/// Builder for a grid of experiment cells. Every axis is a *set*; the
+/// grid is the cross-product. See the [module docs](self).
+pub struct Campaign {
+    protocols: Vec<(String, Arc<dyn Protocol>)>,
+    graphs: Vec<GraphSpec>,
+    sizes: Vec<usize>,
+    partitioners: Vec<Partitioner>,
+    seeds: Vec<u64>,
+    parallel: bool,
+    baseline: Option<String>,
+}
+
+impl Default for Campaign {
+    fn default() -> Self {
+        Campaign::new()
+    }
+}
+
+impl Campaign {
+    /// An empty campaign (no axes set, parallel execution on).
+    pub fn new() -> Self {
+        Campaign {
+            protocols: Vec::new(),
+            graphs: Vec::new(),
+            sizes: Vec::new(),
+            partitioners: Vec::new(),
+            seeds: Vec::new(),
+            parallel: true,
+            baseline: None,
+        }
+    }
+
+    /// Appends protocols to the protocol axis, labeled by their
+    /// [`Protocol::name`].
+    pub fn protocols(mut self, protos: impl IntoIterator<Item = Arc<dyn Protocol>>) -> Self {
+        for p in protos {
+            self.protocols.push((p.name().to_string(), p));
+        }
+        self
+    }
+
+    /// Appends one protocol under an explicit cell label — needed
+    /// when sweeping *configurations* of one protocol (same `name()`,
+    /// different tuning), e.g. `iters=4`.
+    pub fn protocol_labeled(mut self, label: impl Into<String>, proto: Arc<dyn Protocol>) -> Self {
+        self.protocols.push((label.into(), proto));
+        self
+    }
+
+    /// Appends registry protocols to the protocol axis by key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a key is not in [`registry()`]; the message lists
+    /// every known key.
+    pub fn protocol_keys<I, S>(mut self, keys: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let reg = registry();
+        for key in keys {
+            let key = key.as_ref();
+            let proto = reg.get(key).unwrap_or_else(|| {
+                panic!(
+                    "unknown protocol key {key:?}; registry has: {}",
+                    reg.names().join(", ")
+                )
+            });
+            self.protocols.push((key.to_string(), proto));
+        }
+        self
+    }
+
+    /// Appends graph families to the graph axis.
+    pub fn graphs(mut self, specs: impl IntoIterator<Item = GraphSpec>) -> Self {
+        self.graphs.extend(specs);
+        self
+    }
+
+    /// Sets the size axis: every graph spec is re-parameterized to
+    /// each `n` via [`GraphSpec::scaled_to`]. Empty (the default)
+    /// means "use each spec at its own size".
+    pub fn sizes(mut self, ns: impl IntoIterator<Item = usize>) -> Self {
+        self.sizes.extend(ns);
+        self
+    }
+
+    /// Appends fixed partitioners to the adversary axis. Empty (the
+    /// default) means one axis entry with a fresh decorrelated
+    /// `Partitioner::Random` per seed, exactly like
+    /// [`crate::TrialPlan`].
+    pub fn partitioners(mut self, ps: impl IntoIterator<Item = Partitioner>) -> Self {
+        self.partitioners.extend(ps);
+        self
+    }
+
+    /// The trial seeds, shared by every cell: each seed feeds the
+    /// graph generator and the protocol session, so *different
+    /// protocols run on identical instances* and per-cell comparisons
+    /// are apples-to-apples.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds.extend(seeds);
+        self
+    }
+
+    /// Whether to fan the flat cells × seeds queue across worker
+    /// threads (default: true). Results are bit-identical either way;
+    /// every trial's randomness derives only from its own cell and
+    /// seed.
+    pub fn parallel(mut self, yes: bool) -> Self {
+        self.parallel = yes;
+        self
+    }
+
+    /// Marks one protocol label as the comparison baseline;
+    /// [`CampaignReport::baseline_deltas`] and the rendered table then
+    /// report every other cell relative to it.
+    pub fn baseline(mut self, label: impl Into<String>) -> Self {
+        self.baseline = Some(label.into());
+        self
+    }
+
+    /// The graph axis after applying the size axis.
+    fn sized_specs(&self) -> Vec<GraphSpec> {
+        if self.sizes.is_empty() {
+            self.graphs.clone()
+        } else {
+            self.graphs
+                .iter()
+                .flat_map(|g| self.sizes.iter().map(|&n| g.scaled_to(n)))
+                .collect()
+        }
+    }
+
+    /// The partitioner axis (`None` = the per-seed default).
+    fn partitioner_axis(&self) -> Vec<Option<Partitioner>> {
+        if self.partitioners.is_empty() {
+            vec![None]
+        } else {
+            self.partitioners.iter().copied().map(Some).collect()
+        }
+    }
+
+    /// Number of cells the grid will materialize (trials = cells ×
+    /// seeds).
+    pub fn cell_count(&self) -> usize {
+        self.protocols.len() * self.sized_specs().len() * self.partitioner_axis().len()
+    }
+
+    /// Materializes the grid, executes the flat cells × seeds queue
+    /// through the shared executor, and aggregates one [`Report`] per
+    /// cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol, graph, or seed axis is empty, or if a
+    /// declared [`Campaign::baseline`] label matches no protocol-axis
+    /// label (a typo would otherwise silently disable every delta).
+    pub fn run(self) -> CampaignReport {
+        assert!(
+            !self.protocols.is_empty(),
+            "Campaign has no protocols: set .protocols(..) / .protocol_keys(..)"
+        );
+        assert!(
+            !self.graphs.is_empty(),
+            "Campaign has no graphs: set .graphs(..)"
+        );
+        assert!(
+            !self.seeds.is_empty(),
+            "Campaign has no seeds: set .seeds(..)"
+        );
+        if let Some(baseline) = &self.baseline {
+            assert!(
+                self.protocols.iter().any(|(label, _)| label == baseline),
+                "baseline {baseline:?} is not on the protocol axis: {:?}",
+                self.protocols.iter().map(|(l, _)| l).collect::<Vec<_>>()
+            );
+        }
+
+        // Enumerate cells in axis order: protocol-major, then sized
+        // graph, then partitioner.
+        struct CellMeta {
+            label: String,
+            protocol: Arc<dyn Protocol>,
+            spec: GraphSpec,
+            partitioner: Option<Partitioner>,
+        }
+        let specs = self.sized_specs();
+        let parts = self.partitioner_axis();
+        let mut meta = Vec::with_capacity(self.cell_count());
+        for (label, proto) in &self.protocols {
+            for &spec in &specs {
+                for &partitioner in &parts {
+                    meta.push(CellMeta {
+                        label: label.clone(),
+                        protocol: Arc::clone(proto),
+                        spec,
+                        partitioner,
+                    });
+                }
+            }
+        }
+
+        // One flat queue over cells × seeds — the executor fans out
+        // across the whole grid, not per cell. Seeds derive each
+        // trial's instance exactly like a single-cell TrialPlan, so a
+        // campaign cell is bit-identical to the TrialPlan it replaced.
+        let mut queue = Vec::with_capacity(meta.len() * self.seeds.len());
+        for m in &meta {
+            for &seed in &self.seeds {
+                let partitioner = m
+                    .partitioner
+                    .unwrap_or(Partitioner::Random(mix_partition_seed(seed)));
+                queue.push(WorkItem {
+                    protocol: Arc::clone(&m.protocol),
+                    instance: Instance::from_spec(&m.spec, partitioner, seed, seed),
+                });
+            }
+        }
+        let records = exec::execute(&queue, self.parallel);
+
+        let per_cell = self.seeds.len();
+        let cells = meta
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| CampaignCell {
+                protocol: m.label.clone(),
+                spec: m.spec,
+                partitioner: m.partitioner,
+                report: Report::new(m.label, records[i * per_cell..(i + 1) * per_cell].to_vec()),
+            })
+            .collect();
+        CampaignReport {
+            cells,
+            baseline: self.baseline,
+        }
+    }
+}
+
+impl std::fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Campaign")
+            .field(
+                "protocols",
+                &self.protocols.iter().map(|(l, _)| l).collect::<Vec<_>>(),
+            )
+            .field("graphs", &self.graphs)
+            .field("sizes", &self.sizes)
+            .field("partitioners", &self.partitioners)
+            .field("seeds", &self.seeds.len())
+            .field("parallel", &self.parallel)
+            .field("baseline", &self.baseline)
+            .finish()
+    }
+}
+
+/// One grid cell: a (protocol, sized graph family, partitioner)
+/// combination with its aggregated per-seed [`Report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCell {
+    /// The protocol axis label (registry key or explicit label).
+    pub protocol: String,
+    /// The sized graph spec the cell ran on.
+    pub spec: GraphSpec,
+    /// The fixed partitioner, or `None` for the per-seed default.
+    pub partitioner: Option<Partitioner>,
+    /// Per-seed trials and their summary (the same [`Report`] a
+    /// single-cell [`crate::TrialPlan`] produces).
+    pub report: Report,
+}
+
+impl CampaignCell {
+    /// The partitioner-axis label of this cell.
+    pub fn partitioner_label(&self) -> String {
+        match self.partitioner {
+            Some(p) => p.to_string(),
+            None => DEFAULT_PARTITIONER_LABEL.to_string(),
+        }
+    }
+
+    /// Shorthand for the cell's summary.
+    pub fn summary(&self) -> &Summary {
+        &self.report.summary
+    }
+}
+
+/// Pivot axes for [`CampaignReport::group_by`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupBy {
+    /// One group per protocol label.
+    Protocol,
+    /// One group per graph family (parameters ignored).
+    Family,
+    /// One group per graph size `n`.
+    Size,
+    /// One group per partitioner-axis entry.
+    Partitioner,
+}
+
+/// One cell's cost relative to the baseline cell on the same graph
+/// and partitioner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineDelta {
+    /// The compared protocol's label.
+    pub protocol: String,
+    /// The shared graph spec.
+    pub spec: GraphSpec,
+    /// The shared partitioner-axis entry.
+    pub partitioner: Option<Partitioner>,
+    /// Mean total bits, this protocol / baseline (∞ when the baseline
+    /// is zero-bit and this protocol is not; 1 when both are zero).
+    pub bits_ratio: f64,
+    /// Mean rounds, this protocol / baseline (same conventions).
+    pub rounds_ratio: f64,
+}
+
+fn ratio(x: f64, base: f64) -> f64 {
+    if base == 0.0 {
+        if x == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        x / base
+    }
+}
+
+/// The aggregated result of a [`Campaign`] run: one [`CampaignCell`]
+/// per grid cell, in axis order, plus pivots, baseline-relative
+/// deltas, and table / JSON / CSV rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Every cell, protocol-major in axis order.
+    pub cells: Vec<CampaignCell>,
+    /// The baseline protocol label, if one was declared.
+    pub baseline: Option<String>,
+}
+
+impl CampaignReport {
+    /// Whether every trial of every cell validated.
+    pub fn all_valid(&self) -> bool {
+        self.cells.iter().all(|c| c.report.all_valid())
+    }
+
+    /// Total trials across the grid.
+    pub fn total_trials(&self) -> usize {
+        self.cells.iter().map(|c| c.report.trials.len()).sum()
+    }
+
+    /// Total bits exchanged across every trial of every cell.
+    pub fn total_bits(&self) -> u64 {
+        self.cells
+            .iter()
+            .flat_map(|c| &c.report.trials)
+            .map(|t| t.total_bits())
+            .sum()
+    }
+
+    /// Pivots the grid: merges the trials of every cell sharing the
+    /// given axis value and re-aggregates one [`Summary`] per group,
+    /// in first-seen cell order.
+    pub fn group_by(&self, axis: GroupBy) -> Vec<(String, Summary)> {
+        let mut groups: Vec<(String, Vec<crate::plan::TrialRecord>)> = Vec::new();
+        for cell in &self.cells {
+            let key = match axis {
+                GroupBy::Protocol => cell.protocol.clone(),
+                GroupBy::Family => cell.spec.family().to_string(),
+                GroupBy::Size => format!("n={}", cell.spec.num_vertices()),
+                GroupBy::Partitioner => cell.partitioner_label(),
+            };
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, trials)) => trials.extend(cell.report.trials.iter().cloned()),
+                None => groups.push((key, cell.report.trials.clone())),
+            }
+        }
+        groups
+            .into_iter()
+            .map(|(k, trials)| (k, Summary::of(&trials)))
+            .collect()
+    }
+
+    /// Every non-baseline cell's cost relative to `baseline`'s cell
+    /// on the same (graph, partitioner). Cells with no matching
+    /// baseline cell are skipped.
+    pub fn deltas_vs(&self, baseline: &str) -> Vec<BaselineDelta> {
+        let base_cell = |spec: &GraphSpec, part: &Option<Partitioner>| {
+            self.cells
+                .iter()
+                .find(|c| c.protocol == baseline && c.spec == *spec && c.partitioner == *part)
+        };
+        self.cells
+            .iter()
+            .filter(|c| c.protocol != baseline)
+            .filter_map(|c| {
+                let base = base_cell(&c.spec, &c.partitioner)?;
+                Some(BaselineDelta {
+                    protocol: c.protocol.clone(),
+                    spec: c.spec,
+                    partitioner: c.partitioner,
+                    bits_ratio: ratio(c.summary().total_bits.mean, base.summary().total_bits.mean),
+                    rounds_ratio: ratio(c.summary().rounds.mean, base.summary().rounds.mean),
+                })
+            })
+            .collect()
+    }
+
+    /// [`CampaignReport::deltas_vs`] against the declared
+    /// [`Campaign::baseline`] (empty when none was declared).
+    pub fn baseline_deltas(&self) -> Vec<BaselineDelta> {
+        match &self.baseline {
+            Some(b) => self.deltas_vs(b),
+            None => Vec::new(),
+        }
+    }
+
+    /// Renders one row per cell plus a grid-summary footer. When a
+    /// baseline is declared, a `bits vs <baseline>` column shows each
+    /// cell's mean-bits ratio against the baseline cell on the same
+    /// graph and partitioner.
+    pub fn render_table(&self) -> String {
+        let deltas = self.baseline_deltas();
+        let with_baseline = self.baseline.is_some();
+        let mut headers = vec![
+            "protocol",
+            "graph",
+            "partitioner",
+            "trials",
+            "ok",
+            "bits",
+            "±sd",
+            "rounds",
+            "colors",
+            "bits/n",
+        ];
+        if with_baseline {
+            headers.push("bits vs baseline");
+        }
+        let mut t = Table::new(&headers);
+        for cell in &self.cells {
+            let s = cell.summary();
+            let mut row = vec![
+                cell.protocol.clone(),
+                cell.spec.to_string(),
+                cell.partitioner_label(),
+                s.trials.to_string(),
+                format!("{}/{}", s.valid, s.trials),
+                format!("{:.1}", s.total_bits.mean),
+                format!("{:.1}", s.total_bits.stddev),
+                format!("{:.1}", s.rounds.mean),
+                format!("{:.1}", s.colors.mean),
+                format!("{:.2}", s.bits_per_vertex.mean),
+            ];
+            if with_baseline {
+                let vs = if Some(&cell.protocol) == self.baseline.as_ref() {
+                    "—".to_string()
+                } else {
+                    deltas
+                        .iter()
+                        .find(|d| {
+                            d.protocol == cell.protocol
+                                && d.spec == cell.spec
+                                && d.partitioner == cell.partitioner
+                        })
+                        .map(|d| format!("{:.2}x", d.bits_ratio))
+                        .unwrap_or_else(|| "?".to_string())
+                };
+                row.push(vs);
+            }
+            let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+            t.row(&refs);
+        }
+        format!(
+            "{}\ngrid: {} cells · {} trials · {} valid · {} total bits\n",
+            t.render(),
+            self.cells.len(),
+            self.total_trials(),
+            self.cells.iter().map(|c| c.summary().valid).sum::<usize>(),
+            self.total_bits(),
+        )
+    }
+
+    /// The pinned CSV header ([`CampaignReport::to_csv`]'s first
+    /// line).
+    pub const CSV_HEADER: &'static [&'static str] = &[
+        "protocol",
+        "graph",
+        "family",
+        "partitioner",
+        "n",
+        "trials",
+        "valid",
+        "bits_mean",
+        "bits_stddev",
+        "bits_min",
+        "bits_max",
+        "rounds_mean",
+        "rounds_stddev",
+        "rounds_max",
+        "bits_per_vertex_mean",
+        "colors_mean",
+    ];
+
+    /// Serializes one CSV row per cell under
+    /// [`CampaignReport::CSV_HEADER`]. Fields containing commas (graph
+    /// specs, partitioner labels) are RFC-4180-quoted.
+    pub fn to_csv(&self) -> String {
+        let mut csv = Csv::new(Self::CSV_HEADER);
+        for cell in &self.cells {
+            let s = cell.summary();
+            csv.row(&[
+                &cell.protocol,
+                &cell.spec.to_string(),
+                cell.spec.family(),
+                &cell.partitioner_label(),
+                &cell.spec.num_vertices().to_string(),
+                &s.trials.to_string(),
+                &s.valid.to_string(),
+                &s.total_bits.mean.to_string(),
+                &s.total_bits.stddev.to_string(),
+                &s.total_bits.min.to_string(),
+                &s.total_bits.max.to_string(),
+                &s.rounds.mean.to_string(),
+                &s.rounds.stddev.to_string(),
+                &s.rounds.max.to_string(),
+                &s.bits_per_vertex.mean.to_string(),
+                &s.colors.mean.to_string(),
+            ]);
+        }
+        csv.finish()
+    }
+
+    /// Serializes the whole grid — every cell with its full per-trial
+    /// report — via the hand-written JSON writer.
+    pub fn to_json(&self) -> String {
+        let mut w = crate::json::Writer::object();
+        match &self.baseline {
+            Some(b) => w.field_str("baseline", b),
+            None => w.field_null("baseline"),
+        }
+        w.field_u64("cells", self.cells.len() as u64);
+        w.field_u64("trials", self.total_trials() as u64);
+        w.field_u64("total_bits", self.total_bits());
+        w.field_bool("all_valid", self.all_valid());
+        let cells: Vec<String> = self
+            .cells
+            .iter()
+            .map(|c| {
+                let mut o = crate::json::Writer::object();
+                o.field_str("protocol", &c.protocol);
+                o.field_str("graph", &c.spec.to_string());
+                o.field_str("family", c.spec.family());
+                o.field_str("partitioner", &c.partitioner_label());
+                o.field_u64("n", c.spec.num_vertices() as u64);
+                o.field_raw("report", &c.report.to_json());
+                o.finish()
+            })
+            .collect();
+        w.field_raw("cells", &format!("[{}]", cells.join(",")));
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::TrialPlan;
+
+    fn small_grid() -> Campaign {
+        Campaign::new()
+            .protocol_keys(["edge/theorem2", "baseline/send-everything"])
+            .graphs([
+                GraphSpec::NearRegular { n: 30, d: 4 },
+                GraphSpec::Gnp { n: 30, p: 0.15 },
+            ])
+            .seeds(0..3)
+    }
+
+    #[test]
+    fn grid_shape_and_order() {
+        let c = small_grid();
+        assert_eq!(c.cell_count(), 4);
+        let report = c.run();
+        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.total_trials(), 12);
+        assert!(report.all_valid(), "{}", report.render_table());
+        // Protocol-major order.
+        assert_eq!(report.cells[0].protocol, "edge/theorem2");
+        assert_eq!(report.cells[1].protocol, "edge/theorem2");
+        assert_eq!(report.cells[2].protocol, "baseline/send-everything");
+        assert_eq!(report.cells[0].spec, GraphSpec::NearRegular { n: 30, d: 4 });
+        assert_eq!(report.cells[1].spec, GraphSpec::Gnp { n: 30, p: 0.15 });
+    }
+
+    #[test]
+    fn sizes_axis_rescales_every_family() {
+        let report = Campaign::new()
+            .protocol_keys(["edge/theorem3-zero-comm"])
+            .graphs([GraphSpec::NearRegular { n: 8, d: 4 }])
+            .sizes([16, 32])
+            .seeds(0..2)
+            .run();
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.cells[0].spec.num_vertices(), 16);
+        assert_eq!(report.cells[1].spec.num_vertices(), 32);
+        assert!(report.all_valid());
+    }
+
+    #[test]
+    fn campaign_cell_is_bit_identical_to_the_trial_plan_it_replaced() {
+        let spec = GraphSpec::NearRegular { n: 40, d: 5 };
+        let plan = TrialPlan::new(registry().get("vertex/theorem1").expect("registered"))
+            .graphs(spec)
+            .seeds(0..4)
+            .run();
+        let campaign = Campaign::new()
+            .protocol_keys(["vertex/theorem1"])
+            .graphs([spec])
+            .seeds(0..4)
+            .run();
+        assert_eq!(campaign.cells.len(), 1);
+        assert_eq!(campaign.cells[0].report, plan);
+
+        // Same with a fixed partitioner on the axis.
+        let plan = TrialPlan::new(registry().get("edge/theorem2").expect("registered"))
+            .graphs(spec)
+            .partitioner(Partitioner::Alternating)
+            .seeds(0..4)
+            .run();
+        let campaign = Campaign::new()
+            .protocol_keys(["edge/theorem2"])
+            .graphs([spec])
+            .partitioners([Partitioner::Alternating])
+            .seeds(0..4)
+            .run();
+        assert_eq!(campaign.cells[0].report, plan);
+    }
+
+    #[test]
+    fn group_by_pivots_partition_the_trials() {
+        let report = small_grid().partitioners(Partitioner::family(3)).run();
+        assert_eq!(report.cells.len(), 2 * 2 * 6);
+        for axis in [
+            GroupBy::Protocol,
+            GroupBy::Family,
+            GroupBy::Size,
+            GroupBy::Partitioner,
+        ] {
+            let groups = report.group_by(axis);
+            let total: usize = groups.iter().map(|(_, s)| s.trials).sum();
+            assert_eq!(total, report.total_trials(), "{axis:?} must partition");
+        }
+        assert_eq!(report.group_by(GroupBy::Protocol).len(), 2);
+        assert_eq!(report.group_by(GroupBy::Family).len(), 2);
+        assert_eq!(report.group_by(GroupBy::Size).len(), 1);
+        assert_eq!(report.group_by(GroupBy::Partitioner).len(), 6);
+    }
+
+    #[test]
+    fn baseline_deltas_compare_matching_cells() {
+        let report = small_grid().baseline("baseline/send-everything").run();
+        let deltas = report.baseline_deltas();
+        // One delta per non-baseline cell.
+        assert_eq!(deltas.len(), 2);
+        for d in &deltas {
+            assert_eq!(d.protocol, "edge/theorem2");
+            assert!(d.bits_ratio.is_finite() && d.bits_ratio > 0.0);
+            // Theorem 2's O(n) bits undercut send-the-graph.
+            assert!(d.bits_ratio < 1.0, "expected savings, got {}", d.bits_ratio);
+        }
+        let table = report.render_table();
+        assert!(table.contains("bits vs baseline"));
+        assert!(table.contains("—"));
+    }
+
+    #[test]
+    fn ratio_conventions() {
+        assert_eq!(ratio(0.0, 0.0), 1.0);
+        assert_eq!(ratio(3.0, 0.0), f64::INFINITY);
+        assert_eq!(ratio(3.0, 2.0), 1.5);
+    }
+
+    #[test]
+    fn csv_and_json_cover_every_cell() {
+        let report = small_grid().run();
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + report.cells.len());
+        assert_eq!(lines[0], CampaignReport::CSV_HEADER.join(","));
+        // Graph-spec labels contain commas, so they must be quoted.
+        assert!(lines[1].contains("\"near-regular(n=30,d=4)\""));
+
+        let json = crate::json::Value::parse(&report.to_json()).expect("parses");
+        let obj = json.as_object().expect("object");
+        match &obj["cells"] {
+            crate::json::Value::Array(a) => assert_eq!(a.len(), 4),
+            other => panic!("cells not an array: {other:?}"),
+        }
+        assert_eq!(obj["all_valid"], crate::json::Value::Bool(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown protocol key")]
+    fn unknown_protocol_key_panics_with_the_key_list() {
+        let _ = Campaign::new().protocol_keys(["no/such/protocol"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no seeds")]
+    fn empty_seed_axis_panics() {
+        let _ = Campaign::new()
+            .protocol_keys(["edge/theorem2"])
+            .graphs([GraphSpec::Path { n: 4 }])
+            .run();
+    }
+
+    #[test]
+    #[should_panic(expected = "not on the protocol axis")]
+    fn misspelled_baseline_panics_instead_of_silently_disabling_deltas() {
+        let _ = small_grid().baseline("send-everything").run();
+    }
+}

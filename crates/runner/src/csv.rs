@@ -1,0 +1,89 @@
+//! A minimal RFC-4180-style CSV writer (the offline environment has
+//! no `csv` crate). Fields containing commas, quotes, or newlines are
+//! quoted — graph-spec labels like `near-regular(n=80,d=6)` need it —
+//! and row arity is checked against the header.
+
+/// Builder for one CSV document.
+#[derive(Debug)]
+pub struct Csv {
+    columns: usize,
+    buf: String,
+}
+
+impl Csv {
+    /// Starts a document with the given header row.
+    pub fn new(header: &[&str]) -> Self {
+        let mut csv = Csv {
+            columns: header.len(),
+            buf: String::new(),
+        };
+        csv.raw_row(header);
+        csv
+    }
+
+    /// Appends one data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's arity differs from the header's.
+    pub fn row(&mut self, fields: &[&str]) {
+        assert_eq!(
+            fields.len(),
+            self.columns,
+            "CSV row arity {} does not match header arity {}",
+            fields.len(),
+            self.columns
+        );
+        self.raw_row(fields);
+    }
+
+    fn raw_row(&mut self, fields: &[&str]) {
+        for (i, field) in fields.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&escape(field));
+        }
+        self.buf.push('\n');
+    }
+
+    /// The document text (header + rows, `\n` line endings).
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// Quotes a field if (and only if) it needs quoting.
+pub fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quotes_only_when_needed() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn builds_a_document() {
+        let mut csv = Csv::new(&["name", "value"]);
+        csv.row(&["near-regular(n=80,d=6)", "42"]);
+        assert_eq!(csv.finish(), "name,value\n\"near-regular(n=80,d=6)\",42\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_wrong_arity() {
+        Csv::new(&["a"]).row(&["1", "2"]);
+    }
+}

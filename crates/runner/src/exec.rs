@@ -1,0 +1,39 @@
+//! The one shared trial executor behind both [`crate::TrialPlan`]
+//! (a single cell) and [`crate::Campaign`] (a whole grid).
+//!
+//! Work arrives as a *flat* queue of `(protocol, instance)` items —
+//! the campaign layer flattens its cross-product of cells × seeds
+//! into this queue rather than nesting per-plan parallelism, so one
+//! `par_iter` fans the entire grid across worker threads. Every
+//! item's randomness derives only from its own instance, so the
+//! parallel and serial schedules produce bit-identical records.
+
+use crate::instance::Instance;
+use crate::plan::TrialRecord;
+use crate::protocol::Protocol;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// One unit of work: run `protocol` on `instance`. The queue is
+/// cell-major, so callers recover per-cell grouping by chunking the
+/// returned records.
+pub(crate) struct WorkItem {
+    /// The protocol to execute.
+    pub protocol: Arc<dyn Protocol>,
+    /// The input instance.
+    pub instance: Instance,
+}
+
+/// Executes the whole queue — `par_iter` across *all* items when
+/// `parallel` — and returns one record per item, in queue order.
+pub(crate) fn execute(queue: &[WorkItem], parallel: bool) -> Vec<TrialRecord> {
+    let trial = |item: &WorkItem| -> TrialRecord {
+        let outcome = item.protocol.run(&item.instance);
+        TrialRecord::from_outcome(&item.instance, outcome)
+    };
+    if parallel {
+        queue.par_iter().map(trial).collect()
+    } else {
+        queue.iter().map(trial).collect()
+    }
+}

@@ -77,6 +77,228 @@ impl GraphSpec {
             GraphSpec::GnmMaxDegree { n, m, dmax } => gen::gnm_max_degree(n, m, dmax, seed),
         }
     }
+
+    /// The family name without parameters (`"near-regular"`, `"gnp"`,
+    /// ...) — the campaign's `group_by`-family key.
+    pub fn family(&self) -> &'static str {
+        match self {
+            GraphSpec::Empty { .. } => "empty",
+            GraphSpec::Path { .. } => "path",
+            GraphSpec::Cycle { .. } => "cycle",
+            GraphSpec::Complete { .. } => "complete",
+            GraphSpec::Star { .. } => "star",
+            GraphSpec::Gnp { .. } => "gnp",
+            GraphSpec::NearRegular { .. } => "near-regular",
+            GraphSpec::GnmMaxDegree { .. } => "gnm",
+        }
+    }
+
+    /// The number of vertices the spec builds.
+    pub fn num_vertices(&self) -> usize {
+        match *self {
+            GraphSpec::Empty { n }
+            | GraphSpec::Path { n }
+            | GraphSpec::Cycle { n }
+            | GraphSpec::Complete { n }
+            | GraphSpec::Star { n }
+            | GraphSpec::Gnp { n, .. }
+            | GraphSpec::NearRegular { n, .. }
+            | GraphSpec::GnmMaxDegree { n, .. } => n,
+        }
+    }
+
+    /// The size-scaling hook behind [`crate::Campaign::sizes`]: the
+    /// same family re-parameterized to `n` vertices. Density-style
+    /// parameters (`p`, `d`, `dmax`) are kept; the absolute edge
+    /// count of [`GraphSpec::GnmMaxDegree`] is scaled proportionally
+    /// so the average degree is preserved.
+    pub fn scaled_to(&self, n: usize) -> GraphSpec {
+        match *self {
+            GraphSpec::Empty { .. } => GraphSpec::Empty { n },
+            GraphSpec::Path { .. } => GraphSpec::Path { n },
+            GraphSpec::Cycle { .. } => GraphSpec::Cycle { n },
+            GraphSpec::Complete { .. } => GraphSpec::Complete { n },
+            GraphSpec::Star { .. } => GraphSpec::Star { n },
+            GraphSpec::Gnp { p, .. } => GraphSpec::Gnp { n, p },
+            GraphSpec::NearRegular { d, .. } => GraphSpec::NearRegular { n, d },
+            GraphSpec::GnmMaxDegree { n: n0, m, dmax } => GraphSpec::GnmMaxDegree {
+                n,
+                m: (m * n).checked_div(n0).unwrap_or(m),
+                dmax,
+            },
+        }
+    }
+}
+
+/// Why a [`GraphSpec`] or [`Partitioner`] string failed to parse —
+/// the typed error behind declaring campaign grids from CLI args.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseSpecError {
+    /// The family name before `(` is not one of the known families.
+    UnknownFamily(String),
+    /// A required field of this family is absent.
+    MissingField {
+        /// The family being parsed.
+        family: String,
+        /// The `k` of the missing `k=v`.
+        field: &'static str,
+    },
+    /// A field value failed to parse as a number.
+    BadValue {
+        /// The `k` of the offending `k=v`.
+        field: String,
+        /// The unparseable `v`.
+        value: String,
+    },
+    /// A field this family does not take, or a duplicate of one it
+    /// does — rejected rather than silently ignored, so a
+    /// fat-fingered CLI grid errors instead of running a quietly
+    /// different experiment.
+    UnexpectedField {
+        /// The family being parsed.
+        family: String,
+        /// The unexpected or repeated `k`.
+        field: String,
+    },
+    /// The string is not of the shape `family(k=v,...)`.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseSpecError::UnknownFamily(fam) => write!(f, "unknown graph family {fam:?}"),
+            ParseSpecError::MissingField { family, field } => {
+                write!(f, "family {family:?} is missing field {field:?}")
+            }
+            ParseSpecError::BadValue { field, value } => {
+                write!(f, "field {field:?} has unparseable value {value:?}")
+            }
+            ParseSpecError::UnexpectedField { family, field } => {
+                write!(
+                    f,
+                    "family {family:?} does not take a (second) field {field:?}"
+                )
+            }
+            ParseSpecError::Malformed(s) => {
+                write!(f, "{s:?} is not of the shape \"family(k=v,...)\"")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+/// The `k=v` fields of a spec string.
+type SpecFields<'a> = Vec<(&'a str, &'a str)>;
+
+/// Splits `"family(k=v,k=v)"` into the family name and its `k=v`
+/// fields (shared by the [`GraphSpec`] parser and, on the graph-crate
+/// side, mirrored by the `Partitioner` parser).
+fn split_spec(s: &str) -> Result<(&str, SpecFields<'_>), ParseSpecError> {
+    let s = s.trim();
+    let Some(open) = s.find('(') else {
+        // A bare family name is fine for field-free parsing; callers
+        // decide whether fields were required.
+        return Ok((s, Vec::new()));
+    };
+    let Some(body) = s[open + 1..].strip_suffix(')') else {
+        return Err(ParseSpecError::Malformed(s.to_string()));
+    };
+    let name = &s[..open];
+    let mut fields = Vec::new();
+    for part in body.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        match part.split_once('=') {
+            Some((k, v)) => fields.push((k.trim(), v.trim())),
+            None => return Err(ParseSpecError::Malformed(s.to_string())),
+        }
+    }
+    Ok((name, fields))
+}
+
+impl std::str::FromStr for GraphSpec {
+    type Err = ParseSpecError;
+
+    /// Parses the round-trip [`Display`](std::fmt::Display) form,
+    /// e.g. `"near-regular(n=80,d=6)"` or `"gnp(n=50,p=0.1)"`.
+    /// Strict: unknown and duplicate fields are errors, not noise.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (family, fields) = split_spec(s)?;
+        let expected: &[&str] = match family {
+            "empty" | "path" | "cycle" | "complete" | "star" => &["n"],
+            "gnp" => &["n", "p"],
+            "near-regular" => &["n", "d"],
+            "gnm" => &["n", "m", "dmax"],
+            other => return Err(ParseSpecError::UnknownFamily(other.to_string())),
+        };
+        for (i, (key, _)) in fields.iter().enumerate() {
+            if !expected.contains(key) || fields[..i].iter().any(|(k, _)| k == key) {
+                return Err(ParseSpecError::UnexpectedField {
+                    family: family.to_string(),
+                    field: key.to_string(),
+                });
+            }
+        }
+        let lookup = |key: &'static str| -> Result<&str, ParseSpecError> {
+            fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| *v)
+                .ok_or(ParseSpecError::MissingField {
+                    family: family.to_string(),
+                    field: key,
+                })
+        };
+        let parse_usize = |key: &'static str| -> Result<usize, ParseSpecError> {
+            let v = lookup(key)?;
+            v.parse().map_err(|_| ParseSpecError::BadValue {
+                field: key.to_string(),
+                value: v.to_string(),
+            })
+        };
+        let parse_f64 = |key: &'static str| -> Result<f64, ParseSpecError> {
+            let v = lookup(key)?;
+            v.parse().map_err(|_| ParseSpecError::BadValue {
+                field: key.to_string(),
+                value: v.to_string(),
+            })
+        };
+        match family {
+            "empty" => Ok(GraphSpec::Empty {
+                n: parse_usize("n")?,
+            }),
+            "path" => Ok(GraphSpec::Path {
+                n: parse_usize("n")?,
+            }),
+            "cycle" => Ok(GraphSpec::Cycle {
+                n: parse_usize("n")?,
+            }),
+            "complete" => Ok(GraphSpec::Complete {
+                n: parse_usize("n")?,
+            }),
+            "star" => Ok(GraphSpec::Star {
+                n: parse_usize("n")?,
+            }),
+            "gnp" => Ok(GraphSpec::Gnp {
+                n: parse_usize("n")?,
+                p: parse_f64("p")?,
+            }),
+            "near-regular" => Ok(GraphSpec::NearRegular {
+                n: parse_usize("n")?,
+                d: parse_usize("d")?,
+            }),
+            "gnm" => Ok(GraphSpec::GnmMaxDegree {
+                n: parse_usize("n")?,
+                m: parse_usize("m")?,
+                dmax: parse_usize("dmax")?,
+            }),
+            other => Err(ParseSpecError::UnknownFamily(other.to_string())),
+        }
+    }
 }
 
 impl std::fmt::Display for GraphSpec {
@@ -154,5 +376,129 @@ impl Instance {
     /// Maximum degree `Δ` of the whole graph.
     pub fn delta(&self) -> usize {
         self.graph().max_degree()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_spec_display_round_trips() {
+        let specs = [
+            GraphSpec::Empty { n: 5 },
+            GraphSpec::Path { n: 2 },
+            GraphSpec::Cycle { n: 9 },
+            GraphSpec::Complete { n: 12 },
+            GraphSpec::Star { n: 8 },
+            GraphSpec::Gnp { n: 50, p: 0.1 },
+            GraphSpec::NearRegular { n: 80, d: 6 },
+            GraphSpec::GnmMaxDegree {
+                n: 60,
+                m: 150,
+                dmax: 8,
+            },
+        ];
+        for spec in specs {
+            let text = spec.to_string();
+            let back: GraphSpec = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(back, spec, "{text} must round-trip");
+        }
+    }
+
+    #[test]
+    fn spec_parsing_accepts_whitespace_and_reordered_fields() {
+        let spec: GraphSpec = " gnm( dmax=8 , n=60, m=150 ) ".parse().expect("parses");
+        assert_eq!(
+            spec,
+            GraphSpec::GnmMaxDegree {
+                n: 60,
+                m: 150,
+                dmax: 8
+            }
+        );
+    }
+
+    #[test]
+    fn spec_parsing_rejects_malformed_input_with_typed_errors() {
+        assert_eq!(
+            "torus(n=5)".parse::<GraphSpec>(),
+            Err(ParseSpecError::UnknownFamily("torus".into()))
+        );
+        assert_eq!(
+            "gnp(n=5)".parse::<GraphSpec>(),
+            Err(ParseSpecError::MissingField {
+                family: "gnp".into(),
+                field: "p",
+            })
+        );
+        assert_eq!(
+            "gnp(n=5,p=high)".parse::<GraphSpec>(),
+            Err(ParseSpecError::BadValue {
+                field: "p".into(),
+                value: "high".into(),
+            })
+        );
+        assert_eq!(
+            "gnp(n=5,p=0.1".parse::<GraphSpec>(),
+            Err(ParseSpecError::Malformed("gnp(n=5,p=0.1".into()))
+        );
+        assert_eq!(
+            "cycle(9)".parse::<GraphSpec>(),
+            Err(ParseSpecError::Malformed("cycle(9)".into()))
+        );
+        assert!("near-regular".parse::<GraphSpec>().is_err());
+    }
+
+    #[test]
+    fn spec_parsing_rejects_unknown_and_duplicate_fields() {
+        // A junk field would silently change the experiment if
+        // dropped; a duplicate would silently pick one value.
+        assert_eq!(
+            "gnp(n=5,p=0.1,frobs=2)".parse::<GraphSpec>(),
+            Err(ParseSpecError::UnexpectedField {
+                family: "gnp".into(),
+                field: "frobs".into(),
+            })
+        );
+        assert_eq!(
+            "gnm(n=60,m=150,dmax=8,m=999)".parse::<GraphSpec>(),
+            Err(ParseSpecError::UnexpectedField {
+                family: "gnm".into(),
+                field: "m".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn scaled_to_preserves_density_parameters() {
+        assert_eq!(
+            GraphSpec::NearRegular { n: 80, d: 6 }.scaled_to(160),
+            GraphSpec::NearRegular { n: 160, d: 6 }
+        );
+        assert_eq!(
+            GraphSpec::Gnp { n: 50, p: 0.1 }.scaled_to(25),
+            GraphSpec::Gnp { n: 25, p: 0.1 }
+        );
+        // Absolute edge counts scale proportionally with n.
+        assert_eq!(
+            GraphSpec::GnmMaxDegree {
+                n: 60,
+                m: 150,
+                dmax: 8
+            }
+            .scaled_to(120),
+            GraphSpec::GnmMaxDegree {
+                n: 120,
+                m: 300,
+                dmax: 8
+            }
+        );
+        assert_eq!(
+            GraphSpec::Star { n: 8 }.scaled_to(3),
+            GraphSpec::Star { n: 3 }
+        );
+        assert_eq!(GraphSpec::Complete { n: 4 }.num_vertices(), 4);
+        assert_eq!(GraphSpec::Path { n: 4 }.family(), "path");
     }
 }

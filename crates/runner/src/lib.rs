@@ -7,11 +7,15 @@
 //!
 //! * [`Instance`] — a graph + adversarial edge partition + seed.
 //! * [`Protocol`] — `name()` + `run(&Instance) -> Outcome`; the
-//!   [`registry`] enumerates every implementation by string key
+//!   [`registry()`] enumerates every implementation by string key
 //!   (`"vertex/theorem1"`, `"edge/theorem2"`, ... — see
 //!   [`registry`](crate::registry()) docs for the theorem map).
-//! * [`TrialPlan`] — builder-style repeated execution, parallel
-//!   across seeds, aggregating a serializable [`Report`].
+//! * [`Campaign`] — grid-structured orchestration: sets of protocols
+//!   × graph families × sizes × partitioners × seeds, executed as one
+//!   flat parallel work queue into a [`CampaignReport`] with pivots,
+//!   baseline deltas, and table / JSON / CSV output.
+//! * [`TrialPlan`] — the single-cell special case (one protocol, one
+//!   graph family), aggregating a serializable [`Report`].
 //!
 //! # Quickstart
 //!
@@ -34,6 +38,24 @@
 //! assert!(json.contains("\"protocol\":\"vertex/theorem1\""));
 //! ```
 //!
+//! Whole experiment grids — the shape of every table in the paper —
+//! are one [`Campaign`]:
+//!
+//! ```
+//! use bichrome_runner::{Campaign, GraphSpec, GroupBy};
+//!
+//! let report = Campaign::new()
+//!     .protocol_keys(["vertex/theorem1", "baseline/flin-mittal"])
+//!     .graphs([GraphSpec::NearRegular { n: 64, d: 6 }])
+//!     .sizes([64, 128])
+//!     .seeds(0..4)
+//!     .baseline("baseline/flin-mittal")
+//!     .run();
+//! assert!(report.all_valid());
+//! println!("{}", report.render_table());   // per-cell rows + deltas
+//! let _csv = report.to_csv();              // machine-readable grid
+//! ```
+//!
 //! Single runs use the same surface without a plan:
 //!
 //! ```
@@ -50,14 +72,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
+pub mod csv;
+mod exec;
 pub mod instance;
 pub mod json;
 pub mod plan;
+pub mod probes;
 pub mod protocol;
 pub mod registry;
 pub mod table;
 
-pub use instance::{GraphSpec, Instance};
+pub use campaign::{BaselineDelta, Campaign, CampaignCell, CampaignReport, GroupBy};
+pub use instance::{GraphSpec, Instance, ParseSpecError};
 pub use plan::{Aggregate, Report, Summary, TrialPlan, TrialRecord};
 pub use protocol::{Artifact, Outcome, Protocol, Verdict};
 pub use registry::{registry, Registry};

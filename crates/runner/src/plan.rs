@@ -4,12 +4,13 @@
 //! output. This replaces the hand-rolled trial loops the experiment
 //! binaries used to copy-paste.
 
+use crate::exec::{self, WorkItem};
 use crate::instance::{GraphSpec, Instance};
-use crate::protocol::Protocol;
+use crate::protocol::{Outcome, Protocol, Verdict};
 use crate::table::Table;
 use bichrome_comm::PublicCoin;
 use bichrome_graph::partition::Partitioner;
-use rayon::prelude::*;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Builder for a batch of repeated trials of one protocol.
@@ -106,7 +107,9 @@ impl TrialPlan {
         insts
     }
 
-    /// Runs every trial and aggregates a [`Report`].
+    /// Runs every trial through the shared executor (the same one
+    /// that powers [`crate::Campaign`] grids) and aggregates a
+    /// [`Report`].
     ///
     /// # Panics
     ///
@@ -118,32 +121,14 @@ impl TrialPlan {
             !instances.is_empty(),
             "TrialPlan has no instances: set .graphs(..).seeds(..) or .instances(..)"
         );
-        let proto = &*self.protocol;
-        let trial = |inst: &Instance| -> TrialRecord {
-            let outcome = proto.run(inst);
-            TrialRecord {
-                label: inst.label.clone(),
-                seed: inst.seed,
-                n: inst.n(),
-                m: inst.m(),
-                delta: inst.delta(),
-                bits_alice_to_bob: outcome.stats.bits_alice_to_bob,
-                bits_bob_to_alice: outcome.stats.bits_bob_to_alice,
-                rounds: outcome.stats.rounds,
-                colors_used: outcome.artifact.colors_used(),
-                palette_budget: outcome.palette_budget,
-                valid: outcome.verdict.is_valid(),
-                error: match &outcome.verdict {
-                    crate::protocol::Verdict::Valid => None,
-                    crate::protocol::Verdict::Invalid(msg) => Some(msg.clone()),
-                },
-            }
-        };
-        let trials: Vec<TrialRecord> = if self.parallel {
-            instances.par_iter().map(trial).collect()
-        } else {
-            instances.iter().map(trial).collect()
-        };
+        let queue: Vec<WorkItem> = instances
+            .into_iter()
+            .map(|instance| WorkItem {
+                protocol: Arc::clone(&self.protocol),
+                instance,
+            })
+            .collect();
+        let trials = exec::execute(&queue, self.parallel);
         Report::new(self.protocol.name().to_string(), trials)
     }
 }
@@ -154,7 +139,9 @@ const PARTITION_TAG: u64 = 0x9A27_0001;
 /// Decorrelates the default partition seed from the graph-generation
 /// seed via the comm crate's sub-coin derivation (both the generator
 /// and the partitioner expand their seed through the same RNG).
-fn mix_partition_seed(seed: u64) -> u64 {
+/// Shared with the campaign layer so a campaign cell reproduces its
+/// `TrialPlan` equivalent bit for bit.
+pub(crate) fn mix_partition_seed(seed: u64) -> u64 {
     PublicCoin::new(seed).subcoin(PARTITION_TAG).seed()
 }
 
@@ -197,9 +184,35 @@ pub struct TrialRecord {
     pub valid: bool,
     /// Validator / failure message when invalid.
     pub error: Option<String>,
+    /// Protocol-specific side measurements, copied from
+    /// [`Outcome::metrics`].
+    pub metrics: BTreeMap<String, f64>,
 }
 
 impl TrialRecord {
+    /// Flattens one executed [`Outcome`] into a record, annotated with
+    /// the instance it ran on.
+    pub fn from_outcome(inst: &Instance, outcome: Outcome) -> Self {
+        TrialRecord {
+            label: inst.label.clone(),
+            seed: inst.seed,
+            n: inst.n(),
+            m: inst.m(),
+            delta: inst.delta(),
+            bits_alice_to_bob: outcome.stats.bits_alice_to_bob,
+            bits_bob_to_alice: outcome.stats.bits_bob_to_alice,
+            rounds: outcome.stats.rounds,
+            colors_used: outcome.artifact.colors_used(),
+            palette_budget: outcome.palette_budget,
+            valid: outcome.verdict.is_valid(),
+            error: match &outcome.verdict {
+                Verdict::Valid => None,
+                Verdict::Invalid(msg) => Some(msg.clone()),
+            },
+            metrics: outcome.metrics,
+        }
+    }
+
     /// Total bits in both directions.
     pub fn total_bits(&self) -> u64 {
         self.bits_alice_to_bob + self.bits_bob_to_alice
@@ -251,6 +264,57 @@ pub struct Summary {
     pub rounds: Aggregate,
     /// Bits-per-vertex aggregate (total bits / n).
     pub bits_per_vertex: Aggregate,
+    /// Colors-used aggregate.
+    pub colors: Aggregate,
+    /// Per-key aggregates of the protocols' side measurements
+    /// ([`TrialRecord::metrics`]); a key is aggregated over the trials
+    /// that reported it.
+    pub metrics: BTreeMap<String, Aggregate>,
+}
+
+impl Summary {
+    /// Aggregates a set of trial records. This is the *one*
+    /// statistics implementation in the workspace; experiment binaries
+    /// reuse it instead of hand-rolling mean/stddev.
+    pub fn of(trials: &[TrialRecord]) -> Self {
+        let bits: Vec<f64> = trials.iter().map(|t| t.total_bits() as f64).collect();
+        let rounds: Vec<f64> = trials.iter().map(|t| t.rounds as f64).collect();
+        let colors: Vec<f64> = trials.iter().map(|t| t.colors_used as f64).collect();
+        let bpv: Vec<f64> = trials
+            .iter()
+            .map(|t| {
+                if t.n == 0 {
+                    0.0
+                } else {
+                    t.total_bits() as f64 / t.n as f64
+                }
+            })
+            .collect();
+        let mut samples: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+        for t in trials {
+            for (k, &v) in &t.metrics {
+                samples.entry(k).or_default().push(v);
+            }
+        }
+        Summary {
+            trials: trials.len(),
+            valid: trials.iter().filter(|t| t.valid).count(),
+            total_bits: Aggregate::of(&bits),
+            rounds: Aggregate::of(&rounds),
+            bits_per_vertex: Aggregate::of(&bpv),
+            colors: Aggregate::of(&colors),
+            metrics: samples
+                .into_iter()
+                .map(|(k, xs)| (k.to_string(), Aggregate::of(&xs)))
+                .collect(),
+        }
+    }
+
+    /// The aggregate for one metric key (zeros when no trial reported
+    /// it) — convenience for table-printing code.
+    pub fn metric(&self, key: &str) -> Aggregate {
+        self.metrics.get(key).copied().unwrap_or_default()
+    }
 }
 
 /// The aggregated result of a [`TrialPlan`] run.
@@ -267,25 +331,7 @@ pub struct Report {
 impl Report {
     /// Builds a report (computing the summary) from raw trials.
     pub fn new(protocol: String, trials: Vec<TrialRecord>) -> Self {
-        let bits: Vec<f64> = trials.iter().map(|t| t.total_bits() as f64).collect();
-        let rounds: Vec<f64> = trials.iter().map(|t| t.rounds as f64).collect();
-        let bpv: Vec<f64> = trials
-            .iter()
-            .map(|t| {
-                if t.n == 0 {
-                    0.0
-                } else {
-                    t.total_bits() as f64 / t.n as f64
-                }
-            })
-            .collect();
-        let summary = Summary {
-            trials: trials.len(),
-            valid: trials.iter().filter(|t| t.valid).count(),
-            total_bits: Aggregate::of(&bits),
-            rounds: Aggregate::of(&rounds),
-            bits_per_vertex: Aggregate::of(&bpv),
-        };
+        let summary = Summary::of(&trials);
         Report {
             protocol,
             trials,
@@ -361,6 +407,14 @@ impl Report {
                 "bits_per_vertex",
                 &aggregate_json(&self.summary.bits_per_vertex),
             );
+            s.field_raw("colors", &aggregate_json(&self.summary.colors));
+            if !self.summary.metrics.is_empty() {
+                let mut m = crate::json::Writer::object();
+                for (k, a) in &self.summary.metrics {
+                    m.field_raw(k, &aggregate_json(a));
+                }
+                s.field_raw("metrics", &m.finish());
+            }
             s.finish()
         });
         let trials: Vec<String> = self
@@ -385,6 +439,13 @@ impl Report {
                 match &t.error {
                     Some(e) => o.field_str("error", e),
                     None => o.field_null("error"),
+                }
+                if !t.metrics.is_empty() {
+                    let mut m = crate::json::Writer::object();
+                    for (k, &v) in &t.metrics {
+                        m.field_f64(k, v);
+                    }
+                    o.field_raw("metrics", &m.finish());
                 }
                 o.finish()
             })

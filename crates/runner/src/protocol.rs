@@ -11,6 +11,7 @@ use bichrome_graph::coloring::{
     validate_vertex_coloring_with_palette, EdgeColoring, VertexColoring,
 };
 use bichrome_graph::Graph;
+use std::collections::BTreeMap;
 
 /// The coloring a protocol produced, in whichever shape the problem
 /// calls for.
@@ -66,16 +67,15 @@ pub struct Outcome {
     /// The palette budget the artifact was validated against, if the
     /// protocol has one (`Δ+1`, `2Δ−1`, `2Δ`, ...).
     pub palette_budget: Option<usize>,
+    /// Protocol-specific side measurements (e.g. `rct_remaining`,
+    /// `state_bits`, `win_rate`), aggregated per key by trial plans
+    /// and campaigns. Empty for protocols with nothing extra to say.
+    pub metrics: BTreeMap<String, f64>,
 }
 
 impl Outcome {
     /// A validated vertex-coloring outcome.
-    pub(crate) fn vertex(
-        g: &Graph,
-        coloring: VertexColoring,
-        stats: CommStats,
-        budget: usize,
-    ) -> Self {
+    pub fn vertex(g: &Graph, coloring: VertexColoring, stats: CommStats, budget: usize) -> Self {
         let verdict = match validate_vertex_coloring_with_palette(g, &coloring, budget) {
             Ok(()) => Verdict::Valid,
             Err(e) => Verdict::Invalid(e.to_string()),
@@ -85,12 +85,13 @@ impl Outcome {
             stats,
             verdict,
             palette_budget: Some(budget),
+            metrics: BTreeMap::new(),
         }
     }
 
     /// A validated edge-coloring outcome; `budget = None` checks
     /// properness only.
-    pub(crate) fn edge(
+    pub fn edge(
         g: &Graph,
         coloring: EdgeColoring,
         stats: CommStats,
@@ -109,17 +110,39 @@ impl Outcome {
             stats,
             verdict,
             palette_budget: budget,
+            metrics: BTreeMap::new(),
         }
     }
 
-    /// An outcome for a run that failed before producing an artifact.
-    pub(crate) fn failed(reason: impl Into<String>, stats: CommStats) -> Self {
+    /// A valid outcome with no coloring artifact — for measurement
+    /// protocols (probes) whose acceptance condition is checked by the
+    /// caller before construction.
+    pub fn measured(stats: CommStats) -> Self {
+        Outcome {
+            artifact: Artifact::None,
+            stats,
+            verdict: Verdict::Valid,
+            palette_budget: None,
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// An outcome for a run that failed before producing an artifact
+    /// (or whose acceptance check failed).
+    pub fn failed(reason: impl Into<String>, stats: CommStats) -> Self {
         Outcome {
             artifact: Artifact::None,
             stats,
             verdict: Verdict::Invalid(reason.into()),
             palette_budget: None,
+            metrics: BTreeMap::new(),
         }
+    }
+
+    /// Attaches one named side measurement (builder-style).
+    pub fn with_metric(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.metrics.insert(key.into(), value);
+        self
     }
 }
 

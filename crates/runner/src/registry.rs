@@ -50,7 +50,7 @@ impl Protocol for VertexTheorem1 {
         let a = PartyInput::alice(&inst.partition);
         let b = PartyInput::bob(&inst.partition);
         let (cfg_a, cfg_b) = (self.config, self.config);
-        let ((ca, _), (cb, _), stats) = run_two_party_ctx(
+        let ((ca, rct), (cb, _), stats) = run_two_party_ctx(
             inst.seed,
             move |ctx| vertex_coloring_party(&a, &ctx, &cfg_a),
             move |ctx| vertex_coloring_party(&b, &ctx, &cfg_b),
@@ -58,7 +58,11 @@ impl Protocol for VertexTheorem1 {
         if ca != cb {
             return Outcome::failed("parties disagree on the vertex coloring", stats);
         }
+        // RCT-stage instrumentation rides along as metrics so
+        // iteration-budget ablations (a1) are plain campaigns.
         Outcome::vertex(inst.graph(), ca, stats, inst.delta() + 1)
+            .with_metric("rct_remaining", rct.remaining as f64)
+            .with_metric("rct_iterations", rct.iterations_run as f64)
     }
 }
 

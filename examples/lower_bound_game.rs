@@ -1,68 +1,102 @@
-//! Playing the lower-bound games of Section 6.
+//! Playing the lower-bound games of Section 6 — as one campaign per
+//! game, with the lemma bounds encoded in the probes' verdicts.
 //!
 //! Demonstrates why `(2Δ−1)`-edge coloring *needs* Ω(n) bits: every
 //! zero-communication strategy for the ZEC game loses a constant
 //! fraction of the time, winning all `n` parallel instances becomes
-//! exponentially unlikely, and guessing a protocol transcript to avoid
-//! talking decays just as fast.
+//! exponentially unlikely, guessing a protocol transcript to avoid
+//! talking decays just as fast, and the learning reduction shows the
+//! bits are really *transferred*.
 //!
 //! ```sh
-//! cargo run -p bichrome-lb --example lower_bound_game
+//! cargo run --example lower_bound_game
 //! ```
 
-use bichrome_lb::learning::run_learning_reduction;
-use bichrome_lb::repetition::{guessing_success_rate, run_parallel_repetition};
-use bichrome_lb::zec::{
-    compute_labels, estimate_win_probability, exact_win_probability, find_loss_witness,
-    strategy_suite, ZEC_WIN_BOUND,
+use bichrome_lb::zec::ZEC_WIN_BOUND;
+use bichrome_runner::probes::{
+    unit_graph, GuessingProbe, LearningProbe, RepetitionProbe, ZecGameProbe,
 };
+use bichrome_runner::{Campaign, Protocol};
+use std::sync::Arc;
 
 fn main() {
     println!("=== ZEC game (Lemma 6.2): no strategy wins with certainty ===");
     println!("bound: every strategy wins ≤ 11024/11025 ≈ {ZEC_WIN_BOUND:.6}\n");
-    for s in strategy_suite() {
-        let p = if s.is_deterministic() {
-            exact_win_probability(s.as_ref())
-        } else {
-            estimate_win_probability(s.as_ref(), 200_000, 42)
-        };
-        let kind = if s.is_deterministic() {
+    let strategies = Campaign::new()
+        .protocols(ZecGameProbe::suite(200_000))
+        .graphs([unit_graph()])
+        .seeds([42])
+        .run();
+    // A strategy beating the bound would make its cell invalid.
+    assert!(strategies.all_valid(), "Lemma 6.2 must hold");
+    for cell in &strategies.cells {
+        let s = cell.summary();
+        let kind = if s.metric("exact").mean == 1.0 {
             "exact "
         } else {
             "~est. "
         };
-        println!("  {:<20} {kind} win rate: {p:.4}", s.name());
-        if s.is_deterministic() {
-            let witness = find_loss_witness(&compute_labels(s.as_ref()));
-            println!("    loss witness: {witness:?}");
-        }
+        println!(
+            "  {:<24} {kind} win rate: {:.4}",
+            cell.protocol,
+            s.metric("win_rate").mean
+        );
     }
 
     println!("\n=== Parallel repetition (Lemma 6.4): win-all decays 2^-Ω(n) ===");
-    let s = bichrome_lb::zec::RandomStrategy;
-    for instances in [1usize, 2, 4, 8, 16] {
-        let out = run_parallel_repetition(&s, instances, 40_000, 7);
+    let repetition = Campaign::new()
+        .protocols(
+            [1usize, 2, 4, 8, 16]
+                .iter()
+                .map(|&n| Arc::new(RepetitionProbe::new(n, 40_000)) as Arc<dyn Protocol>),
+        )
+        .graphs([unit_graph()])
+        .seeds([7])
+        .run();
+    for cell in &repetition.cells {
+        let s = cell.summary();
         println!(
-            "  n = {instances:>2}: win-all {:.4}   (v^n prediction {:.4})",
-            out.win_all_rate(),
-            out.predicted()
+            "  {:<21}: win-all {:.4}   (v^n prediction {:.4})",
+            cell.protocol,
+            s.metric("win_all").mean,
+            s.metric("predicted").mean,
         );
     }
 
     println!("\n=== Communication guessing (Lemma 6.1): 2^-c per transcript bit ===");
-    for bits in [1u32, 2, 4, 6, 8] {
-        let rate = guessing_success_rate(bits, 300_000, 3);
+    let guessing = Campaign::new()
+        .protocols(
+            [1u32, 2, 4, 6, 8]
+                .iter()
+                .map(|&c| Arc::new(GuessingProbe::new(c, 300_000)) as Arc<dyn Protocol>),
+        )
+        .graphs([unit_graph()])
+        .seeds([3])
+        .run();
+    for cell in &guessing.cells {
+        let s = cell.summary();
         println!(
-            "  c = {bits}: both-guess-right rate {rate:.6}   (prediction {:.6})",
-            0.25f64.powi(bits as i32)
+            "  {:<18}: both-guess-right rate {:.6}   (prediction {:.6})",
+            cell.protocol,
+            s.metric("success").mean,
+            s.metric("predicted").mean,
         );
     }
 
     println!("\n=== Learning reduction (§2.3): vertex coloring leaks Alice's bits ===");
-    let secret = vec![true, false, false, true, true, false, true, false];
-    let (recovered, comm) = run_learning_reduction(&secret, 11);
-    println!("  Alice's secret: {secret:?}");
-    println!("  Bob recovered : {recovered:?}   using {comm} protocol bits");
-    assert_eq!(secret, recovered);
+    let learning = Campaign::new()
+        .protocols([Arc::new(LearningProbe::new(8)) as Arc<dyn Protocol>])
+        .graphs([unit_graph()])
+        .seeds([11])
+        .run();
+    // The probe's verdict is the exact-recovery check.
+    assert!(learning.all_valid(), "Bob must recover Alice's string");
+    let s = learning.cells[0].summary();
+    println!(
+        "  Bob recovered Alice's 8-bit secret using {:.0} protocol bits \
+         ({:.1} bits per learned bit)",
+        s.total_bits.mean,
+        s.metric("bits_per_learned_bit").mean,
+    );
     println!("  → any (Δ+1)-coloring protocol transfers n bits: Ω(n) communication.");
 }

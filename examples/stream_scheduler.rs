@@ -7,64 +7,68 @@
 //! scarce resource, output streams out. This example contrasts the
 //! `(2Δ−1)`-slot greedy scheduler (whose state is Θ(n·Δ) — and, by
 //! Corollary 1.2, Ω(n) is unavoidable at this slot count) with the
-//! chunked scheduler that slashes state by paying with extra slots.
+//! chunked scheduler that slashes state by paying with extra slots —
+//! both schedulers and the two-controller simulation declared as one
+//! `bichrome_runner::Campaign` over the same flow stream.
 //!
 //! ```sh
-//! cargo run -p bichrome-lb --example stream_scheduler
+//! cargo run --example stream_scheduler
 //! ```
 
-use bichrome_graph::coloring::validate_edge_coloring;
-use bichrome_graph::gen;
 use bichrome_graph::partition::Partitioner;
-use bichrome_streaming::algorithms::{ChunkedWStreaming, GreedyWStreaming};
-use bichrome_streaming::reduction::simulate_streaming_two_party;
-use bichrome_streaming::run_w_streaming;
-use bichrome_streaming::weaker::validate_weaker_output;
+use bichrome_runner::probes::WStreamingSpaceProbe;
+use bichrome_runner::{Campaign, GraphSpec, Protocol};
+use std::sync::Arc;
 
 fn main() {
     // 400 hosts, ~4300 flows, at most 32 concurrent flows per host.
-    let g = gen::gnm_max_degree(400, 4300, 32, 21);
-    let n = g.num_vertices();
-    let delta = g.max_degree();
-    println!(
-        "flow stream: {g} ({} flows arriving one by one)\n",
-        g.num_edges()
-    );
+    let flows = GraphSpec::GnmMaxDegree {
+        n: 400,
+        m: 4300,
+        dmax: 32,
+    };
+    println!("flow stream: {flows} (flows arriving one by one)\n");
 
-    // Scheduler 1: greedy, 2Δ−1 slots, Θ(nΔ) bits of switch memory.
-    let mut greedy = GreedyWStreaming::new(n, delta);
-    let (schedule, space) = run_w_streaming(&mut greedy, g.edges());
-    validate_edge_coloring(&g, &schedule).expect("conflict-free schedule");
-    println!(
-        "greedy scheduler : {:>3} slots, {:>7} bits of state ({:.1} bits/host)",
-        schedule.num_distinct_colors(),
-        space.max_state_bits,
-        space.max_state_bits as f64 / n as f64
-    );
-
-    // Scheduler 2: chunked, Õ(n√Δ) memory, more slots.
-    let mut chunked = ChunkedWStreaming::with_sqrt_delta_capacity(n, delta);
-    let (schedule2, space2) = run_w_streaming(&mut chunked, g.edges());
-    validate_edge_coloring(&g, &schedule2).expect("conflict-free schedule");
-    println!(
-        "chunked scheduler: {:>3} slots, {:>7} bits of state ({:.1} bits/host)",
-        schedule2.num_distinct_colors(),
-        space2.max_state_bits,
-        space2.max_state_bits as f64 / n as f64
-    );
+    // One campaign, two schedulers, identical stream: greedy (2Δ−1
+    // slots, Θ(nΔ) bits of switch memory) vs chunked (Õ(n√Δ) memory,
+    // more slots). The validator guarantees both schedules are
+    // conflict-free.
+    let schedulers = Campaign::new()
+        .protocols([
+            Arc::new(WStreamingSpaceProbe::greedy()) as Arc<dyn Protocol>,
+            Arc::new(WStreamingSpaceProbe::chunked()) as Arc<dyn Protocol>,
+        ])
+        .graphs([flows])
+        .seeds([21])
+        .run();
+    assert!(schedulers.all_valid(), "conflict-free schedules");
+    for cell in &schedulers.cells {
+        let s = cell.summary();
+        println!(
+            "{:<24}: {:>4.0} slots, {:>7.0} bits of state ({:.1} bits/host)",
+            cell.protocol,
+            s.colors.mean,
+            s.metric("state_bits").mean,
+            s.metric("state_bits_per_vertex").mean,
+        );
+    }
 
     // The §6.4 reduction: two controllers each see half the flows and
     // hand the scheduler state across once — communication equals the
     // state size, which is why Theorem 5's Ω(n) communication bound
     // becomes Corollary 1.2's Ω(n) space bound.
-    let p = Partitioner::Random(4).split(&g);
-    let sim = simulate_streaming_two_party(&p, || GreedyWStreaming::new(n, delta), 0);
-    validate_weaker_output(&g, &sim.output, 2 * delta - 1).expect("valid weaker output");
+    let simulation = Campaign::new()
+        .protocol_keys(["streaming/greedy-w"])
+        .graphs([flows])
+        .partitioners([Partitioner::Random(4)])
+        .seeds([21])
+        .run();
+    assert!(simulation.all_valid(), "valid weaker output");
+    let s = simulation.cells[0].summary();
     println!(
-        "\ntwo-controller simulation of the greedy scheduler: {} bits in {} round \
+        "\ntwo-controller simulation of the greedy scheduler: {:.0} bits in {:.0} round \
          (= its state, byte-rounded)",
-        sim.stats.total_bits(),
-        sim.stats.rounds
+        s.total_bits.mean, s.rounds.mean,
     );
     println!(
         "Corollary 1.2: at 2Δ−1 slots no streaming scheduler can beat Ω(n) \
