@@ -2,30 +2,47 @@
 //! fixed smoke grid (every registry protocol × 3 graph families ×
 //! 4 seeds) through the campaign executor and writes
 //! `BENCH_campaign.json` — cells/sec, trials/sec, total bits, wall
-//! time — so CI can chart orchestration throughput across PRs.
+//! time, the setup-vs-execute split, and the instance-cache dedup
+//! counters (`graphs_built` vs `graphs_requested`) — so CI can chart
+//! orchestration throughput across PRs.
 //!
 //! ```sh
 //! cargo run --release -p bichrome-bench --bin bench_campaign [out.json]
 //! ```
 
 use bichrome_runner::{registry, Campaign, GraphSpec};
+use std::ops::Range;
 use std::time::Instant;
+
+/// The smoke grid's graph families — shared by the grid builder and
+/// the exactly-once-build assertion so they can't drift apart.
+const GRAPHS: [GraphSpec; 3] = [
+    GraphSpec::NearRegular { n: 64, d: 6 },
+    GraphSpec::Gnp { n: 64, p: 0.1 },
+    GraphSpec::GnmMaxDegree {
+        n: 64,
+        m: 160,
+        dmax: 8,
+    },
+];
+
+/// The smoke grid's trial seeds.
+const SEEDS: Range<u64> = 0..4;
 
 /// The fixed smoke grid: small enough for CI, wide enough to touch
 /// every protocol and the three main graph families.
 fn smoke_grid() -> Campaign {
     Campaign::new()
         .protocol_keys(registry().names())
-        .graphs([
-            GraphSpec::NearRegular { n: 64, d: 6 },
-            GraphSpec::Gnp { n: 64, p: 0.1 },
-            GraphSpec::GnmMaxDegree {
-                n: 64,
-                m: 160,
-                dmax: 8,
-            },
-        ])
-        .seeds(0..4)
+        .graphs(GRAPHS)
+        .seeds(SEEDS)
+}
+
+/// The grid's distinct (spec, seed) instance columns. With lazy
+/// cached materialization each column is built exactly once, however
+/// many protocols share it.
+fn distinct_instances() -> u64 {
+    (GRAPHS.len() as u64) * (SEEDS.end - SEEDS.start)
 }
 
 fn main() {
@@ -37,7 +54,7 @@ fn main() {
     println!("bench-campaign: running the {cells}-cell smoke grid...");
 
     let started = Instant::now();
-    let report = campaign.run();
+    let (report, stats) = campaign.run_with_stats();
     let wall = started.elapsed();
 
     assert!(
@@ -45,8 +62,20 @@ fn main() {
         "the smoke grid must be validator-valid:\n{}",
         report.render_table()
     );
+    assert_eq!(
+        stats.graphs_built,
+        distinct_instances(),
+        "each (spec, seed) graph must be built exactly once"
+    );
+    assert_eq!(
+        stats.partitions_built,
+        distinct_instances(),
+        "each (spec, seed, partitioner) split must be built exactly once"
+    );
     let wall_secs = wall.as_secs_f64();
     let trials = report.total_trials();
+    let setup_secs = stats.setup_nanos as f64 / 1e9;
+    let execute_secs = stats.run_nanos as f64 / 1e9;
 
     let mut w = bichrome_runner::json::Writer::object();
     w.field_str("benchmark", "campaign-smoke-grid");
@@ -57,6 +86,17 @@ fn main() {
     w.field_f64("wall_seconds", wall_secs);
     w.field_f64("cells_per_sec", report.cells.len() as f64 / wall_secs);
     w.field_f64("trials_per_sec", trials as f64 / wall_secs);
+    // Setup-vs-execute split (cumulative worker time, summed across
+    // threads — may exceed wall time under parallelism; setup counts
+    // actual builds only, never time blocked on a shared build).
+    w.field_f64("setup_seconds", setup_secs);
+    w.field_f64("execute_seconds", execute_secs);
+    // Instance-cache dedup: the trajectory CI charts hits winning.
+    w.field_u64("graphs_requested", stats.graphs_requested);
+    w.field_u64("graphs_built", stats.graphs_built);
+    w.field_u64("partitions_requested", stats.partitions_requested);
+    w.field_u64("partitions_built", stats.partitions_built);
+    w.field_f64("graph_cache_hit_rate", stats.graph_cache_hit_rate());
     let json = w.finish();
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
 
@@ -65,5 +105,14 @@ fn main() {
         "wall {wall_secs:.3}s · {:.1} cells/sec · {:.1} trials/sec → {out_path}",
         report.cells.len() as f64 / wall_secs,
         trials as f64 / wall_secs,
+    );
+    println!(
+        "setup {setup_secs:.3}s vs execute {execute_secs:.3}s (worker time) · \
+         graphs built {}/{} requested ({:.0}% cache hits) · partitions {}/{}",
+        stats.graphs_built,
+        stats.graphs_requested,
+        100.0 * stats.graph_cache_hit_rate(),
+        stats.partitions_built,
+        stats.partitions_requested,
     );
 }

@@ -76,65 +76,245 @@ pub fn complete_bipartite(a: usize, b: usize) -> Graph {
 /// Erdős–Rényi `G(n, p)`: each of the `n(n-1)/2` possible edges is
 /// present independently with probability `p`.
 ///
+/// Implemented with geometric skipping (Batagelj–Brandes): instead of
+/// flipping one coin per candidate pair (`O(n²)` draws), the
+/// generator samples the gap to the next present edge directly, so
+/// the expected work is `O(n + m)`. Still fully deterministic per
+/// seed.
+///
 /// # Panics
 ///
 /// Panics if `p` is not in `[0, 1]`.
 pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
     assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    if n < 2 || p == 0.0 {
+        return GraphBuilder::new(n).build();
+    }
+    if p >= 1.0 {
+        return complete(n);
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if rng.gen_bool(p) {
-                b.add_edge(VertexId(i as u32), VertexId(j as u32));
-            }
+    // Candidate pairs (i, j), i < j, linearized row-major; `k` walks
+    // that index space, jumping Geometric(p)-distributed gaps.
+    // ln_1p keeps ln(1-p) accurately negative even for p < 2^-53,
+    // where `(1.0 - p).ln()` would round to 0 and turn every skip
+    // into 0 (i.e. the complete graph instead of an empty one).
+    let ln_q = (-p).ln_1p(); // finite and < 0 since 0 < p < 1
+    let total = (n as u64) * (n as u64 - 1) / 2;
+    let mut k: u64 = 0;
+    let mut row = 0usize; // row of candidate k
+    let mut row_start: u64 = 0; // linear index of (row, row+1)
+    loop {
+        let u: f64 = rng.gen();
+        // Geometric skip: floor(ln(1-u) / ln(1-p)); 1-u > 0 since
+        // u ∈ [0,1), and the `as` cast saturates huge values.
+        let skip = ((1.0 - u).ln() / ln_q) as u64;
+        k = k.saturating_add(skip);
+        if k >= total {
+            break;
         }
+        // Rows only ever advance, so decoding is amortized O(n).
+        while k >= row_start + (n - 1 - row) as u64 {
+            row_start += (n - 1 - row) as u64;
+            row += 1;
+        }
+        let col = row + 1 + (k - row_start) as usize;
+        b.add_edge(VertexId(row as u32), VertexId(col as u32));
+        k += 1;
     }
     b.build()
 }
 
-/// Random graph with `m` edges chosen uniformly without replacement,
-/// subject to a maximum-degree cap `dmax`.
+/// Random graph with **exactly** `m` edges chosen without
+/// replacement, subject to a maximum-degree cap `dmax`.
 ///
-/// The generator draws random candidate pairs and keeps those not
-/// violating the cap; it stops early (with fewer than `m` edges) if it
-/// cannot place more edges after `50 · m + 1000` attempts, so the result
-/// always satisfies `max_degree() <= dmax`.
+/// Three phases, all deterministic per seed: plain rejection sampling
+/// (`O(m)` expected on sparse inputs); if that stalls near
+/// saturation, uniform draws from an explicit pool of the remaining
+/// feasible candidate edges; and finally local edge swaps to free any
+/// capacity a greedy draw stranded. The result always has exactly `m`
+/// edges and `max_degree() <= dmax` — the old generator silently
+/// returned *fewer* than `m` edges when its rejection cap tripped on
+/// feasible dense inputs, systematically sparsifying near-saturated
+/// graph families.
 ///
 /// # Panics
 ///
-/// Panics if `n < 2` while `m > 0`, or `dmax == 0` while `m > 0`.
+/// Panics if `m > 0` while `n < 2` or `dmax == 0`, and on infeasible
+/// parameters: `m > min(n·dmax/2, n·(n−1)/2)`.
 pub fn gnm_max_degree(n: usize, m: usize, dmax: usize, seed: u64) -> Graph {
-    if m > 0 {
-        assert!(n >= 2, "need at least two vertices to place an edge");
-        assert!(dmax >= 1, "dmax must be positive to place edges");
+    if m == 0 {
+        return GraphBuilder::new(n).build();
     }
+    assert!(n >= 2, "need at least two vertices to place an edge");
+    assert!(dmax >= 1, "dmax must be positive to place edges");
+    let max_pairs = n * (n - 1) / 2;
+    let capacity = n * dmax / 2;
+    assert!(
+        m <= max_pairs && m <= capacity,
+        "infeasible: m = {m} exceeds min(n*dmax/2, n*(n-1)/2) = {} for n = {n}, dmax = {dmax}",
+        capacity.min(max_pairs)
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut deg = vec![0usize; n];
-    let mut present = std::collections::HashSet::new();
-    let mut b = GraphBuilder::new(n);
+    // `edges` (insertion-ordered) is the source of truth for scans
+    // and the final build, so results never depend on hash-set
+    // iteration order; `present` mirrors it for O(1) membership.
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m);
+    let mut present: std::collections::HashSet<(u32, u32)> =
+        std::collections::HashSet::with_capacity(m);
+    let ordered = |u: usize, v: usize| -> (u32, u32) {
+        if u < v {
+            (u as u32, v as u32)
+        } else {
+            (v as u32, u as u32)
+        }
+    };
+
+    // Phase 1: rejection sampling — the fast path while most draws
+    // land.
     let mut attempts = 0usize;
-    let max_attempts = 50 * m + 1000;
-    while present.len() < m && attempts < max_attempts {
+    while edges.len() < m && attempts < 20 * m + 100 {
         attempts += 1;
         let u = rng.gen_range(0..n);
         let v = rng.gen_range(0..n);
         if u == v || deg[u] >= dmax || deg[v] >= dmax {
             continue;
         }
-        let key = if u < v { (u, v) } else { (v, u) };
+        let key = ordered(u, v);
         if present.insert(key) {
+            edges.push(key);
             deg[u] += 1;
             deg[v] += 1;
-            b.add_edge(VertexId(key.0 as u32), VertexId(key.1 as u32));
         }
+    }
+
+    // Phase 2: near saturation, draw uniformly from the pool of
+    // still-feasible candidate edges, pruning entries invalidated by
+    // later saturation as they surface.
+    if edges.len() < m {
+        let open: Vec<usize> = (0..n).filter(|&v| deg[v] < dmax).collect();
+        let mut pool: Vec<(u32, u32)> = Vec::new();
+        for (i, &u) in open.iter().enumerate() {
+            for &v in &open[i + 1..] {
+                if !present.contains(&(u as u32, v as u32)) {
+                    pool.push((u as u32, v as u32));
+                }
+            }
+        }
+        while edges.len() < m && !pool.is_empty() {
+            let key = pool.swap_remove(rng.gen_range(0..pool.len()));
+            let (u, v) = (key.0 as usize, key.1 as usize);
+            if deg[u] < dmax && deg[v] < dmax {
+                present.insert(key);
+                edges.push(key);
+                deg[u] += 1;
+                deg[v] += 1;
+            }
+        }
+    }
+
+    // Phase 3: a greedy draw can strand capacity (every remaining
+    // open pair already adjacent); edge swaps — remove (x,y), add
+    // (u,x) and (w,y), which keeps deg(x), deg(y) and gains one edge
+    // — free it without breaching the cap.
+    let mut repairs = 0usize;
+    while edges.len() < m {
+        repairs += 1;
+        assert!(
+            repairs <= 50 * m + 1000,
+            "gnm_max_degree: failed to reach the feasible m = {m} edges \
+             (n = {n}, dmax = {dmax}) — repair stalled; this is a bug"
+        );
+        let mut open: Vec<usize> = (0..n).filter(|&v| deg[v] < dmax).collect();
+        open.shuffle(&mut rng);
+
+        // (a) A non-adjacent open pair can simply be added.
+        let direct = open.iter().enumerate().find_map(|(i, &u)| {
+            open[i + 1..]
+                .iter()
+                .map(|&v| ordered(u, v))
+                .find(|key| !present.contains(key))
+        });
+        if let Some(key) = direct {
+            present.insert(key);
+            edges.push(key);
+            deg[key.0 as usize] += 1;
+            deg[key.1 as usize] += 1;
+            continue;
+        }
+        if edges.is_empty() {
+            continue; // unreachable for feasible inputs; trips the assert
+        }
+
+        // (b) Swap against an existing edge. `u == w` (one open
+        // vertex with ≥ 2 spare slots) is the single-deficit case.
+        let mut slots: Vec<(usize, usize)> = Vec::new();
+        for (i, &u) in open.iter().enumerate() {
+            if deg[u] + 2 <= dmax {
+                slots.push((u, u));
+            }
+            for &w in &open[i + 1..] {
+                slots.push((u, w));
+            }
+        }
+        let offset = rng.gen_range(0..edges.len());
+        let mut swapped = false;
+        'swap: for &(u, w) in &slots {
+            for ei in 0..edges.len() {
+                let idx = (offset + ei) % edges.len();
+                let (x, y) = edges[idx];
+                for (x, y) in [(x as usize, y as usize), (y as usize, x as usize)] {
+                    if x == u || x == w || y == u || y == w {
+                        continue;
+                    }
+                    let k1 = ordered(u, x);
+                    let k2 = ordered(w, y);
+                    if k1 == k2 || present.contains(&k1) || present.contains(&k2) {
+                        continue;
+                    }
+                    let removed = edges.swap_remove(idx);
+                    present.remove(&removed);
+                    for key in [k1, k2] {
+                        present.insert(key);
+                        edges.push(key);
+                    }
+                    deg[u] += 1;
+                    deg[w] += 1;
+                    swapped = true;
+                    break 'swap;
+                }
+            }
+        }
+        if swapped {
+            continue;
+        }
+
+        // (c) No single swap applies: perturb by dropping a random
+        // edge and retry from a different configuration.
+        let removed = edges.swap_remove(rng.gen_range(0..edges.len()));
+        present.remove(&removed);
+        deg[removed.0 as usize] -= 1;
+        deg[removed.1 as usize] -= 1;
+    }
+
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in edges {
+        b.add_edge(VertexId(u), VertexId(v));
     }
     b.build()
 }
 
-/// Random near-`d`-regular graph: every vertex has degree `d` or `d-1`
-/// when the generator succeeds; in degenerate corners a few vertices
-/// may fall further short, but `max_degree() <= d` always holds.
+/// Random near-`d`-regular graph: exactly `⌊n·d/2⌋` edges under the
+/// degree cap `d`, so the average degree is within one of `d` and
+/// `max_degree() <= d` always holds.
+///
+/// # Panics
+///
+/// Panics if the parameters are infeasible (`d > n - 1` on a graph
+/// that would need more than `n(n-1)/2` edges) — see
+/// [`gnm_max_degree`].
 pub fn near_regular(n: usize, d: usize, seed: u64) -> Graph {
     gnm_max_degree(n, n * d / 2, d, seed)
 }
@@ -290,6 +470,15 @@ mod tests {
     }
 
     #[test]
+    fn gnp_tiny_p_is_almost_surely_empty() {
+        // Regression: with p < 2^-53, a naive (1.0 - p).ln() is 0 and
+        // the geometric skip degenerates to "every pair", silently
+        // producing K_n. Expected edges here are ~1e-15.
+        assert_eq!(gnp(50, 1e-18, 7).num_edges(), 0);
+        assert_eq!(gnp(200, f64::MIN_POSITIVE, 3).num_edges(), 0);
+    }
+
+    #[test]
     fn gnp_is_deterministic_per_seed() {
         let a = gnp(50, 0.3, 42);
         let b = gnp(50, 0.3, 42);
@@ -305,6 +494,63 @@ mod tests {
         assert!(g.num_edges() <= 300);
         // With generous capacity the target is reached.
         assert_eq!(g.num_edges(), 300);
+    }
+
+    #[test]
+    fn gnm_reaches_m_exactly_near_saturation() {
+        // The old rejection-only generator silently under-delivered
+        // here once its attempt cap tripped. Feasible m must now be
+        // hit exactly, at every seed, right up to saturation.
+        for seed in 0..20 {
+            // Full 3-regular on 8 vertices: m = n*dmax/2 exactly.
+            let g = gnm_max_degree(8, 12, 3, seed);
+            assert_eq!(g.num_edges(), 12, "seed {seed}");
+            assert!(g.max_degree() <= 3, "seed {seed}");
+
+            // Odd n*dmax: m = floor(27/2) = 13 is the saturation point.
+            let g = gnm_max_degree(9, 13, 3, seed);
+            assert_eq!(g.num_edges(), 13, "seed {seed}");
+            assert!(g.max_degree() <= 3, "seed {seed}");
+
+            // The complete graph as a gnm corner.
+            let g = gnm_max_degree(10, 45, 9, seed);
+            assert_eq!(g.num_edges(), 45, "seed {seed}");
+
+            // near_regular at full saturation inherits exactness.
+            let g = near_regular(20, 7, seed);
+            assert_eq!(g.num_edges(), 70, "seed {seed}");
+            assert!(g.max_degree() <= 7, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn gnm_is_deterministic_per_seed() {
+        let a = gnm_max_degree(30, 43, 3, 7);
+        let b = gnm_max_degree(30, 43, 3, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn gnm_rejects_m_beyond_degree_capacity() {
+        // n*dmax/2 = 25 < 30: no such graph exists — the old
+        // generator silently returned something sparser.
+        let _ = gnm_max_degree(10, 30, 5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn gnm_rejects_m_beyond_complete_graph() {
+        // Degree capacity is fine (12), but K_4 only has 6 edges.
+        let _ = gnm_max_degree(4, 7, 6, 0);
+    }
+
+    #[test]
+    fn gnp_density_tracks_p() {
+        // Geometric skipping must preserve the G(n,p) edge density:
+        // E[m] = p · n(n-1)/2 = 1990 here; 5 sigma ≈ 212.
+        let m = gnp(200, 0.1, 7).num_edges();
+        assert!((1700..2300).contains(&m), "got {m} edges");
     }
 
     #[test]

@@ -130,7 +130,10 @@ impl EdgePartition {
 }
 
 /// Strategies for splitting edges between the parties.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Hash` lets the runner's instance cache key materialized
+/// partitions by `(spec, graph seed, partitioner)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Partitioner {
     /// Every edge goes to Alice (the split used in the paper's
     /// vertex-coloring lower bound, §2.3).

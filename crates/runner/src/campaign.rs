@@ -33,11 +33,12 @@
 //! ```
 
 use crate::csv::Csv;
-use crate::exec::{self, WorkItem};
-use crate::instance::{GraphSpec, Instance};
-use crate::plan::{mix_partition_seed, Report, Summary};
+use crate::exec::{self, ExecStats, WorkItem, WorkSource};
+use crate::instance::GraphSpec;
+use crate::plan::{Report, Summary};
 use crate::protocol::Protocol;
 use crate::registry::registry;
+use crate::seeds;
 use crate::table::Table;
 use bichrome_graph::partition::Partitioner;
 use std::sync::Arc;
@@ -197,9 +198,10 @@ impl Campaign {
         self.protocols.len() * self.sized_specs().len() * self.partitioner_axis().len()
     }
 
-    /// Materializes the grid, executes the flat cells × seeds queue
+    /// Enumerates the grid, executes the flat cells × seeds queue
     /// through the shared executor, and aggregates one [`Report`] per
-    /// cell.
+    /// cell. Equivalent to [`Campaign::run_with_stats`] with the
+    /// executor statistics dropped.
     ///
     /// # Panics
     ///
@@ -207,6 +209,19 @@ impl Campaign {
     /// declared [`Campaign::baseline`] label matches no protocol-axis
     /// label (a typo would otherwise silently disable every delta).
     pub fn run(self) -> CampaignReport {
+        self.run_with_stats().0
+    }
+
+    /// Like [`Campaign::run`], additionally returning the executor's
+    /// [`ExecStats`]: the instance-cache dedup counters
+    /// (`graphs_built` vs `graphs_requested` — a P-protocol grid
+    /// builds each `(spec, seed)` graph once, not P times) and the
+    /// setup-vs-execute worker-time split (summed across threads).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Campaign::run`].
+    pub fn run_with_stats(self) -> (CampaignReport, ExecStats) {
         assert!(
             !self.protocols.is_empty(),
             "Campaign has no protocols: set .protocols(..) / .protocol_keys(..)"
@@ -252,22 +267,29 @@ impl Campaign {
         }
 
         // One flat queue over cells × seeds — the executor fans out
-        // across the whole grid, not per cell. Seeds derive each
-        // trial's instance exactly like a single-cell TrialPlan, so a
-        // campaign cell is bit-identical to the TrialPlan it replaced.
+        // across the whole grid, not per cell. Items are lazy
+        // descriptors: workers resolve them through the executor's
+        // shared instance cache, so a column of P protocols builds
+        // its (spec, seed) instance once, and the sub-seeds derive
+        // exactly like a single-cell TrialPlan, keeping a campaign
+        // cell bit-identical to the TrialPlan it replaced.
         let mut queue = Vec::with_capacity(meta.len() * self.seeds.len());
         for m in &meta {
             for &seed in &self.seeds {
                 let partitioner = m
                     .partitioner
-                    .unwrap_or(Partitioner::Random(mix_partition_seed(seed)));
+                    .unwrap_or(Partitioner::Random(seeds::partition_seed(seed)));
                 queue.push(WorkItem {
                     protocol: Arc::clone(&m.protocol),
-                    instance: Instance::from_spec(&m.spec, partitioner, seed, seed),
+                    source: WorkSource::Lazy {
+                        spec: m.spec,
+                        partitioner,
+                        trial_seed: seed,
+                    },
                 });
             }
         }
-        let records = exec::execute(&queue, self.parallel);
+        let (records, stats) = exec::execute(&queue, self.parallel);
 
         let per_cell = self.seeds.len();
         let cells = meta
@@ -280,10 +302,13 @@ impl Campaign {
                 report: Report::new(m.label, records[i * per_cell..(i + 1) * per_cell].to_vec()),
             })
             .collect();
-        CampaignReport {
-            cells,
-            baseline: self.baseline,
-        }
+        (
+            CampaignReport {
+                cells,
+                baseline: self.baseline,
+            },
+            stats,
+        )
     }
 }
 

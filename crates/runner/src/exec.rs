@@ -1,39 +1,360 @@
 //! The one shared trial executor behind both [`crate::TrialPlan`]
 //! (a single cell) and [`crate::Campaign`] (a whole grid).
 //!
-//! Work arrives as a *flat* queue of `(protocol, instance)` items —
-//! the campaign layer flattens its cross-product of cells × seeds
-//! into this queue rather than nesting per-plan parallelism, so one
-//! `par_iter` fans the entire grid across worker threads. Every
-//! item's randomness derives only from its own instance, so the
-//! parallel and serial schedules produce bit-identical records.
+//! Work arrives as a *flat* queue of [`WorkItem`]s — the campaign
+//! layer flattens its cross-product of cells × seeds into this queue
+//! rather than nesting per-plan parallelism, so one `par_iter` fans
+//! the entire grid across worker threads. Every item's randomness
+//! derives only from its own cell and seed, so the parallel and
+//! serial schedules produce bit-identical records.
+//!
+//! # Lazy, shared instance materialization
+//!
+//! A work item does not carry a pre-built [`Instance`]; it carries a
+//! lazy *descriptor* (`spec` + `partitioner` + trial seed) that the
+//! worker resolves right before running the protocol, through a
+//! sharded concurrent cache:
+//!
+//! ```text
+//! (spec, graph_seed)              → Arc<Graph>
+//! (spec, graph_seed, partitioner) → Arc<EdgePartition>
+//! ```
+//!
+//! This fixes three problems of eager construction at once: setup
+//! work happens *on* the worker threads instead of serially before
+//! them; at most one materialized graph/partition exists per distinct
+//! key instead of one per trial (a P-protocol grid runs all P
+//! protocols on the *same* `Arc`s, which is also the campaign's
+//! apples-to-apples contract); and memory is bounded by the number of
+//! distinct instances, not the number of trials.
+//!
+//! Cache hits are bit-identical to fresh builds — generators are
+//! deterministic per seed and every build happens exactly once per
+//! key (a per-key [`OnceLock`]), so lazy/cached execution equals an
+//! eager uncached build record for record. [`ExecStats`] reports the
+//! dedup win (`graphs_built` vs `graphs_requested`) and the
+//! setup-vs-execute worker-time split (cumulative across threads, so
+//! it can exceed wall time under parallelism).
 
-use crate::instance::Instance;
+use crate::instance::{GraphSpec, Instance};
 use crate::plan::TrialRecord;
 use crate::protocol::Protocol;
+use crate::seeds;
+use bichrome_graph::partition::{EdgePartition, Partitioner};
+use bichrome_graph::Graph;
 use rayon::prelude::*;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
-/// One unit of work: run `protocol` on `instance`. The queue is
-/// cell-major, so callers recover per-cell grouping by chunking the
-/// returned records.
+/// Where a work item's instance comes from.
+pub(crate) enum WorkSource {
+    /// Lazy: resolved inside the worker through the shared instance
+    /// cache. Graph, partition, and protocol sub-seeds derive from
+    /// `trial_seed` via [`crate::seeds`].
+    Lazy {
+        /// The graph family to build.
+        spec: GraphSpec,
+        /// The edge partitioner to split it with.
+        partitioner: Partitioner,
+        /// The trial seed every sub-stream derives from.
+        trial_seed: u64,
+    },
+    /// A pre-built instance, passed through untouched (the
+    /// [`crate::TrialPlan::instances`] escape hatch).
+    Ready(Instance),
+}
+
+/// One unit of work: run `protocol` on the instance described by
+/// `source`. The queue is cell-major, so callers recover per-cell
+/// grouping by chunking the returned records.
 pub(crate) struct WorkItem {
     /// The protocol to execute.
     pub protocol: Arc<dyn Protocol>,
-    /// The input instance.
-    pub instance: Instance,
+    /// The instance to run it on (usually lazy — see [`WorkSource`]).
+    pub source: WorkSource,
+}
+
+/// Counters and timings from one executor run — how much instance
+/// materialization was deduplicated by the cache, and how the wall
+/// time split between building instances and running protocols.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    /// Lazy trials that needed a graph (one per lazy work item).
+    pub graphs_requested: u64,
+    /// Graphs actually built — exactly one per distinct
+    /// `(spec, graph_seed)` key.
+    pub graphs_built: u64,
+    /// Lazy trials that needed an edge partition.
+    pub partitions_requested: u64,
+    /// Partitions actually built — exactly one per distinct
+    /// `(spec, graph_seed, partitioner)` key.
+    pub partitions_built: u64,
+    /// Cumulative nanoseconds spent *building* graphs and partitions
+    /// (cache misses only), summed across threads. Waiting on another
+    /// worker's in-flight build is deliberately not counted, so a
+    /// build shared by many trials contributes its cost once, not
+    /// once per waiter.
+    pub setup_nanos: u64,
+    /// Cumulative nanoseconds workers spent inside `Protocol::run`,
+    /// summed across threads.
+    pub run_nanos: u64,
+}
+
+impl ExecStats {
+    /// Fraction of graph requests served from cache (0 when nothing
+    /// was requested).
+    pub fn graph_cache_hit_rate(&self) -> f64 {
+        if self.graphs_requested == 0 {
+            0.0
+        } else {
+            1.0 - self.graphs_built as f64 / self.graphs_requested as f64
+        }
+    }
+}
+
+/// Shard count of the concurrent caches (a small power of two; keys
+/// hash-distribute across shards to keep lock contention low).
+const SHARDS: usize = 16;
+
+/// A sharded `key → value` cache with exactly-once construction:
+/// the shard lock is held only to look up the per-key cell, and the
+/// build itself runs under the cell's [`OnceLock`], so concurrent
+/// builds of *different* keys in the same shard do not serialize and
+/// the same key is never built twice.
+struct Sharded<K, V> {
+    shards: Vec<Mutex<HashMap<K, Arc<OnceLock<V>>>>>,
+    requested: AtomicU64,
+    built: AtomicU64,
+    build_nanos: AtomicU64,
+}
+
+impl<K: Eq + Hash, V: Clone> Sharded<K, V> {
+    fn new() -> Self {
+        Sharded {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            requested: AtomicU64::new(0),
+            built: AtomicU64::new(0),
+            build_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn get_or_build(&self, key: K, build: impl FnOnce() -> V) -> V {
+        self.requested.fetch_add(1, Ordering::Relaxed);
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        let shard = &self.shards[hasher.finish() as usize % SHARDS];
+        let cell = {
+            let mut map = shard.lock().expect("cache shard poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        cell.get_or_init(|| {
+            // Time only the build itself: workers blocked here on
+            // another thread's in-flight build must not re-bill it.
+            let started = Instant::now();
+            self.built.fetch_add(1, Ordering::Relaxed);
+            let value = build();
+            self.build_nanos
+                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            value
+        })
+        .clone()
+    }
+}
+
+/// Cache key of a materialized graph. The spec is keyed by its
+/// canonical `Display` form (which round-trips every parameter,
+/// including `p`).
+#[derive(PartialEq, Eq, Hash)]
+struct GraphKey {
+    spec: String,
+    graph_seed: u64,
+}
+
+/// Cache key of a materialized edge partition.
+#[derive(PartialEq, Eq, Hash)]
+struct PartitionKey {
+    spec: String,
+    graph_seed: u64,
+    partitioner: Partitioner,
+}
+
+/// The per-execution instance cache (fresh per [`execute`] call, so
+/// memory is released when the run's records have been collected).
+struct InstanceCache {
+    graphs: Sharded<GraphKey, Arc<Graph>>,
+    partitions: Sharded<PartitionKey, Arc<EdgePartition>>,
+}
+
+impl InstanceCache {
+    fn new() -> Self {
+        InstanceCache {
+            graphs: Sharded::new(),
+            partitions: Sharded::new(),
+        }
+    }
+
+    /// Resolves one lazy descriptor to an [`Instance`], building the
+    /// graph and partition at most once per distinct key. The result
+    /// is bit-identical to [`Instance::from_spec`] on the same
+    /// arguments.
+    fn instance(&self, spec: &GraphSpec, partitioner: Partitioner, trial_seed: u64) -> Instance {
+        let label = spec.to_string();
+        let graph_seed = seeds::graph_seed(trial_seed);
+        let graph = self.graphs.get_or_build(
+            GraphKey {
+                spec: label.clone(),
+                graph_seed,
+            },
+            || Arc::new(spec.build(graph_seed)),
+        );
+        let partition = self.partitions.get_or_build(
+            PartitionKey {
+                spec: label.clone(),
+                graph_seed,
+                partitioner,
+            },
+            || Arc::new(partitioner.split(&graph)),
+        );
+        Instance {
+            label,
+            partition,
+            trial_seed,
+            seed: seeds::protocol_seed(trial_seed),
+        }
+    }
 }
 
 /// Executes the whole queue — `par_iter` across *all* items when
-/// `parallel` — and returns one record per item, in queue order.
-pub(crate) fn execute(queue: &[WorkItem], parallel: bool) -> Vec<TrialRecord> {
+/// `parallel` — and returns one record per item, in queue order, plus
+/// the run's [`ExecStats`]. Records are bit-identical regardless of
+/// `parallel` and of cache hit/miss patterns.
+pub(crate) fn execute(queue: &[WorkItem], parallel: bool) -> (Vec<TrialRecord>, ExecStats) {
+    let cache = InstanceCache::new();
+    let run_nanos = AtomicU64::new(0);
     let trial = |item: &WorkItem| -> TrialRecord {
-        let outcome = item.protocol.run(&item.instance);
-        TrialRecord::from_outcome(&item.instance, outcome)
+        let resolved;
+        let instance: &Instance = match &item.source {
+            WorkSource::Ready(instance) => instance,
+            WorkSource::Lazy {
+                spec,
+                partitioner,
+                trial_seed,
+            } => {
+                resolved = cache.instance(spec, *partitioner, *trial_seed);
+                &resolved
+            }
+        };
+        let run_started = Instant::now();
+        let outcome = item.protocol.run(instance);
+        let record = TrialRecord::from_outcome(instance, outcome);
+        run_nanos.fetch_add(run_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        record
     };
-    if parallel {
+    let records = if parallel {
         queue.par_iter().map(trial).collect()
     } else {
         queue.iter().map(trial).collect()
+    };
+    let stats = ExecStats {
+        graphs_requested: cache.graphs.requested.load(Ordering::Relaxed),
+        graphs_built: cache.graphs.built.load(Ordering::Relaxed),
+        partitions_requested: cache.partitions.requested.load(Ordering::Relaxed),
+        partitions_built: cache.partitions.built.load(Ordering::Relaxed),
+        setup_nanos: cache.graphs.build_nanos.load(Ordering::Relaxed)
+            + cache.partitions.build_nanos.load(Ordering::Relaxed),
+        run_nanos: run_nanos.load(Ordering::Relaxed),
+    };
+    (records, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::registry;
+
+    /// A queue repeating the same (spec, seed) column across several
+    /// protocols — the shape whose redundancy the cache removes.
+    fn shared_column_queue(protocols: &[&str], seeds: std::ops::Range<u64>) -> Vec<WorkItem> {
+        let spec = GraphSpec::NearRegular { n: 24, d: 4 };
+        let reg = registry();
+        let mut queue = Vec::new();
+        for key in protocols {
+            for seed in seeds.clone() {
+                queue.push(WorkItem {
+                    protocol: reg.get(key).expect("registered"),
+                    source: WorkSource::Lazy {
+                        spec,
+                        partitioner: Partitioner::Alternating,
+                        trial_seed: seed,
+                    },
+                });
+            }
+        }
+        queue
+    }
+
+    #[test]
+    fn each_distinct_graph_is_built_exactly_once() {
+        let queue = shared_column_queue(
+            &[
+                "vertex/theorem1",
+                "edge/theorem2",
+                "baseline/send-everything",
+            ],
+            0..4,
+        );
+        for parallel in [false, true] {
+            let (records, stats) = execute(&queue, parallel);
+            assert_eq!(records.len(), 12);
+            assert_eq!(stats.graphs_requested, 12, "parallel={parallel}");
+            assert_eq!(stats.graphs_built, 4, "one graph per seed");
+            assert_eq!(stats.partitions_requested, 12);
+            assert_eq!(stats.partitions_built, 4, "one partition per seed");
+            assert!(stats.graph_cache_hit_rate() > 0.6);
+        }
+    }
+
+    #[test]
+    fn cached_resolution_is_bit_identical_to_eager_from_spec() {
+        let queue = shared_column_queue(&["edge/theorem2", "vertex/theorem1"], 0..3);
+        let (records, _) = execute(&queue, true);
+        let reg = registry();
+        let spec = GraphSpec::NearRegular { n: 24, d: 4 };
+        let mut i = 0;
+        for key in ["edge/theorem2", "vertex/theorem1"] {
+            let proto = reg.get(key).expect("registered");
+            for seed in 0..3 {
+                let inst = Instance::from_spec(&spec, Partitioner::Alternating, seed);
+                let expected = TrialRecord::from_outcome(&inst, proto.run(&inst));
+                assert_eq!(records[i], expected, "{key} seed {seed}");
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn ready_items_pass_through_untouched() {
+        let g = bichrome_graph::gen::cycle(8);
+        let inst = Instance::new("ready", Partitioner::Alternating.split(&g), 7);
+        let queue = vec![WorkItem {
+            protocol: registry().get("edge/theorem2").expect("registered"),
+            source: WorkSource::Ready(inst.clone()),
+        }];
+        let (records, stats) = execute(&queue, false);
+        assert_eq!(records[0].seed, 7);
+        assert_eq!(records[0].label, "ready");
+        assert_eq!(stats.graphs_requested, 0, "no lazy resolution happened");
+        assert_eq!(stats.graphs_built, 0);
+    }
+
+    #[test]
+    fn stats_time_split_covers_the_run() {
+        let queue = shared_column_queue(&["vertex/theorem1"], 0..2);
+        let (_, stats) = execute(&queue, false);
+        assert!(stats.run_nanos > 0, "protocol runs take measurable time");
+        assert!(stats.setup_nanos > 0, "two graphs were actually built");
     }
 }

@@ -2,9 +2,11 @@
 //! seed, bundled so every protocol can be configured and executed the
 //! same way.
 
+use crate::seeds;
 use bichrome_graph::gen;
 use bichrome_graph::partition::{EdgePartition, Partitioner};
 use bichrome_graph::Graph;
+use std::sync::Arc;
 
 /// A declarative description of an input graph family, buildable at
 /// any seed. This is what [`crate::TrialPlan::graphs`] accepts: the
@@ -321,40 +323,58 @@ impl std::fmt::Display for GraphSpec {
 /// One concrete trial input: the partitioned graph plus the seed fed
 /// to the protocol session (public randomness, private randomness,
 /// session plumbing).
+///
+/// The partition is held behind an [`Arc`] so the executor's
+/// instance cache can hand the *same* materialized graph and
+/// subgraphs to every trial that shares them (all protocols of a
+/// campaign cell column, for example) instead of cloning them per
+/// trial.
 #[derive(Debug, Clone)]
 pub struct Instance {
     /// Human-readable label (graph family / origin), carried into
     /// trial records.
     pub label: String,
-    /// The adversarially split input graph.
-    pub partition: EdgePartition,
-    /// Seed for the protocol session.
+    /// The adversarially split input graph (shared, not owned — see
+    /// the struct docs).
+    pub partition: Arc<EdgePartition>,
+    /// The trial seed the instance was derived from — the value
+    /// reported in trial records. Equal to [`Instance::seed`] for
+    /// explicitly constructed instances.
+    pub trial_seed: u64,
+    /// Seed for the protocol session. Derived from the trial seed via
+    /// [`crate::seeds::protocol_seed`] when the instance comes from a
+    /// spec; taken verbatim by [`Instance::new`].
     pub seed: u64,
 }
 
 impl Instance {
-    /// An instance from explicit parts.
-    pub fn new(label: impl Into<String>, partition: EdgePartition, seed: u64) -> Self {
+    /// An instance from explicit parts: `seed` is used verbatim as
+    /// the protocol-session seed (no derivation — the escape hatch
+    /// for exact reproduction of historical experiment setups).
+    pub fn new(
+        label: impl Into<String>,
+        partition: impl Into<Arc<EdgePartition>>,
+        seed: u64,
+    ) -> Self {
         Instance {
             label: label.into(),
-            partition,
+            partition: partition.into(),
+            trial_seed: seed,
             seed,
         }
     }
 
-    /// Builds `spec` at `graph_seed`, splits it with `partitioner`,
-    /// and tags the protocol run with `seed`.
-    pub fn from_spec(
-        spec: &GraphSpec,
-        partitioner: Partitioner,
-        graph_seed: u64,
-        seed: u64,
-    ) -> Self {
-        let g = spec.build(graph_seed);
+    /// Builds `spec` for the given trial seed and splits it with
+    /// `partitioner`, deriving the graph and protocol-session
+    /// sub-seeds through the [`crate::seeds`] scheme so the two
+    /// streams are independent.
+    pub fn from_spec(spec: &GraphSpec, partitioner: Partitioner, trial_seed: u64) -> Self {
+        let g = spec.build(seeds::graph_seed(trial_seed));
         Instance {
             label: spec.to_string(),
-            partition: partitioner.split(&g),
-            seed,
+            partition: Arc::new(partitioner.split(&g)),
+            trial_seed,
+            seed: seeds::protocol_seed(trial_seed),
         }
     }
 

@@ -68,6 +68,22 @@
 //! assert!(out.verdict.is_valid());
 //! println!("cost: {}", out.stats);
 //! ```
+//!
+//! # Randomness and instance caching
+//!
+//! A trial's single `u64` seed fans out into independent graph /
+//! partition / protocol-session streams through the tagged SplitMix64
+//! derivation in [`seeds`] — the one place the whole derivation
+//! scheme is defined and documented. Plans and campaigns enqueue lazy
+//! instance *descriptors*; the shared executor resolves them on its
+//! worker threads through a sharded concurrent cache
+//! (`(spec, graph seed) → Arc<Graph>`,
+//! `(spec, graph seed, partitioner) → Arc<EdgePartition>`), so a
+//! P-protocol grid builds each distinct instance exactly once instead
+//! of P times, and cache hits are bit-identical to fresh builds.
+//! [`Campaign::run_with_stats`] exposes the dedup counters
+//! (`graphs_built` vs `graphs_requested`) and the setup-vs-execute
+//! worker-time split as [`ExecStats`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -81,9 +97,11 @@ pub mod plan;
 pub mod probes;
 pub mod protocol;
 pub mod registry;
+pub mod seeds;
 pub mod table;
 
 pub use campaign::{BaselineDelta, Campaign, CampaignCell, CampaignReport, GroupBy};
+pub use exec::ExecStats;
 pub use instance::{GraphSpec, Instance, ParseSpecError};
 pub use plan::{Aggregate, Report, Summary, TrialPlan, TrialRecord};
 pub use protocol::{Artifact, Outcome, Protocol, Verdict};

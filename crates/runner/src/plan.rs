@@ -4,11 +4,11 @@
 //! output. This replaces the hand-rolled trial loops the experiment
 //! binaries used to copy-paste.
 
-use crate::exec::{self, WorkItem};
+use crate::exec::{self, WorkItem, WorkSource};
 use crate::instance::{GraphSpec, Instance};
 use crate::protocol::{Outcome, Protocol, Verdict};
+use crate::seeds;
 use crate::table::Table;
-use bichrome_comm::PublicCoin;
 use bichrome_graph::partition::Partitioner;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -58,9 +58,10 @@ impl TrialPlan {
     }
 
     /// Fixes the edge partitioner. Default: a fresh random adversary
-    /// per trial — `Partitioner::Random` keyed by a SplitMix64-mixed
-    /// copy of the trial seed, so the split is decorrelated from the
-    /// graph generator's randomness (which consumes the raw seed).
+    /// per trial — `Partitioner::Random` keyed by
+    /// [`crate::seeds::partition_seed`], so the split is decorrelated
+    /// from the graph generator's and the protocol session's streams
+    /// (see the [`crate::seeds`] scheme).
     pub fn partitioner(mut self, p: Partitioner) -> Self {
         self.partitioner = Some(p);
         self
@@ -88,23 +89,33 @@ impl TrialPlan {
         self
     }
 
-    /// Materializes the instance list without running anything.
-    fn build_instances(&mut self) -> Vec<Instance> {
-        let mut insts = std::mem::take(&mut self.explicit);
-        if let Some(spec) = &self.graphs {
+    /// Enqueues the plan's work: explicit instances pass through
+    /// ready-made; spec × seed trials stay lazy descriptors, resolved
+    /// by the executor's shared instance cache inside the workers.
+    fn build_queue(&mut self) -> Vec<WorkItem> {
+        let mut queue: Vec<WorkItem> = std::mem::take(&mut self.explicit)
+            .into_iter()
+            .map(|instance| WorkItem {
+                protocol: Arc::clone(&self.protocol),
+                source: WorkSource::Ready(instance),
+            })
+            .collect();
+        if let Some(spec) = self.graphs {
             for &seed in &self.seeds {
-                // The default partition seed is mixed, not the raw
-                // trial seed: the generator and the partitioner both
-                // expand their seed through the same RNG, so feeding
-                // them identical values would correlate the "random"
-                // split with the graph's own coin flips.
                 let partitioner = self
                     .partitioner
-                    .unwrap_or(Partitioner::Random(mix_partition_seed(seed)));
-                insts.push(Instance::from_spec(spec, partitioner, seed, seed));
+                    .unwrap_or(Partitioner::Random(seeds::partition_seed(seed)));
+                queue.push(WorkItem {
+                    protocol: Arc::clone(&self.protocol),
+                    source: WorkSource::Lazy {
+                        spec,
+                        partitioner,
+                        trial_seed: seed,
+                    },
+                });
             }
         }
-        insts
+        queue
     }
 
     /// Runs every trial through the shared executor (the same one
@@ -116,33 +127,14 @@ impl TrialPlan {
     /// Panics if the plan has no instances (no `graphs`+`seeds` and no
     /// explicit `instances`).
     pub fn run(mut self) -> Report {
-        let instances = self.build_instances();
+        let queue = self.build_queue();
         assert!(
-            !instances.is_empty(),
+            !queue.is_empty(),
             "TrialPlan has no instances: set .graphs(..).seeds(..) or .instances(..)"
         );
-        let queue: Vec<WorkItem> = instances
-            .into_iter()
-            .map(|instance| WorkItem {
-                protocol: Arc::clone(&self.protocol),
-                instance,
-            })
-            .collect();
-        let trials = exec::execute(&queue, self.parallel);
+        let (trials, _stats) = exec::execute(&queue, self.parallel);
         Report::new(self.protocol.name().to_string(), trials)
     }
-}
-
-/// Stream tag for deriving the default partition seed.
-const PARTITION_TAG: u64 = 0x9A27_0001;
-
-/// Decorrelates the default partition seed from the graph-generation
-/// seed via the comm crate's sub-coin derivation (both the generator
-/// and the partitioner expand their seed through the same RNG).
-/// Shared with the campaign layer so a campaign cell reproduces its
-/// `TrialPlan` equivalent bit for bit.
-pub(crate) fn mix_partition_seed(seed: u64) -> u64 {
-    PublicCoin::new(seed).subcoin(PARTITION_TAG).seed()
 }
 
 impl std::fmt::Debug for TrialPlan {
@@ -195,7 +187,7 @@ impl TrialRecord {
     pub fn from_outcome(inst: &Instance, outcome: Outcome) -> Self {
         TrialRecord {
             label: inst.label.clone(),
-            seed: inst.seed,
+            seed: inst.trial_seed,
             n: inst.n(),
             m: inst.m(),
             delta: inst.delta(),

@@ -40,6 +40,12 @@ use std::sync::Arc;
 /// game bounds.
 const MC_TOLERANCE: f64 = 0.01;
 
+/// Stream tag (see [`crate::seeds`]) for the learning probe's secret
+/// string, salted by `n_bits` so distinct `(seed, n_bits)` sweep
+/// points never share a secret stream (a raw `seed ^ n_bits` mix
+/// collides, e.g. `5 ^ 1 == 4 ^ 0`).
+const LEARNING_SECRET_TAG: u64 = 0x9A27_0010;
+
 /// A `k-Slack-Int` session (Lemma A.2 / Lemma 3.1): universe `[m+1]`,
 /// sets filling all but `k` of it, find a free element. Bits and
 /// rounds land in the trial's `CommStats`; the verdict checks the
@@ -151,6 +157,17 @@ impl LearningProbe {
     }
 }
 
+/// Alice's secret string for one learning-probe sweep point, drawn
+/// from the [`crate::seeds::salted`] stream (tag + `n_bits` salt).
+fn learning_secret(seed: u64, n_bits: usize) -> Vec<bool> {
+    let mut rng = StdRng::seed_from_u64(crate::seeds::salted(
+        seed,
+        LEARNING_SECRET_TAG,
+        n_bits as u64,
+    ));
+    (0..n_bits).map(|_| rng.gen_bool(0.5)).collect()
+}
+
 impl Protocol for LearningProbe {
     fn name(&self) -> &str {
         &self.name
@@ -161,8 +178,7 @@ impl Protocol for LearningProbe {
     }
 
     fn run(&self, inst: &Instance) -> Outcome {
-        let mut rng = StdRng::seed_from_u64(inst.seed ^ self.n_bits as u64);
-        let secret: Vec<bool> = (0..self.n_bits).map(|_| rng.gen_bool(0.5)).collect();
+        let secret = learning_secret(inst.seed, self.n_bits);
         let (recovered, comm) = run_learning_reduction(&secret, inst.seed);
         let stats = CommStats {
             bits_alice_to_bob: comm,
@@ -542,6 +558,32 @@ mod tests {
     use super::*;
     use crate::campaign::Campaign;
     use crate::instance::GraphSpec;
+
+    /// The regression the tagged mix fixes: `seed ^ n_bits` aliases
+    /// sweep points — e.g. `5 ^ 33 == 4 ^ 32 == 36` — so those two
+    /// points drew the *same* secret stream, and the shared prefix of
+    /// their secrets was identical. Under the salted derivation the
+    /// prefixes must disagree.
+    #[test]
+    fn xor_colliding_sweep_points_draw_distinct_secrets() {
+        for ((seed_a, bits_a), (seed_b, bits_b)) in
+            [((5u64, 33usize), (4u64, 32usize)), ((7, 33), (6, 32))]
+        {
+            assert_eq!(
+                seed_a ^ bits_a as u64,
+                seed_b ^ bits_b as u64,
+                "test pairs must collide under the old xor mix"
+            );
+            let shared = bits_a.min(bits_b);
+            let sa = learning_secret(seed_a, bits_a);
+            let sb = learning_secret(seed_b, bits_b);
+            assert_ne!(
+                sa[..shared],
+                sb[..shared],
+                "({seed_a},{bits_a}) vs ({seed_b},{bits_b}): secrets must not share a stream"
+            );
+        }
+    }
 
     #[test]
     fn slack_int_probe_validates_and_scales() {

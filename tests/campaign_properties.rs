@@ -4,7 +4,9 @@
 //! CSV format, and the CLI-args path (grids declared from strings).
 
 use bichrome_graph::partition::Partitioner;
-use bichrome_runner::{registry, Campaign, CampaignReport, GraphSpec, GroupBy};
+use bichrome_runner::{
+    registry, seeds, Campaign, CampaignReport, GraphSpec, GroupBy, Instance, TrialRecord,
+};
 use proptest::prelude::*;
 
 /// The 3-protocol × 2-family grid of the determinism property.
@@ -36,6 +38,55 @@ proptest! {
         prop_assert!(par.all_valid());
         prop_assert_eq!(par.cells.len(), 6);
         prop_assert_eq!(par.total_trials(), 24);
+    }
+
+    /// The caching property: the executor's lazy, cached instance
+    /// materialization is *bit-identical* to an eager uncached build
+    /// — every record of a multi-protocol grid (where the cache
+    /// actually dedups across protocols) equals the record obtained
+    /// by building the instance fresh with `Instance::from_spec` and
+    /// running the protocol on it directly.
+    #[test]
+    fn prop_lazy_cached_equals_eager_uncached(base_seed in 0u64..10_000) {
+        const PROTOS: [&str; 3] = [
+            "vertex/theorem1",
+            "edge/theorem2",
+            "baseline/send-everything",
+        ];
+        const SPECS: [GraphSpec; 2] = [
+            GraphSpec::NearRegular { n: 32, d: 4 },
+            GraphSpec::Gnp { n: 32, p: 0.15 },
+        ];
+        let trial_seeds = base_seed..base_seed + 3;
+        let report = Campaign::new()
+            .protocol_keys(PROTOS)
+            .graphs(SPECS)
+            .seeds(trial_seeds.clone())
+            .run();
+        let reg = registry();
+        let mut cell = 0;
+        for key in PROTOS {
+            let proto = reg.get(key).expect("registered");
+            for spec in SPECS {
+                for (t, trial_seed) in trial_seeds.clone().enumerate() {
+                    // The campaign's default partition adversary,
+                    // then a fully eager, uncached build.
+                    let partitioner =
+                        Partitioner::Random(seeds::partition_seed(trial_seed));
+                    let inst = Instance::from_spec(&spec, partitioner, trial_seed);
+                    let eager = TrialRecord::from_outcome(&inst, proto.run(&inst));
+                    prop_assert_eq!(
+                        &report.cells[cell].report.trials[t],
+                        &eager,
+                        "{} on {} at trial seed {}",
+                        key,
+                        spec,
+                        trial_seed
+                    );
+                }
+                cell += 1;
+            }
+        }
     }
 }
 
@@ -80,6 +131,37 @@ fn full_registry_smoke_grid_is_valid_and_deterministic() {
     let by_proto = report.group_by(GroupBy::Protocol);
     assert_eq!(by_proto.len(), 9);
     assert!(by_proto.iter().all(|(_, s)| s.trials == 3 * 4));
+}
+
+/// The acceptance criterion of the lazy-materialization rework: on a
+/// 9-protocol campaign over shared graphs, each distinct
+/// `(spec, seed)` graph is built *exactly once* — the other
+/// `9 × (specs × seeds) − specs × seeds` requests are cache hits —
+/// and likewise for the partitions (the default partitioner is
+/// per-seed, shared by every protocol).
+#[test]
+fn nine_protocol_grid_builds_each_graph_exactly_once() {
+    let (report, stats) = Campaign::new()
+        .protocol_keys(registry().names())
+        .graphs([
+            GraphSpec::NearRegular { n: 32, d: 4 },
+            GraphSpec::Gnp { n: 32, p: 0.12 },
+        ])
+        .seeds(0..4)
+        .run_with_stats();
+    assert_eq!(report.cells.len(), 9 * 2);
+    assert!(report.all_valid());
+    let trials = report.total_trials() as u64;
+    assert_eq!(trials, 9 * 2 * 4);
+    assert_eq!(stats.graphs_requested, trials, "every trial needs a graph");
+    assert_eq!(stats.graphs_built, 2 * 4, "one build per (spec, seed)");
+    assert_eq!(stats.partitions_requested, trials);
+    assert_eq!(
+        stats.partitions_built,
+        2 * 4,
+        "one split per (spec, seed, partitioner)"
+    );
+    assert!(stats.graph_cache_hit_rate() > 0.85, "8/9 must be hits");
 }
 
 /// Golden test pinning the CSV header and row format. The cell is a

@@ -1,0 +1,115 @@
+//! Regression tests for the trial-seed derivation scheme
+//! (`bichrome_runner::seeds`): the graph generator, the default
+//! random partitioner, and the protocol session must consume
+//! *independent* random streams derived from one trial seed — they
+//! used to alias (`Instance::from_spec(&spec, part, seed, seed)` fed
+//! the generator and the session the same `StdRng` stream).
+
+use bichrome_graph::partition::Partitioner;
+use bichrome_runner::{registry, seeds, Campaign, GraphSpec, Instance};
+use rand::prelude::*;
+
+const SPEC: GraphSpec = GraphSpec::Gnp { n: 40, p: 0.2 };
+
+/// The graph of a derived instance is a pure function of the *graph*
+/// sub-seed — and no longer of the raw trial seed (the old aliasing).
+#[test]
+fn graph_stream_derives_from_the_graph_sub_seed_only() {
+    for trial_seed in 0..8u64 {
+        let inst = Instance::from_spec(&SPEC, Partitioner::Alternating, trial_seed);
+        assert_eq!(
+            inst.graph(),
+            &SPEC.build(seeds::graph_seed(trial_seed)),
+            "trial {trial_seed}: graph must come from the derived graph seed"
+        );
+        assert_ne!(
+            inst.graph(),
+            &SPEC.build(trial_seed),
+            "trial {trial_seed}: graph must NOT consume the raw trial seed"
+        );
+    }
+}
+
+/// The protocol session no longer shares the generator's stream: the
+/// session seed is a distinct tagged derivation, and the two seeds'
+/// RNG streams disagree.
+#[test]
+fn protocol_stream_is_independent_of_the_graph_stream() {
+    for trial_seed in 0..32u64 {
+        let inst = Instance::from_spec(&SPEC, Partitioner::Alternating, trial_seed);
+        assert_eq!(inst.trial_seed, trial_seed);
+        assert_eq!(inst.seed, seeds::protocol_seed(trial_seed));
+        let g = seeds::graph_seed(trial_seed);
+        assert_ne!(inst.seed, g, "session and generator seeds must differ");
+        assert_ne!(inst.seed, trial_seed, "session seed must be derived");
+        let a: u64 = StdRng::seed_from_u64(g).gen();
+        let b: u64 = StdRng::seed_from_u64(inst.seed).gen();
+        assert_ne!(a, b, "the two expanded streams must disagree");
+    }
+}
+
+/// Changing only which protocol runs never changes the instance: a
+/// multi-protocol campaign column on one trial seed reports identical
+/// (n, m, Δ) for every protocol — the apples-to-apples contract the
+/// shared instance cache also relies on.
+#[test]
+fn every_protocol_of_a_campaign_column_sees_the_identical_graph() {
+    let report = Campaign::new()
+        .protocol_keys(registry().names())
+        .graphs([GraphSpec::NearRegular { n: 36, d: 4 }])
+        .seeds(0..3)
+        .run();
+    for seed_idx in 0..3 {
+        let shape: Vec<(usize, usize, usize)> = report
+            .cells
+            .iter()
+            .map(|c| {
+                let t = &c.report.trials[seed_idx];
+                (t.n, t.m, t.delta)
+            })
+            .collect();
+        assert!(
+            shape.windows(2).all(|w| w[0] == w[1]),
+            "all protocols must run on the same instance: {shape:?}"
+        );
+    }
+}
+
+/// The default random partitioner's stream stays decorrelated from
+/// both other streams.
+#[test]
+fn partition_stream_is_its_own_derivation() {
+    for trial_seed in 0..32u64 {
+        let p = seeds::partition_seed(trial_seed);
+        assert_ne!(p, seeds::graph_seed(trial_seed));
+        assert_ne!(p, seeds::protocol_seed(trial_seed));
+        assert_ne!(p, trial_seed);
+    }
+}
+
+/// The learning probe stays end-to-end valid across a sweep that
+/// includes xor-colliding `(seed, n_bits)` corners — the
+/// distinct-secret-stream regression itself is pinned by the
+/// `xor_colliding_sweep_points_draw_distinct_secrets` unit test next
+/// to the probe, which can see the derived secrets.
+#[test]
+fn learning_probe_sweep_points_have_distinct_valid_secrets() {
+    use bichrome_graph::gen;
+    use bichrome_runner::probes::LearningProbe;
+    use bichrome_runner::Protocol;
+
+    // The xor-collision pairs: (seed=5, n=1) vs (seed=4, n=0) style.
+    // Distinct sweep points must produce distinct gadget metrics.
+    let g = gen::empty(4);
+    for (n_bits, seed) in [(8usize, 5u64), (9, 4), (8, 4), (9, 5)] {
+        let probe = LearningProbe::new(n_bits);
+        let inst = Instance::new("learning", Partitioner::AllToAlice.split(&g), seed);
+        let out = probe.run(&inst);
+        assert!(
+            out.verdict.is_valid(),
+            "n_bits={n_bits} seed={seed}: {:?}",
+            out.verdict
+        );
+        assert_eq!(out.metrics["gadget_vertices"], (4 * n_bits) as f64);
+    }
+}
