@@ -2,9 +2,11 @@
 //! fixed smoke grid (every registry protocol × 3 graph families ×
 //! 4 seeds) through the campaign executor and writes
 //! `BENCH_campaign.json` — cells/sec, trials/sec, total bits, wall
-//! time, the setup-vs-execute split, and the instance-cache dedup
-//! counters (`graphs_built` vs `graphs_requested`) — so CI can chart
-//! orchestration throughput across PRs.
+//! time, the setup-vs-execute split, the instance-cache dedup
+//! counters (`graphs_built` vs `graphs_requested`), and the
+//! persistent-store cold-vs-warm timings (a cold run populates a
+//! fresh store; the warm re-run must skip every trial) — so CI can
+//! chart orchestration throughput across PRs.
 //!
 //! ```sh
 //! cargo run --release -p bichrome-bench --bin bench_campaign [out.json]
@@ -77,6 +79,33 @@ fn main() {
     let setup_secs = stats.setup_nanos as f64 / 1e9;
     let execute_secs = stats.run_nanos as f64 / 1e9;
 
+    // Store trajectory: cold (computes + persists the whole grid)
+    // vs warm (every trial served from disk, zero computed).
+    let store_dir =
+        std::env::temp_dir().join(format!("bichrome-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let started = Instant::now();
+    let (cold_report, cold_stats) = smoke_grid().with_store(&store_dir).run_with_stats();
+    let store_cold_secs = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let (warm_report, warm_stats) = smoke_grid().with_store(&store_dir).run_with_stats();
+    let store_warm_secs = started.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&store_dir);
+    assert_eq!(cold_report, report, "a cold store must not change results");
+    assert_eq!(
+        warm_report, report,
+        "a warm store must reproduce bit-identically"
+    );
+    assert_eq!(
+        cold_stats.trials_computed as usize, trials,
+        "the cold run computes the whole grid"
+    );
+    assert_eq!(
+        warm_stats.trials_computed, 0,
+        "the warm run must skip every trial"
+    );
+    assert_eq!(warm_stats.trials_skipped as usize, trials);
+
     let mut w = bichrome_runner::json::Writer::object();
     w.field_str("benchmark", "campaign-smoke-grid");
     w.field_u64("cells", report.cells.len() as u64);
@@ -97,6 +126,11 @@ fn main() {
     w.field_u64("partitions_requested", stats.partitions_requested);
     w.field_u64("partitions_built", stats.partitions_built);
     w.field_f64("graph_cache_hit_rate", stats.graph_cache_hit_rate());
+    // Persistent-store trajectory: cold populate vs warm all-skipped.
+    w.field_f64("store_cold_seconds", store_cold_secs);
+    w.field_f64("store_warm_seconds", store_warm_secs);
+    w.field_u64("store_warm_trials_skipped", warm_stats.trials_skipped);
+    w.field_u64("store_warm_trials_computed", warm_stats.trials_computed);
     let json = w.finish();
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
 
@@ -106,13 +140,8 @@ fn main() {
         report.cells.len() as f64 / wall_secs,
         trials as f64 / wall_secs,
     );
+    println!("{stats}");
     println!(
-        "setup {setup_secs:.3}s vs execute {execute_secs:.3}s (worker time) · \
-         graphs built {}/{} requested ({:.0}% cache hits) · partitions {}/{}",
-        stats.graphs_built,
-        stats.graphs_requested,
-        100.0 * stats.graph_cache_hit_rate(),
-        stats.partitions_built,
-        stats.partitions_requested,
+        "store: cold {store_cold_secs:.3}s → warm {store_warm_secs:.3}s · warm run: {warm_stats}"
     );
 }

@@ -1,0 +1,322 @@
+//! Declarative campaign files: a `[campaign]` TOML table parsed onto
+//! the runner's existing `FromStr` surfaces (`GraphSpec`,
+//! `Partitioner`, registry keys) and assembled into a
+//! [`Campaign`].
+//!
+//! ```toml
+//! [campaign]
+//! protocols    = ["vertex/theorem1", "baseline/send-everything"]
+//! graphs       = ["near-regular(n=64,d=6)", "gnp(n=64,p=0.1)"]
+//! sizes        = [64, 128]           # optional: rescale every family
+//! partitioners = ["alternating"]     # optional: default = per-seed random
+//! seeds        = "0..8"              # or an explicit list: [0, 1, 2]
+//! baseline     = "baseline/send-everything"   # optional
+//! store        = "results/store"     # optional: persistent result store
+//! parallel     = true                # optional: default true
+//! ```
+
+use crate::toml::{self, TomlValue};
+use bichrome_graph::partition::Partitioner;
+use bichrome_runner::{registry, Campaign, GraphSpec};
+
+/// A parsed, validated campaign declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignFile {
+    /// Registry keys on the protocol axis.
+    pub protocols: Vec<String>,
+    /// Graph-spec axis.
+    pub graphs: Vec<GraphSpec>,
+    /// Size axis (empty = each spec at its own size).
+    pub sizes: Vec<usize>,
+    /// Partitioner axis (empty = the per-seed random default).
+    pub partitioners: Vec<Partitioner>,
+    /// The trial seeds.
+    pub seeds: Vec<u64>,
+    /// Baseline protocol label, if declared.
+    pub baseline: Option<String>,
+    /// Persistent store directory, if declared.
+    pub store: Option<String>,
+    /// Whether to run the queue in parallel (default true).
+    pub parallel: bool,
+}
+
+impl CampaignFile {
+    /// Parses and validates a campaign file: every graph spec,
+    /// partitioner, and protocol key is checked here, so a typo'd
+    /// declaration errors up front instead of panicking mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem.
+    pub fn parse(text: &str) -> Result<CampaignFile, String> {
+        let doc = toml::parse(text)?;
+        let table = doc
+            .get("campaign")
+            .ok_or("campaign file has no [campaign] section")?;
+        for key in table.keys() {
+            if !matches!(
+                key.as_str(),
+                "protocols"
+                    | "graphs"
+                    | "sizes"
+                    | "partitioners"
+                    | "seeds"
+                    | "baseline"
+                    | "store"
+                    | "parallel"
+            ) {
+                return Err(format!("[campaign] has unknown key {key:?}"));
+            }
+        }
+        let str_list = |key: &str| -> Result<Vec<String>, String> {
+            match table.get(key) {
+                None => Ok(Vec::new()),
+                Some(TomlValue::Array(items)) => items
+                    .iter()
+                    .map(|v| {
+                        v.as_str()
+                            .map(str::to_string)
+                            .ok_or(format!("{key:?} must be an array of strings"))
+                    })
+                    .collect(),
+                Some(_) => Err(format!("{key:?} must be an array of strings")),
+            }
+        };
+
+        let reg = registry();
+        let protocols = str_list("protocols")?;
+        if protocols.is_empty() {
+            return Err("campaign declares no protocols".to_string());
+        }
+        for key in &protocols {
+            if reg.get(key).is_none() {
+                return Err(format!(
+                    "unknown protocol key {key:?}; registry has: {}",
+                    reg.names().join(", ")
+                ));
+            }
+        }
+
+        let graphs = str_list("graphs")?
+            .iter()
+            .map(|s| {
+                s.parse::<GraphSpec>()
+                    .map_err(|e| format!("graph {s:?}: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if graphs.is_empty() {
+            return Err("campaign declares no graphs".to_string());
+        }
+
+        let partitioners = str_list("partitioners")?
+            .iter()
+            .map(|s| {
+                s.parse::<Partitioner>()
+                    .map_err(|e| format!("partitioner {s:?}: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let sizes = match table.get("sizes") {
+            None => Vec::new(),
+            Some(TomlValue::Array(items)) => items
+                .iter()
+                .map(|v| {
+                    v.as_int()
+                        .map(|x| x as usize)
+                        .ok_or("\"sizes\" must be an array of integers".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err("\"sizes\" must be an array of integers".to_string()),
+        };
+
+        let seeds = match table.get("seeds") {
+            None => return Err("campaign declares no seeds".to_string()),
+            Some(TomlValue::Str(range)) => parse_seed_range(range)?,
+            Some(TomlValue::Array(items)) => items
+                .iter()
+                .map(|v| {
+                    v.as_int()
+                        .ok_or("\"seeds\" list must contain integers".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => {
+                return Err(
+                    "\"seeds\" must be a \"start..end\" string or an integer list".to_string(),
+                )
+            }
+        };
+        if seeds.is_empty() {
+            return Err("campaign declares an empty seed set".to_string());
+        }
+
+        let opt_str = |key: &str| -> Result<Option<String>, String> {
+            match table.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_str()
+                    .map(|s| Some(s.to_string()))
+                    .ok_or(format!("{key:?} must be a string")),
+            }
+        };
+        let baseline = opt_str("baseline")?;
+        if let Some(b) = &baseline {
+            if !protocols.contains(b) {
+                return Err(format!(
+                    "baseline {b:?} is not on the protocol axis {protocols:?}"
+                ));
+            }
+        }
+
+        let parallel = match table.get("parallel") {
+            None => true,
+            Some(TomlValue::Bool(b)) => *b,
+            Some(_) => return Err("\"parallel\" must be a bool".to_string()),
+        };
+
+        Ok(CampaignFile {
+            protocols,
+            graphs,
+            sizes,
+            partitioners,
+            seeds,
+            baseline,
+            store: opt_str("store")?,
+            parallel,
+        })
+    }
+
+    /// Assembles the declared [`Campaign`]. `store_override`, when
+    /// given (the `--store` flag), wins over the file's `store` key.
+    pub fn to_campaign(&self, store_override: Option<&str>) -> Campaign {
+        let mut c = Campaign::new()
+            .protocol_keys(&self.protocols)
+            .graphs(self.graphs.iter().copied())
+            .sizes(self.sizes.iter().copied())
+            .partitioners(self.partitioners.iter().copied())
+            .seeds(self.seeds.iter().copied())
+            .parallel(self.parallel);
+        if let Some(b) = &self.baseline {
+            c = c.baseline(b.clone());
+        }
+        if let Some(store) = store_override
+            .map(str::to_string)
+            .or_else(|| self.store.clone())
+        {
+            c = c.with_store(store);
+        }
+        c
+    }
+
+    /// The store path the run will use (`--store` override first,
+    /// then the file's `store` key).
+    pub fn store_path<'a>(&'a self, store_override: Option<&'a str>) -> Option<&'a str> {
+        store_override.or(self.store.as_deref())
+    }
+}
+
+/// Parses an exclusive `"start..end"` seed range.
+fn parse_seed_range(text: &str) -> Result<Vec<u64>, String> {
+    let (start, end) = text
+        .split_once("..")
+        .ok_or(format!("seed range {text:?} is not \"start..end\""))?;
+    let start: u64 = start
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad seed range start {start:?}"))?;
+    let end: u64 = end
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad seed range end {end:?}"))?;
+    if end < start {
+        return Err(format!("seed range {text:?} is empty (end < start)"));
+    }
+    Ok((start..end).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+        [campaign]
+        protocols    = ["edge/theorem2", "baseline/send-everything"]
+        graphs       = ["near-regular(n=24,d=4)", "gnp(n=24,p=0.2)"]
+        sizes        = [24, 48]
+        partitioners = ["alternating", "random(7)"]
+        seeds        = "0..3"
+        baseline     = "baseline/send-everything"
+        store        = "out/store"
+        parallel     = false
+    "#;
+
+    #[test]
+    fn parses_the_full_surface() {
+        let f = CampaignFile::parse(GOOD).expect("parses");
+        assert_eq!(f.protocols.len(), 2);
+        assert_eq!(f.graphs[1], GraphSpec::Gnp { n: 24, p: 0.2 });
+        assert_eq!(f.sizes, vec![24, 48]);
+        assert_eq!(f.partitioners[1], Partitioner::Random(7));
+        assert_eq!(f.seeds, vec![0, 1, 2]);
+        assert_eq!(f.baseline.as_deref(), Some("baseline/send-everything"));
+        assert_eq!(f.store.as_deref(), Some("out/store"));
+        assert!(!f.parallel);
+        let campaign = f.to_campaign(None);
+        assert_eq!(campaign.cell_count(), 2 * 4 * 2);
+    }
+
+    #[test]
+    fn seed_lists_work_too() {
+        let f = CampaignFile::parse(
+            r#"
+            [campaign]
+            protocols = ["edge/theorem2"]
+            graphs = ["path(n=5)"]
+            seeds = [4, 9, 16]
+            "#,
+        )
+        .expect("parses");
+        assert_eq!(f.seeds, vec![4, 9, 16]);
+        assert!(f.parallel, "parallel defaults to true");
+        assert_eq!(f.store, None);
+    }
+
+    #[test]
+    fn bad_declarations_error_up_front() {
+        // Mangling any axis entry must surface the offending string.
+        for mangle in ["edge/theorem2", "near-regular(n=24,d=4)", "alternating"] {
+            let text = GOOD.replace(mangle, &format!("{mangle}-typo"));
+            let err = CampaignFile::parse(&text).expect_err("must fail");
+            assert!(err.contains("typo"), "{mangle}: {err}");
+        }
+        let err = CampaignFile::parse(&GOOD.replace("seeds        = \"0..3\"", ""))
+            .expect_err("no seeds");
+        assert!(err.contains("no seeds"), "{err}");
+        let err = CampaignFile::parse(&GOOD.replace(
+            "baseline     = \"baseline/send-everything\"",
+            "baseline = \"edge/theorem3-zero-comm\"",
+        ))
+        .expect_err("baseline off-axis");
+        assert!(err.contains("not on the protocol axis"), "{err}");
+        let err = CampaignFile::parse(&GOOD.replace("[campaign]", "[campain]"))
+            .expect_err("section typo");
+        assert!(err.contains("[campaign]"), "{err}");
+        let err = CampaignFile::parse(&format!("{GOOD}\nfrobs = 1")).expect_err("unknown key");
+        assert!(err.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn seed_range_edges() {
+        assert_eq!(parse_seed_range("5..8").expect("parses"), vec![5, 6, 7]);
+        assert_eq!(parse_seed_range("5..5").expect("parses"), Vec::<u64>::new());
+        assert!(parse_seed_range("8..5").is_err(), "reversed range");
+        assert!(parse_seed_range("5").is_err(), "not a range");
+        assert!(parse_seed_range("a..b").is_err(), "not numbers");
+    }
+
+    #[test]
+    fn store_override_beats_the_file() {
+        let f = CampaignFile::parse(GOOD).expect("parses");
+        assert_eq!(f.store_path(None), Some("out/store"));
+        assert_eq!(f.store_path(Some("elsewhere")), Some("elsewhere"));
+    }
+}

@@ -1,0 +1,310 @@
+//! The `bichrome` subcommands, implemented as pure
+//! `args in → output text out` functions so every code path is unit
+//! testable without spawning a process.
+
+use crate::campaign_file::CampaignFile;
+use bichrome_runner::table::Table;
+use bichrome_runner::{registry, CampaignReport};
+use bichrome_store::Store;
+use std::fmt::Write as _;
+
+/// The usage text (`bichrome help`).
+pub const USAGE: &str = "\
+bichrome — persistent, resumable campaign runs over every protocol in the registry
+
+USAGE:
+    bichrome run <campaign.toml> [--store <dir>] [--format text|json|csv] [--serial]
+        Run the declared grid. With a store (flag or `store = ...` in the
+        file), already-computed trials are skipped and fresh records are
+        flushed as workers finish.
+    bichrome resume <campaign.toml> [--store <dir>]
+        Alias of `run` that *requires* a store — use after a killed run.
+    bichrome report <store-dir> [--format text|json|csv]
+        Re-aggregate a CampaignReport purely from a store (no execution).
+    bichrome diff <store-a> <store-b>
+        Compare mean bits/rounds of the cells two stores share.
+    bichrome registry
+        List every protocol key and its guarantee.
+    bichrome help
+        Print this text.
+";
+
+/// Dispatches one invocation (argv without the program name).
+///
+/// # Errors
+///
+/// Returns the message to print to stderr (exit code 1).
+pub fn dispatch(args: &[String]) -> Result<String, String> {
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match strs.split_first() {
+        None | Some((&"help", _)) | Some((&"--help", _)) | Some((&"-h", _)) => {
+            Ok(USAGE.to_string())
+        }
+        Some((&"run", rest)) => run(rest, false),
+        Some((&"resume", rest)) => run(rest, true),
+        Some((&"report", rest)) => report(rest),
+        Some((&"diff", rest)) => diff(rest),
+        Some((&"registry", [])) => Ok(registry_listing()),
+        Some((&"registry", _)) => Err("registry takes no arguments".to_string()),
+        Some((cmd, _)) => Err(format!("unknown command {cmd:?}\n\n{USAGE}")),
+    }
+}
+
+/// Output format of `run` / `report`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// Human-readable table (plus `ExecStats` after a run).
+    Text,
+    /// The full `CampaignReport` JSON.
+    Json,
+    /// The pinned per-cell CSV.
+    Csv,
+}
+
+/// The flags shared by the subcommands: positionals, `--store`,
+/// `--format`, `--serial`.
+type ParsedFlags<'a> = (Vec<&'a str>, Option<&'a str>, Format, bool);
+
+/// Splits `args` into positionals and recognized flags.
+fn parse_flags<'a>(args: &[&'a str], allow: &[&str]) -> Result<ParsedFlags<'a>, String> {
+    let mut positional = Vec::new();
+    let mut store = None;
+    let mut format = Format::Text;
+    let mut serial = false;
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        let check = |flag: &str| -> Result<(), String> {
+            if allow.contains(&flag) {
+                Ok(())
+            } else {
+                Err(format!("flag {flag} is not valid for this command"))
+            }
+        };
+        match arg {
+            "--store" => {
+                check("--store")?;
+                store = Some(*it.next().ok_or("--store needs a directory argument")?);
+            }
+            "--format" => {
+                check("--format")?;
+                format = match *it.next().ok_or("--format needs text|json|csv")? {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "csv" => Format::Csv,
+                    other => return Err(format!("unknown format {other:?} (text|json|csv)")),
+                };
+            }
+            "--serial" => {
+                check("--serial")?;
+                serial = true;
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            pos => positional.push(pos),
+        }
+    }
+    Ok((positional, store, format, serial))
+}
+
+/// `bichrome run` / `bichrome resume`.
+fn run(args: &[&str], require_store: bool) -> Result<String, String> {
+    let (pos, store_flag, format, serial) =
+        parse_flags(args, &["--store", "--format", "--serial"])?;
+    let [path] = pos.as_slice() else {
+        return Err("expected exactly one campaign file argument".to_string());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let file = CampaignFile::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if require_store && file.store_path(store_flag).is_none() {
+        return Err(
+            "resume needs a store: pass --store <dir> or set `store = ...` in the campaign file"
+                .to_string(),
+        );
+    }
+    let mut campaign = file.to_campaign(store_flag);
+    if serial {
+        campaign = campaign.parallel(false);
+    }
+    let (report, stats) = campaign
+        .try_run_with_stats()
+        .map_err(|e| format!("campaign store: {e}"))?;
+    match format {
+        Format::Json => Ok(report.to_json()),
+        Format::Csv => Ok(report.to_csv()),
+        Format::Text => {
+            let mut out = report.render_table();
+            writeln!(out, "{stats}").expect("string write");
+            if let Some(store) = file.store_path(store_flag) {
+                writeln!(out, "store: {store}").expect("string write");
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// `bichrome report`.
+fn report(args: &[&str]) -> Result<String, String> {
+    let (pos, _, format, _) = parse_flags(args, &["--format"])?;
+    let [dir] = pos.as_slice() else {
+        return Err("expected exactly one store directory argument".to_string());
+    };
+    let store = Store::open_existing(*dir).map_err(|e| e.to_string())?;
+    let report = CampaignReport::from_store(&store)?;
+    match format {
+        Format::Json => Ok(report.to_json()),
+        Format::Csv => Ok(report.to_csv()),
+        Format::Text => {
+            let mut out = report.render_table();
+            if let Some(salvage) = store.salvage() {
+                writeln!(out, "warning: {salvage}").expect("string write");
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// `bichrome diff`: baseline-relative comparison of two stores — the
+/// first store is the baseline, ratios are `b / a`.
+fn diff(args: &[&str]) -> Result<String, String> {
+    let (pos, _, _, _) = parse_flags(args, &[])?;
+    let [dir_a, dir_b] = pos.as_slice() else {
+        return Err("expected exactly two store directory arguments".to_string());
+    };
+    let load = |dir: &str| -> Result<CampaignReport, String> {
+        let store = Store::open_existing(dir).map_err(|e| e.to_string())?;
+        CampaignReport::from_store(&store).map_err(|e| format!("{dir}: {e}"))
+    };
+    let a = load(dir_a)?;
+    let b = load(dir_b)?;
+    let mut t = Table::new(&[
+        "protocol",
+        "graph",
+        "partitioner",
+        "bits a",
+        "bits b",
+        "bits b/a",
+        "rounds b/a",
+        "valid a",
+        "valid b",
+    ]);
+    let mut shared = 0usize;
+    let mut only_a = Vec::new();
+    for cell in &a.cells {
+        let Some(twin) = b.cells.iter().find(|c| {
+            c.protocol == cell.protocol
+                && c.spec == cell.spec
+                && c.partitioner_label() == cell.partitioner_label()
+        }) else {
+            only_a.push(format!("{} on {}", cell.protocol, cell.spec));
+            continue;
+        };
+        shared += 1;
+        let (sa, sb) = (cell.summary(), twin.summary());
+        t.row(&[
+            &cell.protocol,
+            &cell.spec.to_string(),
+            &cell.partitioner_label(),
+            &format!("{:.1}", sa.total_bits.mean),
+            &format!("{:.1}", sb.total_bits.mean),
+            &ratio_label(sb.total_bits.mean, sa.total_bits.mean),
+            &ratio_label(sb.rounds.mean, sa.rounds.mean),
+            &format!("{}/{}", sa.valid, sa.trials),
+            &format!("{}/{}", sb.valid, sb.trials),
+        ]);
+    }
+    let only_b: Vec<String> = b
+        .cells
+        .iter()
+        .filter(|c| {
+            !a.cells.iter().any(|d| {
+                d.protocol == c.protocol
+                    && d.spec == c.spec
+                    && d.partitioner_label() == c.partitioner_label()
+            })
+        })
+        .map(|c| format!("{} on {}", c.protocol, c.spec))
+        .collect();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "diff {dir_a} (a) vs {dir_b} (b): {shared} shared cell(s)"
+    )
+    .expect("string write");
+    if shared > 0 {
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    for (label, cells) in [("only in a", only_a), ("only in b", only_b)] {
+        if !cells.is_empty() {
+            writeln!(out, "{label}: {}", cells.join(", ")).expect("string write");
+        }
+    }
+    Ok(out)
+}
+
+/// A `x.xx×` ratio cell: `1.00x` when both sides are zero-mean, `∞`
+/// when only the baseline side is.
+fn ratio_label(b: f64, a: f64) -> String {
+    if a == 0.0 && b == 0.0 {
+        "1.00x".to_string()
+    } else if a == 0.0 {
+        "∞".to_string()
+    } else {
+        format!("{:.2}x", b / a)
+    }
+}
+
+/// `bichrome registry`.
+fn registry_listing() -> String {
+    let reg = registry();
+    let mut t = Table::new(&["key", "guarantee"]);
+    for proto in reg.iter() {
+        t.row(&[proto.name(), proto.describe()]);
+    }
+    format!(
+        "{}\n{} protocols · use any key on a campaign's protocol axis\n",
+        t.render(),
+        reg.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dispatch_strs(args: &[&str]) -> Result<String, String> {
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(dispatch_strs(&[]).expect("usage").contains("USAGE"));
+        assert!(dispatch_strs(&["help"]).expect("usage").contains("resume"));
+        let err = dispatch_strs(&["frobnicate"]).expect_err("unknown");
+        assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn registry_lists_all_protocols() {
+        let out = dispatch_strs(&["registry"]).expect("listing");
+        for key in registry().names() {
+            assert!(out.contains(key), "missing {key}");
+        }
+        assert!(out.contains("9 protocols"));
+    }
+
+    #[test]
+    fn flag_validation() {
+        assert!(dispatch_strs(&["run"]).is_err(), "missing file");
+        assert!(
+            dispatch_strs(&["report", "x", "--serial"]).is_err(),
+            "--serial is not a report flag"
+        );
+        assert!(dispatch_strs(&["run", "x", "--format", "yaml"])
+            .expect_err("bad format")
+            .contains("yaml"),);
+        assert!(dispatch_strs(&["diff", "only-one"]).is_err());
+        assert!(dispatch_strs(&["report", "/no/such/store"])
+            .expect_err("missing store")
+            .contains("not a bichrome store"));
+    }
+}

@@ -1,0 +1,32 @@
+//! `bichrome-cli` — the `bichrome` command-line front-end.
+//!
+//! Campaigns become *files*: a `[campaign]` TOML table declaring the
+//! protocol / graph / size / partitioner / seed axes (parsed onto the
+//! runner's `FromStr` surfaces) plus an optional persistent store.
+//! Together with `bichrome-store` this turns the one-shot experiment
+//! binaries into resumable, incremental, shareable workloads:
+//!
+//! ```text
+//! bichrome run grid.toml --store results/     # computes + persists
+//! ^C                                          # killed partway…
+//! bichrome resume grid.toml --store results/  # …finishes the rest
+//! bichrome run grid.toml --store results/     # warm: computes 0 trials
+//! bichrome report results/ --format csv       # re-aggregate, no execution
+//! bichrome diff baseline/ candidate/          # cross-run comparison
+//! bichrome registry                           # the 9 protocol keys
+//! ```
+//!
+//! Everything is implemented as library functions returning output
+//! text (see [`commands::dispatch`]), so the whole surface is unit-
+//! and integration-tested without spawning processes; `main` is a
+//! four-line shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign_file;
+pub mod commands;
+pub mod toml;
+
+pub use campaign_file::CampaignFile;
+pub use commands::{dispatch, USAGE};

@@ -1,0 +1,14 @@
+//! The `bichrome` binary: a thin shim over
+//! [`bichrome_cli::dispatch`] (all logic lives in the library so it
+//! is testable in-process).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match bichrome_cli::dispatch(&args) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("bichrome: {message}");
+            std::process::exit(1);
+        }
+    }
+}

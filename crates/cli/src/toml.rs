@@ -1,0 +1,245 @@
+//! A minimal TOML-subset parser for campaign files (the offline
+//! environment has no `toml` crate).
+//!
+//! Supported: `#` comments, `[section]` headers, `key = value` pairs
+//! with basic strings (`"..."` with `\"`, `\\`, `\n`, `\t` escapes),
+//! unsigned integers, booleans, and single-line arrays of strings or
+//! integers (trailing comma allowed). That is exactly the shape a
+//! `campaign.toml` needs; anything else is a parse error with a line
+//! number, never a silent skip.
+
+use std::collections::BTreeMap;
+
+/// One parsed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// A basic string.
+    Str(String),
+    /// An unsigned integer (the subset has no negative numbers).
+    Int(u64),
+    /// A boolean.
+    Bool(bool),
+    /// A single-line array.
+    Array(Vec<TomlValue>),
+}
+
+impl TomlValue {
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            TomlValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer, if this is an integer.
+    pub fn as_int(&self) -> Option<u64> {
+        match self {
+            TomlValue::Int(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+/// A `[section]`'s key → value map.
+pub type TomlTable = BTreeMap<String, TomlValue>;
+
+/// Parses a TOML-subset document into section → table (keys before
+/// any `[section]` header land in the `""` section).
+///
+/// # Errors
+///
+/// Returns `"line N: ..."` describing the first offending line.
+pub fn parse(text: &str) -> Result<BTreeMap<String, TomlTable>, String> {
+    let mut doc: BTreeMap<String, TomlTable> = BTreeMap::new();
+    let mut section = String::new();
+    for (i, raw) in text.lines().enumerate() {
+        let at = |msg: String| format!("line {}: {msg}", i + 1);
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(body) = line.strip_prefix('[') {
+            let Some(name) = body.strip_suffix(']') else {
+                return Err(at(format!("unclosed section header {line:?}")));
+            };
+            section = name.trim().to_string();
+            doc.entry(section.clone()).or_default();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(at(format!("expected `key = value`, got {line:?}")));
+        };
+        let key = key.trim();
+        if key.is_empty() {
+            return Err(at("empty key".to_string()));
+        }
+        let value = parse_value(value.trim()).map_err(at)?;
+        let table = doc.entry(section.clone()).or_default();
+        if table.insert(key.to_string(), value).is_some() {
+            return Err(at(format!("duplicate key {key:?}")));
+        }
+    }
+    Ok(doc)
+}
+
+/// Drops a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (pos, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..pos],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses one value: string, integer, boolean, or single-line array.
+fn parse_value(text: &str) -> Result<TomlValue, String> {
+    if text.starts_with('"') {
+        let (s, rest) = parse_string(text)?;
+        if !rest.trim().is_empty() {
+            return Err(format!("trailing {:?} after string", rest.trim()));
+        }
+        return Ok(TomlValue::Str(s));
+    }
+    if let Some(body) = text.strip_prefix('[') {
+        let Some(body) = body.strip_suffix(']') else {
+            return Err(format!("unclosed array {text:?}"));
+        };
+        let mut items = Vec::new();
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            let (item, after) = if rest.starts_with('"') {
+                let (s, after) = parse_string(rest)?;
+                (TomlValue::Str(s), after)
+            } else {
+                let end = rest.find(',').unwrap_or(rest.len());
+                (parse_scalar(rest[..end].trim())?, &rest[end..])
+            };
+            items.push(item);
+            rest = after.trim_start();
+            match rest.strip_prefix(',') {
+                Some(after_comma) => rest = after_comma.trim_start(),
+                None if rest.is_empty() => break,
+                None => return Err(format!("expected `,` between array items in {text:?}")),
+            }
+        }
+        return Ok(TomlValue::Array(items));
+    }
+    parse_scalar(text)
+}
+
+/// Parses a bare scalar: integer or boolean.
+fn parse_scalar(text: &str) -> Result<TomlValue, String> {
+    match text {
+        "true" => Ok(TomlValue::Bool(true)),
+        "false" => Ok(TomlValue::Bool(false)),
+        _ => text.parse::<u64>().map(TomlValue::Int).map_err(|_| {
+            format!(
+                "unsupported value {text:?} (expected string, unsigned integer, bool, or array)"
+            )
+        }),
+    }
+}
+
+/// Parses a leading `"..."` string, returning it and the remainder.
+fn parse_string(text: &str) -> Result<(String, &str), String> {
+    let mut out = String::new();
+    let mut chars = text.char_indices().skip(1);
+    while let Some((pos, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &text[pos + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                got => return Err(format!("bad escape {:?} in {text:?}", got.map(|(_, c)| c))),
+            },
+            c => out.push(c),
+        }
+    }
+    Err(format!("unterminated string {text:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_campaign_shaped_document() {
+        let doc = parse(
+            r#"
+            # a campaign
+            [campaign]
+            protocols = ["vertex/theorem1", "baseline/send-everything"]
+            graphs = ["near-regular(n=64,d=6)"]   # spec strings
+            sizes = [64, 128,]
+            seeds = "0..8"
+            parallel = true
+            trials = 20
+            "#,
+        )
+        .expect("parses");
+        let c = &doc["campaign"];
+        assert_eq!(
+            c["protocols"],
+            TomlValue::Array(vec![
+                TomlValue::Str("vertex/theorem1".into()),
+                TomlValue::Str("baseline/send-everything".into()),
+            ])
+        );
+        assert_eq!(
+            c["sizes"],
+            TomlValue::Array(vec![TomlValue::Int(64), TomlValue::Int(128)])
+        );
+        assert_eq!(c["seeds"], TomlValue::Str("0..8".into()));
+        assert_eq!(c["parallel"], TomlValue::Bool(true));
+        assert_eq!(c["trials"], TomlValue::Int(20));
+    }
+
+    #[test]
+    fn hash_inside_strings_is_not_a_comment() {
+        let doc = parse(r##"label = "a # b"  # real comment"##).expect("parses");
+        assert_eq!(doc[""]["label"], TomlValue::Str("a # b".into()));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let doc = parse(r#"s = "quote \" slash \\ nl \n tab \t""#).expect("parses");
+        assert_eq!(
+            doc[""]["s"],
+            TomlValue::Str("quote \" slash \\ nl \n tab \t".into())
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for (text, want) in [
+            ("x 1", "line 1"),
+            ("\n[open", "line 2"),
+            ("k = [1, 2", "unclosed array"),
+            ("k = -3", "unsupported value"),
+            ("k = 1\nk = 2", "duplicate key"),
+            ("k = \"open", "unterminated string"),
+            ("k = [1 2]", "unsupported value"),
+            ("k = [\"a\" \"b\"]", "expected `,`"),
+        ] {
+            let err = parse(text).expect_err(text);
+            assert!(err.contains(want), "{text:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn empty_sections_and_arrays_are_fine() {
+        let doc = parse("[a]\n[b]\nxs = []").expect("parses");
+        assert!(doc["a"].is_empty());
+        assert_eq!(doc["b"]["xs"], TomlValue::Array(vec![]));
+    }
+}

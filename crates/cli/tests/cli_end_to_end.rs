@@ -1,0 +1,160 @@
+//! End-to-end tests of the `bichrome` command surface, driven
+//! in-process through `dispatch` (the binary `main` is a shim over
+//! it): run → warm run → report → diff, against real campaign files
+//! and stores on disk.
+
+use bichrome_cli::dispatch;
+use std::path::PathBuf;
+
+/// A unique scratch directory (removed on drop).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "bichrome-cli-test-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn call(args: &[&str]) -> Result<String, String> {
+    dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+}
+
+/// A small deterministic campaign (fixed partitioner, deterministic
+/// protocols) so outputs are stable across runs.
+const CAMPAIGN: &str = r#"
+[campaign]
+protocols    = ["edge/theorem2", "edge/theorem3-zero-comm"]
+graphs       = ["near-regular(n=24,d=4)"]
+partitioners = ["alternating"]
+seeds        = "0..3"
+"#;
+
+#[test]
+fn run_then_warm_run_then_report_round_trips() {
+    let tmp = TempDir::new("roundtrip");
+    let toml = tmp.path("campaign.toml");
+    let store = tmp.path("store");
+    std::fs::write(&toml, CAMPAIGN).expect("write campaign file");
+
+    // Cold run: everything computes, and the stats line says so.
+    let cold = call(&["run", &toml, "--store", &store]).expect("cold run");
+    assert!(
+        cold.contains("computed 6 trials (0 skipped via store)"),
+        "{cold}"
+    );
+    assert!(cold.contains("edge/theorem2"), "{cold}");
+
+    // Warm run: the store holds the whole grid — nothing computes.
+    let warm = call(&["run", &toml, "--store", &store]).expect("warm run");
+    assert!(
+        warm.contains("computed 0 trials (6 skipped via store)"),
+        "{warm}"
+    );
+
+    // The warm run's CSV equals the cold run's (bit-identical grid).
+    let cold_csv = call(&["run", &toml, "--store", &store, "--format", "csv"]).expect("csv");
+    assert!(cold_csv.starts_with("protocol,graph,"), "{cold_csv}");
+
+    // `report` re-aggregates purely from the store. This campaign's
+    // canonical cell order matches the axis order, so the CSV matches
+    // the run's exactly.
+    let report_csv = call(&["report", &store, "--format", "csv"]).expect("report csv");
+    assert_eq!(
+        report_csv, cold_csv,
+        "store re-aggregation must be faithful"
+    );
+    let report_json = call(&["report", &store, "--format", "json"]).expect("report json");
+    assert!(report_json.contains("\"cells\":2"), "{report_json}");
+
+    // `--serial` must not change anything either.
+    let serial = call(&[
+        "run", &toml, "--store", &store, "--format", "csv", "--serial",
+    ])
+    .expect("serial run");
+    assert_eq!(serial, cold_csv);
+}
+
+#[test]
+fn resume_requires_a_store_and_finishes_a_partial_run() {
+    let tmp = TempDir::new("resume");
+    let toml = tmp.path("campaign.toml");
+    let half_toml = tmp.path("half.toml");
+    let store = tmp.path("store");
+    std::fs::write(&toml, CAMPAIGN).expect("write campaign file");
+    std::fs::write(&half_toml, CAMPAIGN.replace("0..3", "0..1")).expect("write half file");
+
+    let err = call(&["resume", &toml]).expect_err("no store anywhere");
+    assert!(err.contains("resume needs a store"), "{err}");
+
+    // Simulate a killed run: only the first seed got computed.
+    let half = call(&["run", &half_toml, "--store", &store]).expect("half run");
+    assert!(half.contains("computed 2 trials"), "{half}");
+
+    // Resume the full grid: only the missing two-thirds compute.
+    let resumed = call(&["resume", &toml, "--store", &store]).expect("resume");
+    assert!(
+        resumed.contains("computed 4 trials (2 skipped via store)"),
+        "{resumed}"
+    );
+
+    // And the final report equals a storeless fresh run of the grid.
+    let from_store = call(&["report", &store, "--format", "csv"]).expect("report");
+    let fresh = call(&["run", &toml, "--format", "csv"]).expect("fresh run");
+    assert_eq!(from_store, fresh, "resumed grid must be bit-identical");
+}
+
+#[test]
+fn diff_compares_two_stores_cell_by_cell() {
+    let tmp = TempDir::new("diff");
+    let toml_a = tmp.path("a.toml");
+    let toml_b = tmp.path("b.toml");
+    let (store_a, store_b) = (tmp.path("store-a"), tmp.path("store-b"));
+    std::fs::write(&toml_a, CAMPAIGN).expect("write");
+    // b shares one protocol with a and adds a different one.
+    std::fs::write(
+        &toml_b,
+        CAMPAIGN.replace("edge/theorem3-zero-comm", "baseline/send-everything"),
+    )
+    .expect("write");
+    call(&["run", &toml_a, "--store", &store_a]).expect("run a");
+    call(&["run", &toml_b, "--store", &store_b]).expect("run b");
+
+    let out = call(&["diff", &store_a, &store_b]).expect("diff");
+    assert!(out.contains("1 shared cell(s)"), "{out}");
+    // The shared deterministic cell is identical across stores.
+    assert!(out.contains("1.00x"), "{out}");
+    assert!(out.contains("only in a: edge/theorem3-zero-comm"), "{out}");
+    assert!(out.contains("only in b: baseline/send-everything"), "{out}");
+}
+
+#[test]
+fn run_reports_declaration_errors_with_the_file_name() {
+    let tmp = TempDir::new("badfile");
+    let toml = tmp.path("bad.toml");
+    std::fs::write(&toml, CAMPAIGN.replace("edge/theorem2", "edge/theorem9")).expect("write");
+    let err = call(&["run", &toml]).expect_err("unknown protocol");
+    assert!(
+        err.contains("bad.toml") && err.contains("edge/theorem9"),
+        "{err}"
+    );
+    let err = call(&["run", &tmp.path("missing.toml")]).expect_err("missing file");
+    assert!(err.contains("missing.toml"), "{err}");
+}

@@ -35,18 +35,25 @@
 use crate::csv::Csv;
 use crate::exec::{self, ExecStats, WorkItem, WorkSource};
 use crate::instance::GraphSpec;
-use crate::plan::{Report, Summary};
+use crate::plan::{Report, Summary, TrialRecord};
 use crate::protocol::Protocol;
 use crate::registry::registry;
 use crate::seeds;
 use crate::table::Table;
 use bichrome_graph::partition::Partitioner;
-use std::sync::Arc;
+use bichrome_store::{Store, StoreError, TrialKey};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 /// Placeholder label for the default partition axis entry (a fresh
 /// decorrelated `Partitioner::Random` per seed — see
 /// [`crate::TrialPlan::partitioner`]).
-const DEFAULT_PARTITIONER_LABEL: &str = "random(per-seed)";
+///
+/// Also the partitioner field of a stored trial's [`TrialKey`] when
+/// the default axis is in play: the concrete per-seed partitioner is
+/// itself derived from the trial seed (which the key carries), so the
+/// label plus the seed still pins the computation exactly.
+pub const DEFAULT_PARTITIONER_LABEL: &str = "random(per-seed)";
 
 /// Builder for a grid of experiment cells. Every axis is a *set*; the
 /// grid is the cross-product. See the [module docs](self).
@@ -58,6 +65,7 @@ pub struct Campaign {
     seeds: Vec<u64>,
     parallel: bool,
     baseline: Option<String>,
+    store: Option<PathBuf>,
 }
 
 impl Default for Campaign {
@@ -77,6 +85,7 @@ impl Campaign {
             seeds: Vec::new(),
             parallel: true,
             baseline: None,
+            store: None,
         }
     }
 
@@ -171,6 +180,23 @@ impl Campaign {
         self
     }
 
+    /// Attaches a persistent [`Store`] (created on first use at
+    /// `path`). Before executing, the campaign consults the store and
+    /// *skips* every trial whose canonical identity — protocol label,
+    /// graph spec, partitioner-axis label, trial seed — it already
+    /// holds; every freshly computed record is flushed to the store as
+    /// its worker finishes. A killed run therefore resumes where it
+    /// stopped, a re-run with an extended axis computes only the new
+    /// cells, and a fully warm run computes nothing at all
+    /// ([`ExecStats::trials_skipped`] reports the wins).
+    ///
+    /// Stored records round-trip bit-exactly, so a resumed or
+    /// warm-store report is identical to an uninterrupted fresh run.
+    pub fn with_store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.store = Some(path.into());
+        self
+    }
+
     /// The graph axis after applying the size axis.
     fn sized_specs(&self) -> Vec<GraphSpec> {
         if self.sizes.is_empty() {
@@ -215,13 +241,37 @@ impl Campaign {
     /// Like [`Campaign::run`], additionally returning the executor's
     /// [`ExecStats`]: the instance-cache dedup counters
     /// (`graphs_built` vs `graphs_requested` — a P-protocol grid
-    /// builds each `(spec, seed)` graph once, not P times) and the
-    /// setup-vs-execute worker-time split (summed across threads).
+    /// builds each `(spec, seed)` graph once, not P times), the
+    /// setup-vs-execute worker-time split (summed across threads),
+    /// and — with [`Campaign::with_store`] — the skipped-vs-computed
+    /// trial counts.
     ///
     /// # Panics
     ///
-    /// Same conditions as [`Campaign::run`].
+    /// Same conditions as [`Campaign::run`], plus any store error
+    /// (use [`Campaign::try_run_with_stats`] to handle those).
     pub fn run_with_stats(self) -> (CampaignReport, ExecStats) {
+        self.try_run_with_stats()
+            .unwrap_or_else(|e| panic!("campaign store failure: {e}"))
+    }
+
+    /// [`Campaign::run_with_stats`] with store failures surfaced as
+    /// [`StoreError`]s instead of panics (axis misconfiguration still
+    /// panics — those are programming errors, not runtime
+    /// conditions).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first store failure: the store could not be
+    /// opened/created, or a freshly computed record could not be
+    /// flushed (the in-memory report is lost in that case — the
+    /// error is returned *after* execution so it names exactly what
+    /// was not persisted).
+    ///
+    /// # Panics
+    ///
+    /// Same axis-validation conditions as [`Campaign::run`].
+    pub fn try_run_with_stats(self) -> Result<(CampaignReport, ExecStats), StoreError> {
         assert!(
             !self.protocols.is_empty(),
             "Campaign has no protocols: set .protocols(..) / .protocol_keys(..)"
@@ -266,6 +316,15 @@ impl Campaign {
             }
         }
 
+        // The persistent store, if one is attached: consulted before
+        // enqueueing (already-stored trials are skipped) and fed by
+        // the executor's per-record hook (fresh trials flush as their
+        // workers finish, so a killed run keeps everything done).
+        let store = match &self.store {
+            Some(path) => Some(Mutex::new(Store::open_or_create(path)?)),
+            None => None,
+        };
+
         // One flat queue over cells × seeds — the executor fans out
         // across the whole grid, not per cell. Items are lazy
         // descriptors: workers resolve them through the executor's
@@ -273,9 +332,36 @@ impl Campaign {
         // its (spec, seed) instance once, and the sub-seeds derive
         // exactly like a single-cell TrialPlan, keeping a campaign
         // cell bit-identical to the TrialPlan it replaced.
-        let mut queue = Vec::with_capacity(meta.len() * self.seeds.len());
-        for m in &meta {
-            for &seed in &self.seeds {
+        let per_cell = self.seeds.len();
+        let mut results: Vec<Option<TrialRecord>> = vec![None; meta.len() * per_cell];
+        let mut queue = Vec::new();
+        let mut queue_slots: Vec<usize> = Vec::new();
+        let mut queue_keys: Vec<TrialKey> = Vec::new();
+        let mut skipped = 0u64;
+        for (ci, m) in meta.iter().enumerate() {
+            for (si, &seed) in self.seeds.iter().enumerate() {
+                if let Some(store) = &store {
+                    let key = TrialKey {
+                        protocol: m.label.clone(),
+                        graph: m.spec.to_string(),
+                        partitioner: partitioner_axis_label(m.partitioner),
+                        seed,
+                    };
+                    let stored = {
+                        let guard = store.lock().expect("store poisoned");
+                        // An undecodable record (foreign writer, say)
+                        // counts as a miss and is recomputed.
+                        guard
+                            .get(&key)
+                            .and_then(|json| TrialRecord::from_json(json).ok())
+                    };
+                    if let Some(record) = stored {
+                        results[ci * per_cell + si] = Some(record);
+                        skipped += 1;
+                        continue;
+                    }
+                    queue_keys.push(key);
+                }
                 let partitioner = m
                     .partitioner
                     .unwrap_or(Partitioner::Random(seeds::partition_seed(seed)));
@@ -287,28 +373,68 @@ impl Campaign {
                         trial_seed: seed,
                     },
                 });
+                queue_slots.push(ci * per_cell + si);
             }
         }
-        let (records, stats) = exec::execute(&queue, self.parallel);
 
-        let per_cell = self.seeds.len();
+        let flush_error: Mutex<Option<StoreError>> = Mutex::new(None);
+        let (records, mut stats) = match &store {
+            Some(store) => {
+                let hook = |i: usize, record: &TrialRecord| {
+                    let mut guard = store.lock().expect("store poisoned");
+                    if let Err(e) = guard.append(queue_keys[i].clone(), record.to_json()) {
+                        flush_error
+                            .lock()
+                            .expect("flush error slot poisoned")
+                            .get_or_insert(e);
+                    }
+                };
+                exec::execute(&queue, self.parallel, Some(&hook))
+            }
+            None => exec::execute(&queue, self.parallel, None),
+        };
+        if let Some(e) = flush_error.into_inner().expect("flush error slot poisoned") {
+            return Err(e);
+        }
+        stats.trials_skipped = skipped;
+        for (record, &slot) in records.into_iter().zip(&queue_slots) {
+            results[slot] = Some(record);
+        }
+
+        let mut results = results.into_iter();
         let cells = meta
             .into_iter()
-            .enumerate()
-            .map(|(i, m)| CampaignCell {
-                protocol: m.label.clone(),
-                spec: m.spec,
-                partitioner: m.partitioner,
-                report: Report::new(m.label, records[i * per_cell..(i + 1) * per_cell].to_vec()),
+            .map(|m| {
+                let trials: Vec<TrialRecord> = results
+                    .by_ref()
+                    .take(per_cell)
+                    .map(|r| r.expect("every grid slot is stored or computed"))
+                    .collect();
+                CampaignCell {
+                    protocol: m.label.clone(),
+                    spec: m.spec,
+                    partitioner: m.partitioner,
+                    report: Report::new(m.label, trials),
+                }
             })
             .collect();
-        (
+        Ok((
             CampaignReport {
                 cells,
                 baseline: self.baseline,
             },
             stats,
-        )
+        ))
+    }
+}
+
+/// The partitioner-axis label of a cell (`None` = the per-seed
+/// default): the canonical third component of a stored trial's
+/// [`TrialKey`].
+fn partitioner_axis_label(p: Option<Partitioner>) -> String {
+    match p {
+        Some(p) => p.to_string(),
+        None => DEFAULT_PARTITIONER_LABEL.to_string(),
     }
 }
 
@@ -325,6 +451,7 @@ impl std::fmt::Debug for Campaign {
             .field("seeds", &self.seeds.len())
             .field("parallel", &self.parallel)
             .field("baseline", &self.baseline)
+            .field("store", &self.store)
             .finish()
     }
 }
@@ -347,10 +474,7 @@ pub struct CampaignCell {
 impl CampaignCell {
     /// The partitioner-axis label of this cell.
     pub fn partitioner_label(&self) -> String {
-        match self.partitioner {
-            Some(p) => p.to_string(),
-            None => DEFAULT_PARTITIONER_LABEL.to_string(),
-        }
+        partitioner_axis_label(self.partitioner)
     }
 
     /// Shorthand for the cell's summary.
@@ -413,6 +537,71 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
+    /// Reassembles a report purely from a persistent [`Store`] — no
+    /// re-execution — so `bichrome report` can render table / JSON /
+    /// CSV views of any store, including one written by a run that
+    /// was killed partway.
+    ///
+    /// The store does not know the original axis declaration, so
+    /// cells come out in canonical sorted order — by (protocol,
+    /// graph, partitioner) — with each cell's trials sorted by seed,
+    /// and no baseline is set. Aggregates are recomputed from the
+    /// stored records; when the campaign declared its seeds in
+    /// ascending order (ranges always do) they equal the live run's
+    /// bit for bit, while an out-of-order seed *list* re-aggregates
+    /// in sorted order and float summation order may differ in the
+    /// last ulp.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first entry whose record or key
+    /// fields cannot be decoded (e.g. a store written by a different
+    /// producer).
+    pub fn from_store(store: &Store) -> Result<CampaignReport, String> {
+        use std::collections::BTreeMap;
+        let mut grouped: BTreeMap<(String, String, String), BTreeMap<u64, TrialRecord>> =
+            BTreeMap::new();
+        for entry in store.iter() {
+            let record = TrialRecord::from_json(&entry.record_json)
+                .map_err(|e| format!("undecodable record for {}: {e}", entry.key))?;
+            grouped
+                .entry((
+                    entry.key.protocol.clone(),
+                    entry.key.graph.clone(),
+                    entry.key.partitioner.clone(),
+                ))
+                .or_default()
+                .insert(entry.key.seed, record);
+        }
+        let cells = grouped
+            .into_iter()
+            .map(|((protocol, graph, part_label), trials)| {
+                let spec: GraphSpec = graph
+                    .parse()
+                    .map_err(|e| format!("unparseable graph spec {graph:?}: {e}"))?;
+                let partitioner = if part_label == DEFAULT_PARTITIONER_LABEL {
+                    None
+                } else {
+                    Some(
+                        part_label
+                            .parse::<Partitioner>()
+                            .map_err(|e| format!("unparseable partitioner {part_label:?}: {e}"))?,
+                    )
+                };
+                Ok(CampaignCell {
+                    protocol: protocol.clone(),
+                    spec,
+                    partitioner,
+                    report: Report::new(protocol, trials.into_values().collect()),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(CampaignReport {
+            cells,
+            baseline: None,
+        })
+    }
+
     /// Whether every trial of every cell validated.
     pub fn all_valid(&self) -> bool {
         self.cells.iter().all(|c| c.report.all_valid())
@@ -504,6 +693,8 @@ impl CampaignReport {
             "ok",
             "bits",
             "±sd",
+            "p50",
+            "p95",
             "rounds",
             "colors",
             "bits/n",
@@ -522,6 +713,8 @@ impl CampaignReport {
                 format!("{}/{}", s.valid, s.trials),
                 format!("{:.1}", s.total_bits.mean),
                 format!("{:.1}", s.total_bits.stddev),
+                format!("{:.0}", s.total_bits.p50),
+                format!("{:.0}", s.total_bits.p95),
                 format!("{:.1}", s.rounds.mean),
                 format!("{:.1}", s.colors.mean),
                 format!("{:.2}", s.bits_per_vertex.mean),
@@ -556,7 +749,9 @@ impl CampaignReport {
     }
 
     /// The pinned CSV header ([`CampaignReport::to_csv`]'s first
-    /// line).
+    /// line). Format history: PR 4 added the four nearest-rank
+    /// percentile columns (`bits_p50`/`bits_p95`,
+    /// `rounds_p50`/`rounds_p95`).
     pub const CSV_HEADER: &'static [&'static str] = &[
         "protocol",
         "graph",
@@ -569,9 +764,13 @@ impl CampaignReport {
         "bits_stddev",
         "bits_min",
         "bits_max",
+        "bits_p50",
+        "bits_p95",
         "rounds_mean",
         "rounds_stddev",
         "rounds_max",
+        "rounds_p50",
+        "rounds_p95",
         "bits_per_vertex_mean",
         "colors_mean",
     ];
@@ -595,9 +794,13 @@ impl CampaignReport {
                 &s.total_bits.stddev.to_string(),
                 &s.total_bits.min.to_string(),
                 &s.total_bits.max.to_string(),
+                &s.total_bits.p50.to_string(),
+                &s.total_bits.p95.to_string(),
                 &s.rounds.mean.to_string(),
                 &s.rounds.stddev.to_string(),
                 &s.rounds.max.to_string(),
+                &s.rounds.p50.to_string(),
+                &s.rounds.p95.to_string(),
                 &s.bits_per_vertex.mean.to_string(),
                 &s.colors.mean.to_string(),
             ]);
@@ -793,5 +996,104 @@ mod tests {
     #[should_panic(expected = "not on the protocol axis")]
     fn misspelled_baseline_panics_instead_of_silently_disabling_deltas() {
         let _ = small_grid().baseline("send-everything").run();
+    }
+
+    /// A unique scratch directory (removed on drop).
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            TempDir(std::env::temp_dir().join(format!(
+                "bichrome-campaign-test-{tag}-{}-{}",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            )))
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn warm_store_skips_everything_and_reports_identically() {
+        let tmp = TempDir::new("warm");
+        let fresh = small_grid().run();
+        let (cold, cold_stats) = small_grid().with_store(&tmp.0).run_with_stats();
+        assert_eq!(cold, fresh, "a cold store must not change results");
+        assert_eq!(cold_stats.trials_computed, 12);
+        assert_eq!(cold_stats.trials_skipped, 0);
+
+        let (warm, warm_stats) = small_grid().with_store(&tmp.0).run_with_stats();
+        assert_eq!(warm, fresh, "a warm store must reproduce bit-identically");
+        assert_eq!(warm_stats.trials_computed, 0, "everything came from disk");
+        assert_eq!(warm_stats.trials_skipped, 12);
+        assert_eq!(warm_stats.graphs_requested, 0, "no instance was built");
+    }
+
+    #[test]
+    fn extending_the_seed_axis_computes_only_the_new_suffix() {
+        let tmp = TempDir::new("extend");
+        let (_, stats) = small_grid().with_store(&tmp.0).run_with_stats();
+        assert_eq!(stats.trials_computed, 12);
+
+        let extended = || small_grid().seeds(3..5); // 0..3 ∪ 3..5
+        let (report, stats) = extended().with_store(&tmp.0).run_with_stats();
+        assert_eq!(stats.trials_skipped, 12, "the original half is on disk");
+        assert_eq!(stats.trials_computed, 4 * 2, "only the two new seeds run");
+        assert_eq!(report, extended().run(), "and the merge is bit-identical");
+    }
+
+    #[test]
+    fn report_from_store_reaggregates_the_same_summaries() {
+        let tmp = TempDir::new("fromstore");
+        let (ran, _) = small_grid()
+            .partitioners([Partitioner::Alternating])
+            .with_store(&tmp.0)
+            .run_with_stats();
+        let store = bichrome_store::Store::open_existing(&tmp.0).expect("store exists");
+        let rebuilt = CampaignReport::from_store(&store).expect("decodes");
+        assert_eq!(rebuilt.cells.len(), ran.cells.len());
+        assert_eq!(rebuilt.total_trials(), ran.total_trials());
+        // Cells come back in canonical sorted order; match them up.
+        for cell in &ran.cells {
+            let twin = rebuilt
+                .cells
+                .iter()
+                .find(|c| {
+                    c.protocol == cell.protocol
+                        && c.spec == cell.spec
+                        && c.partitioner == cell.partitioner
+                })
+                .expect("every executed cell is in the store");
+            assert_eq!(twin.report, cell.report, "bit-identical re-aggregation");
+        }
+    }
+
+    #[test]
+    fn store_key_uses_the_axis_label_for_the_default_partitioner() {
+        // The default adversary derives from the trial seed, so the
+        // stored key keeps the axis label and two different seeds
+        // must produce two different store entries.
+        let tmp = TempDir::new("defaultpart");
+        let campaign = || {
+            Campaign::new()
+                .protocol_keys(["edge/theorem3-zero-comm"])
+                .graphs([GraphSpec::Cycle { n: 8 }])
+                .seeds(0..2)
+        };
+        let (_, stats) = campaign().with_store(&tmp.0).run_with_stats();
+        assert_eq!(stats.trials_computed, 2);
+        let store = bichrome_store::Store::open_existing(&tmp.0).expect("store");
+        assert_eq!(store.len(), 2);
+        for entry in store.iter() {
+            assert_eq!(entry.key.partitioner, DEFAULT_PARTITIONER_LABEL);
+        }
+        let (_, stats) = campaign().with_store(&tmp.0).run_with_stats();
+        assert_eq!(stats.trials_skipped, 2);
     }
 }

@@ -78,10 +78,17 @@ pub(crate) struct WorkItem {
 }
 
 /// Counters and timings from one executor run — how much instance
-/// materialization was deduplicated by the cache, and how the wall
-/// time split between building instances and running protocols.
+/// materialization was deduplicated by the cache, how the wall time
+/// split between building instances and running protocols, and (when
+/// a campaign ran against a persistent store) how many trials were
+/// served from disk instead of being recomputed.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExecStats {
+    /// Trials actually executed by this run.
+    pub trials_computed: u64,
+    /// Trials skipped because the campaign's persistent store already
+    /// held their record (0 when no store is attached).
+    pub trials_skipped: u64,
     /// Lazy trials that needed a graph (one per lazy work item).
     pub graphs_requested: u64,
     /// Graphs actually built — exactly one per distinct
@@ -112,6 +119,41 @@ impl ExecStats {
         } else {
             1.0 - self.graphs_built as f64 / self.graphs_requested as f64
         }
+    }
+
+    /// Fraction of partition requests served from cache (0 when
+    /// nothing was requested).
+    pub fn partition_cache_hit_rate(&self) -> f64 {
+        if self.partitions_requested == 0 {
+            0.0
+        } else {
+            1.0 - self.partitions_built as f64 / self.partitions_requested as f64
+        }
+    }
+}
+
+/// The human-readable one-liner the experiment binaries and the CLI
+/// print after a run. The phrase `computed N trials` is load-bearing:
+/// CI greps for `computed 0 trials` to assert a warm-store run did no
+/// work.
+impl std::fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "exec: computed {} trials ({} skipped via store) · graphs built {}/{} \
+             ({:.0}% cache hits) · partitions built {}/{} ({:.0}% cache hits) · \
+             setup {:.3}s vs execute {:.3}s worker time",
+            self.trials_computed,
+            self.trials_skipped,
+            self.graphs_built,
+            self.graphs_requested,
+            100.0 * self.graph_cache_hit_rate(),
+            self.partitions_built,
+            self.partitions_requested,
+            100.0 * self.partition_cache_hit_rate(),
+            self.setup_nanos as f64 / 1e9,
+            self.run_nanos as f64 / 1e9,
+        )
     }
 }
 
@@ -227,14 +269,27 @@ impl InstanceCache {
     }
 }
 
+/// A per-record completion hook: called with `(queue index, record)`
+/// on the worker thread that finished the trial, *before* the run as
+/// a whole completes — this is how the campaign store flushes records
+/// as workers finish, so a killed run keeps everything already done.
+/// Must be `Sync`: under parallel execution it runs concurrently.
+pub(crate) type RecordHook<'a> = &'a (dyn Fn(usize, &TrialRecord) + Sync);
+
 /// Executes the whole queue — `par_iter` across *all* items when
 /// `parallel` — and returns one record per item, in queue order, plus
 /// the run's [`ExecStats`]. Records are bit-identical regardless of
-/// `parallel` and of cache hit/miss patterns.
-pub(crate) fn execute(queue: &[WorkItem], parallel: bool) -> (Vec<TrialRecord>, ExecStats) {
+/// `parallel` and of cache hit/miss patterns. `on_record`, if given,
+/// observes every record as its worker finishes it (indexed by queue
+/// position; invocation *order* across items is scheduling-dependent).
+pub(crate) fn execute(
+    queue: &[WorkItem],
+    parallel: bool,
+    on_record: Option<RecordHook<'_>>,
+) -> (Vec<TrialRecord>, ExecStats) {
     let cache = InstanceCache::new();
     let run_nanos = AtomicU64::new(0);
-    let trial = |item: &WorkItem| -> TrialRecord {
+    let trial = |&(i, item): &(usize, &WorkItem)| -> TrialRecord {
         let resolved;
         let instance: &Instance = match &item.source {
             WorkSource::Ready(instance) => instance,
@@ -251,14 +306,20 @@ pub(crate) fn execute(queue: &[WorkItem], parallel: bool) -> (Vec<TrialRecord>, 
         let outcome = item.protocol.run(instance);
         let record = TrialRecord::from_outcome(instance, outcome);
         run_nanos.fetch_add(run_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if let Some(hook) = on_record {
+            hook(i, &record);
+        }
         record
     };
+    let indexed: Vec<(usize, &WorkItem)> = queue.iter().enumerate().collect();
     let records = if parallel {
-        queue.par_iter().map(trial).collect()
+        indexed.par_iter().map(trial).collect()
     } else {
-        queue.iter().map(trial).collect()
+        indexed.iter().map(trial).collect()
     };
     let stats = ExecStats {
+        trials_computed: queue.len() as u64,
+        trials_skipped: 0,
         graphs_requested: cache.graphs.requested.load(Ordering::Relaxed),
         graphs_built: cache.graphs.built.load(Ordering::Relaxed),
         partitions_requested: cache.partitions.requested.load(Ordering::Relaxed),
@@ -307,7 +368,7 @@ mod tests {
             0..4,
         );
         for parallel in [false, true] {
-            let (records, stats) = execute(&queue, parallel);
+            let (records, stats) = execute(&queue, parallel, None);
             assert_eq!(records.len(), 12);
             assert_eq!(stats.graphs_requested, 12, "parallel={parallel}");
             assert_eq!(stats.graphs_built, 4, "one graph per seed");
@@ -320,7 +381,7 @@ mod tests {
     #[test]
     fn cached_resolution_is_bit_identical_to_eager_from_spec() {
         let queue = shared_column_queue(&["edge/theorem2", "vertex/theorem1"], 0..3);
-        let (records, _) = execute(&queue, true);
+        let (records, _) = execute(&queue, true, None);
         let reg = registry();
         let spec = GraphSpec::NearRegular { n: 24, d: 4 };
         let mut i = 0;
@@ -343,7 +404,7 @@ mod tests {
             protocol: registry().get("edge/theorem2").expect("registered"),
             source: WorkSource::Ready(inst.clone()),
         }];
-        let (records, stats) = execute(&queue, false);
+        let (records, stats) = execute(&queue, false, None);
         assert_eq!(records[0].seed, 7);
         assert_eq!(records[0].label, "ready");
         assert_eq!(stats.graphs_requested, 0, "no lazy resolution happened");
@@ -353,7 +414,7 @@ mod tests {
     #[test]
     fn stats_time_split_covers_the_run() {
         let queue = shared_column_queue(&["vertex/theorem1"], 0..2);
-        let (_, stats) = execute(&queue, false);
+        let (_, stats) = execute(&queue, false, None);
         assert!(stats.run_nanos > 0, "protocol runs take measurable time");
         assert!(stats.setup_nanos > 0, "two graphs were actually built");
     }

@@ -92,7 +92,6 @@ pub mod campaign;
 pub mod csv;
 mod exec;
 pub mod instance;
-pub mod json;
 pub mod plan;
 pub mod probes;
 pub mod protocol;
@@ -100,6 +99,10 @@ pub mod registry;
 pub mod seeds;
 pub mod table;
 
+/// The hand-written JSON codec, re-exported from its home in
+/// [`bichrome_store`] (persistence is where the bytes live; the
+/// runner serializes its reports and records through it).
+pub use bichrome_store::json;
 pub use campaign::{BaselineDelta, Campaign, CampaignCell, CampaignReport, GroupBy};
 pub use exec::ExecStats;
 pub use instance::{GraphSpec, Instance, ParseSpecError};

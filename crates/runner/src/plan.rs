@@ -132,7 +132,7 @@ impl TrialPlan {
             !queue.is_empty(),
             "TrialPlan has no instances: set .graphs(..).seeds(..) or .instances(..)"
         );
-        let (trials, _stats) = exec::execute(&queue, self.parallel);
+        let (trials, _stats) = exec::execute(&queue, self.parallel, None);
         Report::new(self.protocol.name().to_string(), trials)
     }
 }
@@ -209,9 +209,134 @@ impl TrialRecord {
     pub fn total_bits(&self) -> u64 {
         self.bits_alice_to_bob + self.bits_bob_to_alice
     }
+
+    /// Serializes the record as one single-line JSON object — the
+    /// payload format the campaign store persists and
+    /// [`TrialRecord::from_json`] decodes. Every field round-trips
+    /// bit-exactly (finite `f64` metrics render in Rust's shortest
+    /// round-trippable form; non-finite values as tagged strings).
+    pub fn to_json(&self) -> String {
+        let mut o = crate::json::Writer::object();
+        o.field_str("label", &self.label);
+        o.field_u64("seed", self.seed);
+        o.field_u64("n", self.n as u64);
+        o.field_u64("m", self.m as u64);
+        o.field_u64("delta", self.delta as u64);
+        o.field_u64("bits_alice_to_bob", self.bits_alice_to_bob);
+        o.field_u64("bits_bob_to_alice", self.bits_bob_to_alice);
+        o.field_u64("rounds", self.rounds);
+        o.field_u64("colors_used", self.colors_used as u64);
+        match self.palette_budget {
+            Some(b) => o.field_u64("palette_budget", b as u64),
+            None => o.field_null("palette_budget"),
+        }
+        o.field_bool("valid", self.valid);
+        match &self.error {
+            Some(e) => o.field_str("error", e),
+            None => o.field_null("error"),
+        }
+        if !self.metrics.is_empty() {
+            let mut m = crate::json::Writer::object();
+            for (k, &v) in &self.metrics {
+                if v.is_finite() {
+                    m.field_f64(k, v);
+                } else if v.is_nan() {
+                    m.field_str(k, "NaN");
+                } else if v > 0.0 {
+                    m.field_str(k, "Infinity");
+                } else {
+                    m.field_str(k, "-Infinity");
+                }
+            }
+            o.field_raw("metrics", &m.finish());
+        }
+        o.finish()
+    }
+
+    /// Decodes a record serialized by [`TrialRecord::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or shape error.
+    pub fn from_json(text: &str) -> Result<TrialRecord, String> {
+        use crate::json::Value;
+        let v = Value::parse(text)?;
+        let obj = v.as_object().ok_or("trial record is not a JSON object")?;
+        let get = |field: &str| obj.get(field).ok_or(format!("missing field {field:?}"));
+        let get_u64 = |field: &str| {
+            get(field)?
+                .as_u64()
+                .ok_or(format!("field {field:?} is not an unsigned integer"))
+        };
+        // The seed is a full-range u64; take it from the raw text so
+        // it never rounds through the parser's f64 numbers. The first
+        // unescaped `"seed":` is this record's own field ("label",
+        // the only field before it, is an escaped JSON string).
+        let seed_at = text.find("\"seed\":").ok_or("missing field \"seed\"")? + "\"seed\":".len();
+        let after = &text[seed_at..];
+        let digits = &after[..after
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(after.len())];
+        let seed: u64 = digits
+            .parse()
+            .map_err(|_| format!("seed {digits:?} is not a u64"))?;
+        let mut metrics = BTreeMap::new();
+        if let Some(m) = obj.get("metrics") {
+            let m = m.as_object().ok_or("field \"metrics\" is not an object")?;
+            for (k, v) in m {
+                let x = match v {
+                    Value::Number(x) => *x,
+                    Value::String(s) => match s.as_str() {
+                        "NaN" => f64::NAN,
+                        "Infinity" => f64::INFINITY,
+                        "-Infinity" => f64::NEG_INFINITY,
+                        other => return Err(format!("metric {k:?} has bad value {other:?}")),
+                    },
+                    other => return Err(format!("metric {k:?} is not a number: {other:?}")),
+                };
+                metrics.insert(k.clone(), x);
+            }
+        }
+        Ok(TrialRecord {
+            label: get("label")?
+                .as_str()
+                .ok_or("field \"label\" is not a string")?
+                .to_string(),
+            seed,
+            n: get_u64("n")? as usize,
+            m: get_u64("m")? as usize,
+            delta: get_u64("delta")? as usize,
+            bits_alice_to_bob: get_u64("bits_alice_to_bob")?,
+            bits_bob_to_alice: get_u64("bits_bob_to_alice")?,
+            rounds: get_u64("rounds")?,
+            colors_used: get_u64("colors_used")? as usize,
+            palette_budget: match get("palette_budget")? {
+                Value::Null => None,
+                v => Some(
+                    v.as_u64()
+                        .ok_or("field \"palette_budget\" is not an unsigned integer")?
+                        as usize,
+                ),
+            },
+            valid: match get("valid")? {
+                Value::Bool(b) => *b,
+                other => return Err(format!("field \"valid\" is not a bool: {other:?}")),
+            },
+            error: match get("error")? {
+                Value::Null => None,
+                v => Some(
+                    v.as_str()
+                        .ok_or("field \"error\" is not a string")?
+                        .to_string(),
+                ),
+            },
+            metrics,
+        })
+    }
 }
 
-/// Mean / population-stddev / min / max of one metric across trials.
+/// Mean / population-stddev / min / max / p50 / p95 of one metric
+/// across trials.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Aggregate {
     /// Sample mean.
@@ -222,6 +347,11 @@ pub struct Aggregate {
     pub min: f64,
     /// Maximum.
     pub max: f64,
+    /// Median (nearest-rank 50th percentile — always an actual
+    /// sample value, never an interpolation).
+    pub p50: f64,
+    /// Nearest-rank 95th percentile.
+    pub p95: f64,
 }
 
 impl Aggregate {
@@ -232,15 +362,25 @@ impl Aggregate {
         }
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
-        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(f64::total_cmp);
         Aggregate {
             mean,
             stddev: var.sqrt(),
-            min,
-            max,
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            p50: percentile(&sorted, 50.0),
+            p95: percentile(&sorted, 95.0),
         }
     }
+}
+
+/// Nearest-rank percentile of an ascending-sorted non-empty sample:
+/// the smallest value with at least `p`% of the sample at or below it
+/// (`sorted[⌈p/100 · N⌉ − 1]`).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Cross-trial summary of a [`Report`].
@@ -409,39 +549,7 @@ impl Report {
             }
             s.finish()
         });
-        let trials: Vec<String> = self
-            .trials
-            .iter()
-            .map(|t| {
-                let mut o = crate::json::Writer::object();
-                o.field_str("label", &t.label);
-                o.field_u64("seed", t.seed);
-                o.field_u64("n", t.n as u64);
-                o.field_u64("m", t.m as u64);
-                o.field_u64("delta", t.delta as u64);
-                o.field_u64("bits_alice_to_bob", t.bits_alice_to_bob);
-                o.field_u64("bits_bob_to_alice", t.bits_bob_to_alice);
-                o.field_u64("rounds", t.rounds);
-                o.field_u64("colors_used", t.colors_used as u64);
-                match t.palette_budget {
-                    Some(b) => o.field_u64("palette_budget", b as u64),
-                    None => o.field_null("palette_budget"),
-                }
-                o.field_bool("valid", t.valid);
-                match &t.error {
-                    Some(e) => o.field_str("error", e),
-                    None => o.field_null("error"),
-                }
-                if !t.metrics.is_empty() {
-                    let mut m = crate::json::Writer::object();
-                    for (k, &v) in &t.metrics {
-                        m.field_f64(k, v);
-                    }
-                    o.field_raw("metrics", &m.finish());
-                }
-                o.finish()
-            })
-            .collect();
+        let trials: Vec<String> = self.trials.iter().map(TrialRecord::to_json).collect();
         w.field_raw("trials", &format!("[{}]", trials.join(",")));
         w.finish()
     }
@@ -453,5 +561,78 @@ fn aggregate_json(a: &Aggregate) -> String {
     w.field_f64("stddev", a.stddev);
     w.field_f64("min", a.min);
     w.field_f64("max", a.max);
+    w.field_f64("p50", a.p50);
+    w.field_f64("p95", a.p95);
     w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let a = Aggregate::of(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(a.p50, 20.0, "⌈0.5·4⌉ = rank 2");
+        assert_eq!(a.p95, 40.0, "⌈0.95·4⌉ = rank 4");
+        let b = Aggregate::of(&[7.0]);
+        assert_eq!((b.p50, b.p95), (7.0, 7.0));
+        let c = Aggregate::of(&(1..=100).map(f64::from).collect::<Vec<_>>());
+        assert_eq!(c.p50, 50.0);
+        assert_eq!(c.p95, 95.0);
+        assert_eq!(Aggregate::of(&[]).p95, 0.0, "empty sample stays zeroed");
+    }
+
+    #[test]
+    fn trial_record_json_round_trips_bit_exactly() {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("rct_remaining".to_string(), 0.1 + 0.2); // 0.30000000000000004
+        metrics.insert("space_bound".to_string(), f64::INFINITY);
+        metrics.insert("slack \"quoted\"\n".to_string(), -7.25);
+        let record = TrialRecord {
+            label: "near-regular(n=24,d=4)".to_string(),
+            seed: u64::MAX,
+            n: 24,
+            m: 48,
+            delta: 5,
+            bits_alice_to_bob: 120,
+            bits_bob_to_alice: 64,
+            rounds: 3,
+            colors_used: 6,
+            palette_budget: Some(9),
+            valid: false,
+            error: Some("validator said no,\nwith a newline".to_string()),
+            metrics,
+        };
+        let json = record.to_json();
+        assert!(!json.contains('\n'), "payload must be single-line");
+        let back = TrialRecord::from_json(&json).expect("parses");
+        assert_eq!(
+            back, record,
+            "round-trip must be exact (incl. the u64::MAX seed)"
+        );
+
+        // And the minimal record (no metrics, no budget, no error).
+        let bare = TrialRecord {
+            label: "e1".to_string(),
+            seed: 0,
+            n: 0,
+            m: 0,
+            delta: 0,
+            bits_alice_to_bob: 0,
+            bits_bob_to_alice: 0,
+            rounds: 0,
+            colors_used: 0,
+            palette_budget: None,
+            valid: true,
+            error: None,
+            metrics: BTreeMap::new(),
+        };
+        assert_eq!(
+            TrialRecord::from_json(&bare.to_json()).expect("parses"),
+            bare
+        );
+        assert!(TrialRecord::from_json("{}").is_err());
+        assert!(TrialRecord::from_json("not json").is_err());
+    }
 }

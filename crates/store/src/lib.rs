@@ -1,0 +1,717 @@
+//! `bichrome-store` — the persistent campaign result store.
+//!
+//! Every trial a campaign executes is identified by a *canonical cell
+//! identity* — protocol label, graph-spec display string, partitioner
+//! display string, trial seed — plus the store's pinned on-disk
+//! [`FORMAT_VERSION`]. The store persists one JSON record per
+//! identity in an append-only JSONL trial log and indexes it by a
+//! content address derived from that identity through the workspace's
+//! SplitMix64 seed machinery ([`TrialKey::content_hash`]), so
+//! re-running a campaign skips every trial the store already holds:
+//! a killed run resumes where it stopped, and extending a seed axis
+//! only computes the new suffix.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <dir>/meta.json      pinned {"magic", "format_version"} — written
+//!                      atomically (temp file + rename)
+//! <dir>/trials.jsonl   one line per stored trial:
+//!                      {"hash","protocol","graph","partitioner","seed","record"}
+//! ```
+//!
+//! The record payload is opaque to this crate (the runner serializes
+//! its `TrialRecord`s into it). Each line's `hash` is an integrity
+//! check over the key fields *and* the payload bytes, so corruption
+//! of either is detected at load and never served as a cached
+//! result.
+//!
+//! # Durability model
+//!
+//! * `meta.json` is always written via temp file + rename, so a crash
+//!   can never leave a half-written store header.
+//! * Trial appends go straight to the log (one line per record,
+//!   flushed as workers finish). A crash mid-append can therefore
+//!   leave at most one torn final line, which loading handles:
+//!   [`Store::open_or_create`] keeps every record up to the first
+//!   malformed line, reports what was salvaged ([`Store::salvage`]),
+//!   and atomically rewrites the log to the good prefix so later
+//!   appends never extend a corrupt tail.
+//! * Opening a store whose `format_version` differs from this
+//!   build's is an error, never a silent reinterpretation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+use bichrome_comm::PublicCoin;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The pinned on-disk format version. Bump it whenever the meaning of
+/// a stored line changes; stores written by other versions are
+/// rejected at open time instead of being silently reinterpreted.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// The magic string identifying a directory as a bichrome store.
+const MAGIC: &str = "bichrome-store";
+
+/// The trial-log filename inside a store directory.
+const LOG_FILE: &str = "trials.jsonl";
+
+/// The metadata filename inside a store directory.
+const META_FILE: &str = "meta.json";
+
+/// Stream tag under which trial identities are folded into content
+/// hashes (disjoint from the runner's graph/partition/protocol seed
+/// tags, which live in the `0x9A27_xxxx` range).
+const KEY_TAG: u64 = 0x9A27_0057;
+
+/// The canonical identity of one campaign trial — the unit of
+/// deduplication. Two trials with equal keys are *the same
+/// computation* (the executor derives every random stream from these
+/// fields), so the store keeps exactly one record per key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TrialKey {
+    /// The protocol-axis label (registry key or explicit label).
+    pub protocol: String,
+    /// The graph spec's canonical `Display` string.
+    pub graph: String,
+    /// The partitioner-axis label: a `Partitioner` `Display` string,
+    /// or the campaign's per-seed default label (the default
+    /// partitioner is itself derived from `seed`, so the label plus
+    /// the seed still pins the computation).
+    pub partitioner: String,
+    /// The trial seed.
+    pub seed: u64,
+}
+
+impl TrialKey {
+    /// The key's content address: every field folded into a 64-bit
+    /// value through the tagged SplitMix64 subcoin chain (the same
+    /// mixer the runner's seed derivation uses), starting from
+    /// [`FORMAT_VERSION`]. Used to address records on disk; lookups
+    /// always confirm full key equality, so a hash collision can
+    /// never alias two different trials.
+    pub fn content_hash(&self) -> u64 {
+        let mut coin = PublicCoin::new(FORMAT_VERSION).subcoin(KEY_TAG);
+        for field in [&self.protocol, &self.graph, &self.partitioner] {
+            coin = fold_str(coin, field);
+        }
+        coin.subcoin(self.seed).seed()
+    }
+}
+
+impl fmt::Display for TrialKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {} / {} @ seed {}",
+            self.protocol, self.graph, self.partitioner, self.seed
+        )
+    }
+}
+
+/// Folds a string into a [`PublicCoin`] chain: length first, then
+/// each 8-byte little-endian chunk (zero-padded), so distinct strings
+/// — including prefix pairs — follow distinct subcoin paths.
+fn fold_str(coin: PublicCoin, s: &str) -> PublicCoin {
+    let mut coin = coin.subcoin(s.len() as u64);
+    for chunk in s.as_bytes().chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        coin = coin.subcoin(u64::from_le_bytes(word));
+    }
+    coin
+}
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem I/O failed; the first field names the path.
+    Io(PathBuf, std::io::Error),
+    /// The directory's `meta.json` declares a different format
+    /// version than this build writes.
+    VersionMismatch {
+        /// The version found on disk.
+        found: u64,
+        /// The version this build supports ([`FORMAT_VERSION`]).
+        expected: u64,
+    },
+    /// `meta.json` exists but is not a valid store header.
+    BadMeta(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(path, e) => write!(f, "store I/O on {}: {e}", path.display()),
+            StoreError::VersionMismatch { found, expected } => write!(
+                f,
+                "store format version {found} is not the supported version {expected} \
+                 (refusing to reinterpret old data)"
+            ),
+            StoreError::BadMeta(msg) => write!(f, "store meta.json is invalid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// What a corrupt trial log was reduced to at load time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Salvage {
+    /// Records kept (the good prefix of the log).
+    pub kept: usize,
+    /// Bytes discarded from the first malformed line onward.
+    pub dropped_bytes: usize,
+    /// The parse failure that ended the good prefix.
+    pub error: String,
+}
+
+impl fmt::Display for Salvage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "salvaged {} record(s), dropped {} trailing byte(s): {}",
+            self.kept, self.dropped_bytes, self.error
+        )
+    }
+}
+
+/// One stored trial: its identity plus the opaque record payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// The trial's canonical identity.
+    pub key: TrialKey,
+    /// The record payload, exactly as the producer serialized it
+    /// (one JSON object, no newlines).
+    pub record_json: String,
+}
+
+/// A persistent trial store rooted at one directory. See the
+/// [module docs](self) for the layout and durability model.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    entries: Vec<Entry>,
+    index: HashMap<TrialKey, usize>,
+    salvage: Option<Salvage>,
+    /// The open append handle to `trials.jsonl`, created on first
+    /// append and kept for the store's lifetime so a grid of many
+    /// trials does not pay an open/close per record.
+    log: Option<File>,
+}
+
+impl Store {
+    /// Opens the store at `dir`, creating the directory and an empty
+    /// store if nothing is there yet. Loads the whole trial log,
+    /// truncating it (atomically) at the first malformed line — see
+    /// [`Store::salvage`] for what, if anything, was dropped.
+    pub fn open_or_create(dir: impl Into<PathBuf>) -> Result<Store, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| StoreError::Io(dir.clone(), e))?;
+        let meta_path = dir.join(META_FILE);
+        if meta_path.exists() {
+            check_meta(&meta_path)?;
+        } else {
+            let mut w = json::Writer::object();
+            w.field_str("magic", MAGIC);
+            w.field_u64("format_version", FORMAT_VERSION);
+            atomic_write(&meta_path, &(w.finish() + "\n"))?;
+        }
+        let mut store = Store {
+            dir,
+            entries: Vec::new(),
+            index: HashMap::new(),
+            salvage: None,
+            log: None,
+        };
+        store.load_log()?;
+        Ok(store)
+    }
+
+    /// Opens an *existing* store at `dir`; unlike
+    /// [`Store::open_or_create`] this fails if the directory is not
+    /// already a store (the right behavior for read commands like
+    /// `report` and `diff`, where a typo'd path should error, not
+    /// materialize an empty store).
+    pub fn open_existing(dir: impl Into<PathBuf>) -> Result<Store, StoreError> {
+        let dir = dir.into();
+        let meta_path = dir.join(META_FILE);
+        if !meta_path.exists() {
+            return Err(StoreError::BadMeta(format!(
+                "{} is not a bichrome store (no {META_FILE})",
+                dir.display()
+            )));
+        }
+        Store::open_or_create(dir)
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of stored trials.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no trials.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stored entries, in log (append) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.iter()
+    }
+
+    /// The record payload stored for `key`, if any.
+    pub fn get(&self, key: &TrialKey) -> Option<&str> {
+        self.index
+            .get(key)
+            .map(|&i| self.entries[i].record_json.as_str())
+    }
+
+    /// What the last load dropped from a corrupt log (`None` when the
+    /// log was fully intact).
+    pub fn salvage(&self) -> Option<&Salvage> {
+        self.salvage.as_ref()
+    }
+
+    /// Appends one record, flushing it to the log immediately. A key
+    /// already present is overwritten in the index (last write wins)
+    /// but producers are expected to append only missing keys.
+    pub fn append(&mut self, key: TrialKey, record_json: String) -> Result<(), StoreError> {
+        debug_assert!(
+            !record_json.contains('\n'),
+            "record payloads must be single-line JSON"
+        );
+        let path = self.dir.join(LOG_FILE);
+        if self.log.is_none() {
+            self.log = Some(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .map_err(|e| StoreError::Io(path.clone(), e))?,
+            );
+        }
+        let file = self.log.as_mut().expect("append handle just ensured");
+        let line = encode_line(&key, &record_json);
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|e| StoreError::Io(path, e))?;
+        self.index.insert(key.clone(), self.entries.len());
+        self.entries.push(Entry { key, record_json });
+        Ok(())
+    }
+
+    /// Loads `trials.jsonl`, keeping the longest well-formed prefix.
+    /// On corruption, rewrites the log to that prefix via temp file +
+    /// rename and records a [`Salvage`] report.
+    fn load_log(&mut self) -> Result<(), StoreError> {
+        let path = self.dir.join(LOG_FILE);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(StoreError::Io(path, e)),
+        };
+        let mut good_bytes = 0usize;
+        let mut bad: Option<String> = None;
+        for line in text.split_inclusive('\n') {
+            let complete = line.ends_with('\n');
+            let body = line.trim_end_matches(['\n', '\r']);
+            if body.is_empty() && complete {
+                good_bytes += line.len();
+                continue;
+            }
+            match decode_line(body) {
+                Ok(entry) if complete => {
+                    self.index.insert(entry.key.clone(), self.entries.len());
+                    self.entries.push(entry);
+                    good_bytes += line.len();
+                }
+                Ok(_) => {
+                    bad = Some("final line is missing its newline (torn append)".to_string());
+                    break;
+                }
+                Err(e) => {
+                    bad = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(error) = bad {
+            self.salvage = Some(Salvage {
+                kept: self.entries.len(),
+                dropped_bytes: text.len() - good_bytes,
+                error,
+            });
+            // Repair: atomically replace the log with its good prefix
+            // so future appends extend clean data.
+            atomic_write(&path, &text[..good_bytes])?;
+        }
+        Ok(())
+    }
+}
+
+/// The integrity hash of one log line: the key's content address
+/// chained over the record payload bytes, so corruption of *either*
+/// the identity fields or the record is detected at load (and the
+/// line dropped as part of the salvage), never served as a cached
+/// result.
+fn line_hash(key: &TrialKey, record_json: &str) -> u64 {
+    fold_str(PublicCoin::new(key.content_hash()), record_json).seed()
+}
+
+/// Serializes one log line (with trailing newline) for a record.
+fn encode_line(key: &TrialKey, record_json: &str) -> String {
+    let mut w = json::Writer::object();
+    w.field_str("hash", &format!("{:016x}", line_hash(key, record_json)));
+    w.field_str("protocol", &key.protocol);
+    w.field_str("graph", &key.graph);
+    w.field_str("partitioner", &key.partitioner);
+    w.field_u64("seed", key.seed);
+    w.field_raw("record", record_json);
+    w.finish() + "\n"
+}
+
+/// Parses and integrity-checks one log line.
+///
+/// The seed and the record payload are extracted from the *raw* line
+/// text (not re-serialized from the parsed tree) so they round-trip
+/// byte-exactly — in particular a trial seed above 2⁵³ must not go
+/// through the parser's `f64` numbers. Searching the raw text for the
+/// unescaped `"seed":` / `,"record":` markers is unambiguous: inside
+/// any JSON *string* value the quotes would be `\"`-escaped, so the
+/// first unescaped occurrence is the line's own field (the payload,
+/// which may legitimately contain a `"seed"` key of its own, comes
+/// last in [`encode_line`]'s field order).
+fn decode_line(line: &str) -> Result<Entry, String> {
+    let v = json::Value::parse(line)?;
+    let obj = v.as_object().ok_or("log line is not a JSON object")?;
+    let get_str = |field: &str| {
+        obj.get(field)
+            .and_then(json::Value::as_str)
+            .ok_or(format!("missing or non-string field {field:?}"))
+    };
+    let seed_at = line.find("\"seed\":").ok_or("missing field \"seed\"")? + "\"seed\":".len();
+    let after_seed = &line[seed_at..];
+    let digits_end = after_seed
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(after_seed.len());
+    let seed_digits = &after_seed[..digits_end];
+    let seed: u64 = seed_digits
+        .parse()
+        .map_err(|_| format!("seed {seed_digits:?} is not a u64"))?;
+    let key = TrialKey {
+        protocol: get_str("protocol")?.to_string(),
+        graph: get_str("graph")?.to_string(),
+        partitioner: get_str("partitioner")?.to_string(),
+        seed,
+    };
+    if !obj.contains_key("record") {
+        return Err("missing field \"record\"".to_string());
+    }
+    let record_at = line
+        .find(",\"record\":")
+        .ok_or("missing field \"record\"")?
+        + ",\"record\":".len();
+    let record_json = &line[record_at..line.len() - 1];
+    let hash = get_str("hash")?;
+    let expected = format!("{:016x}", line_hash(&key, record_json));
+    if hash != expected {
+        return Err(format!(
+            "integrity hash {hash} does not match key {key} + record (expected {expected})"
+        ));
+    }
+    Ok(Entry {
+        key,
+        record_json: record_json.to_string(),
+    })
+}
+
+/// Verifies an existing `meta.json`.
+fn check_meta(path: &Path) -> Result<(), StoreError> {
+    let text = fs::read_to_string(path).map_err(|e| StoreError::Io(path.to_path_buf(), e))?;
+    let v = json::Value::parse(&text).map_err(StoreError::BadMeta)?;
+    let obj = v
+        .as_object()
+        .ok_or_else(|| StoreError::BadMeta("meta.json is not an object".to_string()))?;
+    match obj.get("magic").and_then(json::Value::as_str) {
+        Some(MAGIC) => {}
+        other => {
+            return Err(StoreError::BadMeta(format!(
+                "magic is {other:?}, expected {MAGIC:?}"
+            )))
+        }
+    }
+    let found = obj
+        .get("format_version")
+        .and_then(json::Value::as_u64)
+        .ok_or_else(|| StoreError::BadMeta("missing format_version".to_string()))?;
+    if found != FORMAT_VERSION {
+        return Err(StoreError::VersionMismatch {
+            found,
+            expected: FORMAT_VERSION,
+        });
+    }
+    Ok(())
+}
+
+/// Writes a file atomically: content goes to a sibling temp file
+/// which is then renamed over the target, so readers (and crashes)
+/// see either the old content or the new, never a torn write.
+fn atomic_write(path: &Path, content: &str) -> Result<(), StoreError> {
+    let err = |e| StoreError::Io(path.to_path_buf(), e);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = File::create(&tmp).map_err(err)?;
+        file.write_all(content.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(err)?;
+    }
+    fs::rename(&tmp, path).map_err(err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A unique scratch directory (removed on drop).
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "bichrome-store-test-{tag}-{}-{}",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn key(seed: u64) -> TrialKey {
+        TrialKey {
+            protocol: "edge/theorem2".to_string(),
+            graph: "near-regular(n=24,d=4)".to_string(),
+            partitioner: "alternating".to_string(),
+            seed,
+        }
+    }
+
+    #[test]
+    fn append_then_reopen_round_trips() {
+        let tmp = TempDir::new("roundtrip");
+        let mut store = Store::open_or_create(&tmp.0).expect("create");
+        assert!(store.is_empty());
+        store
+            .append(key(0), r#"{"bits":12,"ok":true}"#.to_string())
+            .expect("append");
+        store
+            .append(key(1), r#"{"bits":9,"ok":true}"#.to_string())
+            .expect("append");
+        drop(store);
+
+        let store = Store::open_or_create(&tmp.0).expect("reopen");
+        assert_eq!(store.len(), 2);
+        assert!(store.salvage().is_none());
+        assert_eq!(store.get(&key(0)), Some(r#"{"bits":12,"ok":true}"#));
+        assert_eq!(store.get(&key(1)), Some(r#"{"bits":9,"ok":true}"#));
+        assert_eq!(store.get(&key(2)), None);
+        let keys: Vec<u64> = store.iter().map(|e| e.key.seed).collect();
+        assert_eq!(keys, vec![0, 1], "log order is append order");
+    }
+
+    #[test]
+    fn content_hash_distinguishes_every_field() {
+        let base = key(3);
+        let mut variants = vec![base.clone()];
+        variants.push(TrialKey {
+            protocol: "vertex/theorem1".to_string(),
+            ..base.clone()
+        });
+        variants.push(TrialKey {
+            graph: "near-regular(n=24,d=5)".to_string(),
+            ..base.clone()
+        });
+        variants.push(TrialKey {
+            partitioner: "all-to-bob".to_string(),
+            ..base.clone()
+        });
+        variants.push(TrialKey { seed: 4, ..base });
+        let hashes: Vec<u64> = variants.iter().map(TrialKey::content_hash).collect();
+        for i in 0..hashes.len() {
+            for j in i + 1..hashes.len() {
+                assert_ne!(hashes[i], hashes[j], "{} vs {}", variants[i], variants[j]);
+            }
+        }
+        // And a field boundary shift does not collide: moving a
+        // character between adjacent fields changes the hash.
+        let a = TrialKey {
+            protocol: "ab".to_string(),
+            graph: "c".to_string(),
+            ..key(0)
+        };
+        let b = TrialKey {
+            protocol: "a".to_string(),
+            graph: "bc".to_string(),
+            ..key(0)
+        };
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn truncated_log_salvages_the_good_prefix() {
+        let tmp = TempDir::new("salvage");
+        let mut store = Store::open_or_create(&tmp.0).expect("create");
+        for seed in 0..5 {
+            store
+                .append(key(seed), format!(r#"{{"seed":{seed}}}"#))
+                .expect("append");
+        }
+        drop(store);
+
+        // Tear the final line mid-write.
+        let log = tmp.0.join(LOG_FILE);
+        let text = fs::read_to_string(&log).expect("read log");
+        fs::write(&log, &text[..text.len() - 17]).expect("truncate");
+
+        let store = Store::open_or_create(&tmp.0).expect("reopen");
+        assert_eq!(store.len(), 4, "good prefix survives");
+        let salvage = store.salvage().expect("salvage reported");
+        assert_eq!(salvage.kept, 4);
+        assert!(salvage.dropped_bytes > 0);
+        assert!(store.get(&key(3)).is_some());
+        assert_eq!(store.get(&key(4)), None, "torn record is gone");
+
+        // The repair rewrote the log: a fresh open is clean.
+        let store = Store::open_or_create(&tmp.0).expect("after repair");
+        assert_eq!(store.len(), 4);
+        assert!(store.salvage().is_none(), "repaired log loads clean");
+    }
+
+    #[test]
+    fn garbage_line_ends_the_prefix_and_is_dropped() {
+        let tmp = TempDir::new("garbage");
+        let mut store = Store::open_or_create(&tmp.0).expect("create");
+        store
+            .append(key(0), r#"{"seed":0}"#.to_string())
+            .expect("append");
+        drop(store);
+        let log = tmp.0.join(LOG_FILE);
+        let mut text = fs::read_to_string(&log).expect("read");
+        text.push_str("this is not json\n");
+        fs::write(&log, text).expect("write");
+
+        let store = Store::open_or_create(&tmp.0).expect("reopen");
+        assert_eq!(store.len(), 1);
+        assert!(store.salvage().is_some());
+    }
+
+    #[test]
+    fn tampered_key_or_payload_is_rejected() {
+        // Corruption of a *key* field and corruption of the *record
+        // payload* must both fail the line's integrity hash — a
+        // flipped measurement is as wrong as a flipped identity.
+        for (from, to) in [
+            ("\"seed\":0,", "\"seed\":9,"), // key field
+            ("\"bits\":12", "\"bits\":13"), // payload field
+        ] {
+            let tmp = TempDir::new("tamper");
+            let mut store = Store::open_or_create(&tmp.0).expect("create");
+            store
+                .append(key(0), r#"{"bits":12}"#.to_string())
+                .expect("append");
+            drop(store);
+            let log = tmp.0.join(LOG_FILE);
+            let text = fs::read_to_string(&log).expect("read").replace(from, to);
+            fs::write(&log, text).expect("write");
+
+            let store = Store::open_or_create(&tmp.0).expect("reopen");
+            assert_eq!(store.len(), 0, "{from}: hash mismatch drops the line");
+            let salvage = store.salvage().expect("salvage reported");
+            assert!(
+                salvage.error.contains("integrity hash"),
+                "{}",
+                salvage.error
+            );
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_an_error_not_a_reinterpretation() {
+        let tmp = TempDir::new("version");
+        Store::open_or_create(&tmp.0).expect("create");
+        let meta = tmp.0.join(META_FILE);
+        fs::write(&meta, r#"{"magic":"bichrome-store","format_version":999}"#).expect("write meta");
+        match Store::open_or_create(&tmp.0) {
+            Err(StoreError::VersionMismatch { found, expected }) => {
+                assert_eq!(found, 999);
+                assert_eq!(expected, FORMAT_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_existing_rejects_non_stores() {
+        let tmp = TempDir::new("existing");
+        assert!(matches!(
+            Store::open_existing(&tmp.0),
+            Err(StoreError::BadMeta(_))
+        ));
+        Store::open_or_create(&tmp.0).expect("create");
+        assert!(Store::open_existing(&tmp.0).is_ok());
+    }
+
+    #[test]
+    fn record_payloads_with_nested_structure_round_trip() {
+        let tmp = TempDir::new("nested");
+        let payload =
+            r#"{"label":"gnp(n=30,p=0.15)","metrics":{"rct_remaining":0.5},"error":null}"#;
+        let mut store = Store::open_or_create(&tmp.0).expect("create");
+        store.append(key(7), payload.to_string()).expect("append");
+        drop(store);
+        let store = Store::open_or_create(&tmp.0).expect("reopen");
+        // The payload is extracted from the raw line text, so it
+        // round-trips byte-exactly.
+        assert_eq!(store.get(&key(7)), Some(payload));
+    }
+
+    #[test]
+    fn full_range_seeds_round_trip_exactly() {
+        // u64::MAX does not fit in the parser's f64 numbers; the raw
+        // text path must preserve it (the content hash would fail
+        // otherwise and the line would be dropped as corrupt).
+        let tmp = TempDir::new("bigseed");
+        let mut store = Store::open_or_create(&tmp.0).expect("create");
+        for seed in [u64::MAX, u64::MAX - 1, 1 << 60] {
+            store
+                .append(key(seed), r#"{"ok":true}"#.to_string())
+                .expect("append");
+        }
+        drop(store);
+        let store = Store::open_or_create(&tmp.0).expect("reopen");
+        assert!(store.salvage().is_none());
+        for seed in [u64::MAX, u64::MAX - 1, 1 << 60] {
+            assert_eq!(store.get(&key(seed)), Some(r#"{"ok":true}"#), "{seed}");
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Persistent campaigns: run a grid against an on-disk store, then
+//! extend the seed axis — only the new trials compute, and the
+//! merged report is bit-identical to running everything fresh.
+//!
+//! ```sh
+//! cargo run --example persistent_campaign
+//! ```
+//!
+//! The same workflow is available declaratively through the
+//! `bichrome` CLI (`bichrome run campaign.toml --store dir/`); this
+//! example shows the library surface: `Campaign::with_store`.
+
+use bichrome_runner::{Campaign, GraphSpec};
+
+/// The experiment grid at a given seed count. Everything else —
+/// protocols, graph families, adversary — stays fixed, which is what
+/// makes the runs share store entries.
+fn grid(seeds: std::ops::Range<u64>) -> Campaign {
+    Campaign::new()
+        .protocol_keys([
+            "vertex/theorem1",
+            "edge/theorem2",
+            "baseline/send-everything",
+        ])
+        .graphs([GraphSpec::NearRegular { n: 96, d: 6 }])
+        .seeds(seeds)
+        .baseline("baseline/send-everything")
+}
+
+fn main() {
+    let store = std::env::temp_dir().join(format!("bichrome-example-store-{}", std::process::id()));
+
+    // First session: 8 seeds, all computed, all persisted.
+    let (first, stats) = grid(0..8).with_store(&store).run_with_stats();
+    println!("first run (seeds 0..8):\n{stats}");
+    assert_eq!(stats.trials_computed, 3 * 8);
+
+    // Second session — imagine a new shell, days later — extends the
+    // axis to 16 seeds. The store already holds the first half.
+    let (extended, stats) = grid(0..16).with_store(&store).run_with_stats();
+    println!("\nextended run (seeds 0..16):\n{stats}");
+    assert_eq!(stats.trials_skipped, 3 * 8, "first half came from disk");
+    assert_eq!(stats.trials_computed, 3 * 8, "second half computed");
+
+    // The merge is exact: the stored half is bit-identical to what a
+    // fresh run would have produced.
+    assert_eq!(
+        extended.cells[0].report.trials[..8],
+        first.cells[0].report.trials[..]
+    );
+    println!("\n{}", extended.render_table());
+
+    std::fs::remove_dir_all(&store).expect("clean up example store");
+}

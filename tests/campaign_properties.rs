@@ -167,6 +167,12 @@ fn nine_protocol_grid_builds_each_graph_exactly_once() {
 /// Golden test pinning the CSV header and row format. The cell is a
 /// zero-communication deterministic protocol on a deterministic
 /// graph, so every field is stable.
+///
+/// Header history: PR 4 deliberately bumped the format, inserting the
+/// nearest-rank percentile columns `bits_p50`/`bits_p95` (after
+/// `bits_max`) and `rounds_p50`/`rounds_p95` (after `rounds_max`).
+/// Downstream consumers of the CSV must be updated alongside this
+/// golden.
 #[test]
 fn campaign_csv_format_is_pinned() {
     let report = Campaign::new()
@@ -179,11 +185,11 @@ fn campaign_csv_format_is_pinned() {
     assert_eq!(
         report.to_csv(),
         "protocol,graph,family,partitioner,n,trials,valid,\
-         bits_mean,bits_stddev,bits_min,bits_max,\
-         rounds_mean,rounds_stddev,rounds_max,\
+         bits_mean,bits_stddev,bits_min,bits_max,bits_p50,bits_p95,\
+         rounds_mean,rounds_stddev,rounds_max,rounds_p50,rounds_p95,\
          bits_per_vertex_mean,colors_mean\n\
          edge/theorem3-zero-comm,complete(n=6),complete,alternating,6,2,2,\
-         0,0,0,0,0,0,0,0,9\n"
+         0,0,0,0,0,0,0,0,0,0,0,0,9\n"
     );
     // And the header constant matches the rendered header.
     assert_eq!(
