@@ -1,0 +1,225 @@
+//! **bench-hotpath** — microbenchmark of the dense edge-indexed hot
+//! path: the validator pass (`ColorMarks` + dense `EdgeColoring`),
+//! Misra–Gries fan coloring, and the D1LC finishing protocol, timed
+//! on gnp/gnm grids at n ∈ {1e3, 1e4, 1e5} and written to
+//! `BENCH_hotpath.json` (nanos per phase + edges/sec) so CI tracks
+//! hot-path throughput across PRs.
+//!
+//! The bin asserts its own schema invariants (all timings > 0, every
+//! phase present) before writing, so a malformed benchmark fails the
+//! run instead of producing a silently broken trajectory point.
+//!
+//! ```sh
+//! cargo run --release -p bichrome-bench --bin bench_hotpath [out.json]
+//! ```
+
+use bichrome_comm::Side;
+use bichrome_core::d1lc::{solve_d1lc, D1lcInput};
+use bichrome_graph::coloring::{ColorId, ColorMarks};
+use bichrome_graph::edge_color::misra_gries;
+use bichrome_graph::partition::Partitioner;
+use bichrome_graph::{gen, Graph, VertexId};
+use std::time::Instant;
+
+/// The benchmark's graph sizes.
+const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+
+/// Average degree targeted by both families.
+const AVG_DEGREE: usize = 8;
+
+/// Keep every `KEEP_EVERY`-th vertex uncolored for the D1LC phase.
+const KEEP_EVERY: usize = 4;
+
+/// How many validator repetitions to time (the pass is fast; reps
+/// keep the measurement out of clock-granularity noise).
+const VALIDATE_REPS: u32 = 20;
+
+/// One timed grid point.
+struct Point {
+    family: &'static str,
+    n: usize,
+    m: usize,
+    delta: usize,
+    validate_nanos: u64,
+    validate_edges_per_sec: f64,
+    misra_gries_nanos: u64,
+    misra_gries_edges_per_sec: f64,
+    d1lc_nanos: u64,
+    d1lc_vertices_per_sec: f64,
+}
+
+fn build(family: &'static str, n: usize, seed: u64) -> Graph {
+    match family {
+        "gnp" => gen::gnp(n, AVG_DEGREE as f64 / n as f64, seed),
+        "gnm" => gen::gnm_max_degree(n, n * AVG_DEGREE / 2, AVG_DEGREE + 4, seed),
+        other => panic!("unknown family {other}"),
+    }
+}
+
+/// Times one grid point: validator reps, one Misra–Gries run, one
+/// two-party D1LC instance over the pre-colored remainder.
+fn measure(family: &'static str, n: usize, marks: &mut ColorMarks) -> Point {
+    let g = build(family, n, 1);
+    let m = g.num_edges();
+    let delta = g.max_degree();
+
+    // --- Misra–Gries (Proposition 3.4 realization). ---
+    let started = Instant::now();
+    let coloring = misra_gries(&g);
+    let misra_gries_nanos = started.elapsed().as_nanos() as u64;
+
+    // --- Validator pass over the produced coloring, scratch reused. ---
+    let budget = delta + 1;
+    let started = Instant::now();
+    for _ in 0..VALIDATE_REPS {
+        marks
+            .check_edge_coloring_with_palette(&g, &coloring, budget)
+            .expect("Misra–Gries colorings are valid");
+    }
+    let validate_nanos =
+        (started.elapsed().as_nanos() as u64 / u128::from(VALIDATE_REPS) as u64).max(1);
+
+    // --- D1LC rounds on a coloring-induced instance. ---
+    let (ia, ib, zlen) = d1lc_instance(&g);
+    let started = Instant::now();
+    let (ca, cb, _) = bichrome_comm::session::run_two_party_ctx(
+        7,
+        move |ctx| solve_d1lc(&ia, &ctx),
+        move |ctx| solve_d1lc(&ib, &ctx),
+    );
+    let d1lc_nanos = started.elapsed().as_nanos() as u64;
+    assert_eq!(ca, cb, "D1LC parties must agree");
+
+    let per_sec = |nanos: u64, units: usize| units as f64 / (nanos as f64 / 1e9);
+    Point {
+        family,
+        n,
+        m,
+        delta,
+        validate_nanos,
+        validate_edges_per_sec: per_sec(validate_nanos, m),
+        misra_gries_nanos,
+        misra_gries_edges_per_sec: per_sec(misra_gries_nanos, m),
+        d1lc_nanos,
+        d1lc_vertices_per_sec: per_sec(d1lc_nanos, zlen),
+    }
+}
+
+/// Builds a realistic D1LC instance the way Theorem 1 does: greedily
+/// pre-color all but every [`KEEP_EVERY`]-th vertex publicly, take
+/// `Z` = the rest, and give each party the palette minus the colors
+/// of *its own* colored neighbors.
+fn d1lc_instance(g: &Graph) -> (D1lcInput, D1lcInput, usize) {
+    let p = Partitioner::Alternating.split(g);
+    let palette = g.max_degree() + 1;
+    let full = bichrome_graph::greedy::greedy_vertex_coloring(g);
+    let z: Vec<VertexId> = g
+        .vertices()
+        .filter(|v| v.index().is_multiple_of(KEEP_EVERY))
+        .collect();
+    let pre = |v: VertexId| -> Option<ColorId> {
+        if v.index().is_multiple_of(KEEP_EVERY) {
+            None
+        } else {
+            full.get(v)
+        }
+    };
+    let psi_of = |side: &Graph| -> Vec<Vec<ColorId>> {
+        let mut occ_marks = vec![0u32; palette];
+        z.iter()
+            .enumerate()
+            .map(|(stamp, &v)| {
+                let stamp = stamp as u32 + 1;
+                for &u in side.neighbors(v) {
+                    if let Some(c) = pre(u) {
+                        occ_marks[c.index()] = stamp;
+                    }
+                }
+                (0..palette as u32)
+                    .map(ColorId)
+                    .filter(|c| occ_marks[c.index()] != stamp)
+                    .collect()
+            })
+            .collect()
+    };
+    let psi_a = psi_of(p.alice());
+    let psi_b = psi_of(p.bob());
+    let zlen = z.len();
+    let ia = D1lcInput {
+        side: Side::Alice,
+        graph: p.alice().clone(),
+        z: z.clone(),
+        psi: psi_a,
+        palette,
+    };
+    let ib = D1lcInput {
+        side: Side::Bob,
+        graph: p.bob().clone(),
+        z,
+        psi: psi_b,
+        palette,
+    };
+    (ia, ib, zlen)
+}
+
+fn point_json(p: &Point) -> String {
+    let mut w = bichrome_runner::json::Writer::object();
+    w.field_str("family", p.family);
+    w.field_u64("n", p.n as u64);
+    w.field_u64("m", p.m as u64);
+    w.field_u64("delta", p.delta as u64);
+    w.field_u64("validate_nanos", p.validate_nanos);
+    w.field_f64("validate_edges_per_sec", p.validate_edges_per_sec);
+    w.field_u64("misra_gries_nanos", p.misra_gries_nanos);
+    w.field_f64("misra_gries_edges_per_sec", p.misra_gries_edges_per_sec);
+    w.field_u64("d1lc_nanos", p.d1lc_nanos);
+    w.field_f64("d1lc_vertices_per_sec", p.d1lc_vertices_per_sec);
+    w.finish()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let started = Instant::now();
+    let mut marks = ColorMarks::new();
+    let mut points = Vec::new();
+    for family in ["gnp", "gnm"] {
+        for n in SIZES {
+            let p = measure(family, n, &mut marks);
+            println!(
+                "{family:4} n={n:7} m={:7} Δ={:3} · validate {:9} ns ({:.1}M edges/s) · \
+                 misra-gries {:9} ns · d1lc {:9} ns",
+                p.m,
+                p.delta,
+                p.validate_nanos,
+                p.validate_edges_per_sec / 1e6,
+                p.misra_gries_nanos,
+                p.d1lc_nanos,
+            );
+            points.push(p);
+        }
+    }
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    // Schema smoke invariants: a zero timing or a missing phase means
+    // the benchmark is broken, not fast.
+    assert_eq!(points.len(), 2 * SIZES.len(), "full grid measured");
+    for p in &points {
+        assert!(p.m > 0 && p.delta > 0, "graphs must be nonempty");
+        assert!(
+            p.validate_nanos > 0 && p.misra_gries_nanos > 0 && p.d1lc_nanos > 0,
+            "all phase timings must be positive"
+        );
+    }
+
+    let rows: Vec<String> = points.iter().map(point_json).collect();
+    let mut w = bichrome_runner::json::Writer::object();
+    w.field_str("benchmark", "hotpath");
+    w.field_u64("sizes", SIZES.len() as u64);
+    w.field_f64("wall_seconds", wall_seconds);
+    w.field_raw("grid", &format!("[{}]", rows.join(",")));
+    let json = w.finish();
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wall {wall_seconds:.3}s → {out_path}");
+}

@@ -5,6 +5,10 @@ use crate::wire::Message;
 use crate::Side;
 use std::sync::mpsc::{Receiver, Sender};
 
+/// How many yield-and-retry attempts [`Endpoint::exchange`] makes
+/// before parking on the blocking receive.
+const YIELD_ROUNDS: usize = 16;
+
 /// One party's end of the two-party link.
 ///
 /// The fundamental operation is [`Endpoint::exchange`]: both parties
@@ -49,6 +53,22 @@ impl Endpoint {
             self.meter.on_round();
         }
         self.tx.send(msg).expect("peer hung up before send");
+        // Cooperative fast path: the peer is almost always runnable
+        // and about to answer, so try a few yield-to-peer handoffs
+        // before the blocking receive parks this thread. On a single
+        // core `yield_now` runs the peer immediately, making one
+        // round cost one scheduler handoff instead of a futex
+        // park/wake pair; on many cores the reply usually lands
+        // during the first yields.
+        for _ in 0..YIELD_ROUNDS {
+            match self.rx.try_recv() {
+                Ok(m) => return m,
+                Err(std::sync::mpsc::TryRecvError::Empty) => std::thread::yield_now(),
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                    panic!("peer hung up before reply")
+                }
+            }
+        }
         self.rx.recv().expect("peer hung up before reply")
     }
 

@@ -59,18 +59,19 @@ where
         endpoint: b_ep,
         coin,
     };
+    // Only Bob gets a fresh thread; Alice runs on the calling worker.
+    // This halves the per-session spawn cost, which matters when the
+    // executor runs thousands of short trials. If Alice panics, the
+    // scope joins Bob (his next channel op sees the hangup and
+    // panics too) and then propagates Alice's panic.
     let (ra, rb) = std::thread::scope(|s| {
-        let ha = s.spawn(move || alice(a_ctx));
         let hb = s.spawn(move || bob(b_ctx));
-        let ra = match ha.join() {
-            Ok(v) => v,
-            Err(p) => std::panic::resume_unwind(p),
-        };
-        let rb = match hb.join() {
-            Ok(v) => v,
-            Err(p) => std::panic::resume_unwind(p),
-        };
-        (ra, rb)
+        let ra = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || alice(a_ctx)));
+        let rb = hb.join();
+        match (ra, rb) {
+            (Ok(ra), Ok(rb)) => (ra, rb),
+            (Err(p), _) | (_, Err(p)) => std::panic::resume_unwind(p),
+        }
     });
     (ra, rb, meter.snapshot())
 }

@@ -100,11 +100,24 @@ pub fn solve_d1lc(input: &D1lcInput, ctx: &PartyCtx) -> VertexColoring {
     // --- Step 1: palette sparsification via parallel Color-Sample. ---
     let l = sparsify_samples(zlen, input.palette);
     let mut machines: Vec<ColorSample> = Vec::with_capacity(zlen * l);
+    // Reusable palette bitset + complement buffer: membership is one
+    // array load instead of an O(|Ψ|) scan per color, and neither is
+    // reallocated per vertex.
+    let mut in_psi = vec![false; input.palette];
+    let mut complement: Vec<ColorId> = Vec::with_capacity(input.palette);
     for (i, &v) in input.z.iter().enumerate() {
-        let complement: Vec<ColorId> = (0..input.palette as u32)
-            .map(ColorId)
-            .filter(|c| !input.psi[i].contains(c))
-            .collect();
+        for c in &input.psi[i] {
+            in_psi[c.index()] = true;
+        }
+        complement.clear();
+        complement.extend(
+            (0..input.palette as u32)
+                .map(ColorId)
+                .filter(|c| !in_psi[c.index()]),
+        );
+        for c in &input.psi[i] {
+            in_psi[c.index()] = false;
+        }
         for rep in 0..l {
             machines.push(ColorSample::new(
                 input.palette,
@@ -282,13 +295,21 @@ fn fallback_exchange(input: &D1lcInput, ctx: &PartyCtx, zpos: &[usize]) -> Vec<C
                 palettes.push(psi_a.iter().copied().filter(|c| mask[c.index()]).collect());
             }
             // Greedy D1LC: under |Ψ(v)| ≥ deg+1 a color always remains.
+            // One stamp-marked used-color scratch across all vertices,
+            // not a collect-and-scan per vertex.
             let mut colors: Vec<Option<ColorId>> = vec![None; zlen];
+            let mut used_at = vec![0u32; input.palette];
             for i in 0..zlen {
-                let used: Vec<ColorId> = adj[i].iter().filter_map(|&j| colors[j]).collect();
+                let stamp = i as u32 + 1;
+                for &j in &adj[i] {
+                    if let Some(c) = colors[j] {
+                        used_at[c.index()] = stamp;
+                    }
+                }
                 let c = palettes[i]
                     .iter()
                     .copied()
-                    .find(|c| !used.contains(c))
+                    .find(|c| used_at[c.index()] != stamp)
                     .expect("D1LC condition guarantees an available color");
                 colors[i] = Some(c);
             }

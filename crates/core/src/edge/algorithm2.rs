@@ -34,8 +34,7 @@ use bichrome_comm::wire::{width_for, BitWriter};
 use bichrome_graph::coloring::{ColorId, EdgeColoring};
 use bichrome_graph::edge_color::{fournier, misra_gries, remap_colors};
 use bichrome_graph::matching::matching_covering;
-use bichrome_graph::{Edge, Graph, VertexId};
-use std::collections::HashSet;
+use bichrome_graph::{Edge, EdgeId, Graph, VertexId};
 
 /// One party's script for Algorithm 2.
 ///
@@ -55,28 +54,39 @@ pub fn algorithm2_party(input: &PartyInput, ctx: &PartyCtx) -> EdgeColoring {
     let special = layout.special();
 
     // ---- Step 1: defer edges between two (Δ−1)+-degree vertices. ----
+    // The deferred set is a dense bitmap over the party graph's edge
+    // ids — membership tests on the Round 3 hot path are one array
+    // load, not a hash.
     let mut deg: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
-    let mut deferred: HashSet<Edge> = HashSet::new();
-    let mut stack: Vec<Edge> = g
+    let mut deferred = vec![false; g.num_edges()];
+    let mut stack: Vec<EdgeId> = g
         .edges()
         .iter()
-        .copied()
-        .filter(|e| deg[e.u().index()] >= delta - 1 && deg[e.v().index()] >= delta - 1)
+        .enumerate()
+        .filter(|(_, e)| deg[e.u().index()] >= delta - 1 && deg[e.v().index()] >= delta - 1)
+        .map(|(i, _)| EdgeId(i as u32))
         .collect();
-    while let Some(e) = stack.pop() {
+    while let Some(id) = stack.pop() {
+        let e = g.edge(id);
         if deg[e.u().index()] >= delta - 1 && deg[e.v().index()] >= delta - 1 {
-            deferred.insert(e);
+            deferred[id.index()] = true;
             deg[e.u().index()] -= 1;
             deg[e.v().index()] -= 1;
         }
     }
-    let dg_edges: Vec<Edge> = {
-        let mut v: Vec<Edge> = deferred.iter().copied().collect();
-        v.sort_unstable();
-        v
-    };
-    let r_graph = g.edge_subgraph(|e| !deferred.contains(&e));
-    debug_assert!(max_degree_of_edges(&dg_edges, n) <= 2, "Lemma 5.2");
+    // Deferred edge ids ascend, so this is already sorted edge order.
+    let dg: Vec<EdgeId> = (0..g.num_edges())
+        .filter(|&i| deferred[i])
+        .map(|i| EdgeId(i as u32))
+        .collect();
+    let r_graph = g.edge_subgraph_where(|id, _| !deferred[id.index()]);
+    debug_assert!(
+        {
+            let dg_edges: Vec<Edge> = dg.iter().map(|&id| g.edge(id)).collect();
+            max_degree_of_edges(&dg_edges, n) <= 2
+        },
+        "Lemma 5.2"
+    );
 
     // ---- Step 2: Δ-perfect matching in R. ----
     let matching: Vec<(VertexId, VertexId)> = if r_graph.max_degree() == delta {
@@ -97,21 +107,35 @@ pub fn algorithm2_party(input: &PartyInput, ctx: &PartyCtx) -> EdgeColoring {
     } else {
         Vec::new()
     };
-    let m_set: HashSet<Edge> = matching.iter().map(|&(a, b)| Edge::new(a, b)).collect();
+    // Matched edges as a bitmap over g's edge ids.
+    let mut in_matching = vec![false; g.num_edges()];
+    for &(a, b) in &matching {
+        let id = g.edge_id(a, b).expect("matching edges are graph edges");
+        in_matching[id.index()] = true;
+    }
 
     // ---- Step 3: color R' = R − M with my palette. ----
-    let r_prime = r_graph.edge_subgraph(|e| !m_set.contains(&e));
+    let r_prime = r_graph.edge_subgraph(|e| {
+        let id = g.edge_id(e.u(), e.v()).expect("R edges are graph edges");
+        !in_matching[id.index()]
+    });
     let d = r_prime.max_degree();
-    let mut coloring = if r_prime.num_edges() == 0 {
-        EdgeColoring::new()
-    } else if d == delta - 1 {
-        let raw = fournier(&r_prime)
-            .expect("deferral + matching removal leave max-degree vertices independent");
-        remap_colors(&raw, &my_palette)
-    } else {
-        debug_assert!(d < delta - 1, "Vizing fits in the palette");
-        remap_colors(&misra_gries(&r_prime), &my_palette)
-    };
+    // The party's output coloring is dense over its whole subgraph g:
+    // every later read and write on the round hot paths is an O(1)
+    // id-indexed slot access.
+    let mut coloring = EdgeColoring::dense_for(g);
+    if r_prime.num_edges() > 0 {
+        let raw = if d == delta - 1 {
+            fournier(&r_prime)
+                .expect("deferral + matching removal leave max-degree vertices independent")
+        } else {
+            debug_assert!(d < delta - 1, "Vizing fits in the palette");
+            misra_gries(&r_prime)
+        };
+        coloring
+            .merge(&remap_colors(&raw, &my_palette))
+            .expect("R' edges are colored once");
+    }
 
     // ---- Round 1: matched mask + over-half-degree mask. ----
     let my_matched = {
@@ -133,11 +157,20 @@ pub fn algorithm2_party(input: &PartyInput, ctx: &PartyCtx) -> EdgeColoring {
 
     // ---- Round 2: Lemma 5.4 palette-covering exchange. ----
     let my_k: Vec<VertexId> = g.vertices().filter(|&v| !my_over_half[v.index()]).collect();
-    let msg = encode_palette_covering(
-        &my_k,
-        &|v| free_in_palette(g, &coloring, &my_palette, v),
-        my_palette.len(),
-    );
+    let pw = my_palette.len();
+    // One flat |K| × palette availability matrix instead of a Vec per
+    // vertex.
+    let mut free_rows = vec![false; my_k.len() * pw];
+    for (i, &v) in my_k.iter().enumerate() {
+        free_in_palette_into(
+            g,
+            &coloring,
+            &my_palette,
+            v,
+            &mut free_rows[i * pw..(i + 1) * pw],
+        );
+    }
+    let msg = encode_palette_covering(&my_k, &free_rows, pw);
     let incoming = ctx.endpoint.exchange(msg);
     let peer_k: Vec<VertexId> = g
         .vertices()
@@ -147,23 +180,24 @@ pub fn algorithm2_party(input: &PartyInput, ctx: &PartyCtx) -> EdgeColoring {
 
     // ---- Step 6: color the matching. ----
     for &(hub, v) in &matching {
-        let e = Edge::new(hub, v);
+        let id = g.edge_id(hub, v).expect("matching edges are graph edges");
         let color = if !peer_matched[v.index()] || peer_over_half[v.index()] {
             special
         } else {
             peer_assigned[v.index()].expect("Lemma 5.4 covers every low-degree vertex of the peer")
         };
-        coloring.set(e, color);
+        coloring.set_id(id, color);
     }
 
     // ---- Round 3: first-seven masks, then color DG. ----
     let seven = 7usize.min(my_palette.len());
     let mut w = BitWriter::new();
+    let mut free_buf = vec![false; my_palette.len()];
     for v in g.vertices() {
         // Matching colors live in the other palette (or special), so
         // they never mask out own-palette colors here.
-        let free = free_in_palette(g, &coloring, &my_palette, v);
-        for &b in free.iter().take(seven) {
+        free_in_palette_into(g, &coloring, &my_palette, v, &mut free_buf);
+        for &b in free_buf.iter().take(seven) {
             w.write_bit(b);
         }
     }
@@ -179,13 +213,14 @@ pub fn algorithm2_party(input: &PartyInput, ctx: &PartyCtx) -> EdgeColoring {
     // My matching color at each vertex (to avoid in DG).
     let mut my_match_color: Vec<Option<ColorId>> = vec![None; n];
     for &(hub, v) in &matching {
-        let c = coloring.get(Edge::new(hub, v)).expect("just colored");
+        let id = g.edge_id(hub, v).expect("matching edges are graph edges");
+        let c = coloring.get_id(id).expect("just colored");
         my_match_color[hub.index()] = Some(c);
         my_match_color[v.index()] = Some(c);
     }
 
-    for &e in &dg_edges {
-        let (a, b) = e.endpoints();
+    for &eid in &dg {
+        let (a, b) = g.edge(eid).endpoints();
         let mut blocked = [false; 7];
         for w2 in [a, b] {
             for (i, slot) in blocked.iter_mut().enumerate().take(seven) {
@@ -200,10 +235,9 @@ pub fn algorithm2_party(input: &PartyInput, ctx: &PartyCtx) -> EdgeColoring {
                     }
                 }
             }
-            for &u in g.neighbors(w2) {
-                let f = Edge::new(u, w2);
-                if deferred.contains(&f) {
-                    if let Some(c) = coloring.get(f) {
+            for (_, fid) in g.incident_edges(w2) {
+                if deferred[fid.index()] {
+                    if let Some(c) = coloring.get_id(fid) {
                         if let Some(i) = palette_index(&other_palette, c) {
                             if i < 7 {
                                 blocked[i] = true;
@@ -216,29 +250,33 @@ pub fn algorithm2_party(input: &PartyInput, ctx: &PartyCtx) -> EdgeColoring {
         let i = (0..seven)
             .find(|&i| !blocked[i])
             .expect("Lemma 5.5: at least one of the seven remains free");
-        coloring.set(e, other_palette[i]);
+        coloring.set_id(eid, other_palette[i]);
     }
 
     coloring
 }
 
-/// Which colors of `palette` are unused by `coloring` at edges of `g`
-/// incident to `v`.
-fn free_in_palette(
+/// Fills `free` (one slot per color of `palette`) with which colors
+/// are unused by `coloring` at edges of `g` incident to `v`. The
+/// coloring must be dense over `g`'s edge ids; the caller supplies the
+/// buffer so round loops reuse one allocation.
+fn free_in_palette_into(
     g: &Graph,
     coloring: &EdgeColoring,
     palette: &[ColorId],
     v: VertexId,
-) -> Vec<bool> {
-    let mut free = vec![true; palette.len()];
-    for &u in g.neighbors(v) {
-        if let Some(c) = coloring.get(Edge::new(u, v)) {
+    free: &mut [bool],
+) {
+    debug_assert_eq!(free.len(), palette.len());
+    debug_assert!(coloring.is_indexed_for(g));
+    free.fill(true);
+    for (_, id) in g.incident_edges(v) {
+        if let Some(c) = coloring.get_id(id) {
             if let Some(i) = palette_index(palette, c) {
                 free[i] = false;
             }
         }
     }
-    free
 }
 
 /// Index of `c` within `palette`, if present.
@@ -256,19 +294,23 @@ fn palette_index(palette: &[ColorId], c: ColorId) -> Option<usize> {
 /// the largest fraction of the still-uncovered vertices (≥ 1/3 by the
 /// double-counting argument), announce it with a membership bit-array
 /// over the current uncovered list, and recurse on the rest.
+///
+/// `free_rows` is a flat `k.len() × palette_len` availability matrix
+/// (row `i` belongs to `k[i]`).
 fn encode_palette_covering(
     k: &[VertexId],
-    free_of: &impl Fn(VertexId) -> Vec<bool>,
+    free_rows: &[bool],
     palette_len: usize,
 ) -> bichrome_comm::Message {
-    let free: Vec<Vec<bool>> = k.iter().map(|&v| free_of(v)).collect();
+    debug_assert_eq!(free_rows.len(), k.len() * palette_len);
+    let free = |i: usize, c: usize| free_rows[i * palette_len + c];
     let mut u: Vec<usize> = (0..k.len()).collect();
     let mut picks: Vec<(usize, Vec<bool>)> = Vec::new();
     while !u.is_empty() {
         let best = (0..palette_len)
-            .max_by_key(|&c| u.iter().filter(|&&i| free[i][c]).count())
+            .max_by_key(|&c| u.iter().filter(|&&i| free(i, c)).count())
             .expect("palette nonempty");
-        let mask: Vec<bool> = u.iter().map(|&i| free[i][best]).collect();
+        let mask: Vec<bool> = u.iter().map(|&i| free(i, best)).collect();
         let covered = mask.iter().filter(|&&b| b).count();
         assert!(covered > 0, "every vertex has an available color (Δ ≥ 8)");
         let next: Vec<usize> = u
@@ -418,17 +460,19 @@ mod tests {
         // Standalone encoder/decoder check.
         let k: Vec<VertexId> = (0..10).map(VertexId).collect();
         let palette: Vec<ColorId> = (0..9).map(ColorId).collect();
-        let free_of = |v: VertexId| -> Vec<bool> {
-            (0..9)
-                .map(|c| !(v.0 as usize + c).is_multiple_of(3))
-                .collect()
-        };
-        let msg = encode_palette_covering(&k, &free_of, palette.len());
+        let free_of = |v: VertexId, c: usize| !(v.0 as usize + c).is_multiple_of(3);
+        let mut free_rows = vec![false; k.len() * palette.len()];
+        for (i, &v) in k.iter().enumerate() {
+            for c in 0..palette.len() {
+                free_rows[i * palette.len() + c] = free_of(v, c);
+            }
+        }
+        let msg = encode_palette_covering(&k, &free_rows, palette.len());
         let assigned = decode_palette_covering(&mut msg.reader(), &k, &palette, 12);
         for &v in &k {
             let c = assigned[v.index()].expect("assigned");
             let idx = palette_index(&palette, c).expect("in palette");
-            assert!(free_of(v)[idx], "assigned color must be available");
+            assert!(free_of(v, idx), "assigned color must be available");
         }
         assert!(assigned[10].is_none());
     }

@@ -19,7 +19,6 @@ use bichrome_comm::wire::{BitWriter, Message};
 use bichrome_comm::Side;
 use bichrome_graph::coloring::{ColorId, EdgeColoring};
 use bichrome_graph::greedy::greedy_edge_coloring_with;
-use bichrome_graph::Edge;
 
 /// One party's script for Lemma 5.1. Requires `1 ≤ Δ ≤ 7` (the
 /// dispatcher guarantees it); works for any constant Δ.
@@ -29,30 +28,29 @@ pub fn bounded_delta_party(input: &PartyInput, ctx: &PartyCtx) -> EdgeColoring {
     let n = input.num_vertices();
     let colors = (2 * delta).saturating_sub(1).max(1);
 
+    let g = &input.graph;
     if delta == 1 {
         // A single color suffices: edges are pairwise non-adjacent.
         // Truly zero communication — but both parties must still agree
         // the protocol is over, which costs nothing in our model.
-        let mut c = EdgeColoring::new();
-        for &e in input.graph.edges() {
-            c.set(e, ColorId(0));
+        let mut c = EdgeColoring::dense_for(g);
+        for i in 0..g.num_edges() {
+            c.set_id(bichrome_graph::EdgeId(i as u32), ColorId(0));
         }
         return c;
     }
 
     match input.side {
         Side::Alice => {
-            let mine = greedy_edge_coloring_with(
-                &input.graph,
-                EdgeColoring::new(),
-                input.graph.edges().iter().copied(),
-            );
+            let mine =
+                greedy_edge_coloring_with(g, EdgeColoring::dense_for(g), g.edges().iter().copied());
             debug_assert!(mine.max_color().is_none_or(|c| c.index() < colors));
             let mut w = BitWriter::new();
-            for v in input.graph.vertices() {
-                let mut mask = vec![false; colors];
-                for &u in input.graph.neighbors(v) {
-                    if let Some(c) = mine.get(Edge::new(u, v)) {
+            let mut mask = vec![false; colors];
+            for v in g.vertices() {
+                mask.fill(false);
+                for (_, id) in g.incident_edges(v) {
+                    if let Some(c) = mine.get_id(id) {
                         mask[c.index()] = true;
                     }
                 }
@@ -66,36 +64,31 @@ pub fn bounded_delta_party(input: &PartyInput, ctx: &PartyCtx) -> EdgeColoring {
             let mut r = incoming.reader();
             // Seed a virtual partial coloring at shared vertices:
             // represent Alice's usage as phantom colors the greedy pass
-            // must avoid. We encode them as constraints by pre-coloring
-            // unused "virtual" edges — simpler: track per-vertex used
-            // masks and run a mask-aware greedy.
-            let mut used = vec![vec![false; colors]; n];
-            for row in used.iter_mut() {
-                for slot in row.iter_mut() {
-                    *slot = r.read_bit();
-                }
+            // must avoid, in one flat n × (2Δ−1) mask array.
+            let mut used = vec![false; n * colors];
+            for slot in used.iter_mut() {
+                *slot = r.read_bit();
             }
-            let mut coloring = EdgeColoring::new();
-            for &e in input.graph.edges() {
+            let mut coloring = EdgeColoring::dense_for(g);
+            let mut blocked = vec![false; colors];
+            for (i, &e) in g.edges().iter().enumerate() {
                 let (u, v) = e.endpoints();
-                let mut blocked = used[u.index()].clone();
-                for (i, b) in used[v.index()].iter().enumerate() {
-                    blocked[i] |= b;
+                blocked.copy_from_slice(&used[u.index() * colors..(u.index() + 1) * colors]);
+                for (k, b) in used[v.index() * colors..(v.index() + 1) * colors]
+                    .iter()
+                    .enumerate()
+                {
+                    blocked[k] |= b;
                 }
-                for &w2 in input.graph.neighbors(u) {
-                    if let Some(c) = coloring.get(Edge::new(u, w2)) {
-                        blocked[c.index()] = true;
-                    }
-                }
-                for &w2 in input.graph.neighbors(v) {
-                    if let Some(c) = coloring.get(Edge::new(v, w2)) {
+                for (_, id) in g.incident_edges(u).chain(g.incident_edges(v)) {
+                    if let Some(c) = coloring.get_id(id) {
                         blocked[c.index()] = true;
                     }
                 }
                 let c = (0..colors)
                     .find(|&c| !blocked[c])
                     .expect("an edge is adjacent to at most 2Δ−2 colored edges");
-                coloring.set(e, ColorId(c as u32));
+                coloring.set_id(bichrome_graph::EdgeId(i as u32), ColorId(c as u32));
             }
             coloring
         }

@@ -15,8 +15,7 @@ use bichrome_comm::Side;
 use bichrome_graph::coloring::{ColorId, EdgeColoring};
 use bichrome_graph::edge_color::{fournier, misra_gries, remap_colors};
 use bichrome_graph::partition::EdgePartition;
-use bichrome_graph::Edge;
-use std::collections::HashSet;
+use bichrome_graph::EdgeId;
 
 /// One party's (communication-free) script for Theorem 3.
 pub fn two_delta_party(input: &PartyInput) -> EdgeColoring {
@@ -36,24 +35,27 @@ pub fn two_delta_party(input: &PartyInput) -> EdgeColoring {
 
     // Defer edges joining two currently-degree-Δ vertices. Degrees only
     // decrease, so one pass over the initially-qualifying edges with a
-    // recheck suffices.
+    // recheck suffices. The deferred set is a dense bitmap over the
+    // party graph's edge ids — no hashing.
     let mut deg: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
-    let mut deferred: HashSet<Edge> = HashSet::new();
-    let mut stack: Vec<Edge> = g
+    let mut deferred = vec![false; g.num_edges()];
+    let mut stack: Vec<EdgeId> = g
         .edges()
         .iter()
-        .copied()
-        .filter(|e| deg[e.u().index()] == delta && deg[e.v().index()] == delta)
+        .enumerate()
+        .filter(|(_, e)| deg[e.u().index()] == delta && deg[e.v().index()] == delta)
+        .map(|(i, _)| EdgeId(i as u32))
         .collect();
-    while let Some(e) = stack.pop() {
+    while let Some(id) = stack.pop() {
+        let e = g.edge(id);
         if deg[e.u().index()] == delta && deg[e.v().index()] == delta {
-            deferred.insert(e);
+            deferred[id.index()] = true;
             deg[e.u().index()] -= 1;
             deg[e.v().index()] -= 1;
         }
     }
 
-    let remaining = g.edge_subgraph(|e| !deferred.contains(&e));
+    let remaining = g.edge_subgraph_where(|id, _| !deferred[id.index()]);
     let d = remaining.max_degree();
     let mut coloring = if d == 0 {
         EdgeColoring::new()
@@ -69,12 +71,21 @@ pub fn two_delta_party(input: &PartyInput) -> EdgeColoring {
     // Deferred edges form a matching between vertices that have no
     // edges on the other side: one color of the other party's palette
     // colors them all.
-    for &e in &deferred {
-        debug_assert!(
-            !deferred.iter().any(|&f| f != e && f.is_adjacent_to(e)),
-            "deferred edges must form a matching"
-        );
-        coloring.set(e, other_first);
+    debug_assert!(
+        bichrome_graph::matching::is_matching(
+            &deferred
+                .iter()
+                .enumerate()
+                .filter(|(_, &d)| d)
+                .map(|(i, _)| g.edge(EdgeId(i as u32)))
+                .collect::<Vec<_>>(),
+        ),
+        "deferred edges must form a matching"
+    );
+    for (i, &is_deferred) in deferred.iter().enumerate() {
+        if is_deferred {
+            coloring.set(g.edge(EdgeId(i as u32)), other_first);
+        }
     }
     coloring
 }

@@ -19,7 +19,7 @@
 //! tests against the checkers in [`crate::coloring`].
 
 use crate::coloring::{ColorId, EdgeColoring};
-use crate::graph::{Edge, Graph, VertexId};
+use crate::graph::{Edge, EdgeId, Graph, VertexId};
 
 /// Failure of [`fournier`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,14 +46,31 @@ impl std::fmt::Display for FournierError {
 
 impl std::error::Error for FournierError {}
 
+/// The "no neighbor" sentinel of [`FanState::tbl`].
+const NO_VERTEX: u32 = u32::MAX;
+
 /// Mutable edge-coloring state with O(1) "which neighbor is joined to
 /// `v` by color `c`" lookups, the workhorse of the fan algorithm.
+///
+/// All bookkeeping is dense and edge-id-indexed: the color table is
+/// one flat `n × k` array, the coloring is a dense vector over the
+/// graph's [`EdgeId`] space, and the fan / Kempe-path buffers are
+/// reused across edges (stamp-marked membership instead of a fresh
+/// `Vec<bool>` per edge).
 struct FanState<'a> {
     g: &'a Graph,
     k: usize,
-    /// `tbl[v][c]` = neighbor joined to `v` by an edge colored `c`.
-    tbl: Vec<Vec<Option<VertexId>>>,
+    /// `tbl[v·k + c]` = neighbor joined to `v` by an edge colored `c`,
+    /// or [`NO_VERTEX`].
+    tbl: Vec<u32>,
     coloring: EdgeColoring,
+    /// Reusable fan buffer (taken out while a fan is processed).
+    fan: Vec<VertexId>,
+    /// Stamp-marked "vertex is in the current fan" scratch.
+    in_fan: Vec<u32>,
+    fan_stamp: u32,
+    /// Reusable Kempe-path segment buffer.
+    segments: Vec<(VertexId, VertexId, ColorId)>,
 }
 
 impl<'a> FanState<'a> {
@@ -61,19 +78,35 @@ impl<'a> FanState<'a> {
         FanState {
             g,
             k,
-            tbl: vec![vec![None; k]; g.num_vertices()],
-            coloring: EdgeColoring::new(),
+            tbl: vec![NO_VERTEX; k * g.num_vertices()],
+            coloring: EdgeColoring::dense_for(g),
+            fan: Vec::new(),
+            in_fan: vec![0; g.num_vertices()],
+            fan_stamp: 0,
+            segments: Vec::new(),
         }
     }
 
+    #[inline]
+    fn tbl_at(&self, v: VertexId, c: ColorId) -> u32 {
+        self.tbl[v.index() * self.k + c.index()]
+    }
+
+    #[inline]
     fn is_free(&self, v: VertexId, c: ColorId) -> bool {
-        self.tbl[v.index()][c.index()].is_none()
+        self.tbl_at(v, c) == NO_VERTEX
     }
 
     fn some_free(&self, v: VertexId) -> Option<ColorId> {
-        (0..self.k as u32)
-            .map(ColorId)
-            .find(|&c| self.is_free(v, c))
+        let row = &self.tbl[v.index() * self.k..(v.index() + 1) * self.k];
+        row.iter()
+            .position(|&slot| slot == NO_VERTEX)
+            .map(|c| ColorId(c as u32))
+    }
+
+    #[inline]
+    fn id_of(&self, a: VertexId, b: VertexId) -> EdgeId {
+        self.g.edge_id(a, b).expect("fan edges are graph edges")
     }
 
     fn set(&mut self, a: VertexId, b: VertexId, c: ColorId) {
@@ -81,23 +114,23 @@ impl<'a> FanState<'a> {
             self.is_free(a, c) && self.is_free(b, c),
             "color {c} not free"
         );
-        self.tbl[a.index()][c.index()] = Some(b);
-        self.tbl[b.index()][c.index()] = Some(a);
-        self.coloring.set(Edge::new(a, b), c);
+        self.tbl[a.index() * self.k + c.index()] = b.0;
+        self.tbl[b.index() * self.k + c.index()] = a.0;
+        self.coloring.set_id(self.id_of(a, b), c);
     }
 
     fn unset(&mut self, a: VertexId, b: VertexId) -> ColorId {
         let c = self
             .coloring
-            .clear(Edge::new(a, b))
+            .clear_id(self.id_of(a, b))
             .expect("edge was colored");
-        self.tbl[a.index()][c.index()] = None;
-        self.tbl[b.index()][c.index()] = None;
+        self.tbl[a.index() * self.k + c.index()] = NO_VERTEX;
+        self.tbl[b.index() * self.k + c.index()] = NO_VERTEX;
         c
     }
 
     fn color_of(&self, a: VertexId, b: VertexId) -> Option<ColorId> {
-        self.coloring.get(Edge::new(a, b))
+        self.coloring.get_id(self.id_of(a, b))
     }
 
     /// Inverts the maximal alternating `c/d` path starting at `u`.
@@ -108,12 +141,17 @@ impl<'a> FanState<'a> {
     /// is simple.
     fn invert_cd_path(&mut self, u: VertexId, c: ColorId, d: ColorId) {
         debug_assert!(self.is_free(u, c));
-        let mut segments: Vec<(VertexId, VertexId, ColorId)> = Vec::new();
+        let mut segments = std::mem::take(&mut self.segments);
+        segments.clear();
         let mut cur = u;
         let mut want = d;
-        while let Some(next) = self.tbl[cur.index()][want.index()] {
-            segments.push((cur, next, want));
-            cur = next;
+        loop {
+            let next = self.tbl_at(cur, want);
+            if next == NO_VERTEX {
+                break;
+            }
+            segments.push((cur, VertexId(next), want));
+            cur = VertexId(next);
             want = if want == c { d } else { c };
         }
         for &(a, b, _) in &segments {
@@ -123,15 +161,24 @@ impl<'a> FanState<'a> {
             let flipped = if col == c { d } else { c };
             self.set(a, b, flipped);
         }
+        self.segments = segments;
     }
 
-    /// Builds the maximal fan of `u` starting at `v`: distinct
-    /// neighbors `f_0 = v, f_1, ...` where edge `(u, f_{i+1})` is
-    /// colored with a color free at `f_i`.
-    fn maximal_fan(&self, u: VertexId, v: VertexId) -> Vec<VertexId> {
-        let mut fan = vec![v];
-        let mut in_fan = vec![false; self.g.num_vertices()];
-        in_fan[v.index()] = true;
+    /// Builds the maximal fan of `u` starting at `v` into the reused
+    /// fan buffer and hands it out: distinct neighbors
+    /// `f_0 = v, f_1, ...` where edge `(u, f_{i+1})` is colored with a
+    /// color free at `f_i`. Return the buffer via `self.fan` when
+    /// done.
+    fn take_maximal_fan(&mut self, u: VertexId, v: VertexId) -> Vec<VertexId> {
+        if self.fan_stamp == u32::MAX {
+            self.in_fan.fill(0);
+            self.fan_stamp = 0;
+        }
+        self.fan_stamp += 1;
+        let mut fan = std::mem::take(&mut self.fan);
+        fan.clear();
+        fan.push(v);
+        self.in_fan[v.index()] = self.fan_stamp;
         'grow: loop {
             let last = *fan.last().expect("fan nonempty");
             for c in 0..self.k as u32 {
@@ -139,12 +186,11 @@ impl<'a> FanState<'a> {
                 if !self.is_free(last, c) {
                     continue;
                 }
-                if let Some(w) = self.tbl[u.index()][c.index()] {
-                    if !in_fan[w.index()] {
-                        in_fan[w.index()] = true;
-                        fan.push(w);
-                        continue 'grow;
-                    }
+                let w = self.tbl_at(u, c);
+                if w != NO_VERTEX && self.in_fan[w as usize] != self.fan_stamp {
+                    self.in_fan[w as usize] = self.fan_stamp;
+                    fan.push(VertexId(w));
+                    continue 'grow;
                 }
             }
             return fan;
@@ -168,7 +214,14 @@ impl<'a> FanState<'a> {
     /// preconditions documented on [`misra_gries`] and [`fournier`].
     fn color_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), FournierError> {
         debug_assert!(self.color_of(u, v).is_none());
-        let fan = self.maximal_fan(u, v);
+        let fan = self.take_maximal_fan(u, v);
+        let result = self.color_edge_with_fan(u, &fan);
+        self.fan = fan; // hand the buffer back for the next edge
+        result
+    }
+
+    fn color_edge_with_fan(&mut self, u: VertexId, fan: &[VertexId]) -> Result<(), FournierError> {
+        let v = fan[0];
         let stuck = || FournierError::FanStuck(Edge::new(u, v));
         let c = self.some_free(u).ok_or_else(stuck)?;
         let last = *fan.last().expect("fan nonempty");
@@ -181,7 +234,7 @@ impl<'a> FanState<'a> {
         // valid fan prefix under post-inversion colors. Misra–Gries
         // guarantees one exists.
         let j = (0..fan.len())
-            .find(|&j| self.is_free(fan[j], d) && self.prefix_is_fan(u, &fan, j))
+            .find(|&j| self.is_free(fan[j], d) && self.prefix_is_fan(u, fan, j))
             .ok_or_else(stuck)?;
         // Rotate the prefix: shift each fan edge's color one step down.
         for i in 0..j {
@@ -287,17 +340,13 @@ pub fn fournier(g: &Graph) -> Result<EdgeColoring, FournierError> {
 ///
 /// Panics if some color index is `>= palette.len()`.
 pub fn remap_colors(coloring: &EdgeColoring, palette: &[ColorId]) -> EdgeColoring {
-    coloring
-        .iter()
-        .map(|(e, c)| {
-            (
-                e,
-                *palette
-                    .get(c.index())
-                    .unwrap_or_else(|| panic!("color {c} outside palette of {}", palette.len())),
-            )
-        })
-        .collect()
+    // `remap` preserves the dense edge index, so the translated
+    // coloring stays on the hash-free hot path.
+    coloring.remap(|_, c| {
+        *palette
+            .get(c.index())
+            .unwrap_or_else(|| panic!("color {c} outside palette of {}", palette.len()))
+    })
 }
 
 #[cfg(test)]

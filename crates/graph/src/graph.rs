@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Index of a vertex in a [`Graph`].
 ///
@@ -38,6 +39,52 @@ impl fmt::Display for VertexId {
 impl From<u32> for VertexId {
     fn from(i: u32) -> Self {
         VertexId(i)
+    }
+}
+
+/// Index of an edge in a [`Graph`]'s sorted edge list.
+///
+/// Edges of an `m`-edge graph are `0..m`, in the lexicographic order
+/// of [`Graph::edges`]. The id is the key of the *dense* hot-path
+/// layer: [`Graph::edge`] recovers the endpoints in O(1),
+/// [`Graph::edge_id`] resolves endpoints to the id in O(log deg), and
+/// [`EdgeColoring`](crate::coloring::EdgeColoring) stores colors in a
+/// flat `Vec` indexed by it — no hashing anywhere on the trial hot
+/// path.
+///
+/// # Example
+///
+/// ```
+/// use bichrome_graph::{gen, EdgeId};
+/// let g = gen::cycle(5);
+/// for i in 0..g.num_edges() {
+///     let id = EdgeId(i as u32);
+///     let e = g.edge(id);
+///     assert_eq!(g.edge_id(e.u(), e.v()), Some(id)); // round-trips
+/// }
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Returns the edge index as a `usize`, for indexing into arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(i: u32) -> Self {
+        EdgeId(i)
     }
 }
 
@@ -158,8 +205,15 @@ pub struct Graph {
     offsets: Vec<u32>,
     /// Flat neighbor list, length 2m.
     neighbors: Vec<VertexId>,
-    /// Sorted edge list (u < v within each edge, lexicographic order).
-    edges: Vec<Edge>,
+    /// Companion to `neighbors`: `neighbor_edge_ids[k]` is the id of
+    /// the edge joining the vertex to `neighbors[k]`, so iterating a
+    /// vertex's incidence list yields `(VertexId, EdgeId)` pairs with
+    /// zero lookups.
+    neighbor_edge_ids: Vec<EdgeId>,
+    /// Sorted edge list (u < v within each edge, lexicographic order),
+    /// shared behind an `Arc` so dense edge-indexed structures
+    /// (`EdgeColoring`) can borrow the id space without copying it.
+    edges: Arc<[Edge]>,
     /// Maximum degree.
     max_degree: u32,
 }
@@ -184,27 +238,33 @@ impl Graph {
         }
         let mut cursor: Vec<u32> = offsets[..n as usize].to_vec();
         let mut neighbors = vec![VertexId(0); 2 * edges.len()];
-        for e in &edges {
+        let mut neighbor_edge_ids = vec![EdgeId(0); 2 * edges.len()];
+        for (i, e) in edges.iter().enumerate() {
             let (u, v) = e.endpoints();
+            let id = EdgeId(i as u32);
             neighbors[cursor[u.index()] as usize] = v;
+            neighbor_edge_ids[cursor[u.index()] as usize] = id;
             cursor[u.index()] += 1;
             neighbors[cursor[v.index()] as usize] = u;
+            neighbor_edge_ids[cursor[v.index()] as usize] = id;
             cursor[v.index()] += 1;
         }
-        // Neighbor lists come out sorted because the edge list is sorted
-        // lexicographically only for the smaller endpoint; sort each list so
-        // `neighbors()` has a deterministic, documented order.
-        for v in 0..n as usize {
-            let lo = offsets[v] as usize;
-            let hi = offsets[v + 1] as usize;
-            neighbors[lo..hi].sort_unstable();
-        }
+        // Filling in lexicographic edge order leaves every neighbor
+        // list sorted already: w's incident edges are {a, w} with
+        // a < w (ascending a) followed by {w, b} with b > w
+        // (ascending b), and all a's precede all b's.
+        debug_assert!((0..n as usize).all(|v| {
+            neighbors[offsets[v] as usize..offsets[v + 1] as usize]
+                .windows(2)
+                .all(|w| w[0] < w[1])
+        }));
         let max_degree = deg.iter().copied().max().unwrap_or(0);
         Graph {
             n,
             offsets,
             neighbors,
-            edges,
+            neighbor_edge_ids,
+            edges: edges.into(),
             max_degree,
         }
     }
@@ -254,10 +314,73 @@ impl Graph {
         &self.neighbors[lo..hi]
     }
 
-    /// The sorted, deduplicated edge list.
+    /// The sorted, deduplicated edge list. [`EdgeId`]`(i)` names
+    /// `edges()[i]`.
     #[inline]
     pub fn edges(&self) -> &[Edge] {
         &self.edges
+    }
+
+    /// The shared handle to the sorted edge list — the [`EdgeId`]
+    /// space. Cloning is O(1); dense structures keep it so they can
+    /// resolve [`Edge`]-keyed calls without touching the graph.
+    #[inline]
+    pub fn edges_shared(&self) -> Arc<[Edge]> {
+        Arc::clone(&self.edges)
+    }
+
+    /// The endpoints of edge `id`, in O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> Edge {
+        self.edges[id.index()]
+    }
+
+    /// The id of edge `{u, v}`, or `None` if it is not an edge.
+    /// O(log deg) via binary search in the sorted neighbor slice of
+    /// the lower-degree endpoint.
+    pub fn edge_id(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        if u == v {
+            return None;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        let k = self.neighbors(a).binary_search(&b).ok()?;
+        Some(self.neighbor_edge_ids(a)[k])
+    }
+
+    /// The edge ids incident to `v`, aligned with
+    /// [`neighbors`](Graph::neighbors): `neighbor_edge_ids(v)[k]` is
+    /// the id of the edge `{v, neighbors(v)[k]}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbor_edge_ids(&self, v: VertexId) -> &[EdgeId] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.neighbor_edge_ids[lo..hi]
+    }
+
+    /// Iterator over `(neighbor, edge id)` pairs incident to `v`, in
+    /// ascending neighbor order, with zero per-edge lookups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn incident_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.neighbor_edge_ids(v).iter().copied())
     }
 
     /// Whether `{u, v}` is an edge. O(log deg) via binary search.
@@ -293,7 +416,20 @@ impl Graph {
     /// Returns the subgraph on the same vertex set containing exactly the
     /// edges for which `keep` returns `true`.
     pub fn edge_subgraph(&self, mut keep: impl FnMut(Edge) -> bool) -> Graph {
-        let edges: Vec<Edge> = self.edges.iter().copied().filter(|&e| keep(e)).collect();
+        self.edge_subgraph_where(|_, e| keep(e))
+    }
+
+    /// Like [`edge_subgraph`](Graph::edge_subgraph), but `keep` also
+    /// receives each edge's [`EdgeId`] — the natural shape when the
+    /// kept set is an id-indexed bitmap rather than an `Edge` set.
+    pub fn edge_subgraph_where(&self, mut keep: impl FnMut(EdgeId, Edge) -> bool) -> Graph {
+        let edges: Vec<Edge> = self
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|&(i, &e)| keep(EdgeId(i as u32), e))
+            .map(|(_, &e)| e)
+            .collect();
         Graph::from_parts(self.n, edges)
     }
 
@@ -459,6 +595,40 @@ mod tests {
         assert_eq!(g.vertices_of_degree(2), vec![VertexId(0)]);
         assert_eq!(g.vertices_of_degree(1), vec![VertexId(1), VertexId(2)]);
         assert_eq!(g.vertices_of_degree(0), vec![VertexId(3)]);
+    }
+
+    #[test]
+    fn edge_ids_round_trip() {
+        let g = crate::gen::gnp(30, 0.2, 5);
+        for i in 0..g.num_edges() {
+            let id = EdgeId(i as u32);
+            let e = g.edge(id);
+            assert_eq!(g.edge_id(e.u(), e.v()), Some(id));
+            assert_eq!(g.edge_id(e.v(), e.u()), Some(id));
+        }
+        assert_eq!(g.edge_id(VertexId(0), VertexId(0)), None);
+    }
+
+    #[test]
+    fn incident_edge_ids_align_with_neighbors() {
+        let g = crate::gen::gnm_max_degree(20, 40, 6, 3);
+        for v in g.vertices() {
+            assert_eq!(g.neighbors(v).len(), g.neighbor_edge_ids(v).len());
+            for (u, id) in g.incident_edges(v) {
+                assert_eq!(g.edge(id), Edge::new(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_subgraph_where_passes_matching_ids() {
+        let g = triangle();
+        // Keep exactly the edge with id 1 — {0, 2} in sorted order.
+        let h = g.edge_subgraph_where(|id, e| {
+            assert_eq!(g.edge(id), e);
+            id == EdgeId(1)
+        });
+        assert_eq!(h.edges(), &[Edge::new(VertexId(0), VertexId(2))]);
     }
 
     #[test]

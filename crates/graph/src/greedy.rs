@@ -71,7 +71,26 @@ pub fn greedy_vertex_coloring_in_order(
 /// assert!(validate_edge_coloring_with_palette(&g, &c, bound).is_ok());
 /// ```
 pub fn greedy_edge_coloring(g: &Graph) -> EdgeColoring {
-    greedy_edge_coloring_with(g, EdgeColoring::new(), g.edges().iter().copied())
+    greedy_edge_coloring_with(g, EdgeColoring::dense_for(g), g.edges().iter().copied())
+}
+
+/// Marks `color` as used at the current stamp, growing the scratch
+/// geometrically on first sight of a larger color.
+#[inline]
+fn mark_used(seen: &mut Vec<u32>, stamp: u32, color: ColorId) {
+    if color.index() >= seen.len() {
+        seen.resize((color.index() + 1).next_power_of_two().max(64), 0);
+    }
+    seen[color.index()] = stamp;
+}
+
+/// The smallest color not marked at the current stamp.
+#[inline]
+fn first_free(seen: &[u32], stamp: u32) -> ColorId {
+    let c = (0..)
+        .find(|&c| seen.get(c).is_none_or(|&s| s != stamp))
+        .expect("a free color always exists");
+    ColorId(c as u32)
 }
 
 /// Extends a partial edge coloring greedily over `edges`, choosing for
@@ -79,33 +98,37 @@ pub fn greedy_edge_coloring(g: &Graph) -> EdgeColoring {
 ///
 /// The existing colors in `partial` (which may cover edges *outside*
 /// `g`, e.g. the other party's edges at shared vertices) are respected.
+/// The used-color scratch is one stamp-marked vector reused across all
+/// edges — no per-edge allocation.
 pub fn greedy_edge_coloring_with(
     g: &Graph,
     partial: EdgeColoring,
     edges: impl IntoIterator<Item = Edge>,
 ) -> EdgeColoring {
     let mut coloring = partial;
+    let mut seen: Vec<u32> = Vec::new();
+    let mut stamp = 0u32;
     for e in edges {
         if coloring.get(e).is_some() {
             continue;
         }
+        if stamp == u32::MAX {
+            seen.fill(0);
+            stamp = 0;
+        }
+        stamp += 1;
         let (u, v) = e.endpoints();
-        let mut used = std::collections::HashSet::new();
         for &w in g.neighbors(u) {
             if let Some(c) = coloring.get(Edge::new(u, w)) {
-                used.insert(c);
+                mark_used(&mut seen, stamp, c);
             }
         }
         for &w in g.neighbors(v) {
             if let Some(c) = coloring.get(Edge::new(v, w)) {
-                used.insert(c);
+                mark_used(&mut seen, stamp, c);
             }
         }
-        let mut c = 0u32;
-        while used.contains(&ColorId(c)) {
-            c += 1;
-        }
-        coloring.set(e, ColorId(c));
+        coloring.set(e, first_free(&seen, stamp));
     }
     coloring
 }
@@ -126,17 +149,18 @@ pub fn greedy_edge_coloring_with(
 pub fn greedy_list_coloring(g: &Graph, lists: &[Vec<ColorId>]) -> Result<VertexColoring, VertexId> {
     assert_eq!(lists.len(), g.num_vertices(), "one list per vertex");
     let mut coloring = VertexColoring::new(g.num_vertices());
-    for v in g.vertices() {
-        let mut used = std::collections::HashSet::new();
+    let mut seen: Vec<u32> = Vec::new();
+    for (stamp, v) in g.vertices().enumerate() {
+        let stamp = stamp as u32 + 1;
         for &u in g.neighbors(v) {
             if let Some(c) = coloring.get(u) {
-                used.insert(c);
+                mark_used(&mut seen, stamp, c);
             }
         }
         let c = lists[v.index()]
             .iter()
             .copied()
-            .find(|c| !used.contains(c))
+            .find(|c| seen.get(c.index()).is_none_or(|&s| s != stamp))
             .ok_or(v)?;
         coloring.set(v, c);
     }

@@ -48,4 +48,4 @@ pub mod matching;
 pub mod partition;
 
 pub use builder::GraphBuilder;
-pub use graph::{Edge, Graph, VertexId};
+pub use graph::{Edge, EdgeId, Graph, VertexId};

@@ -190,12 +190,22 @@ impl std::fmt::Display for DeltaMatchingError {
 impl std::error::Error for DeltaMatchingError {}
 
 /// Checks that `edges` form a matching (pairwise non-adjacent edges).
+///
+/// Uses a dense mark vector over the endpoint range (bounded by the
+/// largest vertex id present) instead of hashing — O(k + max_id) for
+/// `k` edges.
 pub fn is_matching(edges: &[Edge]) -> bool {
-    let mut seen = std::collections::HashSet::new();
+    let max_id = match edges.iter().map(|e| e.v().index()).max() {
+        Some(m) => m,
+        None => return true,
+    };
+    let mut seen = vec![false; max_id + 1];
     for e in edges {
-        if !seen.insert(e.u()) || !seen.insert(e.v()) {
+        if seen[e.u().index()] || seen[e.v().index()] {
             return false;
         }
+        seen[e.u().index()] = true;
+        seen[e.v().index()] = true;
     }
     true
 }

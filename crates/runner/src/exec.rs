@@ -418,4 +418,30 @@ mod tests {
         assert!(stats.run_nanos > 0, "protocol runs take measurable time");
         assert!(stats.setup_nanos > 0, "two graphs were actually built");
     }
+
+    #[test]
+    fn validator_scratch_is_reused_across_trials() {
+        // Zero per-trial allocation in the validator pass: after a
+        // warm-up run, re-executing the whole queue must not grow the
+        // per-worker ColorMarks scratch at all. Serial execution keeps
+        // every trial (and therefore every validation) on this thread,
+        // so this thread's scratch counter is the whole story.
+        let queue = shared_column_queue(
+            &[
+                "edge/theorem2",
+                "edge/theorem3-zero-comm",
+                "edge/lemma5.1-bounded",
+            ],
+            0..4,
+        );
+        let (_, _) = execute(&queue, false, None);
+        let warm = crate::scratch::with_scratch(|s| s.marks.allocations());
+        let (records, _) = execute(&queue, false, None);
+        assert_eq!(records.len(), 12);
+        let after = crate::scratch::with_scratch(|s| s.marks.allocations());
+        assert_eq!(
+            after, warm,
+            "a warm worker scratch must validate trial after trial without allocating"
+        );
+    }
 }

@@ -96,6 +96,7 @@ pub mod plan;
 pub mod probes;
 pub mod protocol;
 pub mod registry;
+mod scratch;
 pub mod seeds;
 pub mod table;
 

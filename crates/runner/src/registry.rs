@@ -292,11 +292,16 @@ fn merge_edge_outcome(
     stats: CommStats,
     budget: usize,
 ) -> Outcome {
-    let mut merged = alice;
-    match merged.merge(&bob) {
-        Ok(()) => Outcome::edge(inst.graph(), merged, stats, Some(budget)),
-        Err(e) => Outcome::failed(format!("parties both colored {e}"), stats),
+    // Merge both parties into a coloring dense over the *whole*
+    // graph's edge ids, so the validator pass takes its O(n+m)
+    // array-indexed fast path.
+    let mut merged = EdgeColoring::dense_for(inst.graph());
+    for side in [&alice, &bob] {
+        if let Err(e) = merged.merge(side) {
+            return Outcome::failed(format!("parties both colored {e}"), stats);
+        }
     }
+    Outcome::edge(inst.graph(), merged, stats, Some(budget))
 }
 
 /// The string-keyed collection of every registered protocol.

@@ -164,8 +164,11 @@ impl ChunkedWStreaming {
             return Vec::new();
         }
         let chunk = builder::from_edges(self.n, self.buffer.drain(..));
-        let colored =
-            greedy_edge_coloring_with(&chunk, EdgeColoring::new(), chunk.edges().iter().copied());
+        let colored = greedy_edge_coloring_with(
+            &chunk,
+            EdgeColoring::dense_for(&chunk),
+            chunk.edges().iter().copied(),
+        );
         let base = self.next_color;
         let width = colored.max_color().map_or(0, |c| c.0 + 1);
         self.next_color += width;
