@@ -2,9 +2,10 @@
 //! `args in → output text out` functions so every code path is unit
 //! testable without spawning a process.
 
-use crate::campaign_file::CampaignFile;
 use bichrome_runner::table::Table;
-use bichrome_runner::{registry, CampaignReport};
+use bichrome_runner::{diff_reports, registry, CampaignFile, CampaignReport};
+use bichrome_serve::json::Value;
+use bichrome_serve::{Addr, Client, Daemon, DaemonConfig, Listener};
 use bichrome_store::Store;
 use std::fmt::Write as _;
 
@@ -23,8 +24,29 @@ USAGE:
         Re-aggregate a CampaignReport purely from a store (no execution).
     bichrome diff <store-a> <store-b>
         Compare mean bits/rounds of the cells two stores share.
+    bichrome store merge <a> <b> <out>
+        Union two stores into a new one; refuses conflicting records.
     bichrome registry
         List every protocol key and its guarantee.
+
+  The daemon (many clients, one executor, one store):
+    bichrome serve <store-dir> [--addr <addr>] [--workers <n>]
+        Run the campaign daemon until a `shutdown` request. The default
+        address is unix:<store-dir>/daemon.sock; tcp:<host>:<port> works too.
+    bichrome submit <campaign.toml> --addr <addr> [--watch]
+        Submit the declaration (sent inline) as a job; --watch streams
+        its progress and exits with the final accounting.
+    bichrome watch <job-id> --addr <addr>
+        Stream a job's per-trial progress until it ends.
+    bichrome jobs --addr <addr>
+        List every job the daemon knows.
+    bichrome cancel <job-id> --addr <addr>
+        Cooperatively cancel a running job (completed trials persist).
+    bichrome ping --addr <addr>
+        Exit 0 if a daemon answers at the address.
+    bichrome shutdown --addr <addr>
+        Drain in-flight jobs, checkpoint the store, stop the daemon.
+
     bichrome help
         Print this text.
 ";
@@ -44,6 +66,14 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         Some((&"resume", rest)) => run(rest, true),
         Some((&"report", rest)) => report(rest),
         Some((&"diff", rest)) => diff(rest),
+        Some((&"store", rest)) => store_cmd(rest),
+        Some((&"serve", rest)) => serve(rest),
+        Some((&"submit", rest)) => submit(rest),
+        Some((&"watch", rest)) => watch(rest),
+        Some((&"jobs", rest)) => jobs(rest),
+        Some((&"cancel", rest)) => cancel(rest),
+        Some((&"ping", rest)) => ping(rest),
+        Some((&"shutdown", rest)) => shutdown(rest),
         Some((&"registry", [])) => Ok(registry_listing()),
         Some((&"registry", _)) => Err("registry takes no arguments".to_string()),
         Some((cmd, _)) => Err(format!("unknown command {cmd:?}\n\n{USAGE}")),
@@ -51,9 +81,10 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
 }
 
 /// Output format of `run` / `report`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 enum Format {
     /// Human-readable table (plus `ExecStats` after a run).
+    #[default]
     Text,
     /// The full `CampaignReport` JSON.
     Json,
@@ -61,16 +92,32 @@ enum Format {
     Csv,
 }
 
-/// The flags shared by the subcommands: positionals, `--store`,
-/// `--format`, `--serial`.
-type ParsedFlags<'a> = (Vec<&'a str>, Option<&'a str>, Format, bool);
+/// The flags shared by the subcommands.
+#[derive(Debug, Default)]
+struct Flags<'a> {
+    positional: Vec<&'a str>,
+    store: Option<&'a str>,
+    format: Format,
+    serial: bool,
+    addr: Option<&'a str>,
+    watch: bool,
+    workers: usize,
+}
+
+impl<'a> Flags<'a> {
+    /// The `--addr` flag, parsed — required by the daemon-client
+    /// subcommands.
+    fn daemon_addr(&self) -> Result<Addr, String> {
+        let spec = self
+            .addr
+            .ok_or("this command talks to a daemon: pass --addr <addr>")?;
+        Addr::parse(spec)
+    }
+}
 
 /// Splits `args` into positionals and recognized flags.
-fn parse_flags<'a>(args: &[&'a str], allow: &[&str]) -> Result<ParsedFlags<'a>, String> {
-    let mut positional = Vec::new();
-    let mut store = None;
-    let mut format = Format::Text;
-    let mut serial = false;
+fn parse_flags<'a>(args: &[&'a str], allow: &[&str]) -> Result<Flags<'a>, String> {
+    let mut flags = Flags::default();
     let mut it = args.iter();
     while let Some(&arg) = it.next() {
         let check = |flag: &str| -> Result<(), String> {
@@ -83,11 +130,11 @@ fn parse_flags<'a>(args: &[&'a str], allow: &[&str]) -> Result<ParsedFlags<'a>, 
         match arg {
             "--store" => {
                 check("--store")?;
-                store = Some(*it.next().ok_or("--store needs a directory argument")?);
+                flags.store = Some(*it.next().ok_or("--store needs a directory argument")?);
             }
             "--format" => {
                 check("--format")?;
-                format = match *it.next().ok_or("--format needs text|json|csv")? {
+                flags.format = match *it.next().ok_or("--format needs text|json|csv")? {
                     "text" => Format::Text,
                     "json" => Format::Json,
                     "csv" => Format::Csv,
@@ -96,44 +143,58 @@ fn parse_flags<'a>(args: &[&'a str], allow: &[&str]) -> Result<ParsedFlags<'a>, 
             }
             "--serial" => {
                 check("--serial")?;
-                serial = true;
+                flags.serial = true;
+            }
+            "--addr" => {
+                check("--addr")?;
+                flags.addr = Some(*it.next().ok_or("--addr needs an address argument")?);
+            }
+            "--watch" => {
+                check("--watch")?;
+                flags.watch = true;
+            }
+            "--workers" => {
+                check("--workers")?;
+                let n = *it.next().ok_or("--workers needs a thread count")?;
+                flags.workers = n
+                    .parse()
+                    .map_err(|_| format!("--workers {n:?} is not a number"))?;
             }
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
-            pos => positional.push(pos),
+            pos => flags.positional.push(pos),
         }
     }
-    Ok((positional, store, format, serial))
+    Ok(flags)
 }
 
 /// `bichrome run` / `bichrome resume`.
 fn run(args: &[&str], require_store: bool) -> Result<String, String> {
-    let (pos, store_flag, format, serial) =
-        parse_flags(args, &["--store", "--format", "--serial"])?;
-    let [path] = pos.as_slice() else {
+    let flags = parse_flags(args, &["--store", "--format", "--serial"])?;
+    let [path] = flags.positional.as_slice() else {
         return Err("expected exactly one campaign file argument".to_string());
     };
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let file = CampaignFile::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-    if require_store && file.store_path(store_flag).is_none() {
+    if require_store && file.store_path(flags.store).is_none() {
         return Err(
             "resume needs a store: pass --store <dir> or set `store = ...` in the campaign file"
                 .to_string(),
         );
     }
-    let mut campaign = file.to_campaign(store_flag);
-    if serial {
+    let mut campaign = file.to_campaign(flags.store);
+    if flags.serial {
         campaign = campaign.parallel(false);
     }
     let (report, stats) = campaign
         .try_run_with_stats()
         .map_err(|e| format!("campaign store: {e}"))?;
-    match format {
+    match flags.format {
         Format::Json => Ok(report.to_json()),
         Format::Csv => Ok(report.to_csv()),
         Format::Text => {
             let mut out = report.render_table();
             writeln!(out, "{stats}").expect("string write");
-            if let Some(store) = file.store_path(store_flag) {
+            if let Some(store) = file.store_path(flags.store) {
                 writeln!(out, "store: {store}").expect("string write");
             }
             Ok(out)
@@ -143,13 +204,13 @@ fn run(args: &[&str], require_store: bool) -> Result<String, String> {
 
 /// `bichrome report`.
 fn report(args: &[&str]) -> Result<String, String> {
-    let (pos, _, format, _) = parse_flags(args, &["--format"])?;
-    let [dir] = pos.as_slice() else {
+    let flags = parse_flags(args, &["--format"])?;
+    let [dir] = flags.positional.as_slice() else {
         return Err("expected exactly one store directory argument".to_string());
     };
     let store = Store::open_existing(*dir).map_err(|e| e.to_string())?;
     let report = CampaignReport::from_store(&store)?;
-    match format {
+    match flags.format {
         Format::Json => Ok(report.to_json()),
         Format::Csv => Ok(report.to_csv()),
         Format::Text => {
@@ -165,8 +226,8 @@ fn report(args: &[&str]) -> Result<String, String> {
 /// `bichrome diff`: baseline-relative comparison of two stores — the
 /// first store is the baseline, ratios are `b / a`.
 fn diff(args: &[&str]) -> Result<String, String> {
-    let (pos, _, _, _) = parse_flags(args, &[])?;
-    let [dir_a, dir_b] = pos.as_slice() else {
+    let flags = parse_flags(args, &[])?;
+    let [dir_a, dir_b] = flags.positional.as_slice() else {
         return Err("expected exactly two store directory arguments".to_string());
     };
     let load = |dir: &str| -> Result<CampaignReport, String> {
@@ -175,82 +236,175 @@ fn diff(args: &[&str]) -> Result<String, String> {
     };
     let a = load(dir_a)?;
     let b = load(dir_b)?;
-    let mut t = Table::new(&[
-        "protocol",
-        "graph",
-        "partitioner",
-        "bits a",
-        "bits b",
-        "bits b/a",
-        "rounds b/a",
-        "valid a",
-        "valid b",
-    ]);
-    let mut shared = 0usize;
-    let mut only_a = Vec::new();
-    for cell in &a.cells {
-        let Some(twin) = b.cells.iter().find(|c| {
-            c.protocol == cell.protocol
-                && c.spec == cell.spec
-                && c.partitioner_label() == cell.partitioner_label()
-        }) else {
-            only_a.push(format!("{} on {}", cell.protocol, cell.spec));
-            continue;
-        };
-        shared += 1;
-        let (sa, sb) = (cell.summary(), twin.summary());
-        t.row(&[
-            &cell.protocol,
-            &cell.spec.to_string(),
-            &cell.partitioner_label(),
-            &format!("{:.1}", sa.total_bits.mean),
-            &format!("{:.1}", sb.total_bits.mean),
-            &ratio_label(sb.total_bits.mean, sa.total_bits.mean),
-            &ratio_label(sb.rounds.mean, sa.rounds.mean),
-            &format!("{}/{}", sa.valid, sa.trials),
-            &format!("{}/{}", sb.valid, sb.trials),
-        ]);
-    }
-    let only_b: Vec<String> = b
-        .cells
-        .iter()
-        .filter(|c| {
-            !a.cells.iter().any(|d| {
-                d.protocol == c.protocol
-                    && d.spec == c.spec
-                    && d.partitioner_label() == c.partitioner_label()
-            })
-        })
-        .map(|c| format!("{} on {}", c.protocol, c.spec))
-        .collect();
-    let mut out = String::new();
-    writeln!(
-        out,
-        "diff {dir_a} (a) vs {dir_b} (b): {shared} shared cell(s)"
-    )
-    .expect("string write");
-    if shared > 0 {
-        out.push_str(&t.render());
-        out.push('\n');
-    }
-    for (label, cells) in [("only in a", only_a), ("only in b", only_b)] {
-        if !cells.is_empty() {
-            writeln!(out, "{label}: {}", cells.join(", ")).expect("string write");
+    Ok(diff_reports(&a, &b, dir_a, dir_b))
+}
+
+/// `bichrome store <subcommand>` — store maintenance. Currently:
+/// `merge <a> <b> <out>`.
+fn store_cmd(args: &[&str]) -> Result<String, String> {
+    let flags = parse_flags(args, &[])?;
+    match flags.positional.as_slice() {
+        ["merge", a, b, out] => {
+            let open = |dir: &str| Store::open_existing(dir).map_err(|e| format!("{dir}: {e}"));
+            let (sa, sb) = (open(a)?, open(b)?);
+            let merged = Store::merge(&sa, &sb, out).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "merged {} + {} records -> {} records into {out}\n",
+                sa.len(),
+                sb.len(),
+                merged.len()
+            ))
         }
+        ["merge", ..] => Err("store merge takes exactly <a> <b> <out>".to_string()),
+        [sub, ..] => Err(format!("unknown store subcommand {sub:?} (try: merge)")),
+        [] => Err("store needs a subcommand (try: merge <a> <b> <out>)".to_string()),
+    }
+}
+
+/// `bichrome serve`: run the daemon until a `shutdown` request.
+fn serve(args: &[&str]) -> Result<String, String> {
+    let flags = parse_flags(args, &["--addr", "--workers"])?;
+    let [dir] = flags.positional.as_slice() else {
+        return Err("expected exactly one store directory argument".to_string());
+    };
+    let addr = match flags.addr {
+        Some(spec) => Addr::parse(spec)?,
+        None => Addr::Unix(std::path::Path::new(dir).join("daemon.sock")),
+    };
+    let daemon = Daemon::start(
+        *dir,
+        DaemonConfig {
+            workers: flags.workers,
+            ..DaemonConfig::default()
+        },
+    )?;
+    let listener = Listener::bind(&addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let effective = listener.local_addr();
+    daemon
+        .serve(listener)
+        .map_err(|e| format!("serving {effective}: {e}"))?;
+    Ok(format!(
+        "daemon at {effective} stopped (store checkpointed)\n"
+    ))
+}
+
+/// `bichrome submit`: send a campaign file's *contents* to the
+/// daemon (the daemon need not share a filesystem with the client).
+fn submit(args: &[&str]) -> Result<String, String> {
+    let flags = parse_flags(args, &["--addr", "--watch"])?;
+    let [path] = flags.positional.as_slice() else {
+        return Err("expected exactly one campaign file argument".to_string());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let client = Client::new(flags.daemon_addr()?);
+    let job = client.submit(&text)?;
+    if !flags.watch {
+        return Ok(format!("job {job}\n"));
+    }
+    let mut out = format!("job {job}\n");
+    out.push_str(&watch_to_end(&client, job)?);
+    Ok(out)
+}
+
+/// `bichrome watch`.
+fn watch(args: &[&str]) -> Result<String, String> {
+    let flags = parse_flags(args, &["--addr"])?;
+    let [job] = flags.positional.as_slice() else {
+        return Err("expected exactly one job-id argument".to_string());
+    };
+    let job: u64 = job
+        .parse()
+        .map_err(|_| format!("job id {job:?} is not a number"))?;
+    watch_to_end(&Client::new(flags.daemon_addr()?), job)
+}
+
+/// Streams a job's events, rendering one line per trial and closing
+/// with the `computed N trials (K skipped via store)` accounting.
+fn watch_to_end(client: &Client, job: u64) -> Result<String, String> {
+    let mut out = String::new();
+    let end = client.watch(job, |event| {
+        let Some(o) = event.as_object() else { return };
+        let s = |f: &str| o.get(f).and_then(Value::as_str).unwrap_or("?").to_string();
+        let n = |f: &str| o.get(f).and_then(Value::as_u64).unwrap_or(0);
+        writeln!(
+            out,
+            "trial {}/{}: {} on {} · {} · seed {}",
+            n("computed"),
+            n("pending"),
+            s("protocol"),
+            s("graph"),
+            s("partitioner"),
+            s("seed"),
+        )
+        .expect("string write");
+    })?;
+    let o = end.as_object().ok_or("malformed end event")?;
+    let state = o.get("state").and_then(Value::as_str).unwrap_or("?");
+    let summary = o.get("summary").and_then(Value::as_str).unwrap_or("?");
+    writeln!(out, "job {job} {state}: {summary}").expect("string write");
+    if let Some(err) = o.get("error").and_then(Value::as_str) {
+        writeln!(out, "error: {err}").expect("string write");
     }
     Ok(out)
 }
 
-/// A `x.xx×` ratio cell: `1.00x` when both sides are zero-mean, `∞`
-/// when only the baseline side is.
-fn ratio_label(b: f64, a: f64) -> String {
-    if a == 0.0 && b == 0.0 {
-        "1.00x".to_string()
-    } else if a == 0.0 {
-        "∞".to_string()
-    } else {
-        format!("{:.2}x", b / a)
+/// `bichrome jobs`.
+fn jobs(args: &[&str]) -> Result<String, String> {
+    let flags = parse_flags(args, &["--addr"])?;
+    if !flags.positional.is_empty() {
+        return Err("jobs takes no positional arguments".to_string());
     }
+    let jobs = Client::new(flags.daemon_addr()?).jobs()?;
+    let mut t = Table::new(&["job", "state", "computed", "skipped", "total"]);
+    for job in &jobs {
+        let Some(o) = job.as_object() else { continue };
+        let s = |f: &str| o.get(f).and_then(Value::as_str).unwrap_or("?").to_string();
+        let n = |f: &str| {
+            o.get(f)
+                .and_then(Value::as_u64)
+                .map_or("?".to_string(), |x| x.to_string())
+        };
+        t.row(&[
+            &n("job"),
+            &s("state"),
+            &n("computed"),
+            &n("skipped"),
+            &n("total"),
+        ]);
+    }
+    Ok(format!("{}\n{} job(s)\n", t.render(), jobs.len()))
+}
+
+/// `bichrome cancel`.
+fn cancel(args: &[&str]) -> Result<String, String> {
+    let flags = parse_flags(args, &["--addr"])?;
+    let [job] = flags.positional.as_slice() else {
+        return Err("expected exactly one job-id argument".to_string());
+    };
+    let job: u64 = job
+        .parse()
+        .map_err(|_| format!("job id {job:?} is not a number"))?;
+    Client::new(flags.daemon_addr()?).cancel(job)?;
+    Ok(format!("job {job} cancelling\n"))
+}
+
+/// `bichrome ping`.
+fn ping(args: &[&str]) -> Result<String, String> {
+    let flags = parse_flags(args, &["--addr"])?;
+    let addr = flags.daemon_addr()?;
+    if Client::new(addr.clone()).ping() {
+        Ok(format!("daemon at {addr} is up\n"))
+    } else {
+        Err(format!("no daemon answers at {addr}"))
+    }
+}
+
+/// `bichrome shutdown`.
+fn shutdown(args: &[&str]) -> Result<String, String> {
+    let flags = parse_flags(args, &["--addr"])?;
+    let addr = flags.daemon_addr()?;
+    Client::new(addr.clone()).shutdown()?;
+    Ok(format!("daemon at {addr} drained and stopped\n"))
 }
 
 /// `bichrome registry`.

@@ -24,9 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod campaign_file;
 pub mod commands;
-pub mod toml;
 
-pub use campaign_file::CampaignFile;
+pub use bichrome_runner::{campaign_file, toml, CampaignFile};
 pub use commands::{dispatch, USAGE};

@@ -145,6 +145,107 @@ fn diff_compares_two_stores_cell_by_cell() {
     assert!(out.contains("only in b: baseline/send-everything"), "{out}");
 }
 
+/// The daemon through the CLI surface: `serve` in a thread, then
+/// `ping` / `submit --watch` / `jobs` / `shutdown` as clients, ending
+/// with an offline `report` against the daemon's checkpointed store.
+#[test]
+fn daemon_serves_submissions_over_a_socket() {
+    let tmp = TempDir::new("daemon");
+    let toml = tmp.path("campaign.toml");
+    std::fs::write(&toml, CAMPAIGN).expect("write campaign file");
+    let store = tmp.path("store");
+    let addr = format!("unix:{}", tmp.path("daemon.sock"));
+
+    let server = {
+        let (store, addr) = (store.clone(), addr.clone());
+        std::thread::spawn(move || call(&["serve", &store, "--addr", &addr]))
+    };
+    for _ in 0..200 {
+        if call(&["ping", "--addr", &addr]).is_ok() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    let cold = call(&["submit", &toml, "--addr", &addr, "--watch"]).expect("cold submit");
+    assert!(cold.contains("job 1"), "{cold}");
+    assert!(
+        cold.contains("computed 6 trials (0 skipped via store)"),
+        "{cold}"
+    );
+
+    let warm = call(&["submit", &toml, "--addr", &addr, "--watch"]).expect("warm submit");
+    assert!(
+        warm.contains("computed 0 trials (6 skipped via store)"),
+        "{warm}"
+    );
+
+    let jobs = call(&["jobs", "--addr", &addr]).expect("jobs");
+    assert!(jobs.contains("2 job(s)"), "{jobs}");
+    assert_eq!(jobs.matches("done").count(), 2, "{jobs}");
+
+    call(&["shutdown", "--addr", &addr]).expect("shutdown");
+    let stopped = server.join().expect("serve thread").expect("serve exits");
+    assert!(stopped.contains("stopped"), "{stopped}");
+    assert!(
+        call(&["ping", "--addr", &addr]).is_err(),
+        "daemon must be gone"
+    );
+
+    // The checkpointed store is a plain store: offline report works.
+    let csv = call(&["report", &store, "--format", "csv"]).expect("offline report");
+    assert!(csv.starts_with("protocol,graph,"), "{csv}");
+    assert_eq!(csv.lines().count(), 1 + 2, "{csv}");
+}
+
+/// `store merge` unions stores with identical shared records and
+/// refuses genuinely conflicting ones.
+#[test]
+fn store_merge_unions_and_refuses_conflicts() {
+    use bichrome_store::Store;
+
+    let tmp = TempDir::new("merge");
+    let toml_a = tmp.path("a.toml");
+    let toml_b = tmp.path("b.toml");
+    let (store_a, store_b) = (tmp.path("store-a"), tmp.path("store-b"));
+    std::fs::write(&toml_a, CAMPAIGN).expect("write");
+    // b shares the deterministic edge/theorem2 cells with a.
+    std::fs::write(
+        &toml_b,
+        CAMPAIGN.replace("edge/theorem3-zero-comm", "baseline/send-everything"),
+    )
+    .expect("write");
+    call(&["run", &toml_a, "--store", &store_a]).expect("run a");
+    call(&["run", &toml_b, "--store", &store_b]).expect("run b");
+
+    // Union: 6 + 6 records with 3 identical shared keys -> 9.
+    let merged = tmp.path("merged");
+    let out = call(&["store", "merge", &store_a, &store_b, &merged]).expect("merge");
+    assert!(out.contains("merged 6 + 6 records -> 9 records"), "{out}");
+    let report = call(&["report", &merged, "--format", "json"]).expect("merged report");
+    assert!(report.contains("\"cells\":3"), "{report}");
+
+    // A store holding the same key with a *different* payload is a
+    // conflict the merge must refuse.
+    let conflicted = tmp.path("conflicted");
+    {
+        let a = Store::open_existing(&store_a).expect("open a");
+        let key = a.iter().next().expect("a has records").key.clone();
+        let mut c = Store::open_or_create(&conflicted).expect("create");
+        c.append(key, "{\"tampered\":1}".to_string())
+            .expect("append");
+    }
+    let out2 = tmp.path("out2");
+    let err = call(&["store", "merge", &store_a, &conflicted, &out2]).expect_err("conflict");
+    assert!(err.contains("conflict"), "{err}");
+
+    // Sub-command surface errors are descriptive.
+    let err = call(&["store", "merge", "just-one"]).expect_err("arity");
+    assert!(err.contains("<a> <b> <out>"), "{err}");
+    let err = call(&["store", "frob"]).expect_err("unknown sub");
+    assert!(err.contains("unknown store subcommand"), "{err}");
+}
+
 #[test]
 fn run_reports_declaration_errors_with_the_file_name() {
     let tmp = TempDir::new("badfile");

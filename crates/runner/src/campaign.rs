@@ -33,7 +33,7 @@
 //! ```
 
 use crate::csv::Csv;
-use crate::exec::{self, ExecStats, WorkItem, WorkSource};
+use crate::exec::{self, ExecStats, InstanceCache, WorkItem, WorkSource};
 use crate::instance::GraphSpec;
 use crate::plan::{Report, Summary, TrialRecord};
 use crate::protocol::Protocol;
@@ -42,7 +42,9 @@ use crate::seeds;
 use crate::table::Table;
 use bichrome_graph::partition::Partitioner;
 use bichrome_store::{Store, StoreError, TrialKey};
+use rayon::prelude::*;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Placeholder label for the default partition axis entry (a fresh
@@ -55,6 +57,14 @@ use std::sync::{Arc, Mutex};
 /// label plus the seed still pins the computation exactly.
 pub const DEFAULT_PARTITIONER_LABEL: &str = "random(per-seed)";
 
+/// Where a campaign's persistent store comes from: a directory the
+/// campaign opens itself, or a handle shared with other campaigns (the
+/// daemon keeps one open store that every in-flight job appends to).
+enum StoreTarget {
+    Path(PathBuf),
+    Shared(Arc<Mutex<Store>>),
+}
+
 /// Builder for a grid of experiment cells. Every axis is a *set*; the
 /// grid is the cross-product. See the [module docs](self).
 pub struct Campaign {
@@ -65,7 +75,7 @@ pub struct Campaign {
     seeds: Vec<u64>,
     parallel: bool,
     baseline: Option<String>,
-    store: Option<PathBuf>,
+    store: Option<StoreTarget>,
 }
 
 impl Default for Campaign {
@@ -193,7 +203,18 @@ impl Campaign {
     /// Stored records round-trip bit-exactly, so a resumed or
     /// warm-store report is identical to an uninterrupted fresh run.
     pub fn with_store(mut self, path: impl Into<PathBuf>) -> Self {
-        self.store = Some(path.into());
+        self.store = Some(StoreTarget::Path(path.into()));
+        self
+    }
+
+    /// Like [`Campaign::with_store`], but against an *already open*
+    /// store handle shared with other campaigns. This is how the
+    /// `bichrome` daemon multiplexes every in-flight job onto one
+    /// store: consults and appends interleave safely under the mutex,
+    /// and records one job computes are immediately visible as skips
+    /// to the next.
+    pub fn with_shared_store(mut self, store: Arc<Mutex<Store>>) -> Self {
+        self.store = Some(StoreTarget::Shared(store));
         self
     }
 
@@ -272,6 +293,58 @@ impl Campaign {
     ///
     /// Same axis-validation conditions as [`Campaign::run`].
     pub fn try_run_with_stats(self) -> Result<(CampaignReport, ExecStats), StoreError> {
+        let prepared = self.prepare()?;
+        // A fresh per-run cache, exactly as before the daemon lifted
+        // caching to process scope: the run's ExecStats then report
+        // this grid's dedup in isolation.
+        let cache = InstanceCache::new();
+        let flush_error: Mutex<Option<StoreError>> = Mutex::new(None);
+        let work = |&i: &usize| {
+            let record = prepared.run_pending(i, &cache);
+            if let Err(e) = prepared.commit(i, record) {
+                flush_error
+                    .lock()
+                    .expect("flush error slot poisoned")
+                    .get_or_insert(e);
+            }
+        };
+        let indices: Vec<usize> = (0..prepared.pending()).collect();
+        if prepared.parallel() {
+            let _: Vec<()> = indices.par_iter().map(work).collect();
+        } else {
+            indices.iter().for_each(work);
+        }
+        if let Some(e) = flush_error.into_inner().expect("flush error slot poisoned") {
+            return Err(e);
+        }
+        let (report, mut stats) = prepared.finish();
+        let cs = cache.stats();
+        stats.graphs_requested = cs.graphs_requested;
+        stats.graphs_built = cs.graphs_built;
+        stats.partitions_requested = cs.partitions_requested;
+        stats.partitions_built = cs.partitions_built;
+        stats.setup_nanos = cs.setup_nanos;
+        Ok((report, stats))
+    }
+
+    /// Splits a run into its two halves: everything *before* trial
+    /// execution (axis validation, grid enumeration, store consult —
+    /// stored trials become pre-filled results) and the resulting
+    /// [`PreparedRun`] of pending work items, which the caller drives
+    /// at its own pace. [`Campaign::try_run_with_stats`] drives it
+    /// with one `par_iter`; the `bichrome` daemon instead feeds every
+    /// in-flight job's pending items into one multiplexed worker pool
+    /// against one process-wide [`InstanceCache`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the store failure if the attached store cannot be
+    /// opened or created.
+    ///
+    /// # Panics
+    ///
+    /// Same axis-validation conditions as [`Campaign::run`].
+    pub fn prepare(self) -> Result<PreparedRun, StoreError> {
         assert!(
             !self.protocols.is_empty(),
             "Campaign has no protocols: set .protocols(..) / .protocol_keys(..)"
@@ -294,12 +367,6 @@ impl Campaign {
 
         // Enumerate cells in axis order: protocol-major, then sized
         // graph, then partitioner.
-        struct CellMeta {
-            label: String,
-            protocol: Arc<dyn Protocol>,
-            spec: GraphSpec,
-            partitioner: Option<Partitioner>,
-        }
         let specs = self.sized_specs();
         let parts = self.partitioner_axis();
         let mut meta = Vec::with_capacity(self.cell_count());
@@ -317,21 +384,25 @@ impl Campaign {
         }
 
         // The persistent store, if one is attached: consulted before
-        // enqueueing (already-stored trials are skipped) and fed by
-        // the executor's per-record hook (fresh trials flush as their
-        // workers finish, so a killed run keeps everything done).
-        let store = match &self.store {
-            Some(path) => Some(Mutex::new(Store::open_or_create(path)?)),
+        // enqueueing (already-stored trials are skipped) and appended
+        // to as each pending trial commits (so a killed run keeps
+        // everything done). A Path target is opened here; a Shared
+        // target is someone else's open handle.
+        let store = match self.store {
+            Some(StoreTarget::Path(path)) => {
+                Some(Arc::new(Mutex::new(Store::open_or_create(path)?)))
+            }
+            Some(StoreTarget::Shared(store)) => Some(store),
             None => None,
         };
 
-        // One flat queue over cells × seeds — the executor fans out
-        // across the whole grid, not per cell. Items are lazy
-        // descriptors: workers resolve them through the executor's
-        // shared instance cache, so a column of P protocols builds
-        // its (spec, seed) instance once, and the sub-seeds derive
-        // exactly like a single-cell TrialPlan, keeping a campaign
-        // cell bit-identical to the TrialPlan it replaced.
+        // One flat queue over cells × seeds — callers fan out across
+        // the whole grid, not per cell. Items are lazy descriptors:
+        // workers resolve them through a shared instance cache, so a
+        // column of P protocols builds its (spec, seed) instance
+        // once, and the sub-seeds derive exactly like a single-cell
+        // TrialPlan, keeping a campaign cell bit-identical to the
+        // TrialPlan it replaced.
         let per_cell = self.seeds.len();
         let mut results: Vec<Option<TrialRecord>> = vec![None; meta.len() * per_cell];
         let mut queue = Vec::new();
@@ -340,13 +411,13 @@ impl Campaign {
         let mut skipped = 0u64;
         for (ci, m) in meta.iter().enumerate() {
             for (si, &seed) in self.seeds.iter().enumerate() {
+                let key = TrialKey {
+                    protocol: m.label.clone(),
+                    graph: m.spec.to_string(),
+                    partitioner: partitioner_axis_label(m.partitioner),
+                    seed,
+                };
                 if let Some(store) = &store {
-                    let key = TrialKey {
-                        protocol: m.label.clone(),
-                        graph: m.spec.to_string(),
-                        partitioner: partitioner_axis_label(m.partitioner),
-                        seed,
-                    };
                     let stored = {
                         let guard = store.lock().expect("store poisoned");
                         // An undecodable record (foreign writer, say)
@@ -360,7 +431,6 @@ impl Campaign {
                         skipped += 1;
                         continue;
                     }
-                    queue_keys.push(key);
                 }
                 let partitioner = m
                     .partitioner
@@ -373,58 +443,155 @@ impl Campaign {
                         trial_seed: seed,
                     },
                 });
+                queue_keys.push(key);
                 queue_slots.push(ci * per_cell + si);
             }
         }
 
-        let flush_error: Mutex<Option<StoreError>> = Mutex::new(None);
-        let (records, mut stats) = match &store {
-            Some(store) => {
-                let hook = |i: usize, record: &TrialRecord| {
-                    let mut guard = store.lock().expect("store poisoned");
-                    if let Err(e) = guard.append(queue_keys[i].clone(), record.to_json()) {
-                        flush_error
-                            .lock()
-                            .expect("flush error slot poisoned")
-                            .get_or_insert(e);
-                    }
-                };
-                exec::execute(&queue, self.parallel, Some(&hook))
-            }
-            None => exec::execute(&queue, self.parallel, None),
-        };
-        if let Some(e) = flush_error.into_inner().expect("flush error slot poisoned") {
-            return Err(e);
-        }
-        stats.trials_skipped = skipped;
-        for (record, &slot) in records.into_iter().zip(&queue_slots) {
-            results[slot] = Some(record);
-        }
+        Ok(PreparedRun {
+            meta,
+            per_cell,
+            store,
+            queue,
+            queue_slots,
+            queue_keys,
+            results: Mutex::new(results),
+            skipped,
+            run_nanos: AtomicU64::new(0),
+            baseline: self.baseline,
+            parallel: self.parallel,
+        })
+    }
+}
 
+/// One enumerated grid cell's identity plus its protocol handle.
+struct CellMeta {
+    label: String,
+    protocol: Arc<dyn Protocol>,
+    spec: GraphSpec,
+    partitioner: Option<Partitioner>,
+}
+
+/// A campaign split at the store-consult boundary by
+/// [`Campaign::prepare`]: stored trials are already in the result
+/// grid, and the *pending* trials sit in a flat queue the caller
+/// drives — serially, through one `par_iter`, or interleaved with
+/// other prepared runs on a shared worker pool (the daemon). All
+/// methods take `&self`, so a `PreparedRun` can sit behind an `Arc`
+/// with many workers committing concurrently.
+pub struct PreparedRun {
+    meta: Vec<CellMeta>,
+    per_cell: usize,
+    store: Option<Arc<Mutex<Store>>>,
+    queue: Vec<WorkItem>,
+    queue_slots: Vec<usize>,
+    queue_keys: Vec<TrialKey>,
+    results: Mutex<Vec<Option<TrialRecord>>>,
+    skipped: u64,
+    run_nanos: AtomicU64,
+    baseline: Option<String>,
+    parallel: bool,
+}
+
+impl PreparedRun {
+    /// Number of trials that must actually run (the store held the
+    /// rest).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Trials served from the store at prepare time.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Total trials in the grid (pending + skipped).
+    pub fn total_trials(&self) -> usize {
+        self.meta.len() * self.per_cell
+    }
+
+    /// Whether the campaign asked for parallel execution.
+    pub fn parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// The canonical identity of pending trial `i` (in `0..pending()`).
+    pub fn pending_key(&self, i: usize) -> &TrialKey {
+        &self.queue_keys[i]
+    }
+
+    /// Executes pending trial `i` against `cache`, returning its
+    /// record. Pure compute — nothing is persisted or recorded until
+    /// [`PreparedRun::commit`]. Safe to call from any thread; each
+    /// `i` should be run once.
+    pub fn run_pending(&self, i: usize, cache: &InstanceCache) -> TrialRecord {
+        let (record, nanos) = exec::run_item(&self.queue[i], cache);
+        self.run_nanos.fetch_add(nanos, Ordering::Relaxed);
+        record
+    }
+
+    /// Commits pending trial `i`'s record: appends it to the store
+    /// (if one is attached) and files it into the result grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns the store failure if the append could not be flushed
+    /// (the record still lands in the in-memory result grid).
+    pub fn commit(&self, i: usize, record: TrialRecord) -> Result<(), StoreError> {
+        let stored = match &self.store {
+            Some(store) => {
+                let mut guard = store.lock().expect("store poisoned");
+                guard.append(self.queue_keys[i].clone(), record.to_json())
+            }
+            None => Ok(()),
+        };
+        self.results.lock().expect("results poisoned")[self.queue_slots[i]] = Some(record);
+        stored
+    }
+
+    /// Aggregates the finished grid into a [`CampaignReport`] plus
+    /// the run's trial accounting (`trials_computed`,
+    /// `trials_skipped`, `run_nanos`; the instance-cache counters are
+    /// zero — they belong to whichever cache the caller ran against).
+    /// Takes `&self` so a shared (`Arc`ed) run can be finalized by
+    /// whichever worker commits last.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some pending trial was never committed.
+    pub fn finish(&self) -> (CampaignReport, ExecStats) {
+        let results = std::mem::take(&mut *self.results.lock().expect("results poisoned"));
         let mut results = results.into_iter();
-        let cells = meta
-            .into_iter()
+        let cells = self
+            .meta
+            .iter()
             .map(|m| {
                 let trials: Vec<TrialRecord> = results
                     .by_ref()
-                    .take(per_cell)
+                    .take(self.per_cell)
                     .map(|r| r.expect("every grid slot is stored or computed"))
                     .collect();
                 CampaignCell {
                     protocol: m.label.clone(),
                     spec: m.spec,
                     partitioner: m.partitioner,
-                    report: Report::new(m.label, trials),
+                    report: Report::new(m.label.clone(), trials),
                 }
             })
             .collect();
-        Ok((
+        let stats = ExecStats {
+            trials_computed: self.queue.len() as u64,
+            trials_skipped: self.skipped,
+            run_nanos: self.run_nanos.load(Ordering::Relaxed),
+            ..ExecStats::default()
+        };
+        (
             CampaignReport {
                 cells,
-                baseline: self.baseline,
+                baseline: self.baseline.clone(),
             },
             stats,
-        ))
+        )
     }
 }
 
@@ -451,7 +618,14 @@ impl std::fmt::Debug for Campaign {
             .field("seeds", &self.seeds.len())
             .field("parallel", &self.parallel)
             .field("baseline", &self.baseline)
-            .field("store", &self.store)
+            .field(
+                "store",
+                &match &self.store {
+                    Some(StoreTarget::Path(p)) => format!("path:{}", p.display()),
+                    Some(StoreTarget::Shared(_)) => "shared".to_string(),
+                    None => "none".to_string(),
+                },
+            )
             .finish()
     }
 }
@@ -836,6 +1010,95 @@ impl CampaignReport {
             .collect();
         w.field_raw("cells", &format!("[{}]", cells.join(",")));
         w.finish()
+    }
+}
+
+/// Renders a baseline-relative comparison of the cells two reports
+/// share: `a` is the baseline, ratios are `b / a`. Cells present on
+/// only one side are listed under the table. Shared by `bichrome
+/// diff` and the daemon's `diff` request.
+pub fn diff_reports(
+    a: &CampaignReport,
+    b: &CampaignReport,
+    label_a: &str,
+    label_b: &str,
+) -> String {
+    use std::fmt::Write as _;
+    let mut t = Table::new(&[
+        "protocol",
+        "graph",
+        "partitioner",
+        "bits a",
+        "bits b",
+        "bits b/a",
+        "rounds b/a",
+        "valid a",
+        "valid b",
+    ]);
+    let mut shared = 0usize;
+    let mut only_a = Vec::new();
+    for cell in &a.cells {
+        let Some(twin) = b.cells.iter().find(|c| {
+            c.protocol == cell.protocol
+                && c.spec == cell.spec
+                && c.partitioner_label() == cell.partitioner_label()
+        }) else {
+            only_a.push(format!("{} on {}", cell.protocol, cell.spec));
+            continue;
+        };
+        shared += 1;
+        let (sa, sb) = (cell.summary(), twin.summary());
+        t.row(&[
+            &cell.protocol,
+            &cell.spec.to_string(),
+            &cell.partitioner_label(),
+            &format!("{:.1}", sa.total_bits.mean),
+            &format!("{:.1}", sb.total_bits.mean),
+            &ratio_label(sb.total_bits.mean, sa.total_bits.mean),
+            &ratio_label(sb.rounds.mean, sa.rounds.mean),
+            &format!("{}/{}", sa.valid, sa.trials),
+            &format!("{}/{}", sb.valid, sb.trials),
+        ]);
+    }
+    let only_b: Vec<String> = b
+        .cells
+        .iter()
+        .filter(|c| {
+            !a.cells.iter().any(|d| {
+                d.protocol == c.protocol
+                    && d.spec == c.spec
+                    && d.partitioner_label() == c.partitioner_label()
+            })
+        })
+        .map(|c| format!("{} on {}", c.protocol, c.spec))
+        .collect();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "diff {label_a} (a) vs {label_b} (b): {shared} shared cell(s)"
+    )
+    .expect("string write");
+    if shared > 0 {
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    for (label, cells) in [("only in a", only_a), ("only in b", only_b)] {
+        if !cells.is_empty() {
+            writeln!(out, "{label}: {}", cells.join(", ")).expect("string write");
+        }
+    }
+    out
+}
+
+/// A `x.xx×` ratio cell: `1.00x` when both sides are zero-mean, `∞`
+/// when only the baseline side is.
+fn ratio_label(b: f64, a: f64) -> String {
+    if a == 0.0 && b == 0.0 {
+        "1.00x".to_string()
+    } else if a == 0.0 {
+        "∞".to_string()
+    } else {
+        format!("{:.2}x", b / a)
     }
 }
 

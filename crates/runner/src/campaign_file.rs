@@ -15,9 +15,10 @@
 //! parallel     = true                # optional: default true
 //! ```
 
+use crate::registry::registry;
 use crate::toml::{self, TomlValue};
+use crate::{Campaign, GraphSpec};
 use bichrome_graph::partition::Partitioner;
-use bichrome_runner::{registry, Campaign, GraphSpec};
 
 /// A parsed, validated campaign declaration.
 #[derive(Debug, Clone, PartialEq)]

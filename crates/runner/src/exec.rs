@@ -223,18 +223,60 @@ struct PartitionKey {
     partitioner: Partitioner,
 }
 
-/// The per-execution instance cache (fresh per [`execute`] call, so
-/// memory is released when the run's records have been collected).
-struct InstanceCache {
+/// Cumulative counters of one [`InstanceCache`]: how much instance
+/// materialization was deduplicated, and the time spent on actual
+/// builds (cache misses only, summed across threads).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lazy trials that needed a graph.
+    pub graphs_requested: u64,
+    /// Graphs actually built — exactly one per distinct
+    /// `(spec, graph_seed)` key.
+    pub graphs_built: u64,
+    /// Lazy trials that needed an edge partition.
+    pub partitions_requested: u64,
+    /// Partitions actually built — exactly one per distinct
+    /// `(spec, graph_seed, partitioner)` key.
+    pub partitions_built: u64,
+    /// Cumulative nanoseconds spent building (cache misses only).
+    pub setup_nanos: u64,
+}
+
+/// The shared `(spec, seed) → Arc<Graph>` / partition cache trials
+/// resolve their instances through. One is created per `execute`
+/// call for one-shot runs; a long-lived service (the `bichrome`
+/// daemon) keeps a single cache at process scope so concurrent
+/// overlapping campaigns build each distinct instance exactly once
+/// between them.
+pub struct InstanceCache {
     graphs: Sharded<GraphKey, Arc<Graph>>,
     partitions: Sharded<PartitionKey, Arc<EdgePartition>>,
 }
 
+impl Default for InstanceCache {
+    fn default() -> Self {
+        InstanceCache::new()
+    }
+}
+
 impl InstanceCache {
-    fn new() -> Self {
+    /// An empty cache.
+    pub fn new() -> Self {
         InstanceCache {
             graphs: Sharded::new(),
             partitions: Sharded::new(),
+        }
+    }
+
+    /// A snapshot of the cache's cumulative request/build counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            graphs_requested: self.graphs.requested.load(Ordering::Relaxed),
+            graphs_built: self.graphs.built.load(Ordering::Relaxed),
+            partitions_requested: self.partitions.requested.load(Ordering::Relaxed),
+            partitions_built: self.partitions.built.load(Ordering::Relaxed),
+            setup_nanos: self.graphs.build_nanos.load(Ordering::Relaxed)
+                + self.partitions.build_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -290,22 +332,8 @@ pub(crate) fn execute(
     let cache = InstanceCache::new();
     let run_nanos = AtomicU64::new(0);
     let trial = |&(i, item): &(usize, &WorkItem)| -> TrialRecord {
-        let resolved;
-        let instance: &Instance = match &item.source {
-            WorkSource::Ready(instance) => instance,
-            WorkSource::Lazy {
-                spec,
-                partitioner,
-                trial_seed,
-            } => {
-                resolved = cache.instance(spec, *partitioner, *trial_seed);
-                &resolved
-            }
-        };
-        let run_started = Instant::now();
-        let outcome = item.protocol.run(instance);
-        let record = TrialRecord::from_outcome(instance, outcome);
-        run_nanos.fetch_add(run_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let (record, nanos) = run_item(item, &cache);
+        run_nanos.fetch_add(nanos, Ordering::Relaxed);
         if let Some(hook) = on_record {
             hook(i, &record);
         }
@@ -317,18 +345,51 @@ pub(crate) fn execute(
     } else {
         indexed.iter().map(trial).collect()
     };
-    let stats = ExecStats {
-        trials_computed: queue.len() as u64,
-        trials_skipped: 0,
-        graphs_requested: cache.graphs.requested.load(Ordering::Relaxed),
-        graphs_built: cache.graphs.built.load(Ordering::Relaxed),
-        partitions_requested: cache.partitions.requested.load(Ordering::Relaxed),
-        partitions_built: cache.partitions.built.load(Ordering::Relaxed),
-        setup_nanos: cache.graphs.build_nanos.load(Ordering::Relaxed)
-            + cache.partitions.build_nanos.load(Ordering::Relaxed),
-        run_nanos: run_nanos.load(Ordering::Relaxed),
-    };
+    let stats = stats_from(
+        &cache,
+        queue.len() as u64,
+        run_nanos.load(Ordering::Relaxed),
+    );
     (records, stats)
+}
+
+/// Runs one work item against `cache`, returning the record and the
+/// nanoseconds spent inside `Protocol::run`. This is the unit the
+/// daemon's multiplexed executor schedules directly (one task per
+/// pending trial), bypassing [`execute`]'s per-call queue.
+pub(crate) fn run_item(item: &WorkItem, cache: &InstanceCache) -> (TrialRecord, u64) {
+    let resolved;
+    let instance: &Instance = match &item.source {
+        WorkSource::Ready(instance) => instance,
+        WorkSource::Lazy {
+            spec,
+            partitioner,
+            trial_seed,
+        } => {
+            resolved = cache.instance(spec, *partitioner, *trial_seed);
+            &resolved
+        }
+    };
+    let run_started = Instant::now();
+    let outcome = item.protocol.run(instance);
+    let record = TrialRecord::from_outcome(instance, outcome);
+    (record, run_started.elapsed().as_nanos() as u64)
+}
+
+/// Assembles an [`ExecStats`] from a cache snapshot plus the caller's
+/// trial count and cumulative protocol-run time.
+pub(crate) fn stats_from(cache: &InstanceCache, trials_computed: u64, run_nanos: u64) -> ExecStats {
+    let cs = cache.stats();
+    ExecStats {
+        trials_computed,
+        trials_skipped: 0,
+        graphs_requested: cs.graphs_requested,
+        graphs_built: cs.graphs_built,
+        partitions_requested: cs.partitions_requested,
+        partitions_built: cs.partitions_built,
+        setup_nanos: cs.setup_nanos,
+        run_nanos,
+    }
 }
 
 #[cfg(test)]

@@ -89,6 +89,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod campaign_file;
 pub mod csv;
 mod exec;
 pub mod instance;
@@ -99,13 +100,17 @@ pub mod registry;
 mod scratch;
 pub mod seeds;
 pub mod table;
+pub mod toml;
 
 /// The hand-written JSON codec, re-exported from its home in
 /// [`bichrome_store`] (persistence is where the bytes live; the
 /// runner serializes its reports and records through it).
 pub use bichrome_store::json;
-pub use campaign::{BaselineDelta, Campaign, CampaignCell, CampaignReport, GroupBy};
-pub use exec::ExecStats;
+pub use campaign::{
+    diff_reports, BaselineDelta, Campaign, CampaignCell, CampaignReport, GroupBy, PreparedRun,
+};
+pub use campaign_file::CampaignFile;
+pub use exec::{CacheStats, ExecStats, InstanceCache};
 pub use instance::{GraphSpec, Instance, ParseSpecError};
 pub use plan::{Aggregate, Report, Summary, TrialPlan, TrialRecord};
 pub use protocol::{Artifact, Outcome, Protocol, Verdict};

@@ -1,0 +1,191 @@
+//! A blocking client for the daemon's wire protocol: one connection,
+//! one request, line-delimited JSON back.
+
+use crate::net::{Addr, Stream};
+use crate::proto::{Format, Request};
+use bichrome_store::json::Value;
+use std::io::{BufRead, BufReader, Write};
+
+/// A handle on a daemon address. Stateless — every call dials a
+/// fresh connection, so one `Client` may be shared freely.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: Addr,
+}
+
+impl Client {
+    /// A client for the daemon at `addr`.
+    pub fn new(addr: Addr) -> Client {
+        Client { addr }
+    }
+
+    /// Sends one request and returns the reader positioned after it,
+    /// plus the first (decoded) response line.
+    fn request(&self, req: &Request) -> Result<(BufReader<Stream>, Value), String> {
+        let mut conn =
+            Stream::connect(&self.addr).map_err(|e| format!("connecting {}: {e}", self.addr))?;
+        writeln!(conn, "{}", req.encode()).map_err(|e| format!("send: {e}"))?;
+        conn.flush().map_err(|e| format!("send: {e}"))?;
+        let mut reader = BufReader::new(conn);
+        let first = read_value(&mut reader)?.ok_or("daemon closed the connection")?;
+        Ok((reader, first))
+    }
+
+    /// Sends one request expecting a single `{"ok":...}` line.
+    fn roundtrip(&self, req: &Request) -> Result<Value, String> {
+        let (_, v) = self.request(req)?;
+        check_ok(v)
+    }
+
+    /// True if a daemon answers at this address.
+    pub fn ping(&self) -> bool {
+        self.roundtrip(&Request::Ping).is_ok()
+    }
+
+    /// Submits inline campaign TOML; returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and daemon-side rejections, rendered.
+    pub fn submit(&self, campaign_toml: &str) -> Result<u64, String> {
+        let v = self.roundtrip(&Request::Submit {
+            campaign: campaign_toml.to_string(),
+        })?;
+        field_u64(&v, "job")
+    }
+
+    /// One status snapshot for `job`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and unknown job ids.
+    pub fn status(&self, job: u64) -> Result<Value, String> {
+        self.roundtrip(&Request::Status { job })
+    }
+
+    /// Every job the daemon knows, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn jobs(&self) -> Result<Vec<Value>, String> {
+        let v = self.roundtrip(&Request::Jobs)?;
+        match v.as_object().and_then(|o| o.get("jobs")) {
+            Some(Value::Array(items)) => Ok(items.clone()),
+            _ => Err("malformed jobs response".to_string()),
+        }
+    }
+
+    /// Streams `job`'s progress, invoking `on_event` per `trial`
+    /// event, until the `end` event — which is returned.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and unknown job ids.
+    pub fn watch(&self, job: u64, mut on_event: impl FnMut(&Value)) -> Result<Value, String> {
+        let (mut reader, ack) = self.request(&Request::Watch { job })?;
+        check_ok(ack)?;
+        while let Some(event) = read_value(&mut reader)? {
+            let kind = event
+                .as_object()
+                .and_then(|o| o.get("event"))
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string();
+            if kind == "end" {
+                return Ok(event);
+            }
+            on_event(&event);
+        }
+        Err("watch stream ended without an end event".to_string())
+    }
+
+    /// Renders a report of one finished job (`Some(id)`) or of the
+    /// daemon's whole store (`None`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, unknown/unfinished jobs.
+    pub fn report(&self, job: Option<u64>, format: Format) -> Result<String, String> {
+        let v = self.roundtrip(&Request::Report { job, format })?;
+        field_str(&v, "output")
+    }
+
+    /// Baseline-relative diff of two finished jobs.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, unknown/unfinished jobs.
+    pub fn diff(&self, a: u64, b: u64) -> Result<String, String> {
+        let v = self.roundtrip(&Request::Diff { a, b })?;
+        field_str(&v, "output")
+    }
+
+    /// Cooperatively cancels a job.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and unknown job ids.
+    pub fn cancel(&self, job: u64) -> Result<(), String> {
+        self.roundtrip(&Request::Cancel { job }).map(|_| ())
+    }
+
+    /// Daemon-wide counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn stats(&self) -> Result<Value, String> {
+        self.roundtrip(&Request::Stats)
+    }
+
+    /// Asks the daemon to drain, checkpoint, and exit; returns once
+    /// it has (the daemon responds *after* the drain completes).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn shutdown(&self) -> Result<(), String> {
+        self.roundtrip(&Request::Shutdown).map(|_| ())
+    }
+}
+
+/// Reads and parses one response line (`None` on clean EOF).
+fn read_value(reader: &mut BufReader<Stream>) -> Result<Option<Value>, String> {
+    let mut line = String::new();
+    let n = reader
+        .read_line(&mut line)
+        .map_err(|e| format!("recv: {e}"))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    Value::parse(line.trim()).map(Some)
+}
+
+/// Unwraps `{"ok":true,...}` or surfaces the daemon's error.
+fn check_ok(v: Value) -> Result<Value, String> {
+    let obj = v.as_object().ok_or("malformed response")?;
+    match obj.get("ok") {
+        Some(Value::Bool(true)) => Ok(v),
+        _ => Err(obj
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("malformed response")
+            .to_string()),
+    }
+}
+
+fn field_u64(v: &Value, field: &str) -> Result<u64, String> {
+    v.as_object()
+        .and_then(|o| o.get(field))
+        .and_then(Value::as_u64)
+        .ok_or(format!("response has no integer {field:?}"))
+}
+
+fn field_str(v: &Value, field: &str) -> Result<String, String> {
+    v.as_object()
+        .and_then(|o| o.get(field))
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or(format!("response has no string {field:?}"))
+}

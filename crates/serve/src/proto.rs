@@ -1,0 +1,272 @@
+//! The wire protocol: one JSON object per line, one request per
+//! connection, reusing the workspace's hand-written codec
+//! ([`bichrome_store::json`]).
+//!
+//! Requests are `{"op": "...", ...}`; responses are
+//! `{"ok": true, ...}` or `{"ok": false, "error": "..."}`. The
+//! `watch` request is the one streaming case: after the `ok` line the
+//! daemon keeps the connection open and emits `{"event": "trial",
+//! ...}` lines, closing with `{"event": "end", ...}`.
+//!
+//! Trial seeds cross the wire as *strings*: the JSON parser holds
+//! numbers as `f64`, which would corrupt seeds above 2⁵³.
+
+use bichrome_store::json::{self, Value};
+
+/// Output format asked of `report`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// Rendered table.
+    #[default]
+    Text,
+    /// Full `CampaignReport` JSON.
+    Json,
+    /// The pinned per-cell CSV.
+    Csv,
+}
+
+impl Format {
+    /// Parses `"text"` / `"json"` / `"csv"`.
+    ///
+    /// # Errors
+    ///
+    /// Names the unknown format.
+    pub fn parse(s: &str) -> Result<Format, String> {
+        match s {
+            "text" => Ok(Format::Text),
+            "json" => Ok(Format::Json),
+            "csv" => Ok(Format::Csv),
+            other => Err(format!("unknown format {other:?} (text|json|csv)")),
+        }
+    }
+}
+
+/// One decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit an inline campaign declaration (the TOML text itself,
+    /// not a path — the daemon may not share a filesystem view with
+    /// the client).
+    Submit {
+        /// The `[campaign]` TOML text.
+        campaign: String,
+    },
+    /// Snapshot one job's progress.
+    Status {
+        /// Job id from `submit`.
+        job: u64,
+    },
+    /// List every job the daemon knows.
+    Jobs,
+    /// Stream a job's per-trial progress until it ends.
+    Watch {
+        /// Job id from `submit`.
+        job: u64,
+    },
+    /// Render a report: of one finished job, or (without `job`) of
+    /// the daemon's whole store.
+    Report {
+        /// Finished job id; `None` aggregates the store.
+        job: Option<u64>,
+        /// Output format.
+        format: Format,
+    },
+    /// Compare two finished jobs' reports (a is the baseline).
+    Diff {
+        /// Baseline job id.
+        a: u64,
+        /// Candidate job id.
+        b: u64,
+    },
+    /// Cooperatively cancel a running job.
+    Cancel {
+        /// Job id from `submit`.
+        job: u64,
+    },
+    /// Daemon-wide counters (instance cache, store, jobs).
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Drain in-flight jobs, checkpoint the store, and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Decodes one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Value::parse(line.trim())?;
+        let obj = v.as_object().ok_or("request is not a JSON object")?;
+        let op = obj
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or("request has no \"op\" string")?;
+        let job_field = |field: &str| -> Result<u64, String> {
+            obj.get(field)
+                .and_then(Value::as_u64)
+                .ok_or(format!("{op:?} needs an integer {field:?} field"))
+        };
+        match op {
+            "submit" => Ok(Request::Submit {
+                campaign: obj
+                    .get("campaign")
+                    .and_then(Value::as_str)
+                    .ok_or("\"submit\" needs a \"campaign\" string (inline TOML)")?
+                    .to_string(),
+            }),
+            "status" => Ok(Request::Status {
+                job: job_field("job")?,
+            }),
+            "jobs" => Ok(Request::Jobs),
+            "watch" => Ok(Request::Watch {
+                job: job_field("job")?,
+            }),
+            "report" => Ok(Request::Report {
+                job: match obj.get("job") {
+                    None | Some(Value::Null) => None,
+                    Some(v) => Some(
+                        v.as_u64()
+                            .ok_or("\"report\" job field must be an integer")?,
+                    ),
+                },
+                format: match obj.get("format") {
+                    None => Format::Text,
+                    Some(v) => Format::parse(
+                        v.as_str()
+                            .ok_or("\"report\" format field must be a string")?,
+                    )?,
+                },
+            }),
+            "diff" => Ok(Request::Diff {
+                a: job_field("a")?,
+                b: job_field("b")?,
+            }),
+            "cancel" => Ok(Request::Cancel {
+                job: job_field("job")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+
+    /// Encodes the request as its wire line (without newline).
+    pub fn encode(&self) -> String {
+        let mut w = json::Writer::object();
+        match self {
+            Request::Submit { campaign } => {
+                w.field_str("op", "submit");
+                w.field_str("campaign", campaign);
+            }
+            Request::Status { job } => {
+                w.field_str("op", "status");
+                w.field_u64("job", *job);
+            }
+            Request::Jobs => w.field_str("op", "jobs"),
+            Request::Watch { job } => {
+                w.field_str("op", "watch");
+                w.field_u64("job", *job);
+            }
+            Request::Report { job, format } => {
+                w.field_str("op", "report");
+                if let Some(job) = job {
+                    w.field_u64("job", *job);
+                }
+                w.field_str(
+                    "format",
+                    match format {
+                        Format::Text => "text",
+                        Format::Json => "json",
+                        Format::Csv => "csv",
+                    },
+                );
+            }
+            Request::Diff { a, b } => {
+                w.field_str("op", "diff");
+                w.field_u64("a", *a);
+                w.field_u64("b", *b);
+            }
+            Request::Cancel { job } => {
+                w.field_str("op", "cancel");
+                w.field_u64("job", *job);
+            }
+            Request::Stats => w.field_str("op", "stats"),
+            Request::Ping => w.field_str("op", "ping"),
+            Request::Shutdown => w.field_str("op", "shutdown"),
+        }
+        w.finish()
+    }
+}
+
+/// An `{"ok": false, "error": ...}` line.
+pub fn error_line(msg: &str) -> String {
+    let mut w = json::Writer::object();
+    w.field_bool("ok", false);
+    w.field_str("error", msg);
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_the_wire_encoding() {
+        let cases = [
+            Request::Submit {
+                campaign: "[campaign]\nseeds = \"0..2\"\n".to_string(),
+            },
+            Request::Status { job: 3 },
+            Request::Jobs,
+            Request::Watch { job: 7 },
+            Request::Report {
+                job: None,
+                format: Format::Csv,
+            },
+            Request::Report {
+                job: Some(2),
+                format: Format::Text,
+            },
+            Request::Diff { a: 1, b: 2 },
+            Request::Cancel { job: 9 },
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in cases {
+            let line = req.encode();
+            assert_eq!(Request::parse(&line).expect("parses"), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_described() {
+        for (line, needle) in [
+            ("nonsense", "expected"),
+            ("[1,2]", "not a JSON object"),
+            ("{}", "no \"op\""),
+            ("{\"op\":\"frob\"}", "unknown op"),
+            ("{\"op\":\"status\"}", "integer \"job\""),
+            ("{\"op\":\"submit\"}", "inline TOML"),
+            ("{\"op\":\"report\",\"format\":\"yaml\"}", "yaml"),
+        ] {
+            let err = Request::parse(line).expect_err(line);
+            assert!(
+                err.to_lowercase().contains(&needle.to_lowercase()),
+                "{line}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_lines_are_wellformed_json() {
+        let v = Value::parse(&error_line("bad \"quote\"")).expect("parses");
+        let obj = v.as_object().expect("object");
+        assert_eq!(obj["ok"], Value::Bool(false));
+        assert_eq!(obj["error"].as_str(), Some("bad \"quote\""));
+    }
+}

@@ -1,0 +1,690 @@
+//! The daemon: one shared store, one process-wide instance cache, one
+//! worker pool — every submitted campaign's pending trials multiplex
+//! onto the same queue.
+//!
+//! # Architecture
+//!
+//! A [`Daemon`] owns the process-scoped resources:
+//!
+//! * the persistent [`Store`] (every job reads and appends through
+//!   one `Arc<Mutex<Store>>`, so concurrent jobs share warm results
+//!   the moment they commit);
+//! * one [`InstanceCache`] — when two in-flight jobs touch the same
+//!   `(spec, seed)` graph, it is built exactly once, *across* jobs,
+//!   not once per job as `Campaign::run` would;
+//! * a fixed pool of worker threads feeding off one FIFO of
+//!   `Task`s (`(job, pending-trial-index)` pairs).
+//!
+//! `submit` parses an inline campaign declaration, consults the store
+//! ([`Campaign::prepare`](bichrome_runner::Campaign::prepare)) and
+//! enqueues only the cold trials; a fully
+//! warm submission finalizes immediately with `computed 0 trials`.
+//! Jobs finish when their last task commits — whichever worker that
+//! is runs the aggregation and wakes the job's watchers.
+//!
+//! # Durability
+//!
+//! Appends are group-flushed (`StoreConfig::flush_every`), flushed
+//! again when each job finalizes, and the graceful `shutdown` request
+//! drains all in-flight jobs then checkpoints (roll + atomic meta).
+//! A hard kill at *any* point loses at most the unflushed tail of the
+//! active segment: the next open salvages everything durable and a
+//! re-submit recomputes only what was lost (`tests/daemon.rs` kills a
+//! store mid-write at a random byte and proves resume convergence).
+
+use crate::net::{Addr, Listener, Stream};
+use crate::proto::{error_line, Format, Request};
+use bichrome_runner::{
+    diff_reports, CacheStats, CampaignFile, CampaignReport, ExecStats, InstanceCache, PreparedRun,
+};
+use bichrome_store::json;
+use bichrome_store::{Store, StoreConfig};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+
+/// Tuning knobs for [`Daemon::start`].
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Worker threads (0 = one per available core).
+    pub workers: usize,
+    /// Store tuning; the default batches appends (`flush_every: 64`)
+    /// since the daemon re-flushes at every job boundary anyway.
+    pub store: StoreConfig,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            workers: 0,
+            store: StoreConfig {
+                flush_every: 64,
+                ..StoreConfig::default()
+            },
+        }
+    }
+}
+
+/// One schedulable unit: pending trial `idx` of `job`.
+struct Task {
+    job: Arc<Job>,
+    idx: usize,
+}
+
+/// Terminal and non-terminal job states.
+enum JobState {
+    Running,
+    Done(Box<CampaignReport>, ExecStats),
+    Cancelled,
+    Failed(String),
+}
+
+impl JobState {
+    fn label(&self) -> &'static str {
+        match self {
+            JobState::Running => "running",
+            JobState::Done(..) => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed(_) => "failed",
+        }
+    }
+}
+
+/// State guarded by one mutex so watcher registration and job
+/// finalization cannot interleave (a watcher is either in the list
+/// when the end event fans out, or sees the terminal state directly).
+struct JobInner {
+    state: JobState,
+    watchers: Vec<mpsc::Sender<String>>,
+}
+
+/// One submitted campaign.
+struct Job {
+    id: u64,
+    prepared: PreparedRun,
+    remaining: AtomicUsize,
+    computed: AtomicU64,
+    cancel: AtomicBool,
+    inner: Mutex<JobInner>,
+}
+
+impl Job {
+    /// The CLI-pinned accounting phrase.
+    fn summary_phrase(&self) -> String {
+        format!(
+            "computed {} trials ({} skipped via store)",
+            self.computed.load(Ordering::SeqCst),
+            self.prepared.skipped()
+        )
+    }
+
+    /// Marks the job failed (first failure wins) and stops its
+    /// remaining tasks cooperatively.
+    fn fail(&self, msg: String) {
+        let mut inner = self.inner.lock().expect("job poisoned");
+        if matches!(inner.state, JobState::Running) {
+            inner.state = JobState::Failed(msg);
+        }
+        drop(inner);
+        self.cancel.store(true, Ordering::SeqCst);
+    }
+
+    /// Fans one per-trial progress event out to the watchers.
+    fn emit_trial(&self, idx: usize, computed_so_far: u64) {
+        let key = self.prepared.pending_key(idx);
+        let mut w = json::Writer::object();
+        w.field_str("event", "trial");
+        w.field_u64("job", self.id);
+        w.field_str("protocol", &key.protocol);
+        w.field_str("graph", &key.graph);
+        w.field_str("partitioner", &key.partitioner);
+        w.field_str("seed", &key.seed.to_string());
+        w.field_u64("computed", computed_so_far);
+        w.field_u64("pending", self.prepared.pending() as u64);
+        let line = w.finish();
+        let mut inner = self.inner.lock().expect("job poisoned");
+        inner.watchers.retain(|tx| tx.send(line.clone()).is_ok());
+    }
+
+    /// The closing event for `state` (not necessarily terminal yet —
+    /// callers pass the post-finalize state).
+    fn end_event_line(&self, state: &JobState) -> String {
+        let mut w = json::Writer::object();
+        w.field_str("event", "end");
+        w.field_u64("job", self.id);
+        w.field_str("state", state.label());
+        w.field_u64("computed", self.computed.load(Ordering::SeqCst));
+        w.field_u64("skipped", self.prepared.skipped());
+        w.field_str("summary", &self.summary_phrase());
+        if let JobState::Failed(msg) = state {
+            w.field_str("error", msg);
+        }
+        w.finish()
+    }
+
+    /// One `{"ok":true,...}` status snapshot.
+    fn status_line(&self) -> String {
+        let inner = self.inner.lock().expect("job poisoned");
+        let mut w = json::Writer::object();
+        w.field_bool("ok", true);
+        w.field_u64("job", self.id);
+        w.field_str("state", inner.state.label());
+        w.field_u64("total", self.prepared.total_trials() as u64);
+        w.field_u64("pending", self.prepared.pending() as u64);
+        w.field_u64("computed", self.computed.load(Ordering::SeqCst));
+        w.field_u64("skipped", self.prepared.skipped());
+        w.field_u64("remaining", self.remaining.load(Ordering::SeqCst) as u64);
+        w.field_str("summary", &self.summary_phrase());
+        if let JobState::Failed(msg) = &inner.state {
+            w.field_str("error", msg);
+        }
+        w.finish()
+    }
+}
+
+/// The campaign daemon. See the [module docs](self) for the
+/// architecture; construct with [`Daemon::start`], talk to it
+/// in-process through the `submit`/`status`/… methods or over a
+/// socket via [`Daemon::serve`] + [`crate::Client`].
+pub struct Daemon {
+    store: Arc<Mutex<Store>>,
+    cache: InstanceCache,
+    jobs: Mutex<BTreeMap<u64, Arc<Job>>>,
+    next_job: AtomicU64,
+    queue: Mutex<VecDeque<Task>>,
+    queue_cv: Condvar,
+    /// Jobs submitted but not yet finalized.
+    active: Mutex<usize>,
+    idle_cv: Condvar,
+    /// Set by `shutdown`: refuse new submissions.
+    draining: AtomicBool,
+    /// Set after the drain: workers exit once the queue empties.
+    stopping: AtomicBool,
+    /// Set once the shutdown response is on the wire: the accept
+    /// loop's cue to exit on its next (self-)connection.
+    done_serving: AtomicBool,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl Daemon {
+    /// Opens (or creates) the store at `dir` and starts the worker
+    /// pool. The returned daemon accepts work immediately, with or
+    /// without a listening socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store open failure as its rendered message.
+    pub fn start(dir: impl Into<PathBuf>, config: DaemonConfig) -> Result<Arc<Daemon>, String> {
+        let store = Store::open_or_create_with(dir, config.store)
+            .map_err(|e| format!("opening store: {e}"))?;
+        let daemon = Arc::new(Daemon {
+            store: Arc::new(Mutex::new(store)),
+            cache: InstanceCache::new(),
+            jobs: Mutex::new(BTreeMap::new()),
+            next_job: AtomicU64::new(0),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            active: Mutex::new(0),
+            idle_cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
+            done_serving: AtomicBool::new(false),
+            workers: Mutex::new(Vec::new()),
+        });
+        let n = match config.workers {
+            0 => thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        };
+        let mut handles = daemon.workers.lock().expect("workers poisoned");
+        for _ in 0..n {
+            let d = Arc::clone(&daemon);
+            handles.push(thread::spawn(move || d.worker_loop()));
+        }
+        drop(handles);
+        Ok(daemon)
+    }
+
+    /// Submits an inline campaign declaration (TOML text). The file's
+    /// own `store` key is ignored — every job runs against the
+    /// daemon's store. Returns the job id; a fully warm submission is
+    /// already `done` when this returns.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed declarations and submissions during
+    /// shutdown.
+    pub fn submit(&self, campaign_toml: &str) -> Result<u64, String> {
+        if self.draining.load(Ordering::SeqCst) {
+            return Err("daemon is shutting down".to_string());
+        }
+        let file = CampaignFile::parse(campaign_toml)?;
+        let prepared = file
+            .to_campaign(None)
+            .with_shared_store(Arc::clone(&self.store))
+            .prepare()
+            .map_err(|e| format!("store: {e}"))?;
+        let id = self.next_job.fetch_add(1, Ordering::SeqCst) + 1;
+        let pending = prepared.pending();
+        let job = Arc::new(Job {
+            id,
+            prepared,
+            remaining: AtomicUsize::new(pending),
+            computed: AtomicU64::new(0),
+            cancel: AtomicBool::new(false),
+            inner: Mutex::new(JobInner {
+                state: JobState::Running,
+                watchers: Vec::new(),
+            }),
+        });
+        self.jobs
+            .lock()
+            .expect("jobs poisoned")
+            .insert(id, Arc::clone(&job));
+        *self.active.lock().expect("active poisoned") += 1;
+        if pending == 0 {
+            self.finalize(&job);
+        } else {
+            let mut q = self.queue.lock().expect("queue poisoned");
+            for idx in 0..pending {
+                q.push_back(Task {
+                    job: Arc::clone(&job),
+                    idx,
+                });
+            }
+            drop(q);
+            self.queue_cv.notify_all();
+        }
+        Ok(id)
+    }
+
+    fn job(&self, id: u64) -> Result<Arc<Job>, String> {
+        self.jobs
+            .lock()
+            .expect("jobs poisoned")
+            .get(&id)
+            .cloned()
+            .ok_or(format!("no such job {id}"))
+    }
+
+    /// One status snapshot line for `job`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown job id.
+    pub fn status(&self, id: u64) -> Result<String, String> {
+        Ok(self.job(id)?.status_line())
+    }
+
+    /// `{"ok":true,"jobs":[...]}` — every job, oldest first.
+    pub fn jobs_line(&self) -> String {
+        let jobs = self.jobs.lock().expect("jobs poisoned");
+        let items: Vec<String> = jobs.values().map(|j| j.status_line()).collect();
+        let mut w = json::Writer::object();
+        w.field_bool("ok", true);
+        w.field_raw("jobs", &format!("[{}]", items.join(",")));
+        w.finish()
+    }
+
+    /// Subscribes to a job's progress. Returns the acknowledgement
+    /// line and a receiver of event lines (ending with the `end`
+    /// event); a job that already finished yields the `end` event
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// Unknown job id.
+    pub fn watch(&self, id: u64) -> Result<(String, mpsc::Receiver<String>), String> {
+        let job = self.job(id)?;
+        let (tx, rx) = mpsc::channel();
+        let mut inner = job.inner.lock().expect("job poisoned");
+        if matches!(inner.state, JobState::Running) {
+            inner.watchers.push(tx);
+        } else {
+            // Terminal already: replay the closing event; dropping
+            // `tx` here ends the stream after it.
+            let _ = tx.send(job.end_event_line(&inner.state));
+        }
+        drop(inner);
+        let mut w = json::Writer::object();
+        w.field_bool("ok", true);
+        w.field_u64("job", id);
+        Ok((w.finish(), rx))
+    }
+
+    /// Cooperative cancel: queued tasks drain as no-ops, in-flight
+    /// trials finish (and still commit). No-op on finished jobs.
+    ///
+    /// # Errors
+    ///
+    /// Unknown job id.
+    pub fn cancel(&self, id: u64) -> Result<String, String> {
+        let job = self.job(id)?;
+        job.cancel.store(true, Ordering::SeqCst);
+        let mut w = json::Writer::object();
+        w.field_bool("ok", true);
+        w.field_u64("job", id);
+        w.field_bool("cancelling", true);
+        Ok(w.finish())
+    }
+
+    /// Renders a report: of one finished job, or of the whole store.
+    ///
+    /// # Errors
+    ///
+    /// Unknown / unfinished job, or an undecodable store record.
+    pub fn report(&self, job: Option<u64>, format: Format) -> Result<String, String> {
+        let render = |report: &CampaignReport, trailer: Option<String>| match format {
+            Format::Json => report.to_json(),
+            Format::Csv => report.to_csv(),
+            Format::Text => {
+                let mut out = report.render_table();
+                if let Some(t) = trailer {
+                    out.push_str(&t);
+                    out.push('\n');
+                }
+                out
+            }
+        };
+        match job {
+            Some(id) => {
+                let job = self.job(id)?;
+                let inner = job.inner.lock().expect("job poisoned");
+                match &inner.state {
+                    JobState::Done(report, stats) => Ok(render(
+                        report,
+                        Some(format!(
+                            "{} · {:.3}s worker time",
+                            job.summary_phrase(),
+                            stats.run_nanos as f64 / 1e9
+                        )),
+                    )),
+                    other => Err(format!("job {id} is {}, not done", other.label())),
+                }
+            }
+            None => {
+                let store = self.store.lock().expect("store poisoned");
+                let report = CampaignReport::from_store(&store)?;
+                Ok(render(&report, None))
+            }
+        }
+    }
+
+    /// Baseline-relative diff of two finished jobs (`a` is baseline).
+    ///
+    /// # Errors
+    ///
+    /// Unknown / unfinished job ids.
+    pub fn diff(&self, a: u64, b: u64) -> Result<String, String> {
+        let report_of = |id: u64| -> Result<Box<CampaignReport>, String> {
+            let job = self.job(id)?;
+            let inner = job.inner.lock().expect("job poisoned");
+            match &inner.state {
+                JobState::Done(report, _) => Ok(report.clone()),
+                other => Err(format!("job {id} is {}, not done", other.label())),
+            }
+        };
+        let (ra, rb) = (report_of(a)?, report_of(b)?);
+        Ok(diff_reports(
+            &ra,
+            &rb,
+            &format!("job {a}"),
+            &format!("job {b}"),
+        ))
+    }
+
+    /// The daemon-wide instance-cache counters — across *all* jobs,
+    /// which is what proves cross-job dedup (two overlapping grids,
+    /// `graphs_built` counts each distinct graph once).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// `{"ok":true,...}` daemon counters: cache, store, job count.
+    pub fn stats_line(&self) -> String {
+        let cs = self.cache_stats();
+        let (records, dead) = {
+            let store = self.store.lock().expect("store poisoned");
+            (store.len() as u64, store.dead_records() as u64)
+        };
+        let mut w = json::Writer::object();
+        w.field_bool("ok", true);
+        w.field_u64("graphs_requested", cs.graphs_requested);
+        w.field_u64("graphs_built", cs.graphs_built);
+        w.field_u64("partitions_requested", cs.partitions_requested);
+        w.field_u64("partitions_built", cs.partitions_built);
+        w.field_u64(
+            "jobs",
+            self.jobs.lock().expect("jobs poisoned").len() as u64,
+        );
+        w.field_u64("records", records);
+        w.field_u64("dead_records", dead);
+        w.finish()
+    }
+
+    /// Graceful shutdown: refuse new submissions, drain every
+    /// in-flight job, stop the workers, and checkpoint the store
+    /// (flush + segment roll + atomic meta rewrite).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the checkpoint failure as its rendered message.
+    pub fn shutdown(&self) -> Result<(), String> {
+        self.draining.store(true, Ordering::SeqCst);
+        let mut active = self.active.lock().expect("active poisoned");
+        while *active > 0 {
+            active = self.idle_cv.wait(active).expect("active poisoned");
+        }
+        drop(active);
+        self.stopping.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().expect("workers poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+        self.store
+            .lock()
+            .expect("store poisoned")
+            .checkpoint()
+            .map_err(|e| format!("store checkpoint: {e}"))
+    }
+
+    // ----- the worker pool ------------------------------------------------
+
+    fn worker_loop(&self) {
+        loop {
+            let task = {
+                let mut q = self.queue.lock().expect("queue poisoned");
+                loop {
+                    if let Some(t) = q.pop_front() {
+                        break Some(t);
+                    }
+                    if self.stopping.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    q = self.queue_cv.wait(q).expect("queue poisoned");
+                }
+            };
+            match task {
+                Some(task) => self.process(task),
+                None => return,
+            }
+        }
+    }
+
+    fn process(&self, task: Task) {
+        let job = &task.job;
+        if !job.cancel.load(Ordering::SeqCst) {
+            // A panicking protocol poisons only its own job, not the
+            // daemon: the job turns `failed` and its queue drains.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                job.prepared.run_pending(task.idx, &self.cache)
+            }));
+            match outcome {
+                Ok(record) => match job.prepared.commit(task.idx, record) {
+                    Ok(()) => {
+                        let done = job.computed.fetch_add(1, Ordering::SeqCst) + 1;
+                        job.emit_trial(task.idx, done);
+                    }
+                    Err(e) => job.fail(format!("store append: {e}")),
+                },
+                Err(panic) => job.fail(panic_message(panic.as_ref())),
+            }
+        }
+        if job.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.finalize(job);
+        }
+    }
+
+    /// Runs exactly once per job, by whichever worker (or `submit`,
+    /// for warm jobs) retires its last pending trial.
+    fn finalize(&self, job: &Arc<Job>) {
+        let mut inner = job.inner.lock().expect("job poisoned");
+        if matches!(inner.state, JobState::Running) {
+            if job.cancel.load(Ordering::SeqCst) {
+                inner.state = JobState::Cancelled;
+            } else {
+                let (report, stats) = job.prepared.finish();
+                inner.state = JobState::Done(Box::new(report), stats);
+            }
+        }
+        let end = job.end_event_line(&inner.state);
+        for tx in inner.watchers.drain(..) {
+            let _ = tx.send(end.clone());
+        }
+        drop(inner);
+        // Job boundaries are durability boundaries: whatever the
+        // group-flush batching left buffered lands now.
+        let _ = self.store.lock().expect("store poisoned").flush();
+        let mut active = self.active.lock().expect("active poisoned");
+        *active -= 1;
+        drop(active);
+        self.idle_cv.notify_all();
+    }
+
+    // ----- the socket front-end -------------------------------------------
+
+    /// Serves connections on `listener` until a `shutdown` request
+    /// completes. One thread per connection; one request per
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures.
+    pub fn serve(self: &Arc<Self>, listener: Listener) -> io::Result<()> {
+        let addr = listener.local_addr();
+        loop {
+            let conn = listener.accept()?;
+            if self.done_serving.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            let daemon = Arc::clone(self);
+            let wake = addr.clone();
+            thread::spawn(move || daemon.handle_connection(conn, &wake));
+        }
+    }
+
+    fn handle_connection(self: &Arc<Self>, conn: Stream, wake: &Addr) {
+        let Ok(read_half) = conn.try_clone() else {
+            return;
+        };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = conn;
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            return; // bare connect (liveness probe / shutdown wake)
+        }
+        let reply = |writer: &mut Stream, line: &str| {
+            let _ = writeln!(writer, "{line}");
+            let _ = writer.flush();
+        };
+        let req = match Request::parse(&line) {
+            Ok(req) => req,
+            Err(e) => return reply(&mut writer, &error_line(&e)),
+        };
+        match req {
+            Request::Submit { campaign } => match self.submit(&campaign) {
+                Ok(id) => {
+                    let mut w = json::Writer::object();
+                    w.field_bool("ok", true);
+                    w.field_u64("job", id);
+                    reply(&mut writer, &w.finish());
+                }
+                Err(e) => reply(&mut writer, &error_line(&e)),
+            },
+            Request::Status { job } => match self.status(job) {
+                Ok(line) => reply(&mut writer, &line),
+                Err(e) => reply(&mut writer, &error_line(&e)),
+            },
+            Request::Jobs => reply(&mut writer, &self.jobs_line()),
+            Request::Watch { job } => match self.watch(job) {
+                Ok((ack, rx)) => {
+                    reply(&mut writer, &ack);
+                    for event in rx {
+                        if writeln!(writer, "{event}").is_err() {
+                            break; // client hung up; sender side prunes us
+                        }
+                        let _ = writer.flush();
+                    }
+                }
+                Err(e) => reply(&mut writer, &error_line(&e)),
+            },
+            Request::Report { job, format } => match self.report(job, format) {
+                Ok(output) => {
+                    let mut w = json::Writer::object();
+                    w.field_bool("ok", true);
+                    w.field_str("output", &output);
+                    reply(&mut writer, &w.finish());
+                }
+                Err(e) => reply(&mut writer, &error_line(&e)),
+            },
+            Request::Diff { a, b } => match self.diff(a, b) {
+                Ok(output) => {
+                    let mut w = json::Writer::object();
+                    w.field_bool("ok", true);
+                    w.field_str("output", &output);
+                    reply(&mut writer, &w.finish());
+                }
+                Err(e) => reply(&mut writer, &error_line(&e)),
+            },
+            Request::Cancel { job } => match self.cancel(job) {
+                Ok(line) => reply(&mut writer, &line),
+                Err(e) => reply(&mut writer, &error_line(&e)),
+            },
+            Request::Stats => reply(&mut writer, &self.stats_line()),
+            Request::Ping => {
+                let mut w = json::Writer::object();
+                w.field_bool("ok", true);
+                w.field_bool("pong", true);
+                reply(&mut writer, &w.finish());
+            }
+            Request::Shutdown => {
+                match self.shutdown() {
+                    Ok(()) => {
+                        let mut w = json::Writer::object();
+                        w.field_bool("ok", true);
+                        w.field_bool("drained", true);
+                        reply(&mut writer, &w.finish());
+                    }
+                    Err(e) => reply(&mut writer, &error_line(&e)),
+                }
+                self.done_serving.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so `serve` can return.
+                let _ = Stream::connect(wake);
+            }
+        }
+    }
+}
+
+/// Renders a caught panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("trial panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("trial panicked: {s}")
+    } else {
+        "trial panicked".to_string()
+    }
+}

@@ -3,68 +3,96 @@
 //! Every trial a campaign executes is identified by a *canonical cell
 //! identity* — protocol label, graph-spec display string, partitioner
 //! display string, trial seed — plus the store's pinned on-disk
-//! [`FORMAT_VERSION`]. The store persists one JSON record per
-//! identity in an append-only JSONL trial log and indexes it by a
-//! content address derived from that identity through the workspace's
-//! SplitMix64 seed machinery ([`TrialKey::content_hash`]), so
-//! re-running a campaign skips every trial the store already holds:
-//! a killed run resumes where it stopped, and extending a seed axis
-//! only computes the new suffix.
+//! [`FORMAT_VERSION`]. The store persists one record per identity and
+//! indexes it by a content address derived from that identity through
+//! the workspace's SplitMix64 seed machinery
+//! ([`TrialKey::content_hash`]), so re-running a campaign skips every
+//! trial the store already holds: a killed run resumes where it
+//! stopped, and extending a seed axis only computes the new suffix.
 //!
 //! # On-disk layout
 //!
 //! ```text
-//! <dir>/meta.json      pinned {"magic", "format_version"} — written
-//!                      atomically (temp file + rename)
-//! <dir>/trials.jsonl   one line per stored trial:
-//!                      {"hash","protocol","graph","partitioner","seed","record"}
+//! <dir>/meta.json              pinned {"magic", "format_version"} —
+//!                              written atomically (temp file + rename)
+//! <dir>/trials.jsonl           the v1 JSON-lines trial log; still
+//!                              loaded, never appended to anymore
+//! <dir>/segments/seg-NNNNNNNN.bcs
+//!                              v2 binary segments (see [`mod@segment`]
+//!                              docs for the frame format); all new
+//!                              writes land here, rolled to a fresh
+//!                              segment at a configurable size bound
 //! ```
 //!
 //! The record payload is opaque to this crate (the runner serializes
-//! its `TrialRecord`s into it). Each line's `hash` is an integrity
-//! check over the key fields *and* the payload bytes, so corruption
-//! of either is detected at load and never served as a cached
-//! result.
+//! its `TrialRecord`s into it). Every stored record — v1 line or v2
+//! frame — carries the same integrity hash over the key fields *and*
+//! the payload bytes, so corruption of either is detected at load and
+//! never served as a cached result.
 //!
 //! # Durability model
 //!
 //! * `meta.json` is always written via temp file + rename, so a crash
 //!   can never leave a half-written store header.
-//! * Trial appends go straight to the log (one line per record,
-//!   flushed as workers finish). A crash mid-append can therefore
-//!   leave at most one torn final line, which loading handles:
-//!   [`Store::open_or_create`] keeps every record up to the first
-//!   malformed line, reports what was salvaged ([`Store::salvage`]),
-//!   and atomically rewrites the log to the good prefix so later
-//!   appends never extend a corrupt tail.
+//! * Trial appends go to the active v2 segment through a buffered
+//!   writer that is flushed every [`StoreConfig::flush_every`] records
+//!   (default: every record, matching the original per-line flush)
+//!   and always on [`Store::flush`], segment roll, and drop. A crash
+//!   can therefore tear at most the unflushed tail of one segment,
+//!   which loading handles *per segment*: each segment independently
+//!   keeps its longest well-formed prefix, reports what was dropped
+//!   ([`Store::salvage`]), and is atomically truncated to the good
+//!   prefix so later appends never extend a corrupt tail. Damage in
+//!   one segment never discards records in another.
+//! * Compaction ([`Store::compact`]) rewrites the live records into a
+//!   fresh `segments.tmp/` directory and installs it with a rename
+//!   dance (`segments` → `segments.old`, `segments.tmp` → `segments`,
+//!   then delete the old data). Opening a store repairs any crash
+//!   window of that dance: either the old data or the complete new
+//!   data survives, never a mix.
 //! * Opening a store whose `format_version` differs from this
 //!   build's is an error, never a silent reinterpretation.
+//!   [`FORMAT_VERSION`] is unchanged by v2: the version pins *key
+//!   addressing and hash chain*, which v1 lines and v2 frames share —
+//!   a store may hold both, and `merge` unions any two stores of this
+//!   version.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod json;
+mod segment;
+pub mod v1;
 
 use bichrome_comm::PublicCoin;
 use std::collections::HashMap;
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
-use std::io::Write as _;
+use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
 
-/// The pinned on-disk format version. Bump it whenever the meaning of
-/// a stored line changes; stores written by other versions are
+/// The pinned on-disk format version. Bump it whenever the *meaning*
+/// of a stored record changes; stores written by other versions are
 /// rejected at open time instead of being silently reinterpreted.
+/// (The v1→v2 move changed only the framing — JSON lines to binary
+/// frames — under the same key addressing and integrity hash, so both
+/// share version 1 and coexist in one store.)
 pub const FORMAT_VERSION: u64 = 1;
 
 /// The magic string identifying a directory as a bichrome store.
 const MAGIC: &str = "bichrome-store";
 
-/// The trial-log filename inside a store directory.
+/// The v1 trial-log filename inside a store directory.
 const LOG_FILE: &str = "trials.jsonl";
 
 /// The metadata filename inside a store directory.
 const META_FILE: &str = "meta.json";
+
+/// The v2 segment directory name, plus the staging and retirement
+/// names used by the compaction rename dance.
+const SEGMENTS_DIR: &str = "segments";
+const SEGMENTS_TMP: &str = "segments.tmp";
+const SEGMENTS_OLD: &str = "segments.old";
 
 /// Stream tag under which trial identities are folded into content
 /// hashes (disjoint from the runner's graph/partition/protocol seed
@@ -74,7 +102,7 @@ const KEY_TAG: u64 = 0x9A27_0057;
 /// The canonical identity of one campaign trial — the unit of
 /// deduplication. Two trials with equal keys are *the same
 /// computation* (the executor derives every random stream from these
-/// fields), so the store keeps exactly one record per key.
+/// fields), so the store keeps exactly one live record per key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TrialKey {
     /// The protocol-axis label (registry key or explicit label).
@@ -129,6 +157,15 @@ fn fold_str(coin: PublicCoin, s: &str) -> PublicCoin {
     coin
 }
 
+/// The integrity hash of one stored record: the key's content address
+/// chained over the record payload bytes, so corruption of *either*
+/// the identity fields or the record is detected at load (and the
+/// record dropped as part of the salvage), never served as a cached
+/// result. Shared by the v1 line and v2 frame formats.
+pub(crate) fn line_hash(key: &TrialKey, record_json: &str) -> u64 {
+    fold_str(PublicCoin::new(key.content_hash()), record_json).seed()
+}
+
 /// Why a store operation failed.
 #[derive(Debug)]
 pub enum StoreError {
@@ -144,6 +181,14 @@ pub enum StoreError {
     },
     /// `meta.json` exists but is not a valid store header.
     BadMeta(String),
+    /// [`Store::merge`] found two different payloads stored for the
+    /// same trial identity — the stores disagree on a computation
+    /// that the key pins completely, so the union is refused rather
+    /// than silently picking a side.
+    MergeConflict {
+        /// The identity both stores hold, with different payloads.
+        key: TrialKey,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -156,20 +201,28 @@ impl fmt::Display for StoreError {
                  (refusing to reinterpret old data)"
             ),
             StoreError::BadMeta(msg) => write!(f, "store meta.json is invalid: {msg}"),
+            StoreError::MergeConflict { key } => write!(
+                f,
+                "merge conflict: the stores hold different records for {key} \
+                 (refusing to pick a side)"
+            ),
         }
     }
 }
 
 impl std::error::Error for StoreError {}
 
-/// What a corrupt trial log was reduced to at load time.
+/// What corrupt store data was reduced to at load time, aggregated
+/// over the v1 log and every v2 segment (damage is detected and
+/// truncated *per segment*, so one torn file never discards records
+/// in another).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Salvage {
-    /// Records kept (the good prefix of the log).
+    /// Live records kept across the whole store.
     pub kept: usize,
-    /// Bytes discarded from the first malformed line onward.
+    /// Total bytes discarded (summed over every damaged file).
     pub dropped_bytes: usize,
-    /// The parse failure that ended the good prefix.
+    /// The first parse failure encountered.
     pub error: String,
 }
 
@@ -193,26 +246,84 @@ pub struct Entry {
     pub record_json: String,
 }
 
+/// Tuning knobs for a [`Store`]. The defaults reproduce the original
+/// durability behavior (flush every record) with 8 MiB segments.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Roll to a fresh segment once the active one reaches this many
+    /// bytes (a single oversized record may still exceed it — a
+    /// segment always holds at least one record).
+    pub segment_bytes: usize,
+    /// Flush the active segment to the OS every this-many appended
+    /// records. `1` (the default) flushes per record; larger values
+    /// batch syscalls for write-heavy runs. Rolling, dropping, or
+    /// [`Store::flush`]ing always flushes regardless.
+    pub flush_every: usize,
+    /// [`Store::maybe_compact`] rewrites the store once at least this
+    /// fraction of its records are dead (superseded by a later write
+    /// for the same key).
+    pub compact_dead_ratio: f64,
+    /// …but never bothers below this many total records.
+    pub compact_min_records: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig {
+            segment_bytes: 8 << 20,
+            flush_every: 1,
+            compact_dead_ratio: 0.5,
+            compact_min_records: 1024,
+        }
+    }
+}
+
+/// The segment currently open for appends.
+#[derive(Debug)]
+struct ActiveSegment {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    /// Bytes written to the file so far (header included).
+    bytes: usize,
+    /// Records appended since the last flush.
+    unflushed: usize,
+}
+
 /// A persistent trial store rooted at one directory. See the
 /// [module docs](self) for the layout and durability model.
 #[derive(Debug)]
 pub struct Store {
     dir: PathBuf,
+    config: StoreConfig,
+    /// Every loaded/appended record in log order, including dead
+    /// (superseded) ones; `index` points at the live record per key.
     entries: Vec<Entry>,
     index: HashMap<TrialKey, usize>,
     salvage: Option<Salvage>,
-    /// The open append handle to `trials.jsonl`, created on first
-    /// append and kept for the store's lifetime so a grid of many
-    /// trials does not pay an open/close per record.
-    log: Option<File>,
+    active: Option<ActiveSegment>,
+    /// The newest on-disk segment after load (path, size), if it has
+    /// room to take more appends.
+    tail: Option<(PathBuf, usize)>,
+    /// Id for the next segment file to create.
+    next_segment: u64,
 }
 
 impl Store {
-    /// Opens the store at `dir`, creating the directory and an empty
-    /// store if nothing is there yet. Loads the whole trial log,
-    /// truncating it (atomically) at the first malformed line — see
-    /// [`Store::salvage`] for what, if anything, was dropped.
+    /// Opens the store at `dir` with default tuning, creating the
+    /// directory and an empty store if nothing is there yet. Loads
+    /// the v1 log and every v2 segment (segments in parallel),
+    /// truncating each damaged file (atomically) at its first
+    /// malformed record — see [`Store::salvage`] for what, if
+    /// anything, was dropped.
     pub fn open_or_create(dir: impl Into<PathBuf>) -> Result<Store, StoreError> {
+        Store::open_or_create_with(dir, StoreConfig::default())
+    }
+
+    /// [`Store::open_or_create`] with explicit tuning.
+    pub fn open_or_create_with(
+        dir: impl Into<PathBuf>,
+        config: StoreConfig,
+    ) -> Result<Store, StoreError> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| StoreError::Io(dir.clone(), e))?;
         let meta_path = dir.join(META_FILE);
@@ -222,16 +333,22 @@ impl Store {
             let mut w = json::Writer::object();
             w.field_str("magic", MAGIC);
             w.field_u64("format_version", FORMAT_VERSION);
-            atomic_write(&meta_path, &(w.finish() + "\n"))?;
+            atomic_write(&meta_path, (w.finish() + "\n").as_bytes())?;
         }
+        recover_compaction(&dir)?;
+        let segments_dir = dir.join(SEGMENTS_DIR);
+        fs::create_dir_all(&segments_dir).map_err(|e| StoreError::Io(segments_dir, e))?;
         let mut store = Store {
             dir,
+            config,
             entries: Vec::new(),
             index: HashMap::new(),
             salvage: None,
-            log: None,
+            active: None,
+            tail: None,
+            next_segment: 0,
         };
-        store.load_log()?;
+        store.load()?;
         Ok(store)
     }
 
@@ -241,6 +358,14 @@ impl Store {
     /// `report` and `diff`, where a typo'd path should error, not
     /// materialize an empty store).
     pub fn open_existing(dir: impl Into<PathBuf>) -> Result<Store, StoreError> {
+        Store::open_existing_with(dir, StoreConfig::default())
+    }
+
+    /// [`Store::open_existing`] with explicit tuning.
+    pub fn open_existing_with(
+        dir: impl Into<PathBuf>,
+        config: StoreConfig,
+    ) -> Result<Store, StoreError> {
         let dir = dir.into();
         let meta_path = dir.join(META_FILE);
         if !meta_path.exists() {
@@ -249,7 +374,7 @@ impl Store {
                 dir.display()
             )));
         }
-        Store::open_or_create(dir)
+        Store::open_or_create_with(dir, config)
     }
 
     /// The directory this store lives in.
@@ -257,19 +382,45 @@ impl Store {
         &self.dir
     }
 
-    /// Number of stored trials.
+    /// The store's tuning knobs.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Number of live stored trials (one per distinct key).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// Whether the store holds no trials.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 
-    /// The stored entries, in log (append) order.
+    /// Records on disk that are superseded by a later write for the
+    /// same key — reclaimable by [`Store::compact`].
+    pub fn dead_records(&self) -> usize {
+        self.entries.len() - self.index.len()
+    }
+
+    /// The fraction of on-disk records that are dead (0.0 for an
+    /// empty store).
+    pub fn dead_ratio(&self) -> f64 {
+        if self.entries.is_empty() {
+            0.0
+        } else {
+            self.dead_records() as f64 / self.entries.len() as f64
+        }
+    }
+
+    /// The live entries, in log (append) order of their current
+    /// version.
     pub fn iter(&self) -> impl Iterator<Item = &Entry> {
-        self.entries.iter()
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| self.index.get(&e.key) == Some(i))
+            .map(|(_, e)| e)
     }
 
     /// The record payload stored for `key`, if any.
@@ -279,163 +430,523 @@ impl Store {
             .map(|&i| self.entries[i].record_json.as_str())
     }
 
-    /// What the last load dropped from a corrupt log (`None` when the
-    /// log was fully intact).
+    /// What the last load dropped from corrupt files (`None` when
+    /// everything was fully intact).
     pub fn salvage(&self) -> Option<&Salvage> {
         self.salvage.as_ref()
     }
 
-    /// Appends one record, flushing it to the log immediately. A key
-    /// already present is overwritten in the index (last write wins)
-    /// but producers are expected to append only missing keys.
+    /// The store's v2 segment files, oldest first (the active segment
+    /// included once it has received an append).
+    pub fn segments(&self) -> Result<Vec<PathBuf>, StoreError> {
+        list_segments(&self.dir.join(SEGMENTS_DIR))
+    }
+
+    /// Appends one record to the active v2 segment, rolling to a new
+    /// segment at the configured size bound. The write is flushed per
+    /// [`StoreConfig::flush_every`]. A key already present is
+    /// overwritten in the index (last write wins, the old record
+    /// becomes dead) but producers are expected to append only
+    /// missing keys.
     pub fn append(&mut self, key: TrialKey, record_json: String) -> Result<(), StoreError> {
         debug_assert!(
             !record_json.contains('\n'),
             "record payloads must be single-line JSON"
         );
-        let path = self.dir.join(LOG_FILE);
-        if self.log.is_none() {
-            self.log = Some(
-                OpenOptions::new()
-                    .create(true)
-                    .append(true)
-                    .open(&path)
-                    .map_err(|e| StoreError::Io(path.clone(), e))?,
-            );
+        let frame = segment::encode(&key, &record_json).map_err(|msg| {
+            StoreError::Io(
+                self.dir.clone(),
+                std::io::Error::new(std::io::ErrorKind::InvalidData, msg),
+            )
+        })?;
+        if let Some(active) = &self.active {
+            if active.bytes + frame.len() > self.config.segment_bytes
+                && active.bytes > segment::SEGMENT_MAGIC.len()
+            {
+                self.roll()?;
+            }
         }
-        let file = self.log.as_mut().expect("append handle just ensured");
-        let line = encode_line(&key, &record_json);
-        file.write_all(line.as_bytes())
-            .and_then(|()| file.flush())
-            .map_err(|e| StoreError::Io(path, e))?;
+        let flush_every = self.config.flush_every.max(1);
+        let active = self.ensure_active()?;
+        let path = active.path.clone();
+        active
+            .writer
+            .write_all(&frame)
+            .map_err(|e| StoreError::Io(path.clone(), e))?;
+        active.bytes += frame.len();
+        active.unflushed += 1;
+        if active.unflushed >= flush_every {
+            active.writer.flush().map_err(|e| StoreError::Io(path, e))?;
+            active.unflushed = 0;
+        }
         self.index.insert(key.clone(), self.entries.len());
         self.entries.push(Entry { key, record_json });
         Ok(())
     }
 
-    /// Loads `trials.jsonl`, keeping the longest well-formed prefix.
-    /// On corruption, rewrites the log to that prefix via temp file +
-    /// rename and records a [`Salvage`] report.
-    fn load_log(&mut self) -> Result<(), StoreError> {
-        let path = self.dir.join(LOG_FILE);
-        let text = match fs::read_to_string(&path) {
-            Ok(text) => text,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
-            Err(e) => return Err(StoreError::Io(path, e)),
+    /// Flushes any buffered appends to the OS. Called automatically
+    /// per [`StoreConfig::flush_every`], on roll, and on drop; call
+    /// it explicitly on idle when batching is enabled.
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        if let Some(active) = &mut self.active {
+            active
+                .writer
+                .flush()
+                .map_err(|e| StoreError::Io(active.path.clone(), e))?;
+            active.unflushed = 0;
+        }
+        Ok(())
+    }
+
+    /// Flushes and seals the active segment; the next append starts a
+    /// fresh one.
+    pub fn roll(&mut self) -> Result<(), StoreError> {
+        self.flush()?;
+        self.active = None;
+        self.tail = None;
+        Ok(())
+    }
+
+    /// A full durability point: flushes and rolls the active segment,
+    /// rewrites `meta.json` atomically, and runs
+    /// [`Store::maybe_compact`]. This is what graceful shutdown calls.
+    pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        self.roll()?;
+        let mut w = json::Writer::object();
+        w.field_str("magic", MAGIC);
+        w.field_u64("format_version", FORMAT_VERSION);
+        atomic_write(&self.dir.join(META_FILE), (w.finish() + "\n").as_bytes())?;
+        self.maybe_compact()?;
+        Ok(())
+    }
+
+    /// Runs [`Store::compact`] if the dead-record ratio has reached
+    /// [`StoreConfig::compact_dead_ratio`] (and the store is at least
+    /// [`StoreConfig::compact_min_records`] records). Returns whether
+    /// a compaction ran.
+    pub fn maybe_compact(&mut self) -> Result<bool, StoreError> {
+        if self.entries.len() >= self.config.compact_min_records
+            && self.dead_ratio() >= self.config.compact_dead_ratio
+        {
+            self.compact()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Rewrites the store to exactly its live records: fresh v2
+    /// segments are staged in `segments.tmp/` and installed with an
+    /// atomic rename dance, after which the v1 log and dead records
+    /// are gone. Crash-safe: opening a store repairs any interrupted
+    /// window of the dance (see `recover_compaction` internals),
+    /// ending with either the old data or the complete new data.
+    pub fn compact(&mut self) -> Result<(), StoreError> {
+        self.roll()?;
+        let err = |p: &Path| {
+            let p = p.to_path_buf();
+            move |e| StoreError::Io(p, e)
         };
-        let mut good_bytes = 0usize;
-        let mut bad: Option<String> = None;
-        for line in text.split_inclusive('\n') {
-            let complete = line.ends_with('\n');
-            let body = line.trim_end_matches(['\n', '\r']);
-            if body.is_empty() && complete {
-                good_bytes += line.len();
-                continue;
+        let tmp = self.dir.join(SEGMENTS_TMP);
+        if tmp.exists() {
+            fs::remove_dir_all(&tmp).map_err(err(&tmp))?;
+        }
+        fs::create_dir_all(&tmp).map_err(err(&tmp))?;
+
+        // Stage the live records into fresh segments.
+        let live: Vec<Entry> = self.iter().cloned().collect();
+        let mut id = 0u64;
+        let mut writer: Option<(PathBuf, BufWriter<File>, usize)> = None;
+        for entry in &live {
+            let frame = segment::encode(&entry.key, &entry.record_json).map_err(|msg| {
+                StoreError::Io(
+                    tmp.clone(),
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, msg),
+                )
+            })?;
+            let needs_new = match &writer {
+                Some((_, _, bytes)) => {
+                    bytes + frame.len() > self.config.segment_bytes
+                        && *bytes > segment::SEGMENT_MAGIC.len()
+                }
+                None => true,
+            };
+            if needs_new {
+                if let Some((path, mut w, _)) = writer.take() {
+                    w.flush().map_err(err(&path))?;
+                }
+                let path = tmp.join(segment_name(id));
+                id += 1;
+                let mut w = BufWriter::new(File::create(&path).map_err(err(&path))?);
+                w.write_all(segment::SEGMENT_MAGIC).map_err(err(&path))?;
+                writer = Some((path, w, segment::SEGMENT_MAGIC.len()));
             }
-            match decode_line(body) {
-                Ok(entry) if complete => {
+            let (path, w, bytes) = writer.as_mut().expect("writer just ensured");
+            w.write_all(&frame).map_err(err(path))?;
+            *bytes += frame.len();
+        }
+        if let Some((path, mut w, _)) = writer.take() {
+            w.flush().map_err(err(&path))?;
+        }
+
+        // Install: segments → segments.old, segments.tmp → segments,
+        // then delete the superseded data. `open` repairs any crash
+        // window in between.
+        let segments = self.dir.join(SEGMENTS_DIR);
+        let old = self.dir.join(SEGMENTS_OLD);
+        if old.exists() {
+            fs::remove_dir_all(&old).map_err(err(&old))?;
+        }
+        fs::rename(&segments, &old).map_err(err(&segments))?;
+        fs::rename(&tmp, &segments).map_err(err(&tmp))?;
+        let log = self.dir.join(LOG_FILE);
+        match fs::remove_file(&log) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(StoreError::Io(log, e)),
+        }
+        fs::remove_dir_all(&old).map_err(err(&old))?;
+
+        // The in-memory state now mirrors the compacted disk.
+        self.entries = live;
+        self.index = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.key.clone(), i))
+            .collect();
+        self.next_segment = id;
+        self.tail = None;
+        Ok(())
+    }
+
+    /// Unions two stores into a third at `out_dir` (created via
+    /// [`Store::open_or_create`], so it may also be an existing store
+    /// to merge *into*). Records agreeing on key and payload dedupe;
+    /// two different payloads for the same key are a
+    /// [`StoreError::MergeConflict`] — the key pins the computation
+    /// completely, so disagreement means one side is wrong and no
+    /// silent winner is picked. On conflict the output directory is
+    /// left with whatever was merged before the conflict was found.
+    pub fn merge(a: &Store, b: &Store, out_dir: impl Into<PathBuf>) -> Result<Store, StoreError> {
+        let mut out = Store::open_or_create(out_dir)?;
+        for entry in a.iter().chain(b.iter()) {
+            match out.get(&entry.key) {
+                Some(existing) if existing == entry.record_json => {}
+                Some(_) => {
+                    return Err(StoreError::MergeConflict {
+                        key: entry.key.clone(),
+                    })
+                }
+                None => out.append(entry.key.clone(), entry.record_json.clone())?,
+            }
+        }
+        out.flush()?;
+        Ok(out)
+    }
+
+    /// Opens (or creates) the segment that appends go to: the on-disk
+    /// tail segment if it still has room, else a fresh file.
+    fn ensure_active(&mut self) -> Result<&mut ActiveSegment, StoreError> {
+        if self.active.is_none() {
+            let reuse = match self.tail.take() {
+                Some((path, bytes)) if bytes < self.config.segment_bytes => Some((path, bytes)),
+                _ => None,
+            };
+            let (path, bytes, fresh) = match reuse {
+                Some((path, bytes)) => (path, bytes, false),
+                None => {
+                    let path = self
+                        .dir
+                        .join(SEGMENTS_DIR)
+                        .join(segment_name(self.next_segment));
+                    self.next_segment += 1;
+                    (path, segment::SEGMENT_MAGIC.len(), true)
+                }
+            };
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .map_err(|e| StoreError::Io(path.clone(), e))?;
+            let mut writer = BufWriter::new(file);
+            if fresh {
+                writer
+                    .write_all(segment::SEGMENT_MAGIC)
+                    .and_then(|()| writer.flush())
+                    .map_err(|e| StoreError::Io(path.clone(), e))?;
+            }
+            self.active = Some(ActiveSegment {
+                path,
+                writer,
+                bytes,
+                unflushed: 0,
+            });
+        }
+        Ok(self.active.as_mut().expect("active just ensured"))
+    }
+
+    /// Loads the v1 log and every v2 segment. Damage is truncated
+    /// away per file (atomically) and aggregated into one
+    /// [`Salvage`] report.
+    fn load(&mut self) -> Result<(), StoreError> {
+        let mut dropped_bytes = 0usize;
+        let mut first_error: Option<String> = None;
+
+        // The v1 JSON-lines log, if this store predates segments (or
+        // hasn't been compacted since).
+        let log = self.dir.join(LOG_FILE);
+        match fs::read_to_string(&log) {
+            Ok(text) => {
+                let (entries, good_bytes, error) = load_v1(&text);
+                for entry in entries {
                     self.index.insert(entry.key.clone(), self.entries.len());
                     self.entries.push(entry);
-                    good_bytes += line.len();
                 }
-                Ok(_) => {
-                    bad = Some("final line is missing its newline (torn append)".to_string());
-                    break;
+                if let Some(e) = error {
+                    dropped_bytes += text.len() - good_bytes;
+                    first_error.get_or_insert(e);
+                    atomic_write(&log, &text.as_bytes()[..good_bytes])?;
                 }
-                Err(e) => {
-                    bad = Some(e);
-                    break;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(StoreError::Io(log, e)),
+        }
+
+        // The v2 segments, oldest first; decoded in parallel, applied
+        // in order.
+        let paths = list_segments(&self.dir.join(SEGMENTS_DIR))?;
+        for (path, read, load) in load_segments(&paths) {
+            let bytes = read.map_err(|e| StoreError::Io(path.clone(), e))?;
+            for entry in load.entries {
+                self.index.insert(entry.key.clone(), self.entries.len());
+                self.entries.push(entry);
+            }
+            if let Some(e) = load.error {
+                dropped_bytes += bytes.len() - load.good_bytes;
+                first_error.get_or_insert(e);
+                // Repair: truncate this segment to its good prefix
+                // (drop it entirely if even the header is gone) so
+                // future appends extend clean data. Other segments
+                // are unaffected.
+                if load.good_bytes == 0 {
+                    fs::remove_file(&path).map_err(|e| StoreError::Io(path.clone(), e))?;
+                } else {
+                    atomic_write(&path, &bytes[..load.good_bytes])?;
                 }
             }
         }
-        if let Some(error) = bad {
+
+        // Remember the newest surviving segment as the append tail.
+        self.tail = list_segments(&self.dir.join(SEGMENTS_DIR))?
+            .last()
+            .map(|path| {
+                fs::metadata(path)
+                    .map(|m| (path.clone(), m.len() as usize))
+                    .map_err(|e| StoreError::Io(path.clone(), e))
+            })
+            .transpose()?;
+        self.next_segment = paths
+            .last()
+            .and_then(|p| segment_id(p))
+            .map_or(0, |id| id + 1);
+
+        if let Some(error) = first_error {
             self.salvage = Some(Salvage {
-                kept: self.entries.len(),
-                dropped_bytes: text.len() - good_bytes,
+                kept: self.index.len(),
+                dropped_bytes,
                 error,
             });
-            // Repair: atomically replace the log with its good prefix
-            // so future appends extend clean data.
-            atomic_write(&path, &text[..good_bytes])?;
         }
         Ok(())
     }
 }
 
-/// The integrity hash of one log line: the key's content address
-/// chained over the record payload bytes, so corruption of *either*
-/// the identity fields or the record is detected at load (and the
-/// line dropped as part of the salvage), never served as a cached
-/// result.
-fn line_hash(key: &TrialKey, record_json: &str) -> u64 {
-    fold_str(PublicCoin::new(key.content_hash()), record_json).seed()
+impl Drop for Store {
+    fn drop(&mut self) {
+        // Best-effort: push any batched appends to the OS. (BufWriter
+        // would flush on drop anyway; doing it here keeps the intent
+        // explicit and ignores errors in one place.)
+        let _ = self.flush();
+    }
 }
 
-/// Serializes one log line (with trailing newline) for a record.
-fn encode_line(key: &TrialKey, record_json: &str) -> String {
-    let mut w = json::Writer::object();
-    w.field_str("hash", &format!("{:016x}", line_hash(key, record_json)));
-    w.field_str("protocol", &key.protocol);
-    w.field_str("graph", &key.graph);
-    w.field_str("partitioner", &key.partitioner);
-    w.field_u64("seed", key.seed);
-    w.field_raw("record", record_json);
-    w.finish() + "\n"
+/// Parses a v1 log's text, returning the good-prefix entries, the
+/// byte length of that prefix, and the failure that ended it (if
+/// any).
+fn load_v1(text: &str) -> (Vec<Entry>, usize, Option<String>) {
+    let mut entries = Vec::new();
+    let mut good_bytes = 0usize;
+    for line in text.split_inclusive('\n') {
+        let complete = line.ends_with('\n');
+        let body = line.trim_end_matches(['\n', '\r']);
+        if body.is_empty() && complete {
+            good_bytes += line.len();
+            continue;
+        }
+        match v1::decode_line(body) {
+            Ok(entry) if complete => {
+                entries.push(entry);
+                good_bytes += line.len();
+            }
+            Ok(_) => {
+                return (
+                    entries,
+                    good_bytes,
+                    Some("final line is missing its newline (torn append)".to_string()),
+                );
+            }
+            Err(e) => return (entries, good_bytes, Some(e)),
+        }
+    }
+    (entries, good_bytes, None)
 }
 
-/// Parses and integrity-checks one log line.
-///
-/// The seed and the record payload are extracted from the *raw* line
-/// text (not re-serialized from the parsed tree) so they round-trip
-/// byte-exactly — in particular a trial seed above 2⁵³ must not go
-/// through the parser's `f64` numbers. Searching the raw text for the
-/// unescaped `"seed":` / `,"record":` markers is unambiguous: inside
-/// any JSON *string* value the quotes would be `\"`-escaped, so the
-/// first unescaped occurrence is the line's own field (the payload,
-/// which may legitimately contain a `"seed"` key of its own, comes
-/// last in [`encode_line`]'s field order).
-fn decode_line(line: &str) -> Result<Entry, String> {
-    let v = json::Value::parse(line)?;
-    let obj = v.as_object().ok_or("log line is not a JSON object")?;
-    let get_str = |field: &str| {
-        obj.get(field)
-            .and_then(json::Value::as_str)
-            .ok_or(format!("missing or non-string field {field:?}"))
-    };
-    let seed_at = line.find("\"seed\":").ok_or("missing field \"seed\"")? + "\"seed\":".len();
-    let after_seed = &line[seed_at..];
-    let digits_end = after_seed
-        .find(|c: char| !c.is_ascii_digit())
-        .unwrap_or(after_seed.len());
-    let seed_digits = &after_seed[..digits_end];
-    let seed: u64 = seed_digits
+/// Reads and decodes every segment, fanning the (I/O + decode) work
+/// across threads and returning results in the given path order.
+#[allow(clippy::type_complexity)]
+fn load_segments(
+    paths: &[PathBuf],
+) -> Vec<(
+    PathBuf,
+    Result<Vec<u8>, std::io::Error>,
+    segment::SegmentLoad,
+)> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(paths.len())
+        .max(1);
+    let mut slots: Vec<Option<_>> = Vec::new();
+    slots.resize_with(paths.len(), || None);
+    if workers <= 1 {
+        for (i, path) in paths.iter().enumerate() {
+            slots[i] = Some(load_one_segment(path));
+        }
+    } else {
+        let results = std::sync::Mutex::new(&mut slots);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let results = &results;
+                scope.spawn(move || {
+                    for (i, path) in paths.iter().enumerate().skip(w).step_by(workers) {
+                        let loaded = load_one_segment(path);
+                        results.lock().expect("segment loader panicked")[i] = Some(loaded);
+                    }
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every segment slot filled"))
+        .collect()
+}
+
+/// Reads and decodes one segment file.
+fn load_one_segment(
+    path: &Path,
+) -> (
+    PathBuf,
+    Result<Vec<u8>, std::io::Error>,
+    segment::SegmentLoad,
+) {
+    match fs::read(path) {
+        Ok(bytes) => {
+            let load = segment::decode_all(&bytes);
+            (path.to_path_buf(), Ok(bytes), load)
+        }
+        Err(e) => (
+            path.to_path_buf(),
+            Err(e),
+            segment::SegmentLoad {
+                entries: Vec::new(),
+                good_bytes: 0,
+                error: None,
+            },
+        ),
+    }
+}
+
+/// The canonical filename for segment `id`.
+fn segment_name(id: u64) -> String {
+    format!("seg-{id:08}.bcs")
+}
+
+/// Parses a segment id back out of a filename (ignores foreign
+/// files).
+fn segment_id(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    name.strip_prefix("seg-")?
+        .strip_suffix(".bcs")?
         .parse()
-        .map_err(|_| format!("seed {seed_digits:?} is not a u64"))?;
-    let key = TrialKey {
-        protocol: get_str("protocol")?.to_string(),
-        graph: get_str("graph")?.to_string(),
-        partitioner: get_str("partitioner")?.to_string(),
-        seed,
+        .ok()
+}
+
+/// The store's segment files, sorted oldest-id first. A missing
+/// directory is an empty list.
+fn list_segments(dir: &Path) -> Result<Vec<PathBuf>, StoreError> {
+    let mut paths: Vec<(u64, PathBuf)> = Vec::new();
+    let read = match fs::read_dir(dir) {
+        Ok(read) => read,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(StoreError::Io(dir.to_path_buf(), e)),
     };
-    if !obj.contains_key("record") {
-        return Err("missing field \"record\"".to_string());
+    for dirent in read {
+        let dirent = dirent.map_err(|e| StoreError::Io(dir.to_path_buf(), e))?;
+        let path = dirent.path();
+        if let Some(id) = segment_id(&path) {
+            paths.push((id, path));
+        }
     }
-    let record_at = line
-        .find(",\"record\":")
-        .ok_or("missing field \"record\"")?
-        + ",\"record\":".len();
-    let record_json = &line[record_at..line.len() - 1];
-    let hash = get_str("hash")?;
-    let expected = format!("{:016x}", line_hash(&key, record_json));
-    if hash != expected {
-        return Err(format!(
-            "integrity hash {hash} does not match key {key} + record (expected {expected})"
-        ));
+    paths.sort();
+    Ok(paths.into_iter().map(|(_, p)| p).collect())
+}
+
+/// Repairs a compaction interrupted by a crash. The dance in
+/// [`Store::compact`] is: stage `segments.tmp`, rename `segments` →
+/// `segments.old`, rename `segments.tmp` → `segments`, delete
+/// `trials.jsonl`, delete `segments.old`. Each window leaves a
+/// distinct directory shape, so recovery is unambiguous:
+///
+/// * `tmp` + `segments` (no `old`): crashed before the commit point —
+///   the staging dir may be incomplete, discard it.
+/// * `tmp` + `old` (no `segments`): crashed mid-commit — the staging
+///   dir is complete (it's written and flushed before any rename), so
+///   finish the dance.
+/// * `old` + `segments` (no `tmp`): crashed after the commit — just
+///   delete the superseded data.
+fn recover_compaction(dir: &Path) -> Result<(), StoreError> {
+    let err = |p: &Path| {
+        let p = p.to_path_buf();
+        move |e| StoreError::Io(p, e)
+    };
+    let segments = dir.join(SEGMENTS_DIR);
+    let tmp = dir.join(SEGMENTS_TMP);
+    let old = dir.join(SEGMENTS_OLD);
+    if tmp.exists() {
+        if !segments.exists() && old.exists() {
+            fs::rename(&tmp, &segments).map_err(err(&tmp))?;
+        } else {
+            fs::remove_dir_all(&tmp).map_err(err(&tmp))?;
+            return Ok(());
+        }
     }
-    Ok(Entry {
-        key,
-        record_json: record_json.to_string(),
-    })
+    if old.exists() {
+        if segments.exists() {
+            let log = dir.join(LOG_FILE);
+            match fs::remove_file(&log) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(StoreError::Io(log, e)),
+            }
+            fs::remove_dir_all(&old).map_err(err(&old))?;
+        } else {
+            // No promoted segments at all: restore the superseded
+            // data rather than lose it.
+            fs::rename(&old, &segments).map_err(err(&old))?;
+        }
+    }
+    Ok(())
 }
 
 /// Verifies an existing `meta.json`.
@@ -469,12 +980,12 @@ fn check_meta(path: &Path) -> Result<(), StoreError> {
 /// Writes a file atomically: content goes to a sibling temp file
 /// which is then renamed over the target, so readers (and crashes)
 /// see either the old content or the new, never a torn write.
-fn atomic_write(path: &Path, content: &str) -> Result<(), StoreError> {
+fn atomic_write(path: &Path, content: &[u8]) -> Result<(), StoreError> {
     let err = |e| StoreError::Io(path.to_path_buf(), e);
     let tmp = path.with_extension("tmp");
     {
         let mut file = File::create(&tmp).map_err(err)?;
-        file.write_all(content.as_bytes())
+        file.write_all(content)
             .and_then(|()| file.flush())
             .map_err(err)?;
     }
@@ -514,6 +1025,31 @@ mod tests {
             partitioner: "alternating".to_string(),
             seed,
         }
+    }
+
+    /// The newest segment file of a store directory.
+    fn newest_segment(dir: &Path) -> PathBuf {
+        list_segments(&dir.join(SEGMENTS_DIR))
+            .expect("list segments")
+            .last()
+            .cloned()
+            .expect("at least one segment")
+    }
+
+    /// Writes a v1-format store (meta + trials.jsonl) directly, as a
+    /// pre-segment build would have left it.
+    fn write_v1_store(dir: &Path, records: &[(TrialKey, &str)]) {
+        fs::create_dir_all(dir).expect("mkdir");
+        fs::write(
+            dir.join(META_FILE),
+            format!("{{\"magic\":\"{MAGIC}\",\"format_version\":{FORMAT_VERSION}}}\n"),
+        )
+        .expect("meta");
+        let mut log = String::new();
+        for (k, r) in records {
+            log.push_str(&v1::encode_line(k, r));
+        }
+        fs::write(dir.join(LOG_FILE), log).expect("log");
     }
 
     #[test]
@@ -578,7 +1114,7 @@ mod tests {
     }
 
     #[test]
-    fn truncated_log_salvages_the_good_prefix() {
+    fn truncated_segment_salvages_the_good_prefix() {
         let tmp = TempDir::new("salvage");
         let mut store = Store::open_or_create(&tmp.0).expect("create");
         for seed in 0..5 {
@@ -588,10 +1124,10 @@ mod tests {
         }
         drop(store);
 
-        // Tear the final line mid-write.
-        let log = tmp.0.join(LOG_FILE);
-        let text = fs::read_to_string(&log).expect("read log");
-        fs::write(&log, &text[..text.len() - 17]).expect("truncate");
+        // Tear the segment mid-frame, as a crash mid-append would.
+        let seg = newest_segment(&tmp.0);
+        let bytes = fs::read(&seg).expect("read segment");
+        fs::write(&seg, &bytes[..bytes.len() - 17]).expect("truncate");
 
         let store = Store::open_or_create(&tmp.0).expect("reopen");
         assert_eq!(store.len(), 4, "good prefix survives");
@@ -600,25 +1136,118 @@ mod tests {
         assert!(salvage.dropped_bytes > 0);
         assert!(store.get(&key(3)).is_some());
         assert_eq!(store.get(&key(4)), None, "torn record is gone");
+        drop(store);
 
-        // The repair rewrote the log: a fresh open is clean.
+        // The repair rewrote the segment: a fresh open is clean.
         let store = Store::open_or_create(&tmp.0).expect("after repair");
         assert_eq!(store.len(), 4);
-        assert!(store.salvage().is_none(), "repaired log loads clean");
+        assert!(store.salvage().is_none(), "repaired segment loads clean");
     }
 
     #[test]
-    fn garbage_line_ends_the_prefix_and_is_dropped() {
+    fn damage_is_contained_to_one_segment() {
+        // Tearing one segment must not discard records in any other —
+        // the per-segment salvage that makes a million-record store
+        // robust.
+        let tmp = TempDir::new("contained");
+        let config = StoreConfig {
+            segment_bytes: 1, // every record rolls a new segment
+            ..StoreConfig::default()
+        };
+        let mut store = Store::open_or_create_with(&tmp.0, config).expect("create");
+        for seed in 0..4 {
+            store
+                .append(key(seed), format!(r#"{{"seed":{seed}}}"#))
+                .expect("append");
+        }
+        drop(store);
+        let segments = list_segments(&tmp.0.join(SEGMENTS_DIR)).expect("list");
+        assert_eq!(segments.len(), 4, "one record per segment");
+
+        // Corrupt the *second* segment.
+        let bytes = fs::read(&segments[1]).expect("read");
+        fs::write(&segments[1], &bytes[..bytes.len() - 5]).expect("truncate");
+
+        let store = Store::open_or_create(&tmp.0).expect("reopen");
+        assert_eq!(store.len(), 3, "only the torn segment's record is lost");
+        assert!(store.get(&key(0)).is_some());
+        assert_eq!(store.get(&key(1)), None);
+        assert!(store.get(&key(2)).is_some(), "later segments survive");
+        assert!(store.get(&key(3)).is_some());
+        assert!(store.salvage().is_some());
+    }
+
+    #[test]
+    fn v1_store_still_opens_and_upgrades_on_write() {
+        let tmp = TempDir::new("v1compat");
+        write_v1_store(
+            &tmp.0,
+            &[(key(0), r#"{"bits":12}"#), (key(1), r#"{"bits":9}"#)],
+        );
+
+        let mut store = Store::open_or_create(&tmp.0).expect("open v1");
+        assert_eq!(store.len(), 2);
+        assert!(store.salvage().is_none());
+        assert_eq!(store.get(&key(0)), Some(r#"{"bits":12}"#));
+
+        // New writes go to v2 segments; the v1 log is untouched.
+        store
+            .append(key(2), r#"{"bits":7}"#.to_string())
+            .expect("append");
+        drop(store);
+        assert!(
+            tmp.0.join(LOG_FILE).exists(),
+            "v1 log kept until compaction"
+        );
+        assert_eq!(
+            list_segments(&tmp.0.join(SEGMENTS_DIR))
+                .expect("list")
+                .len(),
+            1,
+            "the append landed in a v2 segment"
+        );
+        let store = Store::open_or_create(&tmp.0).expect("reopen mixed");
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.get(&key(2)), Some(r#"{"bits":7}"#));
+    }
+
+    #[test]
+    fn v1_corruption_still_salvages() {
+        let tmp = TempDir::new("v1salvage");
+        write_v1_store(
+            &tmp.0,
+            &[
+                (key(0), r#"{"seed":0}"#),
+                (key(1), r#"{"seed":1}"#),
+                (key(2), r#"{"seed":2}"#),
+            ],
+        );
+        let log = tmp.0.join(LOG_FILE);
+        let text = fs::read_to_string(&log).expect("read");
+        fs::write(&log, &text[..text.len() - 17]).expect("truncate");
+
+        let store = Store::open_or_create(&tmp.0).expect("open");
+        assert_eq!(store.len(), 2);
+        let salvage = store.salvage().expect("reported");
+        assert_eq!(salvage.kept, 2);
+        assert!(salvage.dropped_bytes > 0);
+        drop(store);
+        let store = Store::open_or_create(&tmp.0).expect("repaired");
+        assert!(store.salvage().is_none());
+    }
+
+    #[test]
+    fn garbage_segment_tail_ends_its_prefix_and_is_dropped() {
         let tmp = TempDir::new("garbage");
         let mut store = Store::open_or_create(&tmp.0).expect("create");
         store
             .append(key(0), r#"{"seed":0}"#.to_string())
             .expect("append");
         drop(store);
-        let log = tmp.0.join(LOG_FILE);
-        let mut text = fs::read_to_string(&log).expect("read");
-        text.push_str("this is not json\n");
-        fs::write(&log, text).expect("write");
+        let seg = newest_segment(&tmp.0);
+        let mut bytes = fs::read(&seg).expect("read");
+        bytes.extend_from_slice(b"this is not a frame");
+        fs::write(&seg, bytes).expect("write");
 
         let store = Store::open_or_create(&tmp.0).expect("reopen");
         assert_eq!(store.len(), 1);
@@ -626,33 +1255,30 @@ mod tests {
     }
 
     #[test]
-    fn tampered_key_or_payload_is_rejected() {
-        // Corruption of a *key* field and corruption of the *record
-        // payload* must both fail the line's integrity hash — a
-        // flipped measurement is as wrong as a flipped identity.
-        for (from, to) in [
-            ("\"seed\":0,", "\"seed\":9,"), // key field
-            ("\"bits\":12", "\"bits\":13"), // payload field
-        ] {
-            let tmp = TempDir::new("tamper");
-            let mut store = Store::open_or_create(&tmp.0).expect("create");
-            store
-                .append(key(0), r#"{"bits":12}"#.to_string())
-                .expect("append");
-            drop(store);
-            let log = tmp.0.join(LOG_FILE);
-            let text = fs::read_to_string(&log).expect("read").replace(from, to);
-            fs::write(&log, text).expect("write");
+    fn tampered_payload_is_rejected() {
+        // Corruption of the *record payload* must fail the frame's
+        // integrity hash — a flipped measurement is as wrong as a
+        // flipped identity.
+        let tmp = TempDir::new("tamper");
+        let mut store = Store::open_or_create(&tmp.0).expect("create");
+        store
+            .append(key(0), r#"{"bits":12}"#.to_string())
+            .expect("append");
+        drop(store);
+        let seg = newest_segment(&tmp.0);
+        let mut bytes = fs::read(&seg).expect("read");
+        let at = bytes.len() - 3; // inside the payload
+        bytes[at] ^= 0x01;
+        fs::write(&seg, bytes).expect("write");
 
-            let store = Store::open_or_create(&tmp.0).expect("reopen");
-            assert_eq!(store.len(), 0, "{from}: hash mismatch drops the line");
-            let salvage = store.salvage().expect("salvage reported");
-            assert!(
-                salvage.error.contains("integrity hash"),
-                "{}",
-                salvage.error
-            );
-        }
+        let store = Store::open_or_create(&tmp.0).expect("reopen");
+        assert_eq!(store.len(), 0, "hash mismatch drops the frame");
+        let salvage = store.salvage().expect("salvage reported");
+        assert!(
+            salvage.error.contains("integrity hash"),
+            "{}",
+            salvage.error
+        );
     }
 
     #[test]
@@ -690,16 +1316,17 @@ mod tests {
         store.append(key(7), payload.to_string()).expect("append");
         drop(store);
         let store = Store::open_or_create(&tmp.0).expect("reopen");
-        // The payload is extracted from the raw line text, so it
-        // round-trips byte-exactly.
+        // The payload is stored as raw bytes, so it round-trips
+        // byte-exactly.
         assert_eq!(store.get(&key(7)), Some(payload));
     }
 
     #[test]
     fn full_range_seeds_round_trip_exactly() {
-        // u64::MAX does not fit in the parser's f64 numbers; the raw
-        // text path must preserve it (the content hash would fail
-        // otherwise and the line would be dropped as corrupt).
+        // u64::MAX does not fit in an f64; the binary frame stores
+        // the seed as a little-endian u64, so the full range must
+        // survive (the content hash would fail otherwise and the
+        // frame would be dropped as corrupt).
         let tmp = TempDir::new("bigseed");
         let mut store = Store::open_or_create(&tmp.0).expect("create");
         for seed in [u64::MAX, u64::MAX - 1, 1 << 60] {
@@ -713,5 +1340,299 @@ mod tests {
         for seed in [u64::MAX, u64::MAX - 1, 1 << 60] {
             assert_eq!(store.get(&key(seed)), Some(r#"{"ok":true}"#), "{seed}");
         }
+    }
+
+    #[test]
+    fn segments_roll_at_the_size_bound() {
+        let tmp = TempDir::new("roll");
+        let config = StoreConfig {
+            segment_bytes: 256,
+            ..StoreConfig::default()
+        };
+        let mut store = Store::open_or_create_with(&tmp.0, config).expect("create");
+        for seed in 0..20 {
+            store
+                .append(key(seed), format!(r#"{{"seed":{seed}}}"#))
+                .expect("append");
+        }
+        let segments = store.segments().expect("list");
+        assert!(
+            segments.len() > 1,
+            "20 × ~90-byte records at a 256-byte bound must roll"
+        );
+        for path in &segments {
+            let len = fs::metadata(path).expect("stat").len();
+            // Bound + one frame of slack (rolls happen before the
+            // append that would overflow).
+            assert!(len <= 256 + 128, "{}: {len} bytes", path.display());
+        }
+        drop(store);
+        let store = Store::open_or_create(&tmp.0).expect("reopen");
+        assert_eq!(store.len(), 20, "all records load across segments");
+    }
+
+    #[test]
+    fn reopen_continues_the_tail_segment_until_full() {
+        let tmp = TempDir::new("tailreuse");
+        let mut store = Store::open_or_create(&tmp.0).expect("create");
+        store
+            .append(key(0), r#"{"seed":0}"#.to_string())
+            .expect("append");
+        drop(store);
+        let mut store = Store::open_or_create(&tmp.0).expect("reopen");
+        store
+            .append(key(1), r#"{"seed":1}"#.to_string())
+            .expect("append");
+        drop(store);
+        assert_eq!(
+            list_segments(&tmp.0.join(SEGMENTS_DIR))
+                .expect("list")
+                .len(),
+            1,
+            "a small tail segment keeps taking appends across opens"
+        );
+        let store = Store::open_or_create(&tmp.0).expect("final");
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn batched_writes_stay_buffered_until_flush() {
+        let tmp = TempDir::new("batch");
+        let config = StoreConfig {
+            flush_every: 100,
+            ..StoreConfig::default()
+        };
+        let mut store = Store::open_or_create_with(&tmp.0, config).expect("create");
+        for seed in 0..5 {
+            store
+                .append(key(seed), format!(r#"{{"seed":{seed}}}"#))
+                .expect("append");
+        }
+        let seg = newest_segment(&tmp.0);
+        let on_disk = fs::metadata(&seg).expect("stat").len() as usize;
+        assert_eq!(
+            on_disk,
+            segment::SEGMENT_MAGIC.len(),
+            "with flush_every=100, 5 appends sit in the buffer"
+        );
+        store.flush().expect("flush");
+        let on_disk = fs::metadata(&seg).expect("stat").len() as usize;
+        assert!(on_disk > segment::SEGMENT_MAGIC.len(), "flush lands them");
+        drop(store);
+        let store = Store::open_or_create(&tmp.0).expect("reopen");
+        assert_eq!(store.len(), 5);
+    }
+
+    #[test]
+    fn drop_flushes_batched_writes() {
+        let tmp = TempDir::new("dropflush");
+        let config = StoreConfig {
+            flush_every: 1_000,
+            ..StoreConfig::default()
+        };
+        let mut store = Store::open_or_create_with(&tmp.0, config).expect("create");
+        for seed in 0..7 {
+            store
+                .append(key(seed), format!(r#"{{"seed":{seed}}}"#))
+                .expect("append");
+        }
+        drop(store);
+        let store = Store::open_or_create(&tmp.0).expect("reopen");
+        assert_eq!(store.len(), 7, "drop flushed the batch");
+    }
+
+    #[test]
+    fn checkpoint_rolls_and_rewrites_meta() {
+        let tmp = TempDir::new("checkpoint");
+        let mut store = Store::open_or_create(&tmp.0).expect("create");
+        store
+            .append(key(0), r#"{"seed":0}"#.to_string())
+            .expect("append");
+        store.checkpoint().expect("checkpoint");
+        store
+            .append(key(1), r#"{"seed":1}"#.to_string())
+            .expect("append");
+        drop(store);
+        assert_eq!(
+            list_segments(&tmp.0.join(SEGMENTS_DIR))
+                .expect("list")
+                .len(),
+            2,
+            "checkpoint seals the active segment"
+        );
+        let meta = fs::read_to_string(tmp.0.join(META_FILE)).expect("meta");
+        assert!(meta.contains("bichrome-store"));
+        let store = Store::open_or_create(&tmp.0).expect("reopen");
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn compaction_drops_dead_records_and_the_v1_log() {
+        let tmp = TempDir::new("compact");
+        write_v1_store(&tmp.0, &[(key(0), r#"{"v":"old"}"#)]);
+        let mut store = Store::open_or_create(&tmp.0).expect("open");
+        // Supersede the v1 record and add fresh ones.
+        store
+            .append(key(0), r#"{"v":"new"}"#.to_string())
+            .expect("append");
+        store
+            .append(key(1), r#"{"v":"b"}"#.to_string())
+            .expect("append");
+        assert_eq!(store.dead_records(), 1);
+        assert!(store.dead_ratio() > 0.3);
+        store.compact().expect("compact");
+        assert_eq!(store.dead_records(), 0);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(&key(0)), Some(r#"{"v":"new"}"#));
+        assert!(!tmp.0.join(LOG_FILE).exists(), "v1 log folded in");
+        assert!(!tmp.0.join(SEGMENTS_OLD).exists());
+        assert!(!tmp.0.join(SEGMENTS_TMP).exists());
+        drop(store);
+        let store = Store::open_or_create(&tmp.0).expect("reopen");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.dead_records(), 0);
+        assert_eq!(store.get(&key(0)), Some(r#"{"v":"new"}"#));
+        assert_eq!(store.get(&key(1)), Some(r#"{"v":"b"}"#));
+    }
+
+    #[test]
+    fn maybe_compact_respects_the_thresholds() {
+        let tmp = TempDir::new("maybe");
+        let config = StoreConfig {
+            compact_min_records: 4,
+            compact_dead_ratio: 0.5,
+            ..StoreConfig::default()
+        };
+        let mut store = Store::open_or_create_with(&tmp.0, config).expect("create");
+        store
+            .append(key(0), r#"{"v":1}"#.to_string())
+            .expect("append");
+        store
+            .append(key(0), r#"{"v":2}"#.to_string())
+            .expect("append");
+        // 50% dead but below min_records.
+        assert!(!store.maybe_compact().expect("check"), "too few records");
+        store
+            .append(key(0), r#"{"v":3}"#.to_string())
+            .expect("append");
+        store
+            .append(key(0), r#"{"v":4}"#.to_string())
+            .expect("append");
+        // 4 records, 75% dead.
+        assert!(store.maybe_compact().expect("check"), "threshold reached");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(&key(0)), Some(r#"{"v":4}"#));
+    }
+
+    #[test]
+    fn interrupted_compaction_recovers_at_open() {
+        // Simulate every crash window of the rename dance and check
+        // that reopening sees either the old data or the complete new
+        // data — never a loss.
+        let records: Vec<(TrialKey, String)> = (0..3)
+            .map(|seed| (key(seed), format!(r#"{{"seed":{seed}}}"#)))
+            .collect();
+        let populate = |dir: &Path| {
+            let mut store = Store::open_or_create(dir).expect("create");
+            for (k, r) in &records {
+                store.append(k.clone(), r.clone()).expect("append");
+            }
+        };
+        let check_all = |dir: &Path| {
+            let store = Store::open_or_create(dir).expect("recovering open");
+            assert_eq!(store.len(), 3);
+            for (k, r) in &records {
+                assert_eq!(store.get(k), Some(r.as_str()));
+            }
+            assert!(!dir.join(SEGMENTS_TMP).exists());
+            assert!(!dir.join(SEGMENTS_OLD).exists());
+        };
+
+        // Window 1: crash before the commit point (tmp staged,
+        // segments still in place). The half-staged tmp is discarded.
+        let tmp = TempDir::new("crash1");
+        populate(&tmp.0);
+        fs::create_dir_all(tmp.0.join(SEGMENTS_TMP)).expect("stage");
+        fs::write(tmp.0.join(SEGMENTS_TMP).join(segment_name(0)), b"junk").expect("junk");
+        check_all(&tmp.0);
+
+        // Window 2: crash mid-commit (segments renamed away, tmp not
+        // yet promoted). The complete tmp is promoted.
+        let tmp = TempDir::new("crash2");
+        populate(&tmp.0);
+        fs::rename(tmp.0.join(SEGMENTS_DIR), tmp.0.join(SEGMENTS_TMP)).expect("stage=real");
+        // A leftover "old" from the dance: stale junk that must lose.
+        fs::create_dir_all(tmp.0.join(SEGMENTS_OLD)).expect("old");
+        check_all(&tmp.0);
+
+        // Window 3: crash after the commit (old not yet deleted).
+        let tmp = TempDir::new("crash3");
+        populate(&tmp.0);
+        fs::create_dir_all(tmp.0.join(SEGMENTS_OLD)).expect("old");
+        fs::write(tmp.0.join(SEGMENTS_OLD).join(segment_name(0)), b"junk").expect("junk");
+        check_all(&tmp.0);
+    }
+
+    #[test]
+    fn merge_unions_disjoint_and_agreeing_stores() {
+        let (ta, tb, tout) = (
+            TempDir::new("merge-a"),
+            TempDir::new("merge-b"),
+            TempDir::new("merge-out"),
+        );
+        let mut a = Store::open_or_create(&ta.0).expect("a");
+        a.append(key(0), r#"{"v":"x"}"#.to_string()).expect("a0");
+        a.append(key(1), r#"{"v":"y"}"#.to_string()).expect("a1");
+        let mut b = Store::open_or_create(&tb.0).expect("b");
+        b.append(key(1), r#"{"v":"y"}"#.to_string()).expect("b1");
+        b.append(key(2), r#"{"v":"z"}"#.to_string()).expect("b2");
+
+        let out = Store::merge(&a, &b, &tout.0).expect("merge");
+        assert_eq!(out.len(), 3, "agreeing overlap dedupes");
+        assert_eq!(out.get(&key(0)), Some(r#"{"v":"x"}"#));
+        assert_eq!(out.get(&key(1)), Some(r#"{"v":"y"}"#));
+        assert_eq!(out.get(&key(2)), Some(r#"{"v":"z"}"#));
+        drop(out);
+        let out = Store::open_or_create(&tout.0).expect("reopen");
+        assert_eq!(out.len(), 3, "merged store persists");
+    }
+
+    #[test]
+    fn merge_refuses_conflicting_records() {
+        let (ta, tb, tout) = (
+            TempDir::new("conflict-a"),
+            TempDir::new("conflict-b"),
+            TempDir::new("conflict-out"),
+        );
+        let mut a = Store::open_or_create(&ta.0).expect("a");
+        a.append(key(0), r#"{"v":"left"}"#.to_string()).expect("a0");
+        let mut b = Store::open_or_create(&tb.0).expect("b");
+        b.append(key(0), r#"{"v":"right"}"#.to_string())
+            .expect("b0");
+        match Store::merge(&a, &b, &tout.0) {
+            Err(StoreError::MergeConflict { key: k }) => assert_eq!(k, key(0)),
+            other => panic!("expected MergeConflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v1_and_v2_hold_the_same_integrity_hash() {
+        // The property that lets both formats share FORMAT_VERSION:
+        // a record's hash is identical however it is framed, so a
+        // compaction (v1 → v2 rewrite) preserves the hash chain.
+        let k = key(42);
+        let record = r#"{"bits":12,"metrics":{"x":0.25}}"#;
+        let line = v1::encode_line(&k, record);
+        let decoded = v1::decode_line(line.trim_end()).expect("v1 decodes");
+        assert_eq!(decoded.key, k);
+        assert_eq!(decoded.record_json, record);
+        // The v2 frame embeds line_hash directly; decoding checks it.
+        let frame = segment::encode(&k, record).expect("v2 encodes");
+        let mut seg_bytes = segment::SEGMENT_MAGIC.to_vec();
+        seg_bytes.extend_from_slice(&frame);
+        let load = segment::decode_all(&seg_bytes);
+        assert!(load.error.is_none());
+        assert_eq!(load.entries[0].key, k);
+        assert_eq!(load.entries[0].record_json, record);
     }
 }

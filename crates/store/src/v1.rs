@@ -1,0 +1,75 @@
+//! The v1 record format: one JSON object per line in `trials.jsonl`.
+//!
+//! New writes go to the v2 binary segments (see the [crate
+//! docs](crate)); this module keeps the v1 line codec public so v1
+//! stores keep opening forever, migration tools can read them, and
+//! benchmarks can author legacy logs to compare load paths.
+
+use crate::{json, line_hash, Entry, TrialKey};
+
+/// Serializes one v1 log line (with trailing newline) for a record.
+pub fn encode_line(key: &TrialKey, record_json: &str) -> String {
+    let mut w = json::Writer::object();
+    w.field_str("hash", &format!("{:016x}", line_hash(key, record_json)));
+    w.field_str("protocol", &key.protocol);
+    w.field_str("graph", &key.graph);
+    w.field_str("partitioner", &key.partitioner);
+    w.field_u64("seed", key.seed);
+    w.field_raw("record", record_json);
+    w.finish() + "\n"
+}
+
+/// Parses and integrity-checks one v1 log line.
+///
+/// The seed and the record payload are extracted from the *raw* line
+/// text (not re-serialized from the parsed tree) so they round-trip
+/// byte-exactly — in particular a trial seed above 2⁵³ must not go
+/// through the parser's `f64` numbers. Searching the raw text for the
+/// unescaped `"seed":` / `,"record":` markers is unambiguous: inside
+/// any JSON *string* value the quotes would be `\"`-escaped, so the
+/// first unescaped occurrence is the line's own field (the payload,
+/// which may legitimately contain a `"seed"` key of its own, comes
+/// last in [`encode_line`]'s field order).
+pub fn decode_line(line: &str) -> Result<Entry, String> {
+    let v = json::Value::parse(line)?;
+    let obj = v.as_object().ok_or("log line is not a JSON object")?;
+    let get_str = |field: &str| {
+        obj.get(field)
+            .and_then(json::Value::as_str)
+            .ok_or(format!("missing or non-string field {field:?}"))
+    };
+    let seed_at = line.find("\"seed\":").ok_or("missing field \"seed\"")? + "\"seed\":".len();
+    let after_seed = &line[seed_at..];
+    let digits_end = after_seed
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(after_seed.len());
+    let seed_digits = &after_seed[..digits_end];
+    let seed: u64 = seed_digits
+        .parse()
+        .map_err(|_| format!("seed {seed_digits:?} is not a u64"))?;
+    let key = TrialKey {
+        protocol: get_str("protocol")?.to_string(),
+        graph: get_str("graph")?.to_string(),
+        partitioner: get_str("partitioner")?.to_string(),
+        seed,
+    };
+    if !obj.contains_key("record") {
+        return Err("missing field \"record\"".to_string());
+    }
+    let record_at = line
+        .find(",\"record\":")
+        .ok_or("missing field \"record\"")?
+        + ",\"record\":".len();
+    let record_json = &line[record_at..line.len() - 1];
+    let hash = get_str("hash")?;
+    let expected = format!("{:016x}", line_hash(&key, record_json));
+    if hash != expected {
+        return Err(format!(
+            "integrity hash {hash} does not match key {key} + record (expected {expected})"
+        ));
+    }
+    Ok(Entry {
+        key,
+        record_json: record_json.to_string(),
+    })
+}

@@ -100,10 +100,19 @@ fn truncated_log_salvages_and_recomputes_only_the_tail() {
     let (_, stats) = grid(77, 0..4).with_store(&tmp.0).run_with_stats();
     assert_eq!(stats.trials_computed, total);
 
-    // Tear the log mid-line, as a crash mid-append would.
-    let log = tmp.0.join("trials.jsonl");
-    let text = std::fs::read_to_string(&log).expect("read log");
-    std::fs::write(&log, &text[..text.len() * 2 / 3]).expect("truncate");
+    // Tear the newest segment mid-frame, as a crash mid-append would
+    // (writes land in v2 binary segments; `trials.jsonl` is the
+    // legacy read path).
+    let store = Store::open_existing(&tmp.0).expect("open for tear");
+    let seg = store
+        .segments()
+        .expect("list segments")
+        .last()
+        .cloned()
+        .expect("at least one segment");
+    drop(store);
+    let bytes = std::fs::read(&seg).expect("read segment");
+    std::fs::write(&seg, &bytes[..bytes.len() * 2 / 3]).expect("truncate");
 
     // Loading salvages the intact prefix and reports the damage.
     let store = Store::open_existing(&tmp.0).expect("open");
