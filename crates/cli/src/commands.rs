@@ -3,11 +3,15 @@
 //! testable without spawning a process.
 
 use bichrome_runner::table::Table;
-use bichrome_runner::{diff_reports, registry, CampaignFile, CampaignReport};
+use bichrome_runner::{
+    compute_trial, diff_reports, registry, CampaignFile, CampaignReport, InstanceCache,
+    TransportKind,
+};
 use bichrome_serve::json::Value;
-use bichrome_serve::{Addr, Client, Daemon, DaemonConfig, Listener};
-use bichrome_store::Store;
+use bichrome_serve::{Addr, Client, Daemon, DaemonConfig, LeaseGrant, Listener};
+use bichrome_store::{Store, TrialKey};
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// The usage text (`bichrome help`).
 pub const USAGE: &str = "\
@@ -15,9 +19,11 @@ bichrome — persistent, resumable campaign runs over every protocol in the regi
 
 USAGE:
     bichrome run <campaign.toml> [--store <dir>] [--format text|json|csv] [--serial]
+                 [--transport inproc|pipe|tcp]
         Run the declared grid. With a store (flag or `store = ...` in the
         file), already-computed trials are skipped and fresh records are
-        flushed as workers finish.
+        flushed as workers finish. --transport overrides the file's
+        session wire (results are bit-identical on every transport).
     bichrome resume <campaign.toml> [--store <dir>]
         Alias of `run` that *requires* a store — use after a killed run.
     bichrome report <store-dir> [--format text|json|csv]
@@ -31,8 +37,16 @@ USAGE:
 
   The daemon (many clients, one executor, one store):
     bichrome serve <store-dir> [--addr <addr>] [--workers <n>]
+                   [--no-local-workers] [--lease-timeout <secs>]
         Run the campaign daemon until a `shutdown` request. The default
-        address is unix:<store-dir>/daemon.sock; tcp:<host>:<port> works too.
+        address is unix:<store-dir>/daemon.sock; tcp:<host>:<port> works too
+        (the effective address is printed to stderr at startup). With
+        --no-local-workers the daemon only schedules: every trial waits
+        for a remote worker's lease.
+    bichrome work --connect <addr>
+        Pull trials from a daemon, compute them locally, and stream the
+        records back. Run any number of these wherever the daemon is
+        reachable; one dying mid-trial costs only a lease timeout.
     bichrome submit <campaign.toml> --addr <addr> [--watch]
         Submit the declaration (sent inline) as a job; --watch streams
         its progress and exits with the final accounting.
@@ -44,6 +58,8 @@ USAGE:
         Cooperatively cancel a running job (completed trials persist).
     bichrome ping --addr <addr>
         Exit 0 if a daemon answers at the address.
+    bichrome stats --addr <addr>
+        Print the daemon's counters (cache, store, jobs, leases).
     bichrome shutdown --addr <addr>
         Drain in-flight jobs, checkpoint the store, stop the daemon.
 
@@ -68,11 +84,13 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         Some((&"diff", rest)) => diff(rest),
         Some((&"store", rest)) => store_cmd(rest),
         Some((&"serve", rest)) => serve(rest),
+        Some((&"work", rest)) => work(rest),
         Some((&"submit", rest)) => submit(rest),
         Some((&"watch", rest)) => watch(rest),
         Some((&"jobs", rest)) => jobs(rest),
         Some((&"cancel", rest)) => cancel(rest),
         Some((&"ping", rest)) => ping(rest),
+        Some((&"stats", rest)) => stats(rest),
         Some((&"shutdown", rest)) => shutdown(rest),
         Some((&"registry", [])) => Ok(registry_listing()),
         Some((&"registry", _)) => Err("registry takes no arguments".to_string()),
@@ -102,6 +120,10 @@ struct Flags<'a> {
     addr: Option<&'a str>,
     watch: bool,
     workers: usize,
+    transport: Option<TransportKind>,
+    connect: Option<&'a str>,
+    no_local_workers: bool,
+    lease_timeout: Option<u64>,
 }
 
 impl<'a> Flags<'a> {
@@ -160,6 +182,27 @@ fn parse_flags<'a>(args: &[&'a str], allow: &[&str]) -> Result<Flags<'a>, String
                     .parse()
                     .map_err(|_| format!("--workers {n:?} is not a number"))?;
             }
+            "--transport" => {
+                check("--transport")?;
+                let name = *it.next().ok_or("--transport needs inproc|pipe|tcp")?;
+                flags.transport = Some(name.parse()?);
+            }
+            "--connect" => {
+                check("--connect")?;
+                flags.connect = Some(*it.next().ok_or("--connect needs a daemon address")?);
+            }
+            "--no-local-workers" => {
+                check("--no-local-workers")?;
+                flags.no_local_workers = true;
+            }
+            "--lease-timeout" => {
+                check("--lease-timeout")?;
+                let secs = *it.next().ok_or("--lease-timeout needs seconds")?;
+                flags.lease_timeout = Some(
+                    secs.parse()
+                        .map_err(|_| format!("--lease-timeout {secs:?} is not a number"))?,
+                );
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
             pos => flags.positional.push(pos),
         }
@@ -169,7 +212,7 @@ fn parse_flags<'a>(args: &[&'a str], allow: &[&str]) -> Result<Flags<'a>, String
 
 /// `bichrome run` / `bichrome resume`.
 fn run(args: &[&str], require_store: bool) -> Result<String, String> {
-    let flags = parse_flags(args, &["--store", "--format", "--serial"])?;
+    let flags = parse_flags(args, &["--store", "--format", "--serial", "--transport"])?;
     let [path] = flags.positional.as_slice() else {
         return Err("expected exactly one campaign file argument".to_string());
     };
@@ -184,6 +227,9 @@ fn run(args: &[&str], require_store: bool) -> Result<String, String> {
     let mut campaign = file.to_campaign(flags.store);
     if flags.serial {
         campaign = campaign.parallel(false);
+    }
+    if let Some(kind) = flags.transport {
+        campaign = campaign.transport(kind);
     }
     let (report, stats) = campaign
         .try_run_with_stats()
@@ -263,7 +309,15 @@ fn store_cmd(args: &[&str]) -> Result<String, String> {
 
 /// `bichrome serve`: run the daemon until a `shutdown` request.
 fn serve(args: &[&str]) -> Result<String, String> {
-    let flags = parse_flags(args, &["--addr", "--workers"])?;
+    let flags = parse_flags(
+        args,
+        &[
+            "--addr",
+            "--workers",
+            "--no-local-workers",
+            "--lease-timeout",
+        ],
+    )?;
     let [dir] = flags.positional.as_slice() else {
         return Err("expected exactly one store directory argument".to_string());
     };
@@ -271,21 +325,81 @@ fn serve(args: &[&str]) -> Result<String, String> {
         Some(spec) => Addr::parse(spec)?,
         None => Addr::Unix(std::path::Path::new(dir).join("daemon.sock")),
     };
-    let daemon = Daemon::start(
-        *dir,
-        DaemonConfig {
-            workers: flags.workers,
-            ..DaemonConfig::default()
-        },
-    )?;
+    let mut config = DaemonConfig {
+        workers: flags.workers,
+        local_pool: !flags.no_local_workers,
+        ..DaemonConfig::default()
+    };
+    if let Some(secs) = flags.lease_timeout {
+        config.lease_timeout = Duration::from_secs(secs);
+    }
+    let daemon = Daemon::start(*dir, config)?;
     let listener = Listener::bind(&addr).map_err(|e| format!("binding {addr}: {e}"))?;
     let effective = listener.local_addr();
+    // To stderr, *before* the accept loop blocks: with `--addr
+    // tcp:host:0` this is where the kernel-chosen port is announced
+    // (workers and tests parse it).
+    eprintln!("daemon listening at {effective}");
     daemon
         .serve(listener)
         .map_err(|e| format!("serving {effective}: {e}"))?;
     Ok(format!(
         "daemon at {effective} stopped (store checkpointed)\n"
     ))
+}
+
+/// `bichrome work`: a remote worker — pull leases from a daemon,
+/// compute them with the ordinary prepared-run machinery, stream the
+/// records back. Exits when the daemon says stop (drain) or stays
+/// unreachable for ~5s.
+fn work(args: &[&str]) -> Result<String, String> {
+    let flags = parse_flags(args, &["--connect"])?;
+    if !flags.positional.is_empty() {
+        return Err("work takes no positional arguments (pass --connect <addr>)".to_string());
+    }
+    let spec = flags
+        .connect
+        .ok_or("a worker needs a daemon: pass --connect <addr>")?;
+    let addr = Addr::parse(spec)?;
+    let client = Client::new(addr.clone());
+    let cache = InstanceCache::new();
+    let mut computed: u64 = 0;
+    let mut failures: u32 = 0;
+    loop {
+        match client.lease() {
+            Ok(LeaseGrant::Trial(t)) => {
+                failures = 0;
+                let key = TrialKey {
+                    protocol: t.protocol.clone(),
+                    graph: t.graph.clone(),
+                    partitioner: t.partitioner.clone(),
+                    seed: t.seed,
+                };
+                let kind: TransportKind = t
+                    .transport
+                    .parse()
+                    .map_err(|e| format!("daemon sent a bad transport: {e}"))?;
+                let record = compute_trial(&key, kind, &cache)?;
+                match client.complete(t.lease, &record.to_json()) {
+                    // `false`: our lease expired while we computed and
+                    // the trial went to someone else — not our problem.
+                    Ok(accepted) => computed += u64::from(accepted),
+                    Err(e) => eprintln!("record for seed {} rejected: {e}", key.seed),
+                }
+            }
+            Ok(LeaseGrant::Idle) => {
+                failures = 0;
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Ok(LeaseGrant::Stop) => break,
+            Err(e) if failures >= 50 => return Err(format!("lost the daemon at {addr}: {e}")),
+            Err(_) => {
+                failures += 1;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+    Ok(format!("worker done: computed {computed} trials\n"))
 }
 
 /// `bichrome submit`: send a campaign file's *contents* to the
@@ -399,6 +513,30 @@ fn ping(args: &[&str]) -> Result<String, String> {
     }
 }
 
+/// `bichrome stats`: one `name: value` line per daemon counter
+/// (sorted by name — `Value` objects are BTreeMaps).
+fn stats(args: &[&str]) -> Result<String, String> {
+    let flags = parse_flags(args, &["--addr"])?;
+    if !flags.positional.is_empty() {
+        return Err("stats takes no positional arguments".to_string());
+    }
+    let stats = Client::new(flags.daemon_addr()?).stats()?;
+    let o = stats.as_object().ok_or("malformed stats reply")?;
+    let mut out = String::new();
+    for (name, value) in o {
+        if name == "ok" {
+            continue;
+        }
+        let rendered = value
+            .as_u64()
+            .map(|n| n.to_string())
+            .or_else(|| value.as_str().map(str::to_string))
+            .unwrap_or_else(|| "?".to_string());
+        writeln!(out, "{name}: {rendered}").expect("string write");
+    }
+    Ok(out)
+}
+
 /// `bichrome shutdown`.
 fn shutdown(args: &[&str]) -> Result<String, String> {
     let flags = parse_flags(args, &["--addr"])?;
@@ -460,5 +598,31 @@ mod tests {
         assert!(dispatch_strs(&["report", "/no/such/store"])
             .expect_err("missing store")
             .contains("not a bichrome store"));
+    }
+
+    #[test]
+    fn transport_and_worker_flags_validate() {
+        assert!(
+            dispatch_strs(&["run", "x", "--transport", "carrier-pigeon"])
+                .expect_err("bad transport")
+                .contains("inproc|pipe|tcp")
+        );
+        assert!(
+            dispatch_strs(&["report", "x", "--transport", "tcp"]).is_err(),
+            "--transport is not a report flag"
+        );
+        assert!(dispatch_strs(&["work"])
+            .expect_err("worker without a daemon")
+            .contains("--connect"));
+        assert!(dispatch_strs(&["work", "stray"])
+            .expect_err("worker with a positional")
+            .contains("no positional"));
+        assert!(dispatch_strs(&["serve", "x", "--lease-timeout", "soon"])
+            .expect_err("bad timeout")
+            .contains("not a number"));
+        assert!(
+            dispatch_strs(&["run", "x", "--no-local-workers"]).is_err(),
+            "--no-local-workers is a serve flag"
+        );
     }
 }

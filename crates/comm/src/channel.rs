@@ -1,13 +1,10 @@
 //! The round-synchronous duplex link between the parties.
 
 use crate::meter::Meter;
+use crate::transport::{LinkBox, TransportKind};
 use crate::wire::Message;
 use crate::Side;
-use std::sync::mpsc::{Receiver, Sender};
-
-/// How many yield-and-retry attempts [`Endpoint::exchange`] makes
-/// before parking on the blocking receive.
-const YIELD_ROUNDS: usize = 16;
+use std::cell::RefCell;
 
 /// One party's end of the two-party link.
 ///
@@ -17,15 +14,28 @@ const YIELD_ROUNDS: usize = 16;
 /// messages are exchanges where the other side sends
 /// [`Message::empty`].
 ///
+/// The bytes underneath travel over whichever
+/// [`Transport`](crate::transport::Transport) built the endpoint pair
+/// (in-process channels by default; OS pipes or loopback TCP via
+/// [`endpoint_pair_on`]). Metering happens here, *before* the message
+/// reaches the link, so the recorded bits and rounds are identical
+/// across transports.
+///
 /// Protocols must be written so both parties perform the same number
 /// of exchanges; a mismatch deadlocks (and is a protocol bug, not a
 /// substrate bug).
-#[derive(Debug)]
 pub struct Endpoint {
     side: Side,
-    tx: Sender<Message>,
-    rx: Receiver<Message>,
+    link: RefCell<LinkBox>,
     meter: Meter,
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("side", &self.side)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Endpoint {
@@ -52,24 +62,9 @@ impl Endpoint {
         if self.side == Side::Alice {
             self.meter.on_round();
         }
-        self.tx.send(msg).expect("peer hung up before send");
-        // Cooperative fast path: the peer is almost always runnable
-        // and about to answer, so try a few yield-to-peer handoffs
-        // before the blocking receive parks this thread. On a single
-        // core `yield_now` runs the peer immediately, making one
-        // round cost one scheduler handoff instead of a futex
-        // park/wake pair; on many cores the reply usually lands
-        // during the first yields.
-        for _ in 0..YIELD_ROUNDS {
-            match self.rx.try_recv() {
-                Ok(m) => return m,
-                Err(std::sync::mpsc::TryRecvError::Empty) => std::thread::yield_now(),
-                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
-                    panic!("peer hung up before reply")
-                }
-            }
-        }
-        self.rx.recv().expect("peer hung up before reply")
+        let mut link = self.link.borrow_mut();
+        link.send(&msg);
+        link.recv()
     }
 
     /// Sends `msg` expecting no payload back: sugar for an exchange
@@ -99,20 +94,32 @@ impl Endpoint {
     }
 }
 
-/// Creates a connected pair of endpoints sharing `meter`.
+/// Creates a connected pair of endpoints sharing `meter` over the
+/// default in-process transport.
 pub fn endpoint_pair(meter: Meter) -> (Endpoint, Endpoint) {
-    let (a_tx, a_rx) = std::sync::mpsc::channel();
-    let (b_tx, b_rx) = std::sync::mpsc::channel();
+    endpoint_pair_on(TransportKind::InProc, meter)
+}
+
+/// Creates a connected pair of endpoints sharing `meter` over the
+/// given transport.
+///
+/// # Panics
+///
+/// Panics if the transport cannot be set up (OS pipe / socket
+/// resource failure).
+pub fn endpoint_pair_on(kind: TransportKind, meter: Meter) -> (Endpoint, Endpoint) {
+    let (a_link, b_link) = kind
+        .transport()
+        .pair()
+        .unwrap_or_else(|e| panic!("cannot set up {kind} transport: {e}"));
     let alice = Endpoint {
         side: Side::Alice,
-        tx: a_tx,
-        rx: b_rx,
+        link: RefCell::new(a_link),
         meter: meter.clone(),
     };
     let bob = Endpoint {
         side: Side::Bob,
-        tx: b_tx,
-        rx: a_rx,
+        link: RefCell::new(b_link),
         meter,
     };
     (alice, bob)
@@ -182,5 +189,35 @@ mod tests {
         let s = meter.snapshot();
         assert_eq!(s.rounds, 3);
         assert_eq!(s.total_bits(), 0);
+    }
+
+    #[test]
+    fn metering_is_identical_across_transports() {
+        // The same exchange script must produce the same CommStats on
+        // every transport: bits and rounds are counted above the link.
+        let mut snapshots = Vec::new();
+        for kind in TransportKind::ALL {
+            let meter = Meter::new();
+            let (alice, bob) = endpoint_pair_on(kind, meter.clone());
+            let handle = std::thread::spawn(move || {
+                let got = bob.recv();
+                let x = got.reader().read_uint(11);
+                let mut w = BitWriter::new();
+                w.write_uint(x * 2, 12);
+                bob.send(w.finish());
+                bob.exchange(Message::empty());
+            });
+            let mut w = BitWriter::new();
+            w.write_uint(1027, 11);
+            alice.send(w.finish());
+            assert_eq!(alice.recv().reader().read_uint(12), 2054, "{kind}");
+            alice.exchange(Message::empty());
+            handle.join().expect("bob ok");
+            snapshots.push(meter.snapshot());
+        }
+        assert_eq!(snapshots[0], snapshots[1], "inproc == pipe");
+        assert_eq!(snapshots[0], snapshots[2], "inproc == tcp");
+        assert_eq!(snapshots[0].rounds, 3);
+        assert_eq!(snapshots[0].total_bits(), 23);
     }
 }

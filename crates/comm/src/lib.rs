@@ -18,6 +18,10 @@
 //!   (footnote 1 of the paper).
 //! * [`session`] — runs Alice's and Bob's protocol code on two OS
 //!   threads joined by std mpsc channels.
+//! * [`transport`] — pluggable wires under the session: the in-process
+//!   exchange, OS pipes, or loopback TCP with length-prefixed frames.
+//!   The meter counts bits and rounds *above* the transport, so the
+//!   recorded `CommStats` are identical whichever wire carries them.
 //! * [`machine`] — sans-io round machines plus a lock-step driver, so
 //!   many per-vertex subprotocols can share each round's message, the
 //!   way Algorithm 1 runs all `Color-Sample` instances "in parallel".
@@ -65,11 +69,13 @@ pub mod machine;
 pub mod meter;
 pub mod newman;
 pub mod session;
+pub mod transport;
 pub mod wire;
 
 pub use channel::Endpoint;
 pub use coin::PublicCoin;
 pub use meter::CommStats;
+pub use transport::{with_session_transport, Transport, TransportKind};
 pub use wire::{BitReader, BitWriter, Message};
 
 /// Which party an endpoint belongs to.

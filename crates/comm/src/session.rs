@@ -1,8 +1,9 @@
 //! Running both parties on two OS threads.
 
-use crate::channel::{endpoint_pair, Endpoint};
+use crate::channel::{endpoint_pair_on, Endpoint};
 use crate::coin::PublicCoin;
 use crate::meter::{CommStats, Meter};
+use crate::transport::{self, TransportKind};
 
 /// Everything a party's protocol code receives: its channel endpoint
 /// and the shared public coin.
@@ -17,6 +18,11 @@ pub struct PartyCtx {
 /// Runs Alice's and Bob's closures on two threads connected by a
 /// round-synchronous channel, with shared public randomness derived
 /// from `seed`.
+///
+/// The wire between the parties is this thread's ambient session
+/// transport — in-process channels unless the caller is inside a
+/// [`transport::with_session_transport`] scope. Use
+/// [`run_two_party_ctx_on`] to name the transport explicitly.
 ///
 /// Returns both outputs and the communication statistics.
 ///
@@ -48,8 +54,28 @@ where
     RA: Send,
     RB: Send,
 {
+    run_two_party_ctx_on(transport::session_transport(), seed, alice, bob)
+}
+
+/// Like [`run_two_party_ctx`] but over an explicitly chosen
+/// transport, ignoring the ambient default.
+///
+/// # Panics
+///
+/// Propagates a panic from either party's thread, and panics if the
+/// transport cannot be set up (OS resource failure).
+pub fn run_two_party_ctx_on<RA, RB>(
+    kind: TransportKind,
+    seed: u64,
+    alice: impl FnOnce(PartyCtx) -> RA + Send,
+    bob: impl FnOnce(PartyCtx) -> RB + Send,
+) -> (RA, RB, CommStats)
+where
+    RA: Send,
+    RB: Send,
+{
     let meter = Meter::new();
-    let (a_ep, b_ep) = endpoint_pair(meter.clone());
+    let (a_ep, b_ep) = endpoint_pair_on(kind, meter.clone());
     let coin = PublicCoin::new(seed);
     let a_ctx = PartyCtx {
         endpoint: a_ep,
@@ -145,5 +171,58 @@ mod tests {
         let (a, b, _) = run_two_party(0, |_| "alice", |_| 5usize);
         assert_eq!(a, "alice");
         assert_eq!(b, 5);
+    }
+
+    #[test]
+    fn sessions_report_identical_stats_on_every_transport() {
+        fn ping_pong(kind: TransportKind) -> (u64, CommStats) {
+            let (a, _, stats) = run_two_party_ctx_on(
+                kind,
+                11,
+                |ctx| {
+                    let mut w = BitWriter::new();
+                    w.write_uint(99, 7);
+                    ctx.endpoint.send(w.finish());
+                    ctx.endpoint.recv().reader().read_uint(8)
+                },
+                |ctx| {
+                    let x = ctx.endpoint.recv().reader().read_uint(7);
+                    let mut w = BitWriter::new();
+                    w.write_uint(x + 1, 8);
+                    ctx.endpoint.send(w.finish());
+                },
+            );
+            (a, stats)
+        }
+        let baseline = ping_pong(TransportKind::InProc);
+        assert_eq!(baseline.0, 100);
+        assert_eq!(baseline.1.rounds, 2);
+        assert_eq!(baseline.1.total_bits(), 15);
+        for kind in [TransportKind::Pipe, TransportKind::Tcp] {
+            assert_eq!(ping_pong(kind), baseline, "{kind}");
+        }
+    }
+
+    #[test]
+    fn ambient_transport_scope_reaches_plain_sessions() {
+        use crate::transport::with_session_transport;
+        // A session started inside the scope uses the scoped
+        // transport; the observable contract (outputs, stats) is
+        // unchanged, which is exactly what the campaign runner relies
+        // on when it wraps trials in this scope.
+        let (a, b, stats) = with_session_transport(TransportKind::Tcp, || {
+            run_two_party(
+                3,
+                |ep| {
+                    let mut w = BitWriter::new();
+                    w.write_uint(6, 3);
+                    ep.send(w.finish());
+                },
+                |ep| ep.recv().reader().read_uint(3),
+            )
+        });
+        assert_eq!((a, b), ((), 6));
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.total_bits(), 3);
     }
 }

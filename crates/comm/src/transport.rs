@@ -1,0 +1,511 @@
+//! Pluggable wires under the two-party session: the [`Transport`]
+//! trait and its three implementations.
+//!
+//! Every session runs both parties in one process (two threads), but
+//! the *bytes* between them can travel three ways:
+//!
+//! * [`InProc`] — the original yield-to-peer mpsc exchange. Zero
+//!   copies beyond an `Arc` bump; the fast default for campaigns.
+//! * [`Pipe`] — a pair of OS pipes (`std::io::pipe`). Every round
+//!   crosses a real kernel byte boundary.
+//! * [`Tcp`] — a loopback TCP connection with length-prefixed frames.
+//!   The frame writer is buffered so one round costs one `write`
+//!   syscall (header + payload flushed together), not one per field
+//!   the bit writer flushed.
+//!
+//! The communication *accounting* is transport-independent by
+//! construction: the [`Meter`](crate::meter::Meter) counts
+//! `len_bits()` and rounds in [`Endpoint::exchange`](crate::Endpoint)
+//! **before** the message reaches the link, so `CommStats` are
+//! bit-identical across all three transports — the byte framing the
+//! stream transports add (a 32-bit length prefix per message) is
+//! plumbing, not protocol, and is never metered. Tests in this module
+//! and the workspace's campaign-level proptests pin that invariant.
+//!
+//! # Selecting a transport
+//!
+//! [`TransportKind`] names the three implementations and parses from
+//! the same strings campaign files use (`"inproc"`, `"pipe"`,
+//! `"tcp"`). Sessions pick their wire two ways:
+//!
+//! * explicitly — [`run_two_party_ctx_on`](crate::session::run_two_party_ctx_on)
+//!   takes a `TransportKind` first argument;
+//! * ambiently — [`with_session_transport`] sets a thread-local
+//!   default that every plain
+//!   [`run_two_party_ctx`](crate::session::run_two_party_ctx) under
+//!   the closure inherits. This is how the campaign runner threads a
+//!   `transport = "tcp"` axis setting through protocol code that
+//!   never mentions transports.
+
+use crate::wire::Message;
+use std::cell::Cell;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+
+/// How many yield-and-retry attempts the in-process link's receive
+/// makes before parking on the blocking receive.
+const YIELD_ROUNDS: usize = 16;
+
+/// Upper bound a stream transport accepts for one frame's bit length.
+///
+/// A header above this is refused as corrupt instead of allocating —
+/// a torn or misaligned stream must not look like a 500 MB message.
+pub const MAX_FRAME_BITS: usize = 1 << 30;
+
+/// One party's end of a connected duplex wire.
+///
+/// `send` ships one [`Message`] to the peer; `recv` blocks for the
+/// peer's next message. Both panic if the peer is gone — in this
+/// workspace a vanished peer means its thread panicked, and the
+/// session layer propagates that panic anyway.
+pub trait Link {
+    /// Ships one message to the peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peer disconnected.
+    fn send(&mut self, msg: &Message);
+
+    /// Blocks for the peer's next message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peer disconnected before answering.
+    fn recv(&mut self) -> Message;
+}
+
+/// A boxed, thread-movable link half.
+pub type LinkBox = Box<dyn Link + Send>;
+
+/// A way to wire two parties together: produces connected
+/// [`Link`] pairs.
+///
+/// # Example
+///
+/// A real TCP loopback round trip, driven directly at the link layer:
+///
+/// ```
+/// use bichrome_comm::transport::{Tcp, Transport};
+/// use bichrome_comm::wire::BitWriter;
+///
+/// let (mut alice, mut bob) = Tcp.pair().unwrap();
+/// let echo = std::thread::spawn(move || {
+///     let got = bob.recv();
+///     bob.send(&got);
+/// });
+/// let mut w = BitWriter::new();
+/// w.write_uint(29, 5);
+/// alice.send(&w.finish());
+/// assert_eq!(alice.recv().reader().read_uint(5), 29);
+/// echo.join().unwrap();
+/// ```
+pub trait Transport {
+    /// The transport's canonical name (`"inproc"` / `"pipe"` /
+    /// `"tcp"`).
+    fn name(&self) -> &'static str;
+
+    /// A fresh connected pair of link halves: `(alice, bob)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OS resource failures (pipe / socket creation).
+    fn pair(&self) -> io::Result<(LinkBox, LinkBox)>;
+}
+
+// ---------------------------------------------------------------------------
+// InProc: the original mpsc exchange.
+// ---------------------------------------------------------------------------
+
+/// The in-process transport: std mpsc channels with a cooperative
+/// yield-to-peer fast path, semantics identical to the pre-transport
+/// `Endpoint`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InProc;
+
+struct InProcLink {
+    tx: Sender<Message>,
+    rx: Receiver<Message>,
+}
+
+impl Link for InProcLink {
+    fn send(&mut self, msg: &Message) {
+        // Messages are Arc-backed; this clone is a refcount bump.
+        self.tx.send(msg.clone()).expect("peer hung up before send");
+    }
+
+    fn recv(&mut self) -> Message {
+        // Cooperative fast path: the peer is almost always runnable
+        // and about to answer, so try a few yield-to-peer handoffs
+        // before the blocking receive parks this thread. On a single
+        // core `yield_now` runs the peer immediately, making one
+        // round cost one scheduler handoff instead of a futex
+        // park/wake pair; on many cores the reply usually lands
+        // during the first yields.
+        for _ in 0..YIELD_ROUNDS {
+            match self.rx.try_recv() {
+                Ok(m) => return m,
+                Err(TryRecvError::Empty) => std::thread::yield_now(),
+                Err(TryRecvError::Disconnected) => {
+                    panic!("peer hung up before reply")
+                }
+            }
+        }
+        self.rx.recv().expect("peer hung up before reply")
+    }
+}
+
+impl Transport for InProc {
+    fn name(&self) -> &'static str {
+        "inproc"
+    }
+
+    fn pair(&self) -> io::Result<(LinkBox, LinkBox)> {
+        let (a_tx, a_rx) = std::sync::mpsc::channel();
+        let (b_tx, b_rx) = std::sync::mpsc::channel();
+        Ok((
+            Box::new(InProcLink { tx: a_tx, rx: b_rx }),
+            Box::new(InProcLink { tx: b_tx, rx: a_rx }),
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The frame codec shared by the byte-stream transports.
+// ---------------------------------------------------------------------------
+
+/// Writes one frame — a little-endian `u32` *bit* length followed by
+/// `ceil(bits / 8)` payload bytes — into `w` without flushing, so a
+/// buffered writer coalesces header and payload into one syscall.
+///
+/// # Errors
+///
+/// Propagates the underlying write failure; refuses messages above
+/// [`MAX_FRAME_BITS`] as `InvalidInput`.
+pub fn write_frame(w: &mut impl Write, msg: &Message) -> io::Result<()> {
+    let bits = msg.len_bits();
+    if bits > MAX_FRAME_BITS {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {bits} bits exceeds the {MAX_FRAME_BITS}-bit cap"),
+        ));
+    }
+    w.write_all(&(bits as u32).to_le_bytes())?;
+    w.write_all(msg.as_bytes())
+}
+
+/// Reads one [`write_frame`]-encoded frame from `r`.
+///
+/// # Errors
+///
+/// `UnexpectedEof` on a torn frame (stream ends inside the header or
+/// payload); `InvalidData` on an oversized bit length (refused before
+/// any allocation).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Message> {
+    let mut header = [0u8; 4];
+    r.read_exact(&mut header)?;
+    let bits = u32::from_le_bytes(header) as usize;
+    if bits > MAX_FRAME_BITS {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame header claims {bits} bits (cap {MAX_FRAME_BITS}); refusing"),
+        ));
+    }
+    let mut buf = vec![0u8; bits.div_ceil(8)];
+    r.read_exact(&mut buf)?;
+    Ok(Message::from_raw_parts(buf, bits))
+}
+
+/// A [`Link`] over any byte stream: buffered frames, one flush (and
+/// therefore one syscall on an OS-backed stream) per message.
+struct FramedLink<R: Read, W: Write> {
+    reader: BufReader<R>,
+    writer: BufWriter<W>,
+}
+
+impl<R: Read, W: Write> FramedLink<R, W> {
+    fn new(reader: R, writer: W) -> Self {
+        FramedLink {
+            reader: BufReader::new(reader),
+            writer: BufWriter::new(writer),
+        }
+    }
+}
+
+impl<R: Read, W: Write> Link for FramedLink<R, W> {
+    fn send(&mut self, msg: &Message) {
+        write_frame(&mut self.writer, msg)
+            .and_then(|()| self.writer.flush())
+            .expect("peer hung up before send");
+    }
+
+    fn recv(&mut self) -> Message {
+        read_frame(&mut self.reader).expect("peer hung up before reply")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipe: two OS pipes.
+// ---------------------------------------------------------------------------
+
+/// The OS-pipe transport: one anonymous pipe per direction
+/// (`std::io::pipe`), frames crossing a real kernel byte boundary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pipe;
+
+impl Transport for Pipe {
+    fn name(&self) -> &'static str {
+        "pipe"
+    }
+
+    fn pair(&self) -> io::Result<(LinkBox, LinkBox)> {
+        let (a_to_b_read, a_to_b_write) = io::pipe()?;
+        let (b_to_a_read, b_to_a_write) = io::pipe()?;
+        Ok((
+            Box::new(FramedLink::new(b_to_a_read, a_to_b_write)),
+            Box::new(FramedLink::new(a_to_b_read, b_to_a_write)),
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tcp: loopback sockets.
+// ---------------------------------------------------------------------------
+
+/// The TCP transport: a loopback connection on an ephemeral port,
+/// `TCP_NODELAY` on, length-prefixed frames batched so one round is
+/// one `write` syscall per direction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tcp;
+
+impl Transport for Tcp {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn pair(&self) -> io::Result<(LinkBox, LinkBox)> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let alice = TcpStream::connect(addr)?;
+        let (bob, _) = listener.accept()?;
+        // Rounds are latency-bound single frames; Nagle would add a
+        // delayed-ACK stall to every exchange.
+        alice.set_nodelay(true)?;
+        bob.set_nodelay(true)?;
+        let a = FramedLink::new(alice.try_clone()?, alice);
+        let b = FramedLink::new(bob.try_clone()?, bob);
+        Ok((Box::new(a), Box::new(b)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TransportKind: the nameable axis value.
+// ---------------------------------------------------------------------------
+
+/// A nameable transport choice — the value a campaign's
+/// `transport = "inproc" | "pipe" | "tcp"` axis parses into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TransportKind {
+    /// [`InProc`] (the default).
+    #[default]
+    InProc,
+    /// [`Pipe`].
+    Pipe,
+    /// [`Tcp`].
+    Tcp,
+}
+
+static INPROC: InProc = InProc;
+static PIPE: Pipe = Pipe;
+static TCP: Tcp = Tcp;
+
+impl TransportKind {
+    /// Every kind, in declaration order — handy for identity tests
+    /// that sweep all transports.
+    pub const ALL: [TransportKind; 3] = [
+        TransportKind::InProc,
+        TransportKind::Pipe,
+        TransportKind::Tcp,
+    ];
+
+    /// The canonical name (`"inproc"` / `"pipe"` / `"tcp"`).
+    pub fn name(self) -> &'static str {
+        self.transport().name()
+    }
+
+    /// The implementation behind this kind.
+    pub fn transport(self) -> &'static dyn Transport {
+        match self {
+            TransportKind::InProc => &INPROC,
+            TransportKind::Pipe => &PIPE,
+            TransportKind::Tcp => &TCP,
+        }
+    }
+}
+
+impl std::str::FromStr for TransportKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<TransportKind, String> {
+        match s {
+            "inproc" => Ok(TransportKind::InProc),
+            "pipe" => Ok(TransportKind::Pipe),
+            "tcp" => Ok(TransportKind::Tcp),
+            other => Err(format!("unknown transport {other:?} (inproc|pipe|tcp)")),
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The ambient (thread-local) session transport.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static SESSION_TRANSPORT: Cell<TransportKind> = const { Cell::new(TransportKind::InProc) };
+}
+
+/// The transport plain
+/// [`run_two_party_ctx`](crate::session::run_two_party_ctx) sessions
+/// started from this thread currently use ([`TransportKind::InProc`]
+/// unless a [`with_session_transport`] scope is active).
+pub fn session_transport() -> TransportKind {
+    SESSION_TRANSPORT.with(Cell::get)
+}
+
+/// Runs `f` with `kind` as this thread's ambient session transport,
+/// restoring the previous value afterwards (also on panic/unwind).
+///
+/// This is how a transport choice reaches protocol code that calls
+/// `run_two_party_ctx` without a transport parameter: the campaign
+/// executor wraps each trial in this scope.
+pub fn with_session_transport<R>(kind: TransportKind, f: impl FnOnce() -> R) -> R {
+    struct Restore(TransportKind);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SESSION_TRANSPORT.with(|cell| cell.set(self.0));
+        }
+    }
+    let prev = SESSION_TRANSPORT.with(|cell| cell.replace(kind));
+    let _restore = Restore(prev);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::BitWriter;
+    use std::io::Cursor;
+
+    fn msg(value: u64, width: usize) -> Message {
+        let mut w = BitWriter::new();
+        w.write_uint(value, width);
+        w.finish()
+    }
+
+    #[test]
+    fn kinds_parse_and_render_round_trip() {
+        for kind in TransportKind::ALL {
+            assert_eq!(kind.name().parse::<TransportKind>().expect("parses"), kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(TransportKind::default(), TransportKind::InProc);
+        let err = "smoke-signals".parse::<TransportKind>().expect_err("bad");
+        assert!(err.contains("inproc|pipe|tcp"), "{err}");
+    }
+
+    #[test]
+    fn every_transport_round_trips_messages_both_ways() {
+        for kind in TransportKind::ALL {
+            let (mut alice, mut bob) = kind.transport().pair().expect("pair");
+            let handle = std::thread::spawn(move || {
+                let got = bob.recv();
+                assert_eq!(got.reader().read_uint(9), 257, "bob got alice's message");
+                bob.send(&msg(42, 6));
+                bob.send(&Message::empty());
+            });
+            alice.send(&msg(257, 9));
+            assert_eq!(alice.recv().reader().read_uint(6), 42);
+            assert!(alice.recv().is_empty(), "empty messages survive framing");
+            handle.join().expect("bob ok");
+        }
+    }
+
+    #[test]
+    fn frame_codec_round_trips_exact_bit_lengths() {
+        for bits in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000] {
+            let mut w = BitWriter::new();
+            for i in 0..bits {
+                w.write_bit(i % 3 == 0);
+            }
+            let original = w.finish();
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &original).expect("encode");
+            assert_eq!(buf.len(), 4 + bits.div_ceil(8), "header + payload bytes");
+            let decoded = read_frame(&mut Cursor::new(&buf)).expect("decode");
+            assert_eq!(decoded, original, "{bits} bits");
+            assert_eq!(decoded.len_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn torn_frames_are_reported_not_misread() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg(77, 20)).expect("encode");
+        // Every strict prefix is a torn frame: inside the header or
+        // inside the payload, the decode must fail cleanly.
+        for cut in 0..buf.len() {
+            let err = read_frame(&mut Cursor::new(&buf[..cut])).expect_err("torn");
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+        // The full frame still decodes.
+        assert_eq!(
+            read_frame(&mut Cursor::new(&buf))
+                .expect("whole")
+                .reader()
+                .read_uint(20),
+            77
+        );
+    }
+
+    #[test]
+    fn oversized_frame_headers_are_refused_without_allocating() {
+        let mut buf = ((MAX_FRAME_BITS as u32) + 1).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 16]);
+        let err = read_frame(&mut Cursor::new(&buf)).expect_err("refused");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("refusing"), "{err}");
+        // The cap itself is still legal on the write side.
+        let mut sink = Vec::new();
+        let fit = Message::from_raw_parts(vec![0u8; MAX_FRAME_BITS / 8], MAX_FRAME_BITS);
+        write_frame(&mut sink, &fit).expect("at-cap frame encodes");
+    }
+
+    #[test]
+    fn ambient_transport_scopes_nest_and_restore() {
+        assert_eq!(session_transport(), TransportKind::InProc);
+        with_session_transport(TransportKind::Tcp, || {
+            assert_eq!(session_transport(), TransportKind::Tcp);
+            with_session_transport(TransportKind::Pipe, || {
+                assert_eq!(session_transport(), TransportKind::Pipe);
+            });
+            assert_eq!(
+                session_transport(),
+                TransportKind::Tcp,
+                "inner scope restored"
+            );
+        });
+        assert_eq!(session_transport(), TransportKind::InProc);
+        // A panicking scope must restore too.
+        let caught = std::panic::catch_unwind(|| {
+            with_session_transport(TransportKind::Pipe, || panic!("boom"))
+        });
+        assert!(caught.is_err());
+        assert_eq!(session_transport(), TransportKind::InProc);
+    }
+}

@@ -170,6 +170,31 @@ impl Message {
             pos: 0,
         }
     }
+
+    /// The packed payload bytes (LSB-first within each byte, spare
+    /// high bits of the last byte zero). For byte-stream transports;
+    /// protocol code reads bits via [`Message::reader`].
+    pub(crate) fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Rebuilds a message from framed payload bytes and its exact bit
+    /// length — the decode half of a byte-stream transport.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is not exactly `ceil(len_bits / 8)` bytes.
+    pub(crate) fn from_raw_parts(buf: Vec<u8>, len_bits: usize) -> Message {
+        assert_eq!(
+            buf.len(),
+            len_bits.div_ceil(8),
+            "payload byte count must match the framed bit length"
+        );
+        Message {
+            buf: Arc::from(buf),
+            len_bits,
+        }
+    }
 }
 
 impl From<BitWriter> for Message {

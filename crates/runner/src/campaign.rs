@@ -40,6 +40,7 @@ use crate::protocol::Protocol;
 use crate::registry::registry;
 use crate::seeds;
 use crate::table::Table;
+use bichrome_comm::transport::{with_session_transport, TransportKind};
 use bichrome_graph::partition::Partitioner;
 use bichrome_store::{Store, StoreError, TrialKey};
 use rayon::prelude::*;
@@ -76,6 +77,7 @@ pub struct Campaign {
     parallel: bool,
     baseline: Option<String>,
     store: Option<StoreTarget>,
+    transport: TransportKind,
 }
 
 impl Default for Campaign {
@@ -96,6 +98,7 @@ impl Campaign {
             parallel: true,
             baseline: None,
             store: None,
+            transport: TransportKind::InProc,
         }
     }
 
@@ -179,6 +182,18 @@ impl Campaign {
     /// seed.
     pub fn parallel(mut self, yes: bool) -> Self {
         self.parallel = yes;
+        self
+    }
+
+    /// Selects the wire every trial's two-party session runs over
+    /// (default: in-process channels). The transport is plumbing, not
+    /// protocol: recorded bits and rounds are metered above it, so
+    /// records — and therefore stored [`TrialKey`] identities — are
+    /// identical whichever transport carried them. That is why the
+    /// key does *not* include the transport: a trial computed over
+    /// TCP warms the store for an in-process re-run and vice versa.
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.transport = kind;
         self
     }
 
@@ -460,6 +475,7 @@ impl Campaign {
             run_nanos: AtomicU64::new(0),
             baseline: self.baseline,
             parallel: self.parallel,
+            transport: self.transport,
         })
     }
 }
@@ -491,6 +507,7 @@ pub struct PreparedRun {
     run_nanos: AtomicU64,
     baseline: Option<String>,
     parallel: bool,
+    transport: TransportKind,
 }
 
 impl PreparedRun {
@@ -515,6 +532,12 @@ impl PreparedRun {
         self.parallel
     }
 
+    /// The wire this campaign's sessions run over (what the daemon
+    /// hands remote workers in trial descriptors).
+    pub fn transport(&self) -> TransportKind {
+        self.transport
+    }
+
     /// The canonical identity of pending trial `i` (in `0..pending()`).
     pub fn pending_key(&self, i: usize) -> &TrialKey {
         &self.queue_keys[i]
@@ -525,7 +548,8 @@ impl PreparedRun {
     /// [`PreparedRun::commit`]. Safe to call from any thread; each
     /// `i` should be run once.
     pub fn run_pending(&self, i: usize, cache: &InstanceCache) -> TrialRecord {
-        let (record, nanos) = exec::run_item(&self.queue[i], cache);
+        let (record, nanos) =
+            with_session_transport(self.transport, || exec::run_item(&self.queue[i], cache));
         self.run_nanos.fetch_add(nanos, Ordering::Relaxed);
         record
     }
@@ -605,6 +629,58 @@ fn partitioner_axis_label(p: Option<Partitioner>) -> String {
     }
 }
 
+/// Recomputes the trial a [`TrialKey`] names, from the key alone —
+/// the remote-worker half of the daemon's lease protocol. The key's
+/// four fields pin the computation exactly (see
+/// [`Campaign::with_store`]), so the returned record is bit-identical
+/// to what [`PreparedRun::run_pending`] produces for the same key in
+/// the daemon's own process, whatever `transport` carries the
+/// session's bytes.
+///
+/// Only registry protocols can travel as descriptors — a campaign
+/// built from closures via [`Campaign::protocol_labeled`] has no
+/// name a remote process could resolve.
+///
+/// # Errors
+///
+/// Returns a message naming the unresolvable field: an unknown
+/// protocol key, an unparsable graph spec, or an unparsable
+/// partitioner label.
+pub fn compute_trial(
+    key: &TrialKey,
+    transport: TransportKind,
+    cache: &InstanceCache,
+) -> Result<TrialRecord, String> {
+    let protocol = registry().get(&key.protocol).ok_or_else(|| {
+        format!(
+            "unknown protocol key {:?}; registry has: {}",
+            key.protocol,
+            registry().names().join(", ")
+        )
+    })?;
+    let spec: GraphSpec = key
+        .graph
+        .parse()
+        .map_err(|e| format!("bad graph spec {:?}: {e}", key.graph))?;
+    let partitioner = if key.partitioner == DEFAULT_PARTITIONER_LABEL {
+        Partitioner::Random(seeds::partition_seed(key.seed))
+    } else {
+        key.partitioner
+            .parse()
+            .map_err(|e| format!("bad partitioner {:?}: {e}", key.partitioner))?
+    };
+    let item = WorkItem {
+        protocol,
+        source: WorkSource::Lazy {
+            spec,
+            partitioner,
+            trial_seed: key.seed,
+        },
+    };
+    let (record, _nanos) = with_session_transport(transport, || exec::run_item(&item, cache));
+    Ok(record)
+}
+
 impl std::fmt::Debug for Campaign {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Campaign")
@@ -618,6 +694,7 @@ impl std::fmt::Debug for Campaign {
             .field("seeds", &self.seeds.len())
             .field("parallel", &self.parallel)
             .field("baseline", &self.baseline)
+            .field("transport", &self.transport)
             .field(
                 "store",
                 &match &self.store {
@@ -1358,5 +1435,85 @@ mod tests {
         }
         let (_, stats) = campaign().with_store(&tmp.0).run_with_stats();
         assert_eq!(stats.trials_skipped, 2);
+    }
+
+    #[test]
+    fn campaign_reports_are_bit_identical_across_transports() {
+        // The acceptance invariant of the transport axis: the same
+        // multi-protocol grid, run over in-process channels, OS
+        // pipes, and loopback TCP, produces the same report record
+        // for record — bits, rounds, phases, colors, everything.
+        let grid = |t: TransportKind| {
+            Campaign::new()
+                .protocol_keys(["edge/theorem2", "vertex/theorem1", "streaming/greedy-w"])
+                .graphs([GraphSpec::NearRegular { n: 24, d: 4 }])
+                .seeds(0..2)
+                .transport(t)
+                .run()
+        };
+        let baseline = grid(TransportKind::InProc);
+        assert!(baseline.all_valid());
+        for kind in [TransportKind::Pipe, TransportKind::Tcp] {
+            assert_eq!(grid(kind), baseline, "{kind}");
+        }
+    }
+
+    #[test]
+    fn compute_trial_matches_the_prepared_run_for_the_same_key() {
+        // The remote-worker path: reconstructing a trial from its
+        // TrialKey alone must reproduce run_pending bit for bit,
+        // including under the default per-seed partitioner and over a
+        // different transport than the daemon would use locally.
+        let campaigns = [
+            Campaign::new()
+                .protocol_keys(["edge/theorem2", "edge/theorem3-zero-comm"])
+                .graphs([GraphSpec::NearRegular { n: 24, d: 4 }])
+                .seeds(0..2),
+            Campaign::new()
+                .protocol_keys(["vertex/theorem1"])
+                .graphs([GraphSpec::Gnp { n: 20, p: 0.2 }])
+                .partitioners([Partitioner::Alternating])
+                .seeds(5..7),
+        ];
+        for campaign in campaigns {
+            let prepared = campaign.prepare().expect("no store attached");
+            let cache = InstanceCache::new();
+            for i in 0..prepared.pending() {
+                let local = prepared.run_pending(i, &cache);
+                let key = prepared.pending_key(i);
+                for kind in TransportKind::ALL {
+                    let remote =
+                        compute_trial(key, kind, &InstanceCache::new()).expect("key resolves");
+                    assert_eq!(remote, local, "{key:?} over {kind}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compute_trial_reports_unresolvable_descriptors() {
+        let cache = InstanceCache::new();
+        let bad_protocol = TrialKey {
+            protocol: "no/such/protocol".into(),
+            graph: "path(n=4)".into(),
+            partitioner: DEFAULT_PARTITIONER_LABEL.into(),
+            seed: 0,
+        };
+        let err = compute_trial(&bad_protocol, TransportKind::InProc, &cache).expect_err("bad");
+        assert!(err.contains("unknown protocol key"), "{err}");
+        let bad_graph = TrialKey {
+            protocol: "edge/theorem2".into(),
+            graph: "klein-bottle(n=4)".into(),
+            ..bad_protocol.clone()
+        };
+        let err = compute_trial(&bad_graph, TransportKind::InProc, &cache).expect_err("bad");
+        assert!(err.contains("bad graph spec"), "{err}");
+        let bad_partitioner = TrialKey {
+            graph: "path(n=4)".into(),
+            partitioner: "coin-flip".into(),
+            ..bad_graph
+        };
+        let err = compute_trial(&bad_partitioner, TransportKind::InProc, &cache).expect_err("bad");
+        assert!(err.contains("bad partitioner"), "{err}");
     }
 }

@@ -13,11 +13,13 @@
 //! baseline     = "baseline/send-everything"   # optional
 //! store        = "results/store"     # optional: persistent result store
 //! parallel     = true                # optional: default true
+//! transport    = "inproc"            # optional: inproc | pipe | tcp
 //! ```
 
 use crate::registry::registry;
 use crate::toml::{self, TomlValue};
 use crate::{Campaign, GraphSpec};
+use bichrome_comm::transport::TransportKind;
 use bichrome_graph::partition::Partitioner;
 
 /// A parsed, validated campaign declaration.
@@ -39,6 +41,10 @@ pub struct CampaignFile {
     pub store: Option<String>,
     /// Whether to run the queue in parallel (default true).
     pub parallel: bool,
+    /// The wire every trial's two-party session runs over (default
+    /// in-process; the recorded bits and rounds are the same either
+    /// way).
+    pub transport: TransportKind,
 }
 
 impl CampaignFile {
@@ -65,6 +71,7 @@ impl CampaignFile {
                     | "baseline"
                     | "store"
                     | "parallel"
+                    | "transport"
             ) {
                 return Err(format!("[campaign] has unknown key {key:?}"));
             }
@@ -174,6 +181,13 @@ impl CampaignFile {
             Some(_) => return Err("\"parallel\" must be a bool".to_string()),
         };
 
+        let transport = match opt_str("transport")? {
+            None => TransportKind::default(),
+            Some(s) => s
+                .parse::<TransportKind>()
+                .map_err(|e| format!("transport {s:?}: {e}"))?,
+        };
+
         Ok(CampaignFile {
             protocols,
             graphs,
@@ -183,6 +197,7 @@ impl CampaignFile {
             baseline,
             store: opt_str("store")?,
             parallel,
+            transport,
         })
     }
 
@@ -195,7 +210,8 @@ impl CampaignFile {
             .sizes(self.sizes.iter().copied())
             .partitioners(self.partitioners.iter().copied())
             .seeds(self.seeds.iter().copied())
-            .parallel(self.parallel);
+            .parallel(self.parallel)
+            .transport(self.transport);
         if let Some(b) = &self.baseline {
             c = c.baseline(b.clone());
         }
@@ -248,6 +264,7 @@ mod tests {
         baseline     = "baseline/send-everything"
         store        = "out/store"
         parallel     = false
+        transport    = "pipe"
     "#;
 
     #[test]
@@ -261,6 +278,7 @@ mod tests {
         assert_eq!(f.baseline.as_deref(), Some("baseline/send-everything"));
         assert_eq!(f.store.as_deref(), Some("out/store"));
         assert!(!f.parallel);
+        assert_eq!(f.transport, TransportKind::Pipe);
         let campaign = f.to_campaign(None);
         assert_eq!(campaign.cell_count(), 2 * 4 * 2);
     }
@@ -279,6 +297,24 @@ mod tests {
         assert_eq!(f.seeds, vec![4, 9, 16]);
         assert!(f.parallel, "parallel defaults to true");
         assert_eq!(f.store, None);
+        assert_eq!(f.transport, TransportKind::InProc, "inproc by default");
+    }
+
+    #[test]
+    fn transport_axis_values_parse_and_typos_error() {
+        for (value, kind) in [
+            ("inproc", TransportKind::InProc),
+            ("pipe", TransportKind::Pipe),
+            ("tcp", TransportKind::Tcp),
+        ] {
+            let f = CampaignFile::parse(&GOOD.replace("\"pipe\"", &format!("{value:?}")))
+                .expect("parses");
+            assert_eq!(f.transport, kind);
+        }
+        let err = CampaignFile::parse(&GOOD.replace("\"pipe\"", "\"carrier-pigeon\""))
+            .expect_err("unknown transport");
+        assert!(err.contains("carrier-pigeon"), "{err}");
+        assert!(err.contains("inproc|pipe|tcp"), "{err}");
     }
 
     #[test]

@@ -102,12 +102,17 @@ pub mod seeds;
 pub mod table;
 pub mod toml;
 
+/// The session-transport axis value, re-exported from its home in
+/// `bichrome_comm` (campaigns carry it; trial descriptors ship it to
+/// remote workers).
+pub use bichrome_comm::transport::TransportKind;
 /// The hand-written JSON codec, re-exported from its home in
 /// [`bichrome_store`] (persistence is where the bytes live; the
 /// runner serializes its reports and records through it).
 pub use bichrome_store::json;
 pub use campaign::{
-    diff_reports, BaselineDelta, Campaign, CampaignCell, CampaignReport, GroupBy, PreparedRun,
+    compute_trial, diff_reports, BaselineDelta, Campaign, CampaignCell, CampaignReport, GroupBy,
+    PreparedRun,
 };
 pub use campaign_file::CampaignFile;
 pub use exec::{CacheStats, ExecStats, InstanceCache};

@@ -148,6 +148,81 @@ impl Client {
     pub fn shutdown(&self) -> Result<(), String> {
         self.roundtrip(&Request::Shutdown).map(|_| ())
     }
+
+    /// Asks for one trial to compute (the remote-worker pull).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and malformed descriptors.
+    pub fn lease(&self) -> Result<LeaseGrant, String> {
+        let v = self.roundtrip(&Request::Lease)?;
+        let obj = v.as_object().ok_or("malformed lease response")?;
+        if matches!(obj.get("stop"), Some(Value::Bool(true))) {
+            return Ok(LeaseGrant::Stop);
+        }
+        if matches!(obj.get("idle"), Some(Value::Bool(true))) {
+            return Ok(LeaseGrant::Idle);
+        }
+        let seed_text = field_str(&v, "seed")?;
+        Ok(LeaseGrant::Trial(TrialLease {
+            lease: field_u64(&v, "lease")?,
+            protocol: field_str(&v, "protocol")?,
+            graph: field_str(&v, "graph")?,
+            partitioner: field_str(&v, "partitioner")?,
+            seed: seed_text
+                .parse()
+                .map_err(|_| format!("lease seed {seed_text:?} is not a u64"))?,
+            transport: field_str(&v, "transport")?,
+        }))
+    }
+
+    /// Returns a leased trial's computed record (the `TrialRecord`
+    /// JSON). `Ok(false)` means the daemon discarded it — the lease
+    /// had already expired and the trial went to another worker.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and rejected (re-queued) records.
+    pub fn complete(&self, lease: u64, record_json: &str) -> Result<bool, String> {
+        let v = self.roundtrip(&Request::Complete {
+            lease,
+            record: record_json.to_string(),
+        })?;
+        let obj = v.as_object().ok_or("malformed complete response")?;
+        Ok(matches!(obj.get("accepted"), Some(Value::Bool(true))))
+    }
+}
+
+/// The daemon's answer to [`Client::lease`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseGrant {
+    /// A trial to compute (return it via [`Client::complete`]).
+    Trial(TrialLease),
+    /// Nothing queued right now — poll again shortly.
+    Idle,
+    /// The daemon is draining; the worker should exit.
+    Stop,
+}
+
+/// One leased trial descriptor: the [`TrialKey`] fields plus the
+/// session transport the campaign asked for and the lease token to
+/// complete against.
+///
+/// [`TrialKey`]: bichrome_store::TrialKey
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialLease {
+    /// Token for [`Client::complete`].
+    pub lease: u64,
+    /// Registry protocol key.
+    pub protocol: String,
+    /// Graph spec string.
+    pub graph: String,
+    /// Partitioner label.
+    pub partitioner: String,
+    /// Trial seed.
+    pub seed: u64,
+    /// Transport name (`inproc` / `pipe` / `tcp`).
+    pub transport: String,
 }
 
 /// Reads and parses one response line (`None` on clean EOF).

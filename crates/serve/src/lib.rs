@@ -13,8 +13,12 @@
 //! The wire protocol is line-delimited JSON over a Unix-domain or TCP
 //! socket ([`proto`]): `submit` (inline campaign TOML → job id),
 //! `status` / `jobs`, `watch` (streams per-trial progress), `report`
-//! / `diff`, `cancel`, and graceful `shutdown` (drain, then
-//! checkpoint the store).
+//! / `diff`, `cancel`, graceful `shutdown` (drain, then checkpoint
+//! the store), and the remote-worker pair `lease` / `complete` —
+//! `bichrome work --connect` pulls trial descriptors with `lease`,
+//! computes them locally, and streams records back with `complete`;
+//! leases that outlive their timeout are re-queued by the daemon's
+//! reaper, so a worker dying mid-trial costs nothing but time.
 //!
 //! # Quickstart
 //!
@@ -67,7 +71,7 @@ pub mod server;
 /// The wire codec, re-exported for callers consuming watch events /
 /// status objects ([`json::Value`]).
 pub use bichrome_store::json;
-pub use client::Client;
+pub use client::{Client, LeaseGrant, TrialLease};
 pub use net::{Addr, Listener, Stream};
 pub use proto::{Format, Request};
 pub use server::{Daemon, DaemonConfig};

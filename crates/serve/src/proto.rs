@@ -89,6 +89,21 @@ pub enum Request {
     Ping,
     /// Drain in-flight jobs, checkpoint the store, and exit.
     Shutdown,
+    /// A remote worker asks for one trial to compute. The daemon
+    /// answers with a trial descriptor plus a lease token, with
+    /// `{"idle": true}` when the queue is empty, or with
+    /// `{"stop": true}` when it is draining with an empty queue and
+    /// workers should exit.
+    Lease,
+    /// A remote worker returns a leased trial's computed record
+    /// (the `TrialRecord` JSON, carried as a string).
+    Complete {
+        /// The lease token from the daemon's `lease` answer.
+        lease: u64,
+        /// The computed `TrialRecord`, serialized with
+        /// `TrialRecord::to_json`.
+        record: String,
+    },
 }
 
 impl Request {
@@ -150,6 +165,15 @@ impl Request {
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
+            "lease" => Ok(Request::Lease),
+            "complete" => Ok(Request::Complete {
+                lease: job_field("lease")?,
+                record: obj
+                    .get("record")
+                    .and_then(Value::as_str)
+                    .ok_or("\"complete\" needs a \"record\" string (TrialRecord JSON)")?
+                    .to_string(),
+            }),
             other => Err(format!("unknown op {other:?}")),
         }
     }
@@ -197,6 +221,12 @@ impl Request {
             Request::Stats => w.field_str("op", "stats"),
             Request::Ping => w.field_str("op", "ping"),
             Request::Shutdown => w.field_str("op", "shutdown"),
+            Request::Lease => w.field_str("op", "lease"),
+            Request::Complete { lease, record } => {
+                w.field_str("op", "complete");
+                w.field_u64("lease", *lease);
+                w.field_str("record", record);
+            }
         }
         w.finish()
     }
@@ -236,6 +266,11 @@ mod tests {
             Request::Stats,
             Request::Ping,
             Request::Shutdown,
+            Request::Lease,
+            Request::Complete {
+                lease: 41,
+                record: "{\"label\":\"near-regular(n=6,d=2)\",\"seed\":\"3\"}".to_string(),
+            },
         ];
         for req in cases {
             let line = req.encode();
@@ -253,6 +288,8 @@ mod tests {
             ("{\"op\":\"status\"}", "integer \"job\""),
             ("{\"op\":\"submit\"}", "inline TOML"),
             ("{\"op\":\"report\",\"format\":\"yaml\"}", "yaml"),
+            ("{\"op\":\"complete\"}", "integer \"lease\""),
+            ("{\"op\":\"complete\",\"lease\":1}", "TrialRecord JSON"),
         ] {
             let err = Request::parse(line).expect_err(line);
             assert!(

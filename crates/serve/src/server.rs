@@ -36,21 +36,33 @@ use crate::net::{Addr, Listener, Stream};
 use crate::proto::{error_line, Format, Request};
 use bichrome_runner::{
     diff_reports, CacheStats, CampaignFile, CampaignReport, ExecStats, InstanceCache, PreparedRun,
+    TrialRecord,
 };
 use bichrome_store::json;
 use bichrome_store::{Store, StoreConfig};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`Daemon::start`].
 #[derive(Debug, Clone)]
 pub struct DaemonConfig {
     /// Worker threads (0 = one per available core).
     pub workers: usize,
+    /// Whether to run the local worker pool at all. `false` turns the
+    /// daemon into a pure scheduler: every trial waits for a remote
+    /// worker's `lease` — the configuration the distributed e2e test
+    /// uses to prove the workers did all the computing.
+    pub local_pool: bool,
+    /// How long a leased trial may stay outstanding before the reaper
+    /// assumes its worker died and re-queues it. Re-issuing is always
+    /// safe — a trial is a pure function of its key, so whichever copy
+    /// commits first wins and a late duplicate is discarded.
+    pub lease_timeout: Duration,
     /// Store tuning; the default batches appends (`flush_every: 64`)
     /// since the daemon re-flushes at every job boundary anyway.
     pub store: StoreConfig,
@@ -60,6 +72,8 @@ impl Default for DaemonConfig {
     fn default() -> Self {
         DaemonConfig {
             workers: 0,
+            local_pool: true,
+            lease_timeout: Duration::from_secs(30),
             store: StoreConfig {
                 flush_every: 64,
                 ..StoreConfig::default()
@@ -72,6 +86,14 @@ impl Default for DaemonConfig {
 struct Task {
     job: Arc<Job>,
     idx: usize,
+}
+
+/// One outstanding remote-worker lease: trial `idx` of `job` is out
+/// with some worker until `deadline`.
+struct Lease {
+    job: Arc<Job>,
+    idx: usize,
+    deadline: Instant,
 }
 
 /// Terminal and non-terminal job states.
@@ -207,6 +229,20 @@ pub struct Daemon {
     /// loop's cue to exit on its next (self-)connection.
     done_serving: AtomicBool,
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    /// Outstanding remote-worker leases by token. A `complete` must
+    /// find its token here to commit; the reaper removes expired
+    /// entries and re-queues their tasks, which is what makes the
+    /// remove an exactly-once retirement arbiter — whichever of
+    /// {completion, expiry} takes the token owns the trial.
+    leases: Mutex<HashMap<u64, Lease>>,
+    next_lease: AtomicU64,
+    lease_timeout: Duration,
+    /// The reaper parks on this between scans; shutdown pokes it.
+    reaper_mx: Mutex<()>,
+    reaper_cv: Condvar,
+    leases_issued: AtomicU64,
+    leases_completed: AtomicU64,
+    leases_expired: AtomicU64,
 }
 
 impl Daemon {
@@ -233,16 +269,29 @@ impl Daemon {
             stopping: AtomicBool::new(false),
             done_serving: AtomicBool::new(false),
             workers: Mutex::new(Vec::new()),
+            leases: Mutex::new(HashMap::new()),
+            next_lease: AtomicU64::new(0),
+            lease_timeout: config.lease_timeout,
+            reaper_mx: Mutex::new(()),
+            reaper_cv: Condvar::new(),
+            leases_issued: AtomicU64::new(0),
+            leases_completed: AtomicU64::new(0),
+            leases_expired: AtomicU64::new(0),
         });
-        let n = match config.workers {
-            0 => thread::available_parallelism().map_or(1, |n| n.get()),
-            n => n,
+        let n = match (config.local_pool, config.workers) {
+            (false, _) => 0,
+            (true, 0) => thread::available_parallelism().map_or(1, |n| n.get()),
+            (true, n) => n,
         };
         let mut handles = daemon.workers.lock().expect("workers poisoned");
         for _ in 0..n {
             let d = Arc::clone(&daemon);
             handles.push(thread::spawn(move || d.worker_loop()));
         }
+        // The lease reaper runs even (especially) without a local
+        // pool: a dead worker's trials must come back to the queue.
+        let d = Arc::clone(&daemon);
+        handles.push(thread::spawn(move || d.reaper_loop()));
         drop(handles);
         Ok(daemon)
     }
@@ -442,13 +491,14 @@ impl Daemon {
         self.cache.stats()
     }
 
-    /// `{"ok":true,...}` daemon counters: cache, store, job count.
+    /// `{"ok":true,...}` daemon counters: cache, store, jobs, leases.
     pub fn stats_line(&self) -> String {
         let cs = self.cache_stats();
         let (records, dead) = {
             let store = self.store.lock().expect("store poisoned");
             (store.len() as u64, store.dead_records() as u64)
         };
+        let outstanding = self.leases.lock().expect("leases poisoned").len() as u64;
         let mut w = json::Writer::object();
         w.field_bool("ok", true);
         w.field_u64("graphs_requested", cs.graphs_requested);
@@ -461,6 +511,13 @@ impl Daemon {
         );
         w.field_u64("records", records);
         w.field_u64("dead_records", dead);
+        w.field_u64("leases_outstanding", outstanding);
+        w.field_u64("leases_issued", self.leases_issued.load(Ordering::SeqCst));
+        w.field_u64(
+            "leases_completed",
+            self.leases_completed.load(Ordering::SeqCst),
+        );
+        w.field_u64("leases_expired", self.leases_expired.load(Ordering::SeqCst));
         w.finish()
     }
 
@@ -480,6 +537,7 @@ impl Daemon {
         drop(active);
         self.stopping.store(true, Ordering::SeqCst);
         self.queue_cv.notify_all();
+        self.reaper_cv.notify_all();
         let handles = std::mem::take(&mut *self.workers.lock().expect("workers poisoned"));
         for h in handles {
             let _ = h.join();
@@ -533,6 +591,13 @@ impl Daemon {
                 Err(panic) => job.fail(panic_message(panic.as_ref())),
             }
         }
+        self.retire(job);
+    }
+
+    /// Retires one pending trial of `job` — the last retirement (by
+    /// local worker, remote completion, or cancelled-task drain)
+    /// finalizes the job.
+    fn retire(&self, job: &Arc<Job>) {
         if job.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
             self.finalize(job);
         }
@@ -562,6 +627,181 @@ impl Daemon {
         *active -= 1;
         drop(active);
         self.idle_cv.notify_all();
+    }
+
+    // ----- remote workers: lease / complete / reaper ----------------------
+
+    /// Non-blocking pop for the lease path: cancelled jobs' queued
+    /// tasks retire as no-ops on the way past, exactly as the local
+    /// pool would have drained them.
+    fn pop_task(&self) -> Option<Task> {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        while let Some(t) = q.pop_front() {
+            if t.job.cancel.load(Ordering::SeqCst) {
+                drop(q);
+                self.retire(&t.job);
+                q = self.queue.lock().expect("queue poisoned");
+            } else {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Answers a remote worker's `lease` request: a trial descriptor
+    /// plus token, `{"idle":true}` when nothing is queued, or
+    /// `{"stop":true}` once the daemon is draining *and* the queue is
+    /// empty (the worker's cue to exit). Queued trials are still
+    /// handed out during a drain — with no local pool they are the
+    /// only way the drain can finish.
+    pub fn lease_line(&self) -> String {
+        let Some(task) = self.pop_task() else {
+            let mut w = json::Writer::object();
+            w.field_bool("ok", true);
+            if self.draining.load(Ordering::SeqCst) {
+                w.field_bool("stop", true);
+            } else {
+                w.field_bool("idle", true);
+            }
+            return w.finish();
+        };
+        let token = self.next_lease.fetch_add(1, Ordering::SeqCst) + 1;
+        let key = task.job.prepared.pending_key(task.idx);
+        let mut w = json::Writer::object();
+        w.field_bool("ok", true);
+        w.field_u64("lease", token);
+        w.field_u64("job", task.job.id);
+        w.field_str("protocol", &key.protocol);
+        w.field_str("graph", &key.graph);
+        w.field_str("partitioner", &key.partitioner);
+        // Seeds are full-range u64; strings dodge the f64 wire format.
+        w.field_str("seed", &key.seed.to_string());
+        w.field_str("transport", task.job.prepared.transport().name());
+        let line = w.finish();
+        self.leases.lock().expect("leases poisoned").insert(
+            token,
+            Lease {
+                job: task.job,
+                idx: task.idx,
+                deadline: Instant::now() + self.lease_timeout,
+            },
+        );
+        self.leases_issued.fetch_add(1, Ordering::SeqCst);
+        line
+    }
+
+    /// Accepts a leased trial's computed record. The token removal is
+    /// the exactly-once arbiter: a token the reaper already expired
+    /// (or one never issued) gets `{"accepted":false}` and the record
+    /// is discarded — the re-queued copy is bit-identical anyway. A
+    /// record that does not decode (or answers the wrong trial) sends
+    /// the trial back to the queue and reports the error.
+    pub fn complete_line(&self, token: u64, record_json: &str) -> String {
+        let lease = self.leases.lock().expect("leases poisoned").remove(&token);
+        let Some(lease) = lease else {
+            let mut w = json::Writer::object();
+            w.field_bool("ok", true);
+            w.field_bool("accepted", false);
+            return w.finish();
+        };
+        let job = lease.job;
+        if job.cancel.load(Ordering::SeqCst) {
+            // Mirrors the local pool on a cancelled job: the result is
+            // dropped, the task retires.
+            self.retire(&job);
+            let mut w = json::Writer::object();
+            w.field_bool("ok", true);
+            w.field_bool("accepted", false);
+            return w.finish();
+        }
+        let leased_seed = job.prepared.pending_key(lease.idx).seed;
+        let requeue = |job: Arc<Job>, msg: String| -> String {
+            let mut q = self.queue.lock().expect("queue poisoned");
+            q.push_back(Task {
+                job,
+                idx: lease.idx,
+            });
+            drop(q);
+            self.queue_cv.notify_all();
+            error_line(&format!("{msg} — trial re-queued"))
+        };
+        let record = match TrialRecord::from_json(record_json) {
+            Ok(r) => r,
+            Err(e) => return requeue(job, format!("bad record: {e}")),
+        };
+        if record.seed != leased_seed {
+            return requeue(
+                job,
+                format!(
+                    "record answers seed {}, lease is seed {leased_seed}",
+                    record.seed
+                ),
+            );
+        }
+        match job.prepared.commit(lease.idx, record) {
+            Ok(()) => {
+                let done = job.computed.fetch_add(1, Ordering::SeqCst) + 1;
+                job.emit_trial(lease.idx, done);
+                self.leases_completed.fetch_add(1, Ordering::SeqCst);
+                self.retire(&job);
+                let mut w = json::Writer::object();
+                w.field_bool("ok", true);
+                w.field_bool("accepted", true);
+                w.finish()
+            }
+            Err(e) => {
+                let msg = format!("store append: {e}");
+                job.fail(msg.clone());
+                self.retire(&job);
+                error_line(&msg)
+            }
+        }
+    }
+
+    /// Scans for expired leases every quarter-timeout and sends their
+    /// trials back to the queue; `shutdown` pokes `reaper_cv` so the
+    /// thread exits promptly.
+    fn reaper_loop(&self) {
+        let tick = std::cmp::max(self.lease_timeout / 4, Duration::from_millis(10));
+        let mut guard = self.reaper_mx.lock().expect("reaper poisoned");
+        while !self.stopping.load(Ordering::SeqCst) {
+            guard = self
+                .reaper_cv
+                .wait_timeout(guard, tick)
+                .expect("reaper poisoned")
+                .0;
+            self.reap_expired();
+        }
+    }
+
+    fn reap_expired(&self) {
+        let now = Instant::now();
+        let expired: Vec<Lease> = {
+            let mut leases = self.leases.lock().expect("leases poisoned");
+            let tokens: Vec<u64> = leases
+                .iter()
+                .filter(|(_, l)| l.deadline <= now)
+                .map(|(&t, _)| t)
+                .collect();
+            tokens
+                .into_iter()
+                .map(|t| leases.remove(&t).expect("token just listed"))
+                .collect()
+        };
+        if expired.is_empty() {
+            return;
+        }
+        self.leases_expired
+            .fetch_add(expired.len() as u64, Ordering::SeqCst);
+        let mut q = self.queue.lock().expect("queue poisoned");
+        for l in expired {
+            q.push_back(Task {
+                job: l.job,
+                idx: l.idx,
+            });
+        }
+        drop(q);
+        self.queue_cv.notify_all();
     }
 
     // ----- the socket front-end -------------------------------------------
@@ -654,6 +894,10 @@ impl Daemon {
                 Err(e) => reply(&mut writer, &error_line(&e)),
             },
             Request::Stats => reply(&mut writer, &self.stats_line()),
+            Request::Lease => reply(&mut writer, &self.lease_line()),
+            Request::Complete { lease, record } => {
+                reply(&mut writer, &self.complete_line(lease, &record));
+            }
             Request::Ping => {
                 let mut w = json::Writer::object();
                 w.field_bool("ok", true);

@@ -371,6 +371,7 @@ fn batched_writes_survive_shutdown() {
                 flush_every: 1000, // far more than the job writes
                 ..StoreConfig::default()
             },
+            ..DaemonConfig::default()
         },
     )
     .expect("start");

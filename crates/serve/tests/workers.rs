@@ -1,0 +1,262 @@
+//! Remote-worker properties, end to end over the wire: workers drain
+//! the queue through `lease`/`complete` and the daemon's report is
+//! bit-identical to an in-process run; a worker dying mid-trial loses
+//! nothing — its lease expires, the trial re-queues, and the stale
+//! completion is discarded.
+
+use bichrome_runner::{compute_trial, CampaignFile, InstanceCache, TransportKind};
+use bichrome_serve::{Addr, Client, Daemon, DaemonConfig, Format, LeaseGrant, Listener};
+use bichrome_store::TrialKey;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A unique scratch directory (removed on drop).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        TempDir(std::env::temp_dir().join(format!(
+            "bichrome-workers-test-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        )))
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A scheduler-only daemon (no local pool) serving a Unix socket.
+fn pure_scheduler(
+    tmp: &TempDir,
+    lease_timeout: Duration,
+) -> (std::sync::Arc<Daemon>, Addr, std::thread::JoinHandle<()>) {
+    let daemon = Daemon::start(
+        tmp.0.join("store"),
+        DaemonConfig {
+            local_pool: false,
+            lease_timeout,
+            ..DaemonConfig::default()
+        },
+    )
+    .expect("start");
+    let addr = Addr::Unix(tmp.0.join("daemon.sock"));
+    let listener = Listener::bind(&addr).expect("bind");
+    let server = {
+        let daemon = daemon.clone();
+        std::thread::spawn(move || daemon.serve(listener).expect("serve"))
+    };
+    (daemon, addr, server)
+}
+
+const CAMPAIGN: &str = r#"
+    [campaign]
+    protocols = ["edge/theorem2", "baseline/send-everything"]
+    graphs    = ["near-regular(n=24,d=4)"]
+    seeds     = "0..3"
+    transport = "tcp"
+"#;
+
+/// What `bichrome work` does, minus the process boundary: pull a
+/// lease, recompute it from the key alone, send the record back.
+fn work_one(client: &Client, cache: &InstanceCache) -> Option<LeaseGrant> {
+    match client.lease().expect("lease") {
+        LeaseGrant::Trial(t) => {
+            let key = TrialKey {
+                protocol: t.protocol.clone(),
+                graph: t.graph.clone(),
+                partitioner: t.partitioner.clone(),
+                seed: t.seed,
+            };
+            let kind: TransportKind = t.transport.parse().expect("transport name");
+            let record = compute_trial(&key, kind, cache).expect("descriptor resolves");
+            assert!(
+                client
+                    .complete(t.lease, &record.to_json())
+                    .expect("complete"),
+                "fresh lease must be accepted"
+            );
+            None
+        }
+        grant => Some(grant),
+    }
+}
+
+/// Keeps working until the watched job ends; returns trials computed.
+fn work_until_done(addr: &Addr, job: u64) -> u64 {
+    let client = Client::new(addr.clone());
+    let cache = InstanceCache::new();
+    let watcher = {
+        let client = client.clone();
+        std::thread::spawn(move || client.watch(job, |_| {}).expect("watch"))
+    };
+    let mut computed = 0;
+    while !watcher.is_finished() {
+        match work_one(&client, &cache) {
+            None => computed += 1,
+            Some(LeaseGrant::Stop) => break,
+            Some(LeaseGrant::Idle) => std::thread::sleep(Duration::from_millis(5)),
+            Some(LeaseGrant::Trial(_)) => unreachable!(),
+        }
+    }
+    let end = watcher.join().expect("watcher");
+    assert_eq!(
+        end.as_object().expect("object")["state"].as_str(),
+        Some("done"),
+        "{end:?}"
+    );
+    computed
+}
+
+/// The tentpole acceptance property: a scheduler-only daemon plus two
+/// remote workers produce, over the wire, the exact report an
+/// in-process `Campaign::run` computes — and the workers did all the
+/// computing (the daemon has zero local workers).
+#[test]
+fn remote_workers_drain_the_queue_and_the_report_is_bit_identical() {
+    let tmp = TempDir::new("drain");
+    let (_daemon, addr, server) = pure_scheduler(&tmp, Duration::from_secs(30));
+    let client = Client::new(addr.clone());
+    let job = client.submit(CAMPAIGN).expect("submit");
+
+    let total: u64 = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || work_until_done(&addr, job))
+            })
+            .collect();
+        workers.into_iter().map(|h| h.join().expect("worker")).sum()
+    });
+    assert_eq!(total, 6, "the two workers computed every trial");
+
+    let remote_csv = client.report(Some(job), Format::Csv).expect("report");
+    let local_csv = CampaignFile::parse(CAMPAIGN)
+        .expect("toml")
+        .to_campaign(None)
+        .run()
+        .to_csv();
+    assert_eq!(
+        remote_csv, local_csv,
+        "wire execution must be bit-identical"
+    );
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("server");
+}
+
+/// Satellite robustness property: a worker that leases a trial and
+/// dies never stalls the campaign. The reaper expires the lease and
+/// re-queues the trial, a live worker recomputes it bit-identically,
+/// and the dead worker's eventual stale `complete` is discarded
+/// without double-counting.
+#[test]
+fn an_abandoned_lease_expires_requeues_and_the_late_complete_is_discarded() {
+    let tmp = TempDir::new("expiry");
+    // 400ms: long enough that no *live* worker's lease ever expires
+    // mid-compute (trials here take microseconds), short enough that
+    // the abandoned lease turns over quickly.
+    let (daemon, addr, server) = pure_scheduler(&tmp, Duration::from_millis(400));
+    let client = Client::new(addr.clone());
+    let job = client.submit(CAMPAIGN).expect("submit");
+
+    // The doomed worker takes one trial and "crashes": it holds the
+    // token but never completes.
+    let stale = match client.lease().expect("lease") {
+        LeaseGrant::Trial(t) => t,
+        other => panic!("expected a trial, got {other:?}"),
+    };
+
+    // A healthy worker drains everything — including, once the
+    // lease expires and the reaper re-queues it, the trial the dead
+    // worker abandoned.
+    let computed = work_until_done(&addr, job);
+    assert_eq!(computed, 6, "the live worker computed all six trials");
+
+    // The dead worker limps back with its answer: politely discarded.
+    let cache = InstanceCache::new();
+    let key = TrialKey {
+        protocol: stale.protocol.clone(),
+        graph: stale.graph.clone(),
+        partitioner: stale.partitioner.clone(),
+        seed: stale.seed,
+    };
+    let record = compute_trial(&key, TransportKind::Tcp, &cache).expect("recompute");
+    assert!(
+        !client
+            .complete(stale.lease, &record.to_json())
+            .expect("stale complete"),
+        "an expired lease's completion must be rejected"
+    );
+
+    // Accounting: exactly one expiry, no double-counted trials.
+    let stats = client.stats().expect("stats");
+    let stats = stats.as_object().expect("object");
+    assert_eq!(stats["leases_expired"].as_u64(), Some(1), "{stats:?}");
+    assert_eq!(stats["leases_completed"].as_u64(), Some(6), "{stats:?}");
+    let status = daemon.status(job).expect("status");
+    assert!(
+        status.contains("\"computed\":6"),
+        "no double count: {status}"
+    );
+
+    // And the report is still bit-identical to an in-process run.
+    let remote_csv = client.report(Some(job), Format::Csv).expect("report");
+    let local_csv = CampaignFile::parse(CAMPAIGN)
+        .expect("toml")
+        .to_campaign(None)
+        .run()
+        .to_csv();
+    assert_eq!(remote_csv, local_csv, "expiry must not change results");
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("server");
+}
+
+/// A record that does not decode, or that answers the wrong trial,
+/// sends the trial back to the queue instead of poisoning the job.
+#[test]
+fn malformed_or_mismatched_records_requeue_the_trial() {
+    let tmp = TempDir::new("badrecord");
+    let (_daemon, addr, server) = pure_scheduler(&tmp, Duration::from_secs(30));
+    let client = Client::new(addr.clone());
+    let job = client.submit(CAMPAIGN).expect("submit");
+
+    // Garbage payload: rejected, trial re-queued.
+    let t = match client.lease().expect("lease") {
+        LeaseGrant::Trial(t) => t,
+        other => panic!("expected a trial, got {other:?}"),
+    };
+    let err = client
+        .complete(t.lease, "this is not json")
+        .expect_err("garbage record");
+    assert!(err.contains("re-queued"), "{err}");
+
+    // Right shape, wrong trial: also rejected and re-queued.
+    let t2 = match client.lease().expect("lease") {
+        LeaseGrant::Trial(t2) => t2,
+        other => panic!("expected a trial, got {other:?}"),
+    };
+    let cache = InstanceCache::new();
+    let wrong_key = TrialKey {
+        protocol: t2.protocol.clone(),
+        graph: t2.graph.clone(),
+        partitioner: t2.partitioner.clone(),
+        seed: t2.seed.wrapping_add(1_000_000),
+    };
+    let wrong = compute_trial(&wrong_key, TransportKind::InProc, &cache).expect("compute");
+    let err = client
+        .complete(t2.lease, &wrong.to_json())
+        .expect_err("mismatched record");
+    assert!(err.contains("re-queued"), "{err}");
+
+    // Both trials are back in the queue: an honest worker finishes.
+    assert_eq!(work_until_done(&addr, job), 6);
+    client.shutdown().expect("shutdown");
+    server.join().expect("server");
+}

@@ -802,7 +802,8 @@ fn load_v1(text: &str) -> (Vec<Entry>, usize, Option<String>) {
 }
 
 /// Reads and decodes every segment, fanning the (I/O + decode) work
-/// across threads and returning results in the given path order.
+/// across the workspace worker pool and returning results in the
+/// given path order (`par_iter` preserves input order).
 #[allow(clippy::type_complexity)]
 fn load_segments(
     paths: &[PathBuf],
@@ -811,35 +812,8 @@ fn load_segments(
     Result<Vec<u8>, std::io::Error>,
     segment::SegmentLoad,
 )> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(paths.len())
-        .max(1);
-    let mut slots: Vec<Option<_>> = Vec::new();
-    slots.resize_with(paths.len(), || None);
-    if workers <= 1 {
-        for (i, path) in paths.iter().enumerate() {
-            slots[i] = Some(load_one_segment(path));
-        }
-    } else {
-        let results = std::sync::Mutex::new(&mut slots);
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let results = &results;
-                scope.spawn(move || {
-                    for (i, path) in paths.iter().enumerate().skip(w).step_by(workers) {
-                        let loaded = load_one_segment(path);
-                        results.lock().expect("segment loader panicked")[i] = Some(loaded);
-                    }
-                });
-            }
-        });
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every segment slot filled"))
-        .collect()
+    use rayon::prelude::*;
+    paths.par_iter().map(|p| load_one_segment(p)).collect()
 }
 
 /// Reads and decodes one segment file.
