@@ -1,28 +1,41 @@
 //! **bench-hotpath** — microbenchmark of the dense edge-indexed hot
 //! path: the validator pass (`ColorMarks` + dense `EdgeColoring`),
 //! Misra–Gries fan coloring, and the D1LC finishing protocol, timed
-//! on gnp/gnm grids at n ∈ {1e3, 1e4, 1e5} and written to
-//! `BENCH_hotpath.json` (nanos per phase + edges/sec) so CI tracks
-//! hot-path throughput across PRs.
+//! on gnp/gnm grids at n ∈ {1e3, 1e4, 1e5, 1e6} × an intra-trial
+//! thread-budget axis {1, 4, 8}, and written to `BENCH_hotpath.json`
+//! (nanos per phase + edges/sec) so CI tracks hot-path throughput
+//! across PRs. A full run also times two end-to-end campaign shapes
+//! (few giant cells vs a 100+-cell small grid) through the real
+//! runner, exercising the queue-occupancy budget scheduler.
 //!
 //! The bin asserts its own schema invariants (all timings > 0, every
 //! phase present) before writing, so a malformed benchmark fails the
 //! run instead of producing a silently broken trajectory point.
 //!
 //! ```sh
-//! cargo run --release -p bichrome-bench --bin bench_hotpath [out.json]
+//! cargo run --release -p bichrome-bench --bin bench_hotpath \
+//!     [out.json] [--max-n N] [--threads T]
 //! ```
+//!
+//! `--max-n` drops grid sizes above `N`; `--threads` restricts the
+//! budget axis to one value. Either filter also skips the campaign
+//! section (CI uses `--max-n 100000 --threads 8` for a quick
+//! trajectory point).
 
 use bichrome_comm::Side;
 use bichrome_core::d1lc::{solve_d1lc, D1lcInput};
 use bichrome_graph::coloring::{ColorId, ColorMarks};
-use bichrome_graph::edge_color::misra_gries;
+use bichrome_graph::edge_color::misra_gries_with_budget;
 use bichrome_graph::partition::Partitioner;
 use bichrome_graph::{gen, Graph, VertexId};
+use bichrome_runner::{Campaign, GraphSpec};
 use std::time::Instant;
 
 /// The benchmark's graph sizes.
-const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+const SIZES: [usize; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+/// The intra-trial thread-budget axis.
+const THREADS: [usize; 3] = [1, 4, 8];
 
 /// Average degree targeted by both families.
 const AVG_DEGREE: usize = 8;
@@ -40,6 +53,7 @@ struct Point {
     n: usize,
     m: usize,
     delta: usize,
+    threads: usize,
     validate_nanos: u64,
     validate_edges_per_sec: f64,
     misra_gries_nanos: u64,
@@ -56,53 +70,69 @@ fn build(family: &'static str, n: usize, seed: u64) -> Graph {
     }
 }
 
-/// Times one grid point: validator reps, one Misra–Gries run, one
-/// two-party D1LC instance over the pre-colored remainder.
-fn measure(family: &'static str, n: usize, marks: &mut ColorMarks) -> Point {
+/// Times one `(family, n)` slice of the grid: the graph, validator
+/// timing, and D1LC instance are built once and reused across the
+/// thread-budget axis (outputs are bit-identical at every budget, so
+/// only the timings differ).
+fn measure(
+    family: &'static str,
+    n: usize,
+    threads_axis: &[usize],
+    marks: &mut ColorMarks,
+) -> Vec<Point> {
     let g = build(family, n, 1);
     let m = g.num_edges();
     let delta = g.max_degree();
-
-    // --- Misra–Gries (Proposition 3.4 realization). ---
-    let started = Instant::now();
-    let coloring = misra_gries(&g);
-    let misra_gries_nanos = started.elapsed().as_nanos() as u64;
-
-    // --- Validator pass over the produced coloring, scratch reused. ---
     let budget = delta + 1;
-    let started = Instant::now();
-    for _ in 0..VALIDATE_REPS {
-        marks
-            .check_edge_coloring_with_palette(&g, &coloring, budget)
-            .expect("Misra–Gries colorings are valid");
-    }
-    let validate_nanos =
-        (started.elapsed().as_nanos() as u64 / u128::from(VALIDATE_REPS) as u64).max(1);
-
-    // --- D1LC rounds on a coloring-induced instance. ---
     let (ia, ib, zlen) = d1lc_instance(&g);
-    let started = Instant::now();
-    let (ca, cb, _) = bichrome_comm::session::run_two_party_ctx(
-        7,
-        move |ctx| solve_d1lc(&ia, &ctx),
-        move |ctx| solve_d1lc(&ib, &ctx),
-    );
-    let d1lc_nanos = started.elapsed().as_nanos() as u64;
-    assert_eq!(ca, cb, "D1LC parties must agree");
-
     let per_sec = |nanos: u64, units: usize| units as f64 / (nanos as f64 / 1e9);
-    Point {
-        family,
-        n,
-        m,
-        delta,
-        validate_nanos,
-        validate_edges_per_sec: per_sec(validate_nanos, m),
-        misra_gries_nanos,
-        misra_gries_edges_per_sec: per_sec(misra_gries_nanos, m),
-        d1lc_nanos,
-        d1lc_vertices_per_sec: per_sec(d1lc_nanos, zlen),
-    }
+
+    threads_axis
+        .iter()
+        .map(|&threads| {
+            // --- Misra–Gries (Proposition 3.4) at this budget. ---
+            let started = Instant::now();
+            let coloring = misra_gries_with_budget(&g, threads);
+            let misra_gries_nanos = started.elapsed().as_nanos() as u64;
+
+            // --- Validator pass over the coloring, scratch reused. ---
+            let started = Instant::now();
+            for _ in 0..VALIDATE_REPS {
+                marks
+                    .check_edge_coloring_with_palette(&g, &coloring, budget)
+                    .expect("Misra–Gries colorings are valid");
+            }
+            let validate_nanos =
+                (started.elapsed().as_nanos() as u64 / u128::from(VALIDATE_REPS) as u64).max(1);
+
+            // --- D1LC rounds with this trial-wide thread budget. ---
+            let (ia, ib) = (ia.clone(), ib.clone());
+            let started = Instant::now();
+            let (ca, cb, _) = bichrome_comm::with_intra_budget(threads, || {
+                bichrome_comm::session::run_two_party_ctx(
+                    7,
+                    move |ctx| solve_d1lc(&ia, &ctx),
+                    move |ctx| solve_d1lc(&ib, &ctx),
+                )
+            });
+            let d1lc_nanos = started.elapsed().as_nanos() as u64;
+            assert_eq!(ca, cb, "D1LC parties must agree");
+
+            Point {
+                family,
+                n,
+                m,
+                delta,
+                threads,
+                validate_nanos,
+                validate_edges_per_sec: per_sec(validate_nanos, m),
+                misra_gries_nanos,
+                misra_gries_edges_per_sec: per_sec(misra_gries_nanos, m),
+                d1lc_nanos,
+                d1lc_vertices_per_sec: per_sec(d1lc_nanos, zlen),
+            }
+        })
+        .collect()
 }
 
 /// Builds a realistic D1LC instance the way Theorem 1 does: greedily
@@ -168,6 +198,7 @@ fn point_json(p: &Point) -> String {
     w.field_u64("n", p.n as u64);
     w.field_u64("m", p.m as u64);
     w.field_u64("delta", p.delta as u64);
+    w.field_u64("threads", p.threads as u64);
     w.field_u64("validate_nanos", p.validate_nanos);
     w.field_f64("validate_edges_per_sec", p.validate_edges_per_sec);
     w.field_u64("misra_gries_nanos", p.misra_gries_nanos);
@@ -177,34 +208,151 @@ fn point_json(p: &Point) -> String {
     w.finish()
 }
 
+/// One end-to-end campaign timing through the real runner (queue →
+/// budget assignment → executor), reported as trajectory evidence for
+/// the two scheduling regimes: few giant cells (each trial gets a
+/// multi-thread budget) vs a wide small grid (1 thread per trial, so
+/// the budget machinery must cost nothing).
+struct CampaignPoint {
+    label: &'static str,
+    cells: usize,
+    trials: u64,
+    intra_threads: u64,
+    wall_seconds: f64,
+}
+
+fn campaign_json(p: &CampaignPoint) -> String {
+    let mut w = bichrome_runner::json::Writer::object();
+    w.field_str("label", p.label);
+    w.field_u64("cells", p.cells as u64);
+    w.field_u64("trials", p.trials);
+    w.field_u64("intra_threads", p.intra_threads);
+    w.field_f64("wall_seconds", p.wall_seconds);
+    w.finish()
+}
+
+/// Four big cells at n = 1e5: two protocols × two partitioners, one
+/// seed — the "queue occupancy hands each trial several threads"
+/// regime.
+fn giant_campaign() -> CampaignPoint {
+    let started = Instant::now();
+    let (report, stats) = Campaign::new()
+        .protocol_keys(["vertex/theorem1", "edge/theorem2"])
+        .graphs([GraphSpec::Gnp {
+            n: 100_000,
+            p: AVG_DEGREE as f64 / 100_000.0,
+        }])
+        .partitioners([Partitioner::Alternating, Partitioner::Random(1)])
+        .seeds([1])
+        .run_with_stats();
+    CampaignPoint {
+        label: "giant-4-cells-n1e5",
+        cells: report.cells.len(),
+        trials: stats.trials_computed,
+        intra_threads: stats.intra_threads,
+        wall_seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// A 100+-cell grid of small instances — the "stay at 1 thread per
+/// trial" regime the budget scheduler must not slow down.
+fn small_grid_campaign() -> CampaignPoint {
+    let started = Instant::now();
+    let (report, stats) = Campaign::new()
+        .protocol_keys([
+            "vertex/theorem1",
+            "edge/theorem2",
+            "baseline/send-everything",
+        ])
+        .graphs([GraphSpec::NearRegular { n: 64, d: 8 }])
+        .sizes((64..400).step_by(9))
+        .seeds([1])
+        .run_with_stats();
+    CampaignPoint {
+        label: "small-grid-100plus-cells",
+        cells: report.cells.len(),
+        trials: stats.trials_computed,
+        intra_threads: stats.intra_threads,
+        wall_seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let mut out_path = "BENCH_hotpath.json".to_string();
+    let mut max_n: Option<usize> = None;
+    let mut only_threads: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-n" => {
+                let v = args.next().expect("--max-n needs a value");
+                max_n = Some(v.parse().expect("--max-n must be an integer"));
+            }
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                only_threads = Some(v.parse().expect("--threads must be an integer"));
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+    let sizes: Vec<usize> = SIZES
+        .into_iter()
+        .filter(|&n| max_n.is_none_or(|cap| n <= cap))
+        .collect();
+    let threads_axis: Vec<usize> = match only_threads {
+        Some(t) => vec![t],
+        None => THREADS.to_vec(),
+    };
+    let full_grid = max_n.is_none() && only_threads.is_none();
+
     let started = Instant::now();
     let mut marks = ColorMarks::new();
     let mut points = Vec::new();
     for family in ["gnp", "gnm"] {
-        for n in SIZES {
-            let p = measure(family, n, &mut marks);
-            println!(
-                "{family:4} n={n:7} m={:7} Δ={:3} · validate {:9} ns ({:.1}M edges/s) · \
-                 misra-gries {:9} ns · d1lc {:9} ns",
-                p.m,
-                p.delta,
-                p.validate_nanos,
-                p.validate_edges_per_sec / 1e6,
-                p.misra_gries_nanos,
-                p.d1lc_nanos,
-            );
-            points.push(p);
+        for &n in &sizes {
+            for p in measure(family, n, &threads_axis, &mut marks) {
+                println!(
+                    "{family:4} n={n:7} m={:8} Δ={:3} t={} · validate {:9} ns ({:.1}M edges/s) · \
+                     misra-gries {:10} ns · d1lc {:11} ns",
+                    p.m,
+                    p.delta,
+                    p.threads,
+                    p.validate_nanos,
+                    p.validate_edges_per_sec / 1e6,
+                    p.misra_gries_nanos,
+                    p.d1lc_nanos,
+                );
+                points.push(p);
+            }
         }
     }
+
+    // End-to-end campaign regimes, only on unfiltered runs (CI's
+    // filtered trajectory point skips them).
+    let campaigns: Vec<CampaignPoint> = if full_grid {
+        let giant = giant_campaign();
+        println!(
+            "campaign {} · {} cells · {} trials · intra-threads ≤ {} · wall {:.3}s",
+            giant.label, giant.cells, giant.trials, giant.intra_threads, giant.wall_seconds
+        );
+        let small = small_grid_campaign();
+        println!(
+            "campaign {} · {} cells · {} trials · intra-threads ≤ {} · wall {:.3}s",
+            small.label, small.cells, small.trials, small.intra_threads, small.wall_seconds
+        );
+        vec![giant, small]
+    } else {
+        Vec::new()
+    };
     let wall_seconds = started.elapsed().as_secs_f64();
 
     // Schema smoke invariants: a zero timing or a missing phase means
     // the benchmark is broken, not fast.
-    assert_eq!(points.len(), 2 * SIZES.len(), "full grid measured");
+    assert_eq!(
+        points.len(),
+        2 * sizes.len() * threads_axis.len(),
+        "full grid measured"
+    );
     for p in &points {
         assert!(p.m > 0 && p.delta > 0, "graphs must be nonempty");
         assert!(
@@ -212,13 +360,36 @@ fn main() {
             "all phase timings must be positive"
         );
     }
+    for c in &campaigns {
+        assert!(c.cells > 0 && c.wall_seconds > 0.0, "campaigns must run");
+    }
+    if full_grid {
+        assert!(
+            campaigns[1].cells > 100,
+            "small grid must exceed 100 cells, got {}",
+            campaigns[1].cells
+        );
+    }
 
     let rows: Vec<String> = points.iter().map(point_json).collect();
+    let camp_rows: Vec<String> = campaigns.iter().map(campaign_json).collect();
     let mut w = bichrome_runner::json::Writer::object();
     w.field_str("benchmark", "hotpath");
-    w.field_u64("sizes", SIZES.len() as u64);
+    w.field_u64("sizes", sizes.len() as u64);
+    w.field_raw(
+        "threads_axis",
+        &format!(
+            "[{}]",
+            threads_axis
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+    );
     w.field_f64("wall_seconds", wall_seconds);
     w.field_raw("grid", &format!("[{}]", rows.join(",")));
+    w.field_raw("campaigns", &format!("[{}]", camp_rows.join(",")));
     let json = w.finish();
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("wall {wall_seconds:.3}s → {out_path}");

@@ -1,0 +1,80 @@
+//! Ambient intra-trial thread budget.
+//!
+//! The campaign executor decides how many OS threads one trial may
+//! use from queue occupancy (4 giant cells on 16 cores → 4 threads
+//! each; 1000 small cells → 1 each) and publishes that decision here,
+//! as a thread-local the session layer reads when it builds the
+//! per-party [`PartyCtx`](crate::session::PartyCtx). Protocols never
+//! touch this module directly: they read `ctx.threads` and hand it to
+//! the deterministic chunked helpers in the `rayon` shim.
+//!
+//! The budget is *advisory capacity*, never semantics: every consumer
+//! must produce bit-identical output at any budget, so a budget of 1
+//! (the default everywhere) is always correct.
+
+use std::cell::Cell;
+
+thread_local! {
+    static INTRA_BUDGET: Cell<usize> = const { Cell::new(1) };
+}
+
+/// The intra-trial thread budget currently in force on this thread
+/// (1 unless inside [`with_intra_budget`]).
+pub fn intra_budget() -> usize {
+    INTRA_BUDGET.with(Cell::get)
+}
+
+/// Runs `f` with the ambient intra-trial budget set to
+/// `threads.max(1)`, restoring the previous value afterwards (also on
+/// panic). Sessions started inside `f` on this thread split the
+/// budget between their two parties.
+pub fn with_intra_budget<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            INTRA_BUDGET.with(|b| b.set(self.0));
+        }
+    }
+    let _restore = Restore(INTRA_BUDGET.with(|b| b.replace(threads.max(1))));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_one() {
+        assert_eq!(intra_budget(), 1);
+    }
+
+    #[test]
+    fn scoped_and_restored() {
+        assert_eq!(with_intra_budget(6, intra_budget), 6);
+        assert_eq!(intra_budget(), 1);
+        with_intra_budget(4, || {
+            assert_eq!(with_intra_budget(2, intra_budget), 2);
+            assert_eq!(intra_budget(), 4);
+        });
+    }
+
+    #[test]
+    fn zero_clamps_to_one() {
+        assert_eq!(with_intra_budget(0, intra_budget), 1);
+    }
+
+    #[test]
+    fn restored_on_panic() {
+        let r = std::panic::catch_unwind(|| with_intra_budget(8, || panic!("boom")));
+        assert!(r.is_err());
+        assert_eq!(intra_budget(), 1);
+    }
+
+    #[test]
+    fn does_not_leak_to_other_threads() {
+        with_intra_budget(8, || {
+            let seen = std::thread::scope(|s| s.spawn(intra_budget).join().unwrap());
+            assert_eq!(seen, 1);
+        });
+    }
+}

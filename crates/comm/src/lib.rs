@@ -63,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod channel;
 pub mod coin;
 pub mod machine;
@@ -72,6 +73,7 @@ pub mod session;
 pub mod transport;
 pub mod wire;
 
+pub use budget::{intra_budget, with_intra_budget};
 pub use channel::Endpoint;
 pub use coin::PublicCoin;
 pub use meter::CommStats;

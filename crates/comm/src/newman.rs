@@ -76,6 +76,7 @@ where
             alice(PartyCtx {
                 endpoint: a_ep,
                 coin,
+                threads: 1,
             })
         });
         let hb = s.spawn(move || {
@@ -85,6 +86,7 @@ where
             bob(PartyCtx {
                 endpoint: b_ep,
                 coin,
+                threads: 1,
             })
         });
         let ra = match ha.join() {

@@ -5,14 +5,19 @@ use crate::coin::PublicCoin;
 use crate::meter::{CommStats, Meter};
 use crate::transport::{self, TransportKind};
 
-/// Everything a party's protocol code receives: its channel endpoint
-/// and the shared public coin.
+/// Everything a party's protocol code receives: its channel endpoint,
+/// the shared public coin, and its intra-trial thread budget.
 #[derive(Debug)]
 pub struct PartyCtx {
     /// This party's end of the link.
     pub endpoint: Endpoint,
     /// The shared public randomness.
     pub coin: PublicCoin,
+    /// How many OS threads this party may use for its own compute
+    /// (≥ 1). Half the trial's ambient [`crate::budget`] — the two
+    /// parties run concurrently, so each gets half. Purely advisory
+    /// capacity: protocol output must be bit-identical at any value.
+    pub threads: usize,
 }
 
 /// Runs Alice's and Bob's closures on two threads connected by a
@@ -77,13 +82,19 @@ where
     let meter = Meter::new();
     let (a_ep, b_ep) = endpoint_pair_on(kind, meter.clone());
     let coin = PublicCoin::new(seed);
+    // The trial's budget is read on the *calling* thread (thread-locals
+    // don't cross into Bob's spawned thread) and split between the two
+    // parties, which run concurrently.
+    let per_party = (crate::budget::intra_budget() / 2).max(1);
     let a_ctx = PartyCtx {
         endpoint: a_ep,
         coin,
+        threads: per_party,
     };
     let b_ctx = PartyCtx {
         endpoint: b_ep,
         coin,
+        threads: per_party,
     };
     // Only Bob gets a fresh thread; Alice runs on the calling worker.
     // This halves the per-session spawn cost, which matters when the

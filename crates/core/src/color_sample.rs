@@ -20,10 +20,12 @@ use bichrome_comm::PublicCoin;
 use bichrome_graph::coloring::ColorId;
 use rand::seq::SliceRandom;
 
-/// Stream-id tag for the permutation randomness.
-const PERM_TAG: u64 = 0xC01_0511;
+/// Stream-id tag for the permutation randomness. Shared with the
+/// batched engine (`crate::sample_batch`), which must derive identical
+/// streams.
+pub(crate) const PERM_TAG: u64 = 0xC01_0511;
 /// Stream-id tag for the slack-int sampling randomness.
-const SAMPLE_TAG: u64 = 0xC01_0512;
+pub(crate) const SAMPLE_TAG: u64 = 0xC01_0512;
 
 /// A lock-step machine sampling one available color uniformly.
 ///

@@ -9,7 +9,8 @@
 //! `|Ψ(v)| ≥ deg_{G_Z}(v) + 1`.
 //!
 //! Steps (Appendix B):
-//! 1. For each `v`, run `Θ(log² |Z|)` parallel [`ColorSample`]
+//! 1. For each `v`, run `Θ(log² |Z|)` parallel
+//!    [`ColorSample`](crate::color_sample::ColorSample)
 //!    instances to publicly sample `L(v) ⊆ Ψ(v)` — the **palette
 //!    sparsification** of Halldórsson–Kuhn–Nolin–Tonoyan
 //!    (Proposition 3.2).
@@ -23,8 +24,7 @@
 //!    back: Bob ships his whole `G_Z` and his `Ψ_B` bitmaps, and Alice
 //!    solves the full D1LC instance greedily (always possible).
 
-use crate::color_sample::ColorSample;
-use bichrome_comm::machine::{drive_lockstep, RoundMachine};
+use crate::sample_batch::ColorSampleBatch;
 use bichrome_comm::session::PartyCtx;
 use bichrome_comm::wire::{width_for, BitWriter};
 use bichrome_comm::Side;
@@ -97,61 +97,93 @@ pub fn solve_d1lc(input: &D1lcInput, ctx: &PartyCtx) -> VertexColoring {
         zpos[v.index()] = i;
     }
 
-    // --- Step 1: palette sparsification via parallel Color-Sample. ---
+    // --- Step 1: palette sparsification via parallel Color-Sample,
+    // batched through the SoA engine (bit-identical to per-machine
+    // `ColorSample`s at any `ctx.threads`). ---
     let l = sparsify_samples(zlen, input.palette);
-    let mut machines: Vec<ColorSample> = Vec::with_capacity(zlen * l);
-    // Reusable palette bitset + complement buffer: membership is one
-    // array load instead of an O(|Ψ|) scan per color, and neither is
-    // reallocated per vertex.
+    // Flatten the list complements first (occupied = colors *not* in
+    // Ψ_P(v)), so the engine's fill closure — which runs once per
+    // (vertex, rep) machine, possibly across threads — copies a slice
+    // instead of recomputing the complement l times per vertex.
+    let mut comp_off: Vec<u32> = Vec::with_capacity(zlen + 1);
+    let mut comp_flat: Vec<u32> = Vec::new();
     let mut in_psi = vec![false; input.palette];
-    let mut complement: Vec<ColorId> = Vec::with_capacity(input.palette);
-    for (i, &v) in input.z.iter().enumerate() {
-        for c in &input.psi[i] {
+    comp_off.push(0);
+    for psi in &input.psi {
+        for c in psi {
             in_psi[c.index()] = true;
         }
-        complement.clear();
-        complement.extend(
-            (0..input.palette as u32)
-                .map(ColorId)
-                .filter(|c| !in_psi[c.index()]),
-        );
-        for c in &input.psi[i] {
+        comp_flat.extend((0..input.palette as u32).filter(|&c| !in_psi[c as usize]));
+        for c in psi {
             in_psi[c.index()] = false;
         }
-        for rep in 0..l {
-            machines.push(ColorSample::new(
-                input.palette,
-                complement.iter().copied(),
-                &ctx.coin,
-                &[SPARSIFY_TAG, v.0 as u64, rep as u64],
-            ));
+        comp_off.push(comp_flat.len() as u32);
+    }
+    let mut batch = ColorSampleBatch::build(
+        input.palette,
+        zlen * l,
+        ctx.threads,
+        &ctx.coin,
+        |idx, spec| {
+            let i = idx / l;
+            spec.set_stream(&[SPARSIFY_TAG, input.z[i].0 as u64, (idx % l) as u64]);
+            let comp = &comp_flat[comp_off[i] as usize..comp_off[i + 1] as usize];
+            spec.extend_occupied(comp.iter().map(|&c| ColorId(c)));
+        },
+    );
+    batch.drive(&ctx.endpoint);
+    let results: Vec<ColorId> = batch.results().collect();
+    drop(batch);
+    // Per-vertex list build in deterministic fixed ranges, merged in
+    // chunk-index order; each vertex also gets a dense color bitmask
+    // for the step-2 intersection tests.
+    let w64 = input.palette.div_ceil(64);
+    let parts = rayon::par_ranges(zlen, ctx.threads, |_, range| {
+        let mut lists_part: Vec<Vec<ColorId>> = Vec::with_capacity(range.len());
+        let mut masks_part: Vec<u64> = vec![0u64; range.len() * w64];
+        for (k, i) in range.enumerate() {
+            let mut list = results[i * l..(i + 1) * l].to_vec();
+            list.sort_unstable();
+            list.dedup();
+            for c in &list {
+                masks_part[k * w64 + c.index() / 64] |= 1u64 << (c.index() % 64);
+            }
+            lists_part.push(list);
         }
-    }
-    {
-        let mut refs: Vec<&mut dyn RoundMachine> = machines
-            .iter_mut()
-            .map(|m| m as &mut dyn RoundMachine)
-            .collect();
-        drive_lockstep(&ctx.endpoint, &mut refs);
-    }
-    let mut lists: Vec<Vec<ColorId>> = vec![Vec::new(); zlen];
-    for (idx, m) in machines.iter().enumerate() {
-        lists[idx / l].push(m.result().expect("driven to completion"));
-    }
-    for list in &mut lists {
-        list.sort_unstable();
-        list.dedup();
+        (lists_part, masks_part)
+    });
+    let mut lists: Vec<Vec<ColorId>> = Vec::with_capacity(zlen);
+    let mut list_masks: Vec<u64> = Vec::with_capacity(zlen * w64);
+    for (lists_part, masks_part) in parts {
+        lists.extend(lists_part);
+        list_masks.extend(masks_part);
     }
 
-    // --- Step 2: drop list-disjoint edges (public, no bits). ---
-    let my_h_edges: Vec<Edge> = induced_edges(&input.graph, &zpos)
-        .into_iter()
-        .filter(|e| {
-            let lu = &lists[zpos[e.u().index()]];
-            let lv = &lists[zpos[e.v().index()]];
-            lu.iter().any(|c| lv.binary_search(c).is_ok())
-        })
-        .collect();
+    // --- Step 2: drop list-disjoint edges (public, no bits). One
+    // fused pass over the dense edge array — membership in Z and the
+    // L(u) ∩ L(v) test per edge via the bitmasks — chunked
+    // deterministically with an index-ordered merge. ---
+    let zpos_ref = &zpos;
+    let list_masks_ref = &list_masks;
+    let my_h_edges: Vec<Edge> = rayon::par_chunks(input.graph.edges(), ctx.threads, |_, chunk| {
+        chunk
+            .iter()
+            .copied()
+            .filter(|e| {
+                let pu = zpos_ref[e.u().index()];
+                let pv = zpos_ref[e.v().index()];
+                pu != usize::MAX
+                    && pv != usize::MAX
+                    && list_masks_ref[pu * w64..(pu + 1) * w64]
+                        .iter()
+                        .zip(&list_masks_ref[pv * w64..(pv + 1) * w64])
+                        .any(|(&a, &b)| a & b != 0)
+            })
+            .collect::<Vec<Edge>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     // --- Step 3: gather H at Alice; she colors and announces. ---
     let zwidth = width_for(zlen as u64 - 1);
@@ -255,12 +287,18 @@ fn fallback_exchange(input: &D1lcInput, ctx: &PartyCtx, zpos: &[usize]) -> Vec<C
                 w.write_uint(zpos[e.u().index()] as u64, zwidth);
                 w.write_uint(zpos[e.v().index()] as u64, zwidth);
             }
+            // One dense palette bitset reused across vertices: set the
+            // list's bits, emit, unset — no O(palette) allocation per
+            // vertex.
+            let mut mask = vec![false; input.palette];
             for psi in &input.psi {
-                let mut mask = vec![false; input.palette];
                 for c in psi {
                     mask[c.index()] = true;
                 }
                 w.write_bools(&mask);
+                for c in psi {
+                    mask[c.index()] = false;
+                }
             }
             ctx.endpoint.send(w.finish());
             let msg = ctx.endpoint.recv();
@@ -288,28 +326,28 @@ fn fallback_exchange(input: &D1lcInput, ctx: &PartyCtx, zpos: &[usize]) -> Vec<C
             for e in induced_edges(&input.graph, zpos) {
                 push(zpos[e.u().index()], zpos[e.v().index()], &mut adj);
             }
-            // True palettes Ψ = Ψ_A ∩ Ψ_B.
-            let mut palettes: Vec<Vec<ColorId>> = Vec::with_capacity(zlen);
-            for psi_a in &input.psi {
-                let mask = r.read_bools(input.palette);
-                palettes.push(psi_a.iter().copied().filter(|c| mask[c.index()]).collect());
-            }
             // Greedy D1LC: under |Ψ(v)| ≥ deg+1 a color always remains.
-            // One stamp-marked used-color scratch across all vertices,
-            // not a collect-and-scan per vertex.
+            // Bob's Ψ_B masks arrive in vertex order and the greedy
+            // pass visits vertices in the same order, so each mask is
+            // read into one reused dense bitset right when it is
+            // needed — the true palette Ψ = Ψ_A ∩ Ψ_B is never
+            // materialized per vertex. One stamp-marked used-color
+            // scratch serves all vertices.
             let mut colors: Vec<Option<ColorId>> = vec![None; zlen];
             let mut used_at = vec![0u32; input.palette];
+            let mut mask: Vec<bool> = Vec::new();
             for i in 0..zlen {
+                r.read_bools_into(input.palette, &mut mask);
                 let stamp = i as u32 + 1;
                 for &j in &adj[i] {
                     if let Some(c) = colors[j] {
                         used_at[c.index()] = stamp;
                     }
                 }
-                let c = palettes[i]
+                let c = input.psi[i]
                     .iter()
                     .copied()
-                    .find(|c| used_at[c.index()] != stamp)
+                    .find(|c| mask[c.index()] && used_at[c.index()] != stamp)
                     .expect("D1LC condition guarantees an available color");
                 colors[i] = Some(c);
             }
@@ -337,42 +375,42 @@ fn list_color_backtracking(
     order.sort_by_key(|&i| (lists[i].len(), i));
     let mut assigned: Vec<Option<ColorId>> = vec![None; n];
     let mut steps = 0usize;
-
-    fn rec(
-        pos: usize,
-        order: &[usize],
-        adj: &[Vec<usize>],
-        lists: &[Vec<ColorId>],
-        assigned: &mut Vec<Option<ColorId>>,
-        steps: &mut usize,
-        budget: usize,
-    ) -> bool {
-        if pos == order.len() {
-            return true;
-        }
+    // Explicit backtracking stack (one Z can be most of a giant
+    // graph, so recursion depth O(|Z|) would overflow the thread
+    // stack): `next[pos]` is the index of the next untried color at
+    // `order[pos]`.
+    let mut next = vec![0usize; n];
+    let mut pos = 0usize;
+    while pos < n {
         let v = order[pos];
-        for &c in &lists[v] {
-            *steps += 1;
-            if *steps > budget {
-                return false;
+        let mut advanced = false;
+        while next[pos] < lists[v].len() {
+            let c = lists[v][next[pos]];
+            next[pos] += 1;
+            steps += 1;
+            if steps > budget {
+                return None;
             }
             if adj[v].iter().any(|&u| assigned[u] == Some(c)) {
                 continue;
             }
             assigned[v] = Some(c);
-            if rec(pos + 1, order, adj, lists, assigned, steps, budget) {
-                return true;
+            pos += 1;
+            if pos < n {
+                next[pos] = 0;
             }
-            assigned[v] = None;
+            advanced = true;
+            break;
         }
-        false
+        if !advanced {
+            if pos == 0 {
+                return None;
+            }
+            pos -= 1;
+            assigned[order[pos]] = None;
+        }
     }
-
-    if rec(0, &order, adj, lists, &mut assigned, &mut steps, budget) {
-        Some(assigned.into_iter().map(|c| c.expect("complete")).collect())
-    } else {
-        None
-    }
+    Some(assigned.into_iter().map(|c| c.expect("complete")).collect())
 }
 
 #[cfg(test)]

@@ -10,6 +10,9 @@
 //!   Algorithm 3 (Lemma A.2).
 //! * [`color_sample`] — uniform available-color sampling
 //!   (Lemma 3.1).
+//! * [`sample_batch`] — the batched SoA engine driving thousands of
+//!   `Color-Sample` machines per round, bit-identical to the
+//!   reference machines at any thread budget.
 //! * [`rct`] — `Random-Color-Trial` (Algorithm 1).
 //! * [`d1lc`] — the `(degree+1)`-list-coloring protocol with palette
 //!   sparsification (Proposition 3.2, Lemma 3.3).
@@ -54,6 +57,7 @@ pub mod d1lc;
 pub mod edge;
 pub mod input;
 pub mod rct;
+pub mod sample_batch;
 pub mod slack_int;
 pub mod vertex;
 

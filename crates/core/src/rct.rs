@@ -2,8 +2,10 @@
 //!
 //! Each iteration, every still-uncolored ("active") vertex wakes with
 //! probability 1/2 (public coin, costless); awake vertices sample a
-//! uniformly random available color with one [`ColorSample`] machine
-//! each, *all machines sharing each round's message*; then one
+//! uniformly random available color with one
+//! [`ColorSample`](crate::color_sample::ColorSample) machine each
+//! (batched through [`ColorSampleBatch`]), *all machines sharing each
+//! round's message*; then one
 //! confirmation round (one bit per side per awake vertex) commits every
 //! vertex whose sampled color no neighbor picked simultaneously.
 //!
@@ -12,9 +14,8 @@
 //! `O(n / log⁴ n)`; expected communication is `O(n)` bits; worst-case
 //! rounds `O(log log n · log Δ)`.
 
-use crate::color_sample::ColorSample;
 use crate::input::PartyInput;
-use bichrome_comm::machine::{drive_lockstep, RoundMachine};
+use crate::sample_batch::ColorSampleBatch;
 use bichrome_comm::session::PartyCtx;
 use bichrome_comm::wire::BitWriter;
 use bichrome_graph::coloring::{ColorId, VertexColoring};
@@ -113,35 +114,25 @@ pub fn run_random_color_trial(
             continue;
         }
 
-        // One Color-Sample machine per awake vertex, driven in parallel.
-        let mut machines: Vec<ColorSample> = awake
-            .iter()
-            .map(|&v| {
-                let occupied: Vec<ColorId> = input
-                    .graph
-                    .neighbors(v)
-                    .iter()
-                    .filter_map(|&u| coloring.get(u))
-                    .collect();
-                ColorSample::new(
-                    palette,
-                    dedup_colors(occupied),
-                    &ctx.coin,
-                    &[TRIAL_TAG, iter as u64, v.0 as u64],
-                )
-            })
-            .collect();
-        {
-            let mut refs: Vec<&mut dyn RoundMachine> = machines
-                .iter_mut()
-                .map(|m| m as &mut dyn RoundMachine)
-                .collect();
-            drive_lockstep(&ctx.endpoint, &mut refs);
-        }
-        let proposals: Vec<ColorId> = machines
-            .iter()
-            .map(|m| m.result().expect("driven to completion"))
-            .collect();
+        // One Color-Sample machine per awake vertex, batched through
+        // the SoA engine (bit-identical to per-machine `ColorSample`s
+        // at any thread budget; duplicate occupied colors set the same
+        // membership bit, so no dedup pass is needed).
+        let coloring_ref = &*coloring;
+        let mut batch =
+            ColorSampleBatch::build(palette, awake.len(), ctx.threads, &ctx.coin, |i, spec| {
+                let v = awake[i];
+                spec.set_stream(&[TRIAL_TAG, iter as u64, v.0 as u64]);
+                spec.extend_occupied(
+                    input
+                        .graph
+                        .neighbors(v)
+                        .iter()
+                        .filter_map(|&u| coloring_ref.get(u)),
+                );
+            });
+        batch.drive(&ctx.endpoint);
+        let proposals: Vec<ColorId> = batch.results().collect();
 
         // Confirmation round: for each awake vertex, one bit saying "no
         // neighbor of mine picked the same color this iteration".
@@ -176,12 +167,6 @@ pub fn run_random_color_trial(
         .filter(|&v| !coloring.is_colored(VertexId(v)))
         .count();
     report
-}
-
-fn dedup_colors(mut colors: Vec<ColorId>) -> Vec<ColorId> {
-    colors.sort_unstable();
-    colors.dedup();
-    colors
 }
 
 #[cfg(test)]

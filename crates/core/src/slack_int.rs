@@ -164,8 +164,9 @@ impl RoundMachine for DetSlackInt {
 }
 
 /// The slack-guess constant of Algorithm 3: sampling probability is
-/// `min(1, C·m / k̃²)`.
-const SAMPLE_CONSTANT: f64 = 150.0;
+/// `min(1, C·m / k̃²)`. Shared with the batched engine
+/// (`crate::sample_batch`), which replicates the probe draw exactly.
+pub(crate) const SAMPLE_CONSTANT: f64 = 150.0;
 
 #[derive(Debug)]
 enum RandPhase {

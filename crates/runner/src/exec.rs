@@ -75,6 +75,37 @@ pub(crate) struct WorkItem {
     pub protocol: Arc<dyn Protocol>,
     /// The instance to run it on (usually lazy — see [`WorkSource`]).
     pub source: WorkSource,
+    /// Advisory intra-trial thread budget, installed as the ambient
+    /// [`bichrome_comm::intra_budget`] around `Protocol::run` so the
+    /// protocol layers can parallelize *inside* the trial. Derived
+    /// from queue occupancy by [`assign_budgets`]; purely a scheduling
+    /// hint — records are bit-identical at any value.
+    pub threads: usize,
+}
+
+/// Thread budget each trial of a `pending`-item queue gets on a
+/// machine with `workers` worker threads: the leftover capacity
+/// divided evenly, at least 1. A campaign of 4 giant cells on 16
+/// cores hands each trial 4 threads; a 1000-cell grid stays at
+/// 1 thread per trial.
+pub(crate) fn intra_trial_budget(pending: usize, workers: usize) -> usize {
+    workers.checked_div(pending).unwrap_or(workers).max(1)
+}
+
+/// Installs each item's intra-trial thread budget: queue occupancy
+/// divided into the worker pool under parallel execution, the whole
+/// machine per trial under serial execution (trials then run one at a
+/// time, so each may saturate it).
+pub(crate) fn assign_budgets(queue: &mut [WorkItem], parallel: bool) {
+    let workers = rayon::current_num_threads();
+    let budget = if parallel {
+        intra_trial_budget(queue.len(), workers)
+    } else {
+        workers.max(1)
+    };
+    for item in queue {
+        item.threads = budget;
+    }
 }
 
 /// Counters and timings from one executor run — how much instance
@@ -108,6 +139,9 @@ pub struct ExecStats {
     /// Cumulative nanoseconds workers spent inside `Protocol::run`,
     /// summed across threads.
     pub run_nanos: u64,
+    /// Largest intra-trial thread budget any item of the run carried
+    /// (1 when every trial ran single-threaded inside).
+    pub intra_threads: u64,
 }
 
 impl ExecStats {
@@ -142,7 +176,7 @@ impl std::fmt::Display for ExecStats {
             f,
             "exec: computed {} trials ({} skipped via store) · graphs built {}/{} \
              ({:.0}% cache hits) · partitions built {}/{} ({:.0}% cache hits) · \
-             setup {:.3}s vs execute {:.3}s worker time",
+             setup {:.3}s vs execute {:.3}s worker time · intra-trial threads ≤ {}",
             self.trials_computed,
             self.trials_skipped,
             self.graphs_built,
@@ -153,6 +187,7 @@ impl std::fmt::Display for ExecStats {
             100.0 * self.partition_cache_hit_rate(),
             self.setup_nanos as f64 / 1e9,
             self.run_nanos as f64 / 1e9,
+            self.intra_threads.max(1),
         )
     }
 }
@@ -345,11 +380,12 @@ pub(crate) fn execute(
     } else {
         indexed.iter().map(trial).collect()
     };
-    let stats = stats_from(
+    let mut stats = stats_from(
         &cache,
         queue.len() as u64,
         run_nanos.load(Ordering::Relaxed),
     );
+    stats.intra_threads = queue.iter().map(|it| it.threads as u64).max().unwrap_or(1);
     (records, stats)
 }
 
@@ -371,7 +407,7 @@ pub(crate) fn run_item(item: &WorkItem, cache: &InstanceCache) -> (TrialRecord, 
         }
     };
     let run_started = Instant::now();
-    let outcome = item.protocol.run(instance);
+    let outcome = bichrome_comm::with_intra_budget(item.threads, || item.protocol.run(instance));
     let record = TrialRecord::from_outcome(instance, outcome);
     (record, run_started.elapsed().as_nanos() as u64)
 }
@@ -389,6 +425,7 @@ pub(crate) fn stats_from(cache: &InstanceCache, trials_computed: u64, run_nanos:
         partitions_built: cs.partitions_built,
         setup_nanos: cs.setup_nanos,
         run_nanos,
+        intra_threads: 1,
     }
 }
 
@@ -412,6 +449,7 @@ mod tests {
                         partitioner: Partitioner::Alternating,
                         trial_seed: seed,
                     },
+                    threads: 1,
                 });
             }
         }
@@ -464,6 +502,7 @@ mod tests {
         let queue = vec![WorkItem {
             protocol: registry().get("edge/theorem2").expect("registered"),
             source: WorkSource::Ready(inst.clone()),
+            threads: 1,
         }];
         let (records, stats) = execute(&queue, false, None);
         assert_eq!(records[0].seed, 7);

@@ -98,6 +98,7 @@ impl TrialPlan {
             .map(|instance| WorkItem {
                 protocol: Arc::clone(&self.protocol),
                 source: WorkSource::Ready(instance),
+                threads: 1,
             })
             .collect();
         if let Some(spec) = self.graphs {
@@ -112,9 +113,11 @@ impl TrialPlan {
                         partitioner,
                         trial_seed: seed,
                     },
+                    threads: 1,
                 });
             }
         }
+        exec::assign_budgets(&mut queue, self.parallel);
         queue
     }
 
