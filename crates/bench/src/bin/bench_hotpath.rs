@@ -55,6 +55,9 @@ struct Point {
     delta: usize,
     threads: usize,
     validate_nanos: u64,
+    validate_nanos_p50: f64,
+    validate_nanos_p95: f64,
+    validate_nanos_p99: f64,
     validate_edges_per_sec: f64,
     misra_gries_nanos: u64,
     misra_gries_edges_per_sec: f64,
@@ -95,12 +98,21 @@ fn measure(
             let coloring = misra_gries_with_budget(&g, threads);
             let misra_gries_nanos = started.elapsed().as_nanos() as u64;
 
-            // --- Validator pass over the coloring, scratch reused. ---
+            // --- Validator pass over the coloring, scratch reused.
+            // Each rep lands in an obs histogram so the trajectory
+            // carries tail latency, not just the mean. ---
+            let (n_label, t_label) = (n.to_string(), threads.to_string());
+            let validate_hist = bichrome_obs::histogram_labeled(
+                "bench_validate_nanos",
+                &[("family", family), ("n", &n_label), ("threads", &t_label)],
+            );
             let started = Instant::now();
             for _ in 0..VALIDATE_REPS {
+                let rep = Instant::now();
                 marks
                     .check_edge_coloring_with_palette(&g, &coloring, budget)
                     .expect("Misra–Gries colorings are valid");
+                validate_hist.observe(rep.elapsed().as_nanos() as u64);
             }
             let validate_nanos =
                 (started.elapsed().as_nanos() as u64 / u128::from(VALIDATE_REPS) as u64).max(1);
@@ -125,6 +137,9 @@ fn measure(
                 delta,
                 threads,
                 validate_nanos,
+                validate_nanos_p50: validate_hist.percentile(50.0),
+                validate_nanos_p95: validate_hist.percentile(95.0),
+                validate_nanos_p99: validate_hist.percentile(99.0),
                 validate_edges_per_sec: per_sec(validate_nanos, m),
                 misra_gries_nanos,
                 misra_gries_edges_per_sec: per_sec(misra_gries_nanos, m),
@@ -200,6 +215,9 @@ fn point_json(p: &Point) -> String {
     w.field_u64("delta", p.delta as u64);
     w.field_u64("threads", p.threads as u64);
     w.field_u64("validate_nanos", p.validate_nanos);
+    w.field_f64("validate_nanos_p50", p.validate_nanos_p50);
+    w.field_f64("validate_nanos_p95", p.validate_nanos_p95);
+    w.field_f64("validate_nanos_p99", p.validate_nanos_p99);
     w.field_f64("validate_edges_per_sec", p.validate_edges_per_sec);
     w.field_u64("misra_gries_nanos", p.misra_gries_nanos);
     w.field_f64("misra_gries_edges_per_sec", p.misra_gries_edges_per_sec);
@@ -358,6 +376,12 @@ fn main() {
         assert!(
             p.validate_nanos > 0 && p.misra_gries_nanos > 0 && p.d1lc_nanos > 0,
             "all phase timings must be positive"
+        );
+        assert!(
+            p.validate_nanos_p50 > 0.0
+                && p.validate_nanos_p50 <= p.validate_nanos_p95
+                && p.validate_nanos_p95 <= p.validate_nanos_p99,
+            "validator percentiles must be positive and ordered"
         );
     }
     for c in &campaigns {

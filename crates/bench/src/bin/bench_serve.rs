@@ -114,16 +114,21 @@ fn time_open(dir: &Path, n: u64) -> f64 {
 
 /// Times appending `BATCH_RECORDS` fresh records with the given
 /// flush cadence (fresh directory per pass; drop flushes the tail).
+/// Each append also lands in a per-cadence obs histogram
+/// (`bench_append_nanos`), the source of the written percentiles.
 fn time_batched_append(flush_every: usize) -> f64 {
     let dir = scratch(&format!("batch-{flush_every}"));
     let config = StoreConfig {
         flush_every,
         ..StoreConfig::default()
     };
+    let hist = append_hist(flush_every);
     let mut store = Store::open_or_create_with(&dir, config).expect("create");
     let started = Instant::now();
     for i in 0..BATCH_RECORDS {
+        let one = Instant::now();
         store.append(nth_key(i), nth_record(i)).expect("append");
+        hist.observe(one.elapsed().as_nanos() as u64);
     }
     drop(store);
     let secs = started.elapsed().as_secs_f64();
@@ -136,6 +141,14 @@ fn time_batched_append(flush_every: usize) -> f64 {
     drop(reopened);
     let _ = std::fs::remove_dir_all(&dir);
     secs
+}
+
+/// The per-flush-cadence append-latency histogram.
+fn append_hist(flush_every: usize) -> bichrome_obs::Histogram {
+    bichrome_obs::histogram_labeled(
+        "bench_append_nanos",
+        &[("flush_every", &flush_every.to_string())],
+    )
 }
 
 /// The campaign TOML for one submitted job: a disjoint 4-seed window
@@ -266,6 +279,11 @@ fn main() {
     w.field_f64("append_flush_every_1_seconds", flush_1);
     w.field_f64("append_flush_every_64_seconds", flush_64);
     w.field_f64("batching_speedup", flush_1 / flush_64);
+    // Per-append tail latency at the daemon's default cadence (64).
+    let hist = append_hist(64);
+    w.field_f64("append_nanos_p50", hist.percentile(50.0));
+    w.field_f64("append_nanos_p95", hist.percentile(95.0));
+    w.field_f64("append_nanos_p99", hist.percentile(99.0));
     let json = w.finish();
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("→ {out_path}");

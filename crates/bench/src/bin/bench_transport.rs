@@ -53,24 +53,38 @@ fn scratch(tag: &str) -> PathBuf {
 /// Times `EXCHANGES` round-synchronous exchanges over `kind`; returns
 /// (wall seconds, the metered stats) — the stats must match across
 /// transports. Both parties run the same script: one `exchange` per
-/// round, each verifying the peer echoed the round index.
+/// round, each verifying the peer echoed the round index. Every
+/// exchange also lands in a per-transport obs histogram
+/// (`bench_exchange_nanos`), so the written percentiles cover both
+/// parties across all best-of-3 passes.
 fn time_exchanges(kind: TransportKind) -> (f64, CommStats) {
-    fn script(ep: &bichrome_comm::Endpoint) {
+    let hist = exchange_hist(kind);
+    let script = move |ep: &bichrome_comm::Endpoint| {
         for i in 0..EXCHANGES {
             let mut w = BitWriter::new();
             w.write_uint(i % 64, 6);
+            let one = Instant::now();
             let reply = ep.exchange(w.finish());
+            hist.observe(one.elapsed().as_nanos() as u64);
             assert_eq!(reply.reader().read_uint(6), i % 64);
         }
-    }
+    };
     let started = Instant::now();
     let (_, _, stats) = run_two_party_ctx_on(
         kind,
         0,
-        |ctx| script(&ctx.endpoint),
-        |ctx| script(&ctx.endpoint),
+        {
+            let script = script.clone();
+            move |ctx| script(&ctx.endpoint)
+        },
+        move |ctx| script(&ctx.endpoint),
     );
     (started.elapsed().as_secs_f64(), stats)
+}
+
+/// The per-transport exchange-latency histogram.
+fn exchange_hist(kind: TransportKind) -> bichrome_obs::Histogram {
+    bichrome_obs::histogram_labeled("bench_exchange_nanos", &[("transport", &kind.to_string())])
 }
 
 /// A ~32-byte frame payload, like a real protocol round's message.
@@ -269,6 +283,10 @@ fn main() {
     w.field_u64("exchanges", EXCHANGES);
     for (kind, ns) in &exchange_ns {
         w.field_f64(&format!("{kind}_exchange_ns"), *ns);
+        let hist = exchange_hist(*kind);
+        w.field_f64(&format!("{kind}_exchange_ns_p50"), hist.percentile(50.0));
+        w.field_f64(&format!("{kind}_exchange_ns_p95"), hist.percentile(95.0));
+        w.field_f64(&format!("{kind}_exchange_ns_p99"), hist.percentile(99.0));
     }
     w.field_u64("frames", FRAMES);
     w.field_f64("tcp_frames_batched_seconds", batched);

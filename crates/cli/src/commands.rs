@@ -19,11 +19,18 @@ bichrome — persistent, resumable campaign runs over every protocol in the regi
 
 USAGE:
     bichrome run <campaign.toml> [--store <dir>] [--format text|json|csv] [--serial]
-                 [--transport inproc|pipe|tcp]
+                 [--transport inproc|pipe|tcp] [--trace-out <file>]
         Run the declared grid. With a store (flag or `store = ...` in the
         file), already-computed trials are skipped and fresh records are
         flushed as workers finish. --transport overrides the file's
         session wire (results are bit-identical on every transport).
+        --trace-out records per-trial spans and writes a Chrome
+        trace-event JSON file (load it at chrome://tracing or Perfetto);
+        results are bit-identical with and without it.
+    bichrome trace <campaign.toml> --out <file> [--store <dir>] [--serial]
+                   [--transport inproc|pipe|tcp]
+        Run the grid with span tracing on and write only the Chrome
+        trace (the report still lands in the store, if one is set).
     bichrome resume <campaign.toml> [--store <dir>]
         Alias of `run` that *requires* a store — use after a killed run.
     bichrome report <store-dir> [--format text|json|csv]
@@ -38,11 +45,14 @@ USAGE:
   The daemon (many clients, one executor, one store):
     bichrome serve <store-dir> [--addr <addr>] [--workers <n>]
                    [--no-local-workers] [--lease-timeout <secs>]
+                   [--http <host:port>]
         Run the campaign daemon until a `shutdown` request. The default
         address is unix:<store-dir>/daemon.sock; tcp:<host>:<port> works too
         (the effective address is printed to stderr at startup). With
         --no-local-workers the daemon only schedules: every trial waits
-        for a remote worker's lease.
+        for a remote worker's lease. --http additionally serves the
+        process metrics registry as a Prometheus `GET /metrics`
+        endpoint (the effective address is printed to stderr).
     bichrome work --connect <addr>
         Pull trials from a daemon, compute them locally, and stream the
         records back. Run any number of these wherever the daemon is
@@ -59,7 +69,12 @@ USAGE:
     bichrome ping --addr <addr>
         Exit 0 if a daemon answers at the address.
     bichrome stats --addr <addr>
-        Print the daemon's counters (cache, store, jobs, leases).
+        Print the daemon's counters (cache, store, jobs, leases) plus
+        lease-age and lease-latency percentiles.
+    bichrome metrics --addr <addr>
+        Print the daemon's full metrics registry: every counter, gauge,
+        and histogram (with p50/p95/p99) — the same registry its
+        `GET /metrics` endpoint exposes.
     bichrome shutdown --addr <addr>
         Drain in-flight jobs, checkpoint the store, stop the daemon.
 
@@ -80,6 +95,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         }
         Some((&"run", rest)) => run(rest, false),
         Some((&"resume", rest)) => run(rest, true),
+        Some((&"trace", rest)) => trace(rest),
         Some((&"report", rest)) => report(rest),
         Some((&"diff", rest)) => diff(rest),
         Some((&"store", rest)) => store_cmd(rest),
@@ -91,6 +107,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         Some((&"cancel", rest)) => cancel(rest),
         Some((&"ping", rest)) => ping(rest),
         Some((&"stats", rest)) => stats(rest),
+        Some((&"metrics", rest)) => metrics(rest),
         Some((&"shutdown", rest)) => shutdown(rest),
         Some((&"registry", [])) => Ok(registry_listing()),
         Some((&"registry", _)) => Err("registry takes no arguments".to_string()),
@@ -124,6 +141,9 @@ struct Flags<'a> {
     connect: Option<&'a str>,
     no_local_workers: bool,
     lease_timeout: Option<u64>,
+    trace_out: Option<&'a str>,
+    out: Option<&'a str>,
+    http: Option<&'a str>,
 }
 
 impl<'a> Flags<'a> {
@@ -203,6 +223,18 @@ fn parse_flags<'a>(args: &[&'a str], allow: &[&str]) -> Result<Flags<'a>, String
                         .map_err(|_| format!("--lease-timeout {secs:?} is not a number"))?,
                 );
             }
+            "--trace-out" => {
+                check("--trace-out")?;
+                flags.trace_out = Some(*it.next().ok_or("--trace-out needs a file argument")?);
+            }
+            "--out" => {
+                check("--out")?;
+                flags.out = Some(*it.next().ok_or("--out needs a file argument")?);
+            }
+            "--http" => {
+                check("--http")?;
+                flags.http = Some(*it.next().ok_or("--http needs a host:port argument")?);
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
             pos => flags.positional.push(pos),
         }
@@ -212,7 +244,16 @@ fn parse_flags<'a>(args: &[&'a str], allow: &[&str]) -> Result<Flags<'a>, String
 
 /// `bichrome run` / `bichrome resume`.
 fn run(args: &[&str], require_store: bool) -> Result<String, String> {
-    let flags = parse_flags(args, &["--store", "--format", "--serial", "--transport"])?;
+    let flags = parse_flags(
+        args,
+        &[
+            "--store",
+            "--format",
+            "--serial",
+            "--transport",
+            "--trace-out",
+        ],
+    )?;
     let [path] = flags.positional.as_slice() else {
         return Err("expected exactly one campaign file argument".to_string());
     };
@@ -231,9 +272,16 @@ fn run(args: &[&str], require_store: bool) -> Result<String, String> {
     if let Some(kind) = flags.transport {
         campaign = campaign.transport(kind);
     }
+    if flags.trace_out.is_some() {
+        bichrome_obs::clear_spans();
+        bichrome_obs::set_tracing(true);
+    }
     let (report, stats) = campaign
         .try_run_with_stats()
         .map_err(|e| format!("campaign store: {e}"))?;
+    if let Some(out) = flags.trace_out {
+        write_trace(out)?;
+    }
     match flags.format {
         Format::Json => Ok(report.to_json()),
         Format::Csv => Ok(report.to_csv()),
@@ -246,6 +294,47 @@ fn run(args: &[&str], require_store: bool) -> Result<String, String> {
             Ok(out)
         }
     }
+}
+
+/// Exports the recorded spans as a Chrome trace-event file and
+/// announces it on stderr (stdout stays the report — json/csv output
+/// must remain byte-identical with tracing off).
+fn write_trace(path: &str) -> Result<(), String> {
+    let spans = bichrome_obs::span_events().len();
+    std::fs::write(path, bichrome_obs::export_chrome_trace())
+        .map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("trace: {spans} span(s) written to {path}");
+    Ok(())
+}
+
+/// `bichrome trace`: a traced run whose stdout is the span
+/// accounting, not the report (pair with a store to keep results).
+fn trace(args: &[&str]) -> Result<String, String> {
+    let flags = parse_flags(args, &["--store", "--serial", "--transport", "--out"])?;
+    let [path] = flags.positional.as_slice() else {
+        return Err("expected exactly one campaign file argument".to_string());
+    };
+    let out = flags.out.ok_or("trace needs --out <file>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let file = CampaignFile::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut campaign = file.to_campaign(flags.store);
+    if flags.serial {
+        campaign = campaign.parallel(false);
+    }
+    if let Some(kind) = flags.transport {
+        campaign = campaign.transport(kind);
+    }
+    bichrome_obs::clear_spans();
+    bichrome_obs::set_tracing(true);
+    let (_report, stats) = campaign
+        .try_run_with_stats()
+        .map_err(|e| format!("campaign store: {e}"))?;
+    let spans = bichrome_obs::span_events().len();
+    std::fs::write(out, bichrome_obs::export_chrome_trace())
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    Ok(format!(
+        "{stats}\ntrace: {spans} span(s) written to {out}\n"
+    ))
 }
 
 /// `bichrome report`.
@@ -316,6 +405,7 @@ fn serve(args: &[&str]) -> Result<String, String> {
             "--workers",
             "--no-local-workers",
             "--lease-timeout",
+            "--http",
         ],
     )?;
     let [dir] = flags.positional.as_slice() else {
@@ -334,6 +424,13 @@ fn serve(args: &[&str]) -> Result<String, String> {
         config.lease_timeout = Duration::from_secs(secs);
     }
     let daemon = Daemon::start(*dir, config)?;
+    if let Some(http_addr) = flags.http {
+        let bound = bichrome_serve::spawn_metrics_http(http_addr)
+            .map_err(|e| format!("binding metrics endpoint {http_addr}: {e}"))?;
+        // Same contract as the daemon address below: with port 0 this
+        // line is where scrapers learn the effective port.
+        eprintln!("metrics listening at {bound}");
+    }
     let listener = Listener::bind(&addr).map_err(|e| format!("binding {addr}: {e}"))?;
     let effective = listener.local_addr();
     // To stderr, *before* the accept loop blocks: with `--addr
@@ -530,9 +627,53 @@ fn stats(args: &[&str]) -> Result<String, String> {
         let rendered = value
             .as_u64()
             .map(|n| n.to_string())
+            .or_else(|| value.as_f64().map(|x| format!("{x}")))
             .or_else(|| value.as_str().map(str::to_string))
             .unwrap_or_else(|| "?".to_string());
         writeln!(out, "{name}: {rendered}").expect("string write");
+    }
+    Ok(out)
+}
+
+/// `bichrome metrics`: the daemon's full obs registry, one line per
+/// metric — counters and gauges as `name: value`, histograms as
+/// `name: count=…  sum=… p50=… p95=… p99=…`.
+fn metrics(args: &[&str]) -> Result<String, String> {
+    let flags = parse_flags(args, &["--addr"])?;
+    if !flags.positional.is_empty() {
+        return Err("metrics takes no positional arguments".to_string());
+    }
+    let v = Client::new(flags.daemon_addr()?).metrics()?;
+    let o = v.as_object().ok_or("malformed metrics reply")?;
+    let num = |v: &Value| {
+        v.as_u64()
+            .map(|n| n.to_string())
+            .or_else(|| v.as_f64().map(|x| format!("{x}")))
+            .unwrap_or_else(|| "?".to_string())
+    };
+    let mut out = String::new();
+    for section in ["counters", "gauges"] {
+        if let Some(entries) = o.get(section).and_then(Value::as_object) {
+            for (name, value) in entries {
+                writeln!(out, "{name}: {}", num(value)).expect("string write");
+            }
+        }
+    }
+    if let Some(entries) = o.get("histograms").and_then(Value::as_object) {
+        for (name, value) in entries {
+            let Some(h) = value.as_object() else { continue };
+            let f = |field: &str| h.get(field).map_or("?".to_string(), &num);
+            writeln!(
+                out,
+                "{name}: count={} sum={} p50={} p95={} p99={}",
+                f("count"),
+                f("sum"),
+                f("p50"),
+                f("p95"),
+                f("p99"),
+            )
+            .expect("string write");
+        }
     }
     Ok(out)
 }
@@ -624,5 +765,29 @@ mod tests {
             dispatch_strs(&["run", "x", "--no-local-workers"]).is_err(),
             "--no-local-workers is a serve flag"
         );
+    }
+
+    #[test]
+    fn observability_flags_validate() {
+        assert!(dispatch_strs(&["trace", "x"])
+            .expect_err("trace without a sink")
+            .contains("--out"));
+        assert!(
+            dispatch_strs(&["report", "x", "--trace-out", "t.json"]).is_err(),
+            "--trace-out is a run flag"
+        );
+        assert!(
+            dispatch_strs(&["run", "x", "--http", "127.0.0.1:0"]).is_err(),
+            "--http is a serve flag"
+        );
+        assert!(dispatch_strs(&["run", "x", "--trace-out"])
+            .expect_err("dangling --trace-out")
+            .contains("file argument"));
+        assert!(dispatch_strs(&["metrics"])
+            .expect_err("metrics without a daemon")
+            .contains("--addr"));
+        assert!(dispatch_strs(&["metrics", "stray", "--addr", "tcp:h:1"])
+            .expect_err("metrics with a positional")
+            .contains("no positional"));
     }
 }

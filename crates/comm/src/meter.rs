@@ -4,6 +4,7 @@ use crate::Side;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Immutable snapshot of a session's communication cost.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -185,6 +186,7 @@ impl Meter {
         PhaseScope {
             meter: self.clone(),
             installed: phase.to_owned(),
+            started: Instant::now(),
         }
     }
 
@@ -196,15 +198,21 @@ impl Meter {
 
 /// RAII guard returned by [`Meter::phase_scope`]; removes one
 /// reference to its label from the phase stack when dropped (see
-/// [`Meter::phase_scope`] for the shared-meter semantics).
+/// [`Meter::phase_scope`] for the shared-meter semantics), and
+/// observes the phase's wall time into the process-wide
+/// `bichrome_comm_phase_nanos{phase=...}` histogram — phases have
+/// always tracked bits and rounds, this adds the time dimension.
 #[derive(Debug)]
 pub struct PhaseScope {
     meter: Meter,
     installed: String,
+    started: Instant,
 }
 
 impl Drop for PhaseScope {
     fn drop(&mut self) {
+        bichrome_obs::histogram_labeled("bichrome_comm_phase_nanos", &[("phase", &self.installed)])
+            .observe(self.started.elapsed().as_nanos() as u64);
         let mut inner = self.meter.lock();
         // Release the topmost unpinned entry carrying our label. It
         // may not be the very top if the peer thread's installs
@@ -384,6 +392,22 @@ mod tests {
         m.on_message(Side::Bob, 9);
         let s = m.snapshot();
         assert!(!s.bits_by_phase.contains_key("doomed"));
+    }
+
+    #[test]
+    fn phase_scope_wall_time_lands_in_the_obs_histogram() {
+        let h = bichrome_obs::histogram_labeled(
+            "bichrome_comm_phase_nanos",
+            &[("phase", "meter-test-phase")],
+        );
+        let before = h.count();
+        let m = Meter::new();
+        {
+            let _guard = m.phase_scope("meter-test-phase");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(h.count(), before + 1, "one observation per scope");
+        assert!(h.sum() >= 1_000_000, "covers the 1ms the phase was open");
     }
 
     #[test]

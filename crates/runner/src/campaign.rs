@@ -568,6 +568,7 @@ impl PreparedRun {
     pub fn commit(&self, i: usize, record: TrialRecord) -> Result<(), StoreError> {
         let stored = match &self.store {
             Some(store) => {
+                let _append_span = bichrome_obs::span("trial/store-append");
                 let mut guard = store.lock().expect("store poisoned");
                 guard.append(self.queue_keys[i].clone(), record.to_json())
             }

@@ -394,6 +394,8 @@ pub(crate) fn execute(
 /// daemon's multiplexed executor schedules directly (one task per
 /// pending trial), bypassing [`execute`]'s per-call queue.
 pub(crate) fn run_item(item: &WorkItem, cache: &InstanceCache) -> (TrialRecord, u64) {
+    let budget = item.threads as u64;
+    let _trial_span = bichrome_obs::span_tagged("trial/run", "threads", budget);
     let resolved;
     let instance: &Instance = match &item.source {
         WorkSource::Ready(instance) => instance,
@@ -402,14 +404,43 @@ pub(crate) fn run_item(item: &WorkItem, cache: &InstanceCache) -> (TrialRecord, 
             partitioner,
             trial_seed,
         } => {
+            let _setup_span = bichrome_obs::span_tagged("trial/setup", "threads", budget);
             resolved = cache.instance(spec, *partitioner, *trial_seed);
             &resolved
         }
     };
     let run_started = Instant::now();
-    let outcome = bichrome_comm::with_intra_budget(item.threads, || item.protocol.run(instance));
+    let outcome = {
+        let _execute_span = bichrome_obs::span_tagged("trial/execute", "threads", budget);
+        bichrome_comm::with_intra_budget(item.threads, || item.protocol.run(instance))
+    };
     let record = TrialRecord::from_outcome(instance, outcome);
-    (record, run_started.elapsed().as_nanos() as u64)
+    let nanos = run_started.elapsed().as_nanos() as u64;
+    trial_metrics().observe(nanos);
+    (record, nanos)
+}
+
+/// The cached process-registry handle for per-trial execution time
+/// (`bichrome_exec_trials_total` rides along as the histogram's
+/// count; a separate counter keeps the family greppable on its own).
+fn trial_metrics() -> &'static TrialMetrics {
+    static METRICS: OnceLock<TrialMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| TrialMetrics {
+        trials: bichrome_obs::counter("bichrome_exec_trials_total"),
+        trial_nanos: bichrome_obs::histogram("bichrome_exec_trial_nanos"),
+    })
+}
+
+struct TrialMetrics {
+    trials: bichrome_obs::Counter,
+    trial_nanos: bichrome_obs::Histogram,
+}
+
+impl TrialMetrics {
+    fn observe(&self, nanos: u64) {
+        self.trials.inc();
+        self.trial_nanos.observe(nanos);
+    }
 }
 
 /// Assembles an [`ExecStats`] from a cache snapshot plus the caller's

@@ -187,7 +187,19 @@ pub struct TrialRecord {
 impl TrialRecord {
     /// Flattens one executed [`Outcome`] into a record, annotated with
     /// the instance it ran on.
+    ///
+    /// The meter's per-phase bit totals ([`CommStats::bits_by_phase`](
+    /// bichrome_comm::CommStats)) are surfaced as `phase_bits/<name>`
+    /// metric entries: phases used to be recorded in the stats but
+    /// dropped from the campaign `metrics` channel, so they never
+    /// aggregated in reports. The entries are deterministic protocol
+    /// data (bits, not wall time), so records stay bit-identical
+    /// across schedules, transports, and observability settings.
     pub fn from_outcome(inst: &Instance, outcome: Outcome) -> Self {
+        let mut metrics = outcome.metrics;
+        for (phase, &bits) in &outcome.stats.bits_by_phase {
+            metrics.insert(format!("phase_bits/{phase}"), bits as f64);
+        }
         TrialRecord {
             label: inst.label.clone(),
             seed: inst.trial_seed,
@@ -204,7 +216,7 @@ impl TrialRecord {
                 Verdict::Valid => None,
                 Verdict::Invalid(msg) => Some(msg.clone()),
             },
-            metrics: outcome.metrics,
+            metrics,
         }
     }
 

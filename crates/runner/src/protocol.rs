@@ -76,9 +76,12 @@ pub struct Outcome {
 impl Outcome {
     /// A validated vertex-coloring outcome.
     pub fn vertex(g: &Graph, coloring: VertexColoring, stats: CommStats, budget: usize) -> Self {
-        let verdict = match validate_vertex_coloring_with_palette(g, &coloring, budget) {
-            Ok(()) => Verdict::Valid,
-            Err(e) => Verdict::Invalid(e.to_string()),
+        let verdict = {
+            let _validate_span = bichrome_obs::span("trial/validate");
+            match validate_vertex_coloring_with_palette(g, &coloring, budget) {
+                Ok(()) => Verdict::Valid,
+                Err(e) => Verdict::Invalid(e.to_string()),
+            }
         };
         Outcome {
             artifact: Artifact::Vertex(coloring),
@@ -102,10 +105,13 @@ impl Outcome {
         stats: CommStats,
         budget: Option<usize>,
     ) -> Self {
-        let result = with_scratch(|s| match budget {
-            Some(b) => s.marks.check_edge_coloring_with_palette(g, &coloring, b),
-            None => s.marks.check_edge_coloring(g, &coloring),
-        });
+        let result = {
+            let _validate_span = bichrome_obs::span("trial/validate");
+            with_scratch(|s| match budget {
+                Some(b) => s.marks.check_edge_coloring_with_palette(g, &coloring, b),
+                None => s.marks.check_edge_coloring(g, &coloring),
+            })
+        };
         let verdict = match result {
             Ok(()) => Verdict::Valid,
             Err(e) => Verdict::Invalid(e.to_string()),

@@ -139,6 +139,21 @@ impl Client {
         self.roundtrip(&Request::Stats)
     }
 
+    /// The daemon's process-wide observability registry — the same
+    /// registry its `GET /metrics` endpoint serves, as a JSON object
+    /// (`{"counters":{...},"gauges":{...},"histograms":{...}}`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn metrics(&self) -> Result<Value, String> {
+        let v = self.roundtrip(&Request::Metrics)?;
+        v.as_object()
+            .and_then(|o| o.get("metrics"))
+            .cloned()
+            .ok_or("malformed metrics response".to_string())
+    }
+
     /// Asks the daemon to drain, checkpoint, and exit; returns once
     /// it has (the daemon responds *after* the drain completes).
     ///

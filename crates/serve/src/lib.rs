@@ -20,6 +20,11 @@
 //! leases that outlive their timeout are re-queued by the daemon's
 //! reaper, so a worker dying mid-trial costs nothing but time.
 //!
+//! Observability rides along on both front-ends: the `metrics` verb
+//! returns the process-wide [`bichrome_obs`] registry as JSON, and
+//! [`spawn_metrics_http`] serves the same registry as a Prometheus
+//! `GET /metrics` endpoint (`bichrome serve --http`).
+//!
 //! # Quickstart
 //!
 //! ```
@@ -64,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod http;
 pub mod net;
 pub mod proto;
 pub mod server;
@@ -72,6 +78,7 @@ pub mod server;
 /// status objects ([`json::Value`]).
 pub use bichrome_store::json;
 pub use client::{Client, LeaseGrant, TrialLease};
+pub use http::spawn_metrics_http;
 pub use net::{Addr, Listener, Stream};
 pub use proto::{Format, Request};
 pub use server::{Daemon, DaemonConfig};

@@ -85,6 +85,11 @@ pub enum Request {
     },
     /// Daemon-wide counters (instance cache, store, jobs).
     Stats,
+    /// The process-wide observability registry
+    /// ([`bichrome_obs::render_json`]) — every counter, gauge, and
+    /// histogram, in the same registry `GET /metrics` exposes in
+    /// Prometheus text form.
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Drain in-flight jobs, checkpoint the store, and exit.
@@ -107,6 +112,26 @@ pub enum Request {
 }
 
 impl Request {
+    /// The wire verb (`"op"` value) — the label the daemon's
+    /// per-request counters and latency histograms are keyed by.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Submit { .. } => "submit",
+            Request::Status { .. } => "status",
+            Request::Jobs => "jobs",
+            Request::Watch { .. } => "watch",
+            Request::Report { .. } => "report",
+            Request::Diff { .. } => "diff",
+            Request::Cancel { .. } => "cancel",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Ping => "ping",
+            Request::Shutdown => "shutdown",
+            Request::Lease => "lease",
+            Request::Complete { .. } => "complete",
+        }
+    }
+
     /// Decodes one request line.
     ///
     /// # Errors
@@ -163,6 +188,7 @@ impl Request {
                 job: job_field("job")?,
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             "lease" => Ok(Request::Lease),
@@ -219,6 +245,7 @@ impl Request {
                 w.field_u64("job", *job);
             }
             Request::Stats => w.field_str("op", "stats"),
+            Request::Metrics => w.field_str("op", "metrics"),
             Request::Ping => w.field_str("op", "ping"),
             Request::Shutdown => w.field_str("op", "shutdown"),
             Request::Lease => w.field_str("op", "lease"),
@@ -264,6 +291,7 @@ mod tests {
             Request::Diff { a: 1, b: 2 },
             Request::Cancel { job: 9 },
             Request::Stats,
+            Request::Metrics,
             Request::Ping,
             Request::Shutdown,
             Request::Lease,
@@ -275,6 +303,10 @@ mod tests {
         for req in cases {
             let line = req.encode();
             assert_eq!(Request::parse(&line).expect("parses"), req, "{line}");
+            assert!(
+                line.contains(&format!("\"op\":\"{}\"", req.verb())),
+                "verb/op mismatch: {line}"
+            );
         }
     }
 

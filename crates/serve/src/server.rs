@@ -86,6 +86,19 @@ impl Default for DaemonConfig {
 struct Task {
     job: Arc<Job>,
     idx: usize,
+    /// When the task (re-)entered the queue — queue-latency histograms
+    /// measure from here to the pop.
+    enqueued: Instant,
+}
+
+impl Task {
+    fn new(job: Arc<Job>, idx: usize) -> Task {
+        Task {
+            job,
+            idx,
+            enqueued: Instant::now(),
+        }
+    }
 }
 
 /// One outstanding remote-worker lease: trial `idx` of `job` is out
@@ -94,6 +107,9 @@ struct Lease {
     job: Arc<Job>,
     idx: usize,
     deadline: Instant,
+    /// When the lease was issued — service-latency histograms measure
+    /// from here to the worker's `complete`.
+    issued: Instant,
 }
 
 /// Terminal and non-terminal job states.
@@ -338,10 +354,7 @@ impl Daemon {
         } else {
             let mut q = self.queue.lock().expect("queue poisoned");
             for idx in 0..pending {
-                q.push_back(Task {
-                    job: Arc::clone(&job),
-                    idx,
-                });
+                q.push_back(Task::new(Arc::clone(&job), idx));
             }
             drop(q);
             self.queue_cv.notify_all();
@@ -498,7 +511,29 @@ impl Daemon {
             let store = self.store.lock().expect("store poisoned");
             (store.len() as u64, store.dead_records() as u64)
         };
-        let outstanding = self.leases.lock().expect("leases poisoned").len() as u64;
+        let (outstanding, ages) = {
+            let leases = self.leases.lock().expect("leases poisoned");
+            let now = Instant::now();
+            let mut ages: Vec<u64> = leases
+                .values()
+                .map(|l| now.saturating_duration_since(l.issued).as_nanos() as u64)
+                .collect();
+            ages.sort_unstable();
+            (leases.len() as u64, ages)
+        };
+        // Nearest-rank over the *currently outstanding* leases — how
+        // long today's in-flight work has been out, exactly (the
+        // histograms below cover completed lifecycles, to within a
+        // log₂ bucket).
+        let age_pct = |p: f64| -> u64 {
+            if ages.is_empty() {
+                return 0;
+            }
+            let rank = ((p / 100.0 * ages.len() as f64).ceil() as usize).clamp(1, ages.len());
+            ages[rank - 1]
+        };
+        let queue = bichrome_obs::histogram("bichrome_lease_queue_nanos");
+        let service = bichrome_obs::histogram("bichrome_lease_service_nanos");
         let mut w = json::Writer::object();
         w.field_bool("ok", true);
         w.field_u64("graphs_requested", cs.graphs_requested);
@@ -518,6 +553,26 @@ impl Daemon {
             self.leases_completed.load(Ordering::SeqCst),
         );
         w.field_u64("leases_expired", self.leases_expired.load(Ordering::SeqCst));
+        w.field_u64("lease_age_ns_p50", age_pct(50.0));
+        w.field_u64("lease_age_ns_p95", age_pct(95.0));
+        w.field_u64("lease_age_ns_p99", age_pct(99.0));
+        w.field_f64("lease_queue_ns_p50", queue.percentile(50.0));
+        w.field_f64("lease_queue_ns_p95", queue.percentile(95.0));
+        w.field_f64("lease_queue_ns_p99", queue.percentile(99.0));
+        w.field_f64("lease_service_ns_p50", service.percentile(50.0));
+        w.field_f64("lease_service_ns_p95", service.percentile(95.0));
+        w.field_f64("lease_service_ns_p99", service.percentile(99.0));
+        w.finish()
+    }
+
+    /// `{"ok":true,"metrics":{...}}` — the process-wide observability
+    /// registry ([`bichrome_obs::render_json`]): every counter, gauge,
+    /// and histogram, the same registry `GET /metrics` serves in
+    /// Prometheus text form.
+    pub fn metrics_line(&self) -> String {
+        let mut w = json::Writer::object();
+        w.field_bool("ok", true);
+        w.field_raw("metrics", &bichrome_obs::render_json());
         w.finish()
     }
 
@@ -573,6 +628,8 @@ impl Daemon {
     }
 
     fn process(&self, task: Task) {
+        bichrome_obs::histogram("bichrome_task_queue_nanos")
+            .observe(task.enqueued.elapsed().as_nanos() as u64);
         let job = &task.job;
         if !job.cancel.load(Ordering::SeqCst) {
             // A panicking protocol poisons only its own job, not the
@@ -666,6 +723,8 @@ impl Daemon {
             return w.finish();
         };
         let token = self.next_lease.fetch_add(1, Ordering::SeqCst) + 1;
+        bichrome_obs::histogram("bichrome_lease_queue_nanos")
+            .observe(task.enqueued.elapsed().as_nanos() as u64);
         let key = task.job.prepared.pending_key(task.idx);
         let mut w = json::Writer::object();
         w.field_bool("ok", true);
@@ -684,6 +743,7 @@ impl Daemon {
                 job: task.job,
                 idx: task.idx,
                 deadline: Instant::now() + self.lease_timeout,
+                issued: Instant::now(),
             },
         );
         self.leases_issued.fetch_add(1, Ordering::SeqCst);
@@ -704,6 +764,8 @@ impl Daemon {
             w.field_bool("accepted", false);
             return w.finish();
         };
+        bichrome_obs::histogram("bichrome_lease_service_nanos")
+            .observe(lease.issued.elapsed().as_nanos() as u64);
         let job = lease.job;
         if job.cancel.load(Ordering::SeqCst) {
             // Mirrors the local pool on a cancelled job: the result is
@@ -716,11 +778,9 @@ impl Daemon {
         }
         let leased_seed = job.prepared.pending_key(lease.idx).seed;
         let requeue = |job: Arc<Job>, msg: String| -> String {
+            bichrome_obs::counter("bichrome_lease_requeues_total").inc();
             let mut q = self.queue.lock().expect("queue poisoned");
-            q.push_back(Task {
-                job,
-                idx: lease.idx,
-            });
+            q.push_back(Task::new(job, lease.idx));
             drop(q);
             self.queue_cv.notify_all();
             error_line(&format!("{msg} — trial re-queued"))
@@ -793,12 +853,10 @@ impl Daemon {
         }
         self.leases_expired
             .fetch_add(expired.len() as u64, Ordering::SeqCst);
+        bichrome_obs::counter("bichrome_lease_requeues_total").add(expired.len() as u64);
         let mut q = self.queue.lock().expect("queue poisoned");
         for l in expired {
-            q.push_back(Task {
-                job: l.job,
-                idx: l.idx,
-            });
+            q.push_back(Task::new(l.job, l.idx));
         }
         drop(q);
         self.queue_cv.notify_all();
@@ -844,6 +902,13 @@ impl Daemon {
             Ok(req) => req,
             Err(e) => return reply(&mut writer, &error_line(&e)),
         };
+        let verb = req.verb();
+        bichrome_obs::counter_labeled("bichrome_daemon_requests_total", &[("verb", verb)]).inc();
+        // Observes on drop — for `watch` that spans the whole stream,
+        // which is the request's actual service time.
+        let _request_timer =
+            bichrome_obs::histogram_labeled("bichrome_daemon_request_nanos", &[("verb", verb)])
+                .start_timer();
         match req {
             Request::Submit { campaign } => match self.submit(&campaign) {
                 Ok(id) => {
@@ -894,6 +959,7 @@ impl Daemon {
                 Err(e) => reply(&mut writer, &error_line(&e)),
             },
             Request::Stats => reply(&mut writer, &self.stats_line()),
+            Request::Metrics => reply(&mut writer, &self.metrics_line()),
             Request::Lease => reply(&mut writer, &self.lease_line()),
             Request::Complete { lease, record } => {
                 reply(&mut writer, &self.complete_line(lease, &record));

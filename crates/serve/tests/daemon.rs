@@ -184,6 +184,23 @@ fn socket_clients_share_the_daemon() {
     assert_eq!(stats["records"].as_u64(), Some(8));
     assert_eq!(stats["jobs"].as_u64(), Some(2));
 
+    // The `metrics` verb returns the process-wide obs registry: the
+    // two submits above are counted under their verb label, and the
+    // store saw at least this test's eight appends.
+    let metrics = client_a.metrics().expect("metrics");
+    let counters = metrics.as_object().expect("obj")["counters"]
+        .as_object()
+        .expect("counters object")
+        .clone();
+    let submits = counters["bichrome_daemon_requests_total{verb=\"submit\"}"]
+        .as_u64()
+        .expect("submit counter");
+    assert!(submits >= 2, "two submits counted, saw {submits}");
+    let appends = counters["bichrome_store_appends_total"]
+        .as_u64()
+        .expect("append counter");
+    assert!(appends >= 8, "eight store appends counted, saw {appends}");
+
     client_a.shutdown().expect("shutdown");
     server
         .join()

@@ -289,6 +289,34 @@ struct ActiveSegment {
     unflushed: usize,
 }
 
+/// Cached process-registry handles for the store's observability
+/// counters: looked up once per opened store, so the append/flush
+/// path adds only lock-free atomic increments.
+#[derive(Debug, Clone)]
+struct StoreMetrics {
+    appends: bichrome_obs::Counter,
+    flushes: bichrome_obs::Counter,
+    flush_nanos: bichrome_obs::Histogram,
+    checkpoints: bichrome_obs::Counter,
+    segments_loaded: bichrome_obs::Counter,
+    salvage_dropped_bytes: bichrome_obs::Counter,
+}
+
+impl StoreMetrics {
+    fn new() -> StoreMetrics {
+        StoreMetrics {
+            appends: bichrome_obs::counter("bichrome_store_appends_total"),
+            flushes: bichrome_obs::counter("bichrome_store_flushes_total"),
+            flush_nanos: bichrome_obs::histogram("bichrome_store_flush_nanos"),
+            checkpoints: bichrome_obs::counter("bichrome_store_checkpoints_total"),
+            segments_loaded: bichrome_obs::counter("bichrome_store_segments_loaded_total"),
+            salvage_dropped_bytes: bichrome_obs::counter(
+                "bichrome_store_salvage_dropped_bytes_total",
+            ),
+        }
+    }
+}
+
 /// A persistent trial store rooted at one directory. See the
 /// [module docs](self) for the layout and durability model.
 #[derive(Debug)]
@@ -306,6 +334,8 @@ pub struct Store {
     tail: Option<(PathBuf, usize)>,
     /// Id for the next segment file to create.
     next_segment: u64,
+    /// Cached observability handles (see [`StoreMetrics`]).
+    metrics: StoreMetrics,
 }
 
 impl Store {
@@ -347,6 +377,7 @@ impl Store {
             active: None,
             tail: None,
             next_segment: 0,
+            metrics: StoreMetrics::new(),
         };
         store.load()?;
         Ok(store)
@@ -467,6 +498,7 @@ impl Store {
             }
         }
         let flush_every = self.config.flush_every.max(1);
+        let metrics = self.metrics.clone();
         let active = self.ensure_active()?;
         let path = active.path.clone();
         active
@@ -475,9 +507,15 @@ impl Store {
             .map_err(|e| StoreError::Io(path.clone(), e))?;
         active.bytes += frame.len();
         active.unflushed += 1;
+        metrics.appends.inc();
         if active.unflushed >= flush_every {
+            let flush_started = std::time::Instant::now();
             active.writer.flush().map_err(|e| StoreError::Io(path, e))?;
             active.unflushed = 0;
+            metrics.flushes.inc();
+            metrics
+                .flush_nanos
+                .observe(flush_started.elapsed().as_nanos() as u64);
         }
         self.index.insert(key.clone(), self.entries.len());
         self.entries.push(Entry { key, record_json });
@@ -489,11 +527,16 @@ impl Store {
     /// it explicitly on idle when batching is enabled.
     pub fn flush(&mut self) -> Result<(), StoreError> {
         if let Some(active) = &mut self.active {
+            let flush_started = std::time::Instant::now();
             active
                 .writer
                 .flush()
                 .map_err(|e| StoreError::Io(active.path.clone(), e))?;
             active.unflushed = 0;
+            self.metrics.flushes.inc();
+            self.metrics
+                .flush_nanos
+                .observe(flush_started.elapsed().as_nanos() as u64);
         }
         Ok(())
     }
@@ -511,6 +554,7 @@ impl Store {
     /// rewrites `meta.json` atomically, and runs
     /// [`Store::maybe_compact`]. This is what graceful shutdown calls.
     pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        self.metrics.checkpoints.inc();
         self.roll()?;
         let mut w = json::Writer::object();
         w.field_str("magic", MAGIC);
@@ -715,6 +759,7 @@ impl Store {
         // The v2 segments, oldest first; decoded in parallel, applied
         // in order.
         let paths = list_segments(&self.dir.join(SEGMENTS_DIR))?;
+        self.metrics.segments_loaded.add(paths.len() as u64);
         for (path, read, load) in load_segments(&paths) {
             let bytes = read.map_err(|e| StoreError::Io(path.clone(), e))?;
             for entry in load.entries {
@@ -751,6 +796,7 @@ impl Store {
             .map_or(0, |id| id + 1);
 
         if let Some(error) = first_error {
+            self.metrics.salvage_dropped_bytes.add(dropped_bytes as u64);
             self.salvage = Some(Salvage {
                 kept: self.index.len(),
                 dropped_bytes,
@@ -1047,6 +1093,27 @@ mod tests {
         assert_eq!(store.get(&key(2)), None);
         let keys: Vec<u64> = store.iter().map(|e| e.key.seed).collect();
         assert_eq!(keys, vec![0, 1], "log order is append order");
+    }
+
+    #[test]
+    fn obs_counters_track_appends_flushes_and_checkpoints() {
+        // The registry is process-wide and other tests append too, so
+        // assert deltas, not absolutes.
+        let appends = bichrome_obs::counter("bichrome_store_appends_total");
+        let flushes = bichrome_obs::counter("bichrome_store_flushes_total");
+        let checkpoints = bichrome_obs::counter("bichrome_store_checkpoints_total");
+        let (a0, f0, c0) = (appends.get(), flushes.get(), checkpoints.get());
+        let tmp = TempDir::new("obs");
+        let mut store = Store::open_or_create(&tmp.0).expect("create");
+        for seed in 0..5 {
+            store
+                .append(key(seed), r#"{"bits":1,"ok":true}"#.to_string())
+                .expect("append");
+        }
+        store.checkpoint().expect("checkpoint");
+        assert!(appends.get() >= a0 + 5, "five appends recorded");
+        assert!(flushes.get() >= f0 + 5, "flush_every=1 flushes per append");
+        assert!(checkpoints.get() > c0, "one checkpoint recorded");
     }
 
     #[test]

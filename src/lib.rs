@@ -30,6 +30,7 @@ pub use bichrome_comm as comm;
 pub use bichrome_core as core;
 pub use bichrome_graph as graph;
 pub use bichrome_lb as lb;
+pub use bichrome_obs as obs;
 pub use bichrome_runner as runner;
 pub use bichrome_store as store;
 pub use bichrome_streaming as streaming;

@@ -1,0 +1,51 @@
+//! Property form of the zero-perturbation guarantee: over random grid
+//! points spanning vertex, edge, and streaming protocols, the
+//! `TrialRecord` a trial produces is byte-identical (as its canonical
+//! JSON) whether span tracing is enabled or disabled. Metrics and
+//! spans only *read* the execution; they never feed back into it.
+//!
+//! Lives in its own test binary (one property) because the tracing
+//! gate is process-global and the property toggles it per case.
+
+use bichrome::obs;
+use bichrome::runner::{compute_trial, GraphSpec, InstanceCache, TransportKind};
+use bichrome::store::TrialKey;
+use proptest::prelude::*;
+
+/// One protocol per family — the record shapes differ (vertex
+/// artifact, edge artifact, measurement metrics), so each exercises a
+/// different serialization path.
+const PROTOCOLS: [&str; 3] = ["vertex/theorem1", "edge/theorem2", "streaming/greedy-w"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prop_trial_records_are_bit_identical_with_tracing_on_and_off(
+        n in 8usize..40,
+        d in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let cache = InstanceCache::new();
+        for key in PROTOCOLS {
+            let trial = TrialKey {
+                protocol: key.to_string(),
+                graph: GraphSpec::NearRegular { n, d }.to_string(),
+                partitioner: "random(per-seed)".to_string(),
+                seed,
+            };
+            obs::set_tracing(false);
+            let off = compute_trial(&trial, TransportKind::InProc, &cache)
+                .expect("untraced trial computes");
+            obs::set_tracing(true);
+            let on = compute_trial(&trial, TransportKind::InProc, &cache)
+                .expect("traced trial computes");
+            obs::set_tracing(false);
+            prop_assert_eq!(
+                on.to_json(),
+                off.to_json(),
+                "{} record changed under tracing", key
+            );
+        }
+    }
+}

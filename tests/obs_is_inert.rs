@@ -1,0 +1,51 @@
+//! The zero-perturbation guarantee, end to end: running the CI smoke
+//! campaign with span tracing enabled must produce a byte-identical
+//! report — the same pinned CSV `ci/report_golden.csv` fixes — while
+//! still recording the per-trial spans the trace export is built
+//! from. Observability is strictly read-only with respect to results.
+//!
+//! This lives in its own test binary (one `#[test]`) because the
+//! tracing gate is process-global: no other test thread may toggle it
+//! mid-assertion.
+
+use bichrome::obs;
+use bichrome::runner::CampaignFile;
+
+const CAMPAIGN: &str = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/ci/campaign.toml"));
+const GOLDEN: &str = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/ci/report_golden.csv"));
+
+fn run_ci_campaign_csv() -> String {
+    let file = CampaignFile::parse(CAMPAIGN).expect("ci campaign parses");
+    let (report, _stats) = file
+        .to_campaign(None)
+        .try_run_with_stats()
+        .expect("ci campaign runs");
+    report.to_csv()
+}
+
+#[test]
+fn tracing_records_spans_without_perturbing_the_golden_csv() {
+    obs::set_tracing(false);
+    let untraced = run_ci_campaign_csv();
+
+    obs::clear_spans();
+    obs::set_tracing(true);
+    let traced = run_ci_campaign_csv();
+    obs::set_tracing(false);
+
+    let spans = obs::span_events();
+    assert!(
+        spans.iter().any(|s| s.name == "trial/run"),
+        "the traced run must record trial/run spans, got {} events",
+        spans.len()
+    );
+    assert_eq!(
+        traced, untraced,
+        "span tracing must not change a single report byte"
+    );
+    assert_eq!(
+        untraced.trim_end(),
+        GOLDEN.trim_end(),
+        "the report must still match the pinned golden CSV"
+    );
+}
