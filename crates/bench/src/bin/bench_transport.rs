@@ -5,7 +5,10 @@
 //!    (`inproc` / `pipe` / `tcp`) ping-pongs a small message a few
 //!    thousand times; ns per exchange, best-of-3. The metered stats
 //!    are asserted identical across transports — the wire must never
-//!    change the numbers, only the clock.
+//!    change the numbers, only the clock. A fourth row repeats the
+//!    TCP session under a recoverable fault plan (sever + corrupt +
+//!    short reads) and asserts the stats *still* match: chaos lives
+//!    below the meter, so it may only cost wall-clock.
 //! 2. **Frame batching.** Streams frames over a real loopback TCP
 //!    socket two ways: through the `FramedLink`-style `BufWriter`
 //!    (header + payload coalesce into one syscall per frame) and
@@ -22,7 +25,7 @@
 
 use bichrome_comm::session::run_two_party_ctx_on;
 use bichrome_comm::transport::{read_frame, write_frame};
-use bichrome_comm::{BitWriter, CommStats, Message, TransportKind};
+use bichrome_comm::{with_session_faults, BitWriter, CommStats, FaultPlan, Message, TransportKind};
 use bichrome_runner::{compute_trial, InstanceCache};
 use bichrome_serve::{Addr, Client, Daemon, DaemonConfig, LeaseGrant, Listener};
 use bichrome_store::TrialKey;
@@ -85,6 +88,14 @@ fn time_exchanges(kind: TransportKind) -> (f64, CommStats) {
 /// The per-transport exchange-latency histogram.
 fn exchange_hist(kind: TransportKind) -> bichrome_obs::Histogram {
     bichrome_obs::histogram_labeled("bench_exchange_nanos", &[("transport", &kind.to_string())])
+}
+
+/// [`time_exchanges`] over TCP under a recoverable fault plan — one
+/// severed connection, one corrupted frame, and a few short reads.
+/// The wall-clock row prices the self-healing machinery; the metered
+/// stats are asserted untouched (faults live below the meter).
+fn time_faulted_exchanges(plan: &FaultPlan) -> (f64, CommStats) {
+    with_session_faults(plan, || time_exchanges(TransportKind::Tcp))
 }
 
 /// A ~32-byte frame payload, like a real protocol round's message.
@@ -168,7 +179,8 @@ fn worker_loop(addr: &Addr, done: &std::sync::atomic::AtomicBool) -> u64 {
                     seed: t.seed,
                 };
                 let kind: TransportKind = t.transport.parse().expect("transport");
-                let record = compute_trial(&key, kind, &cache).expect("compute");
+                let fault: FaultPlan = t.fault.parse().expect("fault");
+                let record = compute_trial(&key, kind, &fault, &cache).expect("compute");
                 client
                     .complete(t.lease, &record.to_json())
                     .expect("complete");
@@ -256,8 +268,30 @@ fn main() {
         }
         let ns = best * 1e9 / EXCHANGES as f64;
         println!("  {kind:>6}: {ns:>9.0} ns/exchange");
-        exchange_ns.push((kind, ns));
+        let hist = exchange_hist(kind);
+        let percentiles = (
+            hist.percentile(50.0),
+            hist.percentile(95.0),
+            hist.percentile(99.0),
+        );
+        exchange_ns.push((kind, ns, percentiles));
     }
+
+    // The same TCP session under a recoverable fault plan, best-of-3
+    // — prices reconnect/retransmit against the clean tcp row above.
+    let plan = FaultPlan::new().sever_at(16).corrupt_at(64).short(8);
+    let clean_stats = baseline.clone().expect("clean baseline stats");
+    let mut faulted_best = f64::INFINITY;
+    for _ in 0..3 {
+        let (secs, stats) = time_faulted_exchanges(&plan);
+        assert_eq!(
+            stats, clean_stats,
+            "faults must stay below the meter: stats are transport- and fault-invariant"
+        );
+        faulted_best = faulted_best.min(secs);
+    }
+    let faulted_ns = faulted_best * 1e9 / EXCHANGES as f64;
+    println!("  tcp+fault[{plan}]: {faulted_ns:>9.0} ns/exchange");
 
     // Frame batching on a raw loopback socket.
     let unbatched = time_frames(false);
@@ -281,13 +315,14 @@ fn main() {
     let mut w = bichrome_runner::json::Writer::object();
     w.field_str("benchmark", "transport");
     w.field_u64("exchanges", EXCHANGES);
-    for (kind, ns) in &exchange_ns {
+    for (kind, ns, (p50, p95, p99)) in &exchange_ns {
         w.field_f64(&format!("{kind}_exchange_ns"), *ns);
-        let hist = exchange_hist(*kind);
-        w.field_f64(&format!("{kind}_exchange_ns_p50"), hist.percentile(50.0));
-        w.field_f64(&format!("{kind}_exchange_ns_p95"), hist.percentile(95.0));
-        w.field_f64(&format!("{kind}_exchange_ns_p99"), hist.percentile(99.0));
+        w.field_f64(&format!("{kind}_exchange_ns_p50"), *p50);
+        w.field_f64(&format!("{kind}_exchange_ns_p95"), *p95);
+        w.field_f64(&format!("{kind}_exchange_ns_p99"), *p99);
     }
+    w.field_str("fault_plan", &plan.to_string());
+    w.field_f64("tcp_faulted_exchange_ns", faulted_ns);
     w.field_u64("frames", FRAMES);
     w.field_f64("tcp_frames_batched_seconds", batched);
     w.field_f64("tcp_frames_unbatched_seconds", unbatched);

@@ -4,11 +4,11 @@
 
 use bichrome_runner::table::Table;
 use bichrome_runner::{
-    compute_trial, diff_reports, registry, CampaignFile, CampaignReport, InstanceCache,
+    compute_trial, diff_reports, registry, CampaignFile, CampaignReport, FaultPlan, InstanceCache,
     TransportKind,
 };
 use bichrome_serve::json::Value;
-use bichrome_serve::{Addr, Client, Daemon, DaemonConfig, LeaseGrant, Listener};
+use bichrome_serve::{Addr, Client, Daemon, DaemonConfig, LeaseGrant, Listener, ProtoError};
 use bichrome_store::{Store, TrialKey};
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -53,10 +53,14 @@ USAGE:
         for a remote worker's lease. --http additionally serves the
         process metrics registry as a Prometheus `GET /metrics`
         endpoint (the effective address is printed to stderr).
-    bichrome work --connect <addr>
+    bichrome work --connect <addr> [--max-retries <n>] [--backoff <ms>]
         Pull trials from a daemon, compute them locally, and stream the
         records back. Run any number of these wherever the daemon is
-        reachable; one dying mid-trial costs only a lease timeout.
+        reachable; one dying mid-trial costs only a lease timeout. An
+        unreachable or restarting daemon is retried with capped
+        exponential backoff (base --backoff ms, default 100, doubling
+        to 64x; deterministic jitter) for up to --max-retries
+        consecutive failures (default 50) before the worker gives up.
     bichrome submit <campaign.toml> --addr <addr> [--watch]
         Submit the declaration (sent inline) as a job; --watch streams
         its progress and exits with the final accounting.
@@ -141,6 +145,8 @@ struct Flags<'a> {
     connect: Option<&'a str>,
     no_local_workers: bool,
     lease_timeout: Option<u64>,
+    max_retries: Option<u32>,
+    backoff_ms: Option<u64>,
     trace_out: Option<&'a str>,
     out: Option<&'a str>,
     http: Option<&'a str>,
@@ -221,6 +227,22 @@ fn parse_flags<'a>(args: &[&'a str], allow: &[&str]) -> Result<Flags<'a>, String
                 flags.lease_timeout = Some(
                     secs.parse()
                         .map_err(|_| format!("--lease-timeout {secs:?} is not a number"))?,
+                );
+            }
+            "--max-retries" => {
+                check("--max-retries")?;
+                let n = *it.next().ok_or("--max-retries needs a count")?;
+                flags.max_retries = Some(
+                    n.parse()
+                        .map_err(|_| format!("--max-retries {n:?} is not a number"))?,
+                );
+            }
+            "--backoff" => {
+                check("--backoff")?;
+                let ms = *it.next().ok_or("--backoff needs milliseconds")?;
+                flags.backoff_ms = Some(
+                    ms.parse()
+                        .map_err(|_| format!("--backoff {ms:?} is not a number"))?,
                 );
             }
             "--trace-out" => {
@@ -445,12 +467,103 @@ fn serve(args: &[&str]) -> Result<String, String> {
     ))
 }
 
+/// Capped exponential backoff with deterministic jitter: consecutive
+/// failure `attempt` (1-based) sleeps `base · 2^min(attempt−1, 6)`
+/// plus an attempt-hashed jitter of up to 25%, so successive retries
+/// decorrelate from the daemon's own restart cadence while a given
+/// attempt always sleeps the same amount — chaos runs replay exactly.
+fn backoff_delay(base: Duration, attempt: u32) -> Duration {
+    let exp = base.saturating_mul(1 << attempt.saturating_sub(1).min(6));
+    // splitmix64-style finalizer over the attempt number.
+    let mut h = (u64::from(attempt)).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    let jitter_cap = (exp.as_nanos() as u64 / 4).max(1);
+    exp + Duration::from_nanos(h % jitter_cap)
+}
+
+/// The self-healing worker's view of one daemon interaction: retry
+/// transient failures ([`ProtoError::is_retryable`]) with capped
+/// exponential backoff, give up on fatal ones or after `max_retries`
+/// consecutive failures. Accumulates the outage telemetry the next
+/// successful `lease` piggybacks to the daemon.
+struct Reconnector {
+    base: Duration,
+    max_retries: u32,
+    /// Consecutive failures (resets on any success).
+    failures: u32,
+    /// 1 after an outage until the next accepted lease reports it.
+    pending_reconnects: u64,
+    /// Backoff slept since the last accepted lease, in nanoseconds.
+    pending_backoff_ns: u64,
+}
+
+impl Reconnector {
+    fn new(base: Duration, max_retries: u32) -> Reconnector {
+        Reconnector {
+            base,
+            max_retries,
+            failures: 0,
+            pending_reconnects: 0,
+            pending_backoff_ns: 0,
+        }
+    }
+
+    /// Records a failed interaction: sleeps the backoff and returns
+    /// `Ok(())` to retry, or returns the rendered give-up error.
+    fn on_error(&mut self, addr: &Addr, e: &ProtoError) -> Result<(), String> {
+        if !e.is_retryable() {
+            return Err(format!("daemon at {addr} refused the worker: {e}"));
+        }
+        self.failures += 1;
+        if self.failures > self.max_retries {
+            return Err(format!(
+                "lost the daemon at {addr} after {} retries: {e}",
+                self.max_retries
+            ));
+        }
+        let delay = backoff_delay(self.base, self.failures);
+        // The outage (however many failures long) counts as one
+        // reconnect once the daemon accepts a request again.
+        self.pending_reconnects = 1;
+        self.pending_backoff_ns = self
+            .pending_backoff_ns
+            .saturating_add(delay.as_nanos() as u64);
+        std::thread::sleep(delay);
+        Ok(())
+    }
+
+    /// Records any successful interaction: the outage (if one was in
+    /// progress) is over.
+    fn on_contact(&mut self) {
+        self.failures = 0;
+    }
+
+    /// Records a successful `lease` specifically — the one request
+    /// that carried the pending telemetry to the daemon, so it is
+    /// cleared here and only here.
+    fn on_lease_accepted(&mut self) {
+        self.failures = 0;
+        self.pending_reconnects = 0;
+        self.pending_backoff_ns = 0;
+    }
+}
+
 /// `bichrome work`: a remote worker — pull leases from a daemon,
 /// compute them with the ordinary prepared-run machinery, stream the
-/// records back. Exits when the daemon says stop (drain) or stays
-/// unreachable for ~5s.
+/// records back. Exits when the daemon says stop (drain), immediately
+/// on a fatal protocol error, or once the daemon has stayed
+/// unreachable through `--max-retries` consecutive backoffs.
+///
+/// Mid-trial disconnects are survived by construction: the lease is
+/// re-acquired idempotently (a trial is a pure function of its key,
+/// so the daemon accepts whichever copy commits first and discards
+/// the rest), and `complete` itself is retried through the same
+/// backoff — a token the daemon already retired just answers
+/// `accepted: false`.
 fn work(args: &[&str]) -> Result<String, String> {
-    let flags = parse_flags(args, &["--connect"])?;
+    let flags = parse_flags(args, &["--connect", "--max-retries", "--backoff"])?;
     if !flags.positional.is_empty() {
         return Err("work takes no positional arguments (pass --connect <addr>)".to_string());
     }
@@ -461,11 +574,14 @@ fn work(args: &[&str]) -> Result<String, String> {
     let client = Client::new(addr.clone());
     let cache = InstanceCache::new();
     let mut computed: u64 = 0;
-    let mut failures: u32 = 0;
+    let mut retry = Reconnector::new(
+        Duration::from_millis(flags.backoff_ms.unwrap_or(100)),
+        flags.max_retries.unwrap_or(50),
+    );
     loop {
-        match client.lease() {
+        match client.lease_reporting(retry.pending_reconnects, retry.pending_backoff_ns) {
             Ok(LeaseGrant::Trial(t)) => {
-                failures = 0;
+                retry.on_lease_accepted();
                 let key = TrialKey {
                     protocol: t.protocol.clone(),
                     graph: t.graph.clone(),
@@ -476,24 +592,37 @@ fn work(args: &[&str]) -> Result<String, String> {
                     .transport
                     .parse()
                     .map_err(|e| format!("daemon sent a bad transport: {e}"))?;
-                let record = compute_trial(&key, kind, &cache)?;
-                match client.complete(t.lease, &record.to_json()) {
-                    // `false`: our lease expired while we computed and
-                    // the trial went to someone else — not our problem.
-                    Ok(accepted) => computed += u64::from(accepted),
-                    Err(e) => eprintln!("record for seed {} rejected: {e}", key.seed),
+                let fault: FaultPlan = t
+                    .fault
+                    .parse()
+                    .map_err(|e| format!("daemon sent a bad fault plan: {e}"))?;
+                let record = compute_trial(&key, kind, &fault, &cache)?;
+                let json = record.to_json();
+                // Retry the return leg too: completes are idempotent
+                // (the token removal arbitrates), so resending after
+                // a mid-complete disconnect at worst earns a polite
+                // `accepted: false`.
+                loop {
+                    match client.complete(t.lease, &json) {
+                        Ok(accepted) => {
+                            retry.on_contact();
+                            computed += u64::from(accepted);
+                            break;
+                        }
+                        Err(e) if !e.is_retryable() => {
+                            eprintln!("record for seed {} rejected: {e}", key.seed);
+                            break;
+                        }
+                        Err(e) => retry.on_error(&addr, &e)?,
+                    }
                 }
             }
             Ok(LeaseGrant::Idle) => {
-                failures = 0;
+                retry.on_lease_accepted();
                 std::thread::sleep(Duration::from_millis(25));
             }
             Ok(LeaseGrant::Stop) => break,
-            Err(e) if failures >= 50 => return Err(format!("lost the daemon at {addr}: {e}")),
-            Err(_) => {
-                failures += 1;
-                std::thread::sleep(Duration::from_millis(100));
-            }
+            Err(e) => retry.on_error(&addr, &e)?,
         }
     }
     Ok(format!("worker done: computed {computed} trials\n"))
@@ -764,6 +893,38 @@ mod tests {
         assert!(
             dispatch_strs(&["run", "x", "--no-local-workers"]).is_err(),
             "--no-local-workers is a serve flag"
+        );
+    }
+
+    #[test]
+    fn self_healing_flags_validate() {
+        assert!(
+            dispatch_strs(&["work", "--connect", "tcp:x:1", "--max-retries"])
+                .expect_err("dangling --max-retries")
+                .contains("count")
+        );
+        assert!(
+            dispatch_strs(&["work", "--connect", "tcp:x:1", "--max-retries", "lots"])
+                .expect_err("non-numeric retries")
+                .contains("not a number")
+        );
+        assert!(
+            dispatch_strs(&["work", "--connect", "tcp:x:1", "--backoff"])
+                .expect_err("dangling --backoff")
+                .contains("milliseconds")
+        );
+        assert!(
+            dispatch_strs(&["work", "--connect", "tcp:x:1", "--backoff", "slowly"])
+                .expect_err("non-numeric backoff")
+                .contains("not a number")
+        );
+        assert!(
+            dispatch_strs(&["run", "x", "--max-retries", "3"]).is_err(),
+            "--max-retries is a work flag"
+        );
+        assert!(
+            dispatch_strs(&["serve", "x", "--backoff", "10"]).is_err(),
+            "--backoff is a work flag"
         );
     }
 

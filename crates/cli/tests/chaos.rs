@@ -1,0 +1,176 @@
+//! The chaos acceptance test, across real process boundaries: worker
+//! processes are started *before* the daemon exists — so their
+//! reconnect loop has real outages to survive — and the campaign they
+//! then execute injects deterministic link faults (`sever@3`) under
+//! every TCP session. Acceptance is twofold: the daemon's stats show
+//! the workers reconnected, and the distributed chaos report is
+//! byte-identical to a fault-free in-process run of the same grid.
+
+use bichrome_cli::dispatch;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+/// A unique scratch directory (removed on drop).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "bichrome-chaos-test-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Kills the child on drop so a failing assertion can't leak
+/// processes.
+struct Reap(Child);
+
+impl Drop for Reap {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn call(args: &[&str]) -> Result<String, String> {
+    dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+}
+
+/// The chaos campaign: real TCP sessions with the link severed at
+/// frame 3 of every trial — each session transparently reconnects,
+/// retransmits, and meters as if nothing happened.
+const CHAOS_CAMPAIGN: &str = r#"
+[campaign]
+protocols = ["baseline/send-everything", "edge/theorem2"]
+graphs    = ["near-regular(n=24,d=4)"]
+seeds     = "0..3"
+transport = "tcp"
+fault     = "sever@3"
+"#;
+
+/// The same grid with no chaos at all — the byte-identity baseline.
+const CLEAN_CAMPAIGN: &str = r#"
+[campaign]
+protocols = ["baseline/send-everything", "edge/theorem2"]
+graphs    = ["near-regular(n=24,d=4)"]
+seeds     = "0..3"
+"#;
+
+/// Reserves an ephemeral port by binding and immediately releasing
+/// it, so worker processes can be aimed at an address *before* the
+/// daemon binds it.
+fn reserve_port() -> u16 {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .expect("reserve port")
+        .local_addr()
+        .expect("local addr")
+        .port()
+}
+
+#[test]
+fn workers_outlive_a_late_daemon_and_chaos_report_is_bit_identical() {
+    let tmp = TempDir::new("e2e");
+    let chaos_toml = tmp.path("chaos.toml");
+    let clean_toml = tmp.path("clean.toml");
+    let store = tmp.path("store");
+    std::fs::write(&chaos_toml, CHAOS_CAMPAIGN).expect("write chaos campaign");
+    std::fs::write(&clean_toml, CLEAN_CAMPAIGN).expect("write clean campaign");
+    let exe = env!("CARGO_BIN_EXE_bichrome");
+
+    // Workers first, daemon later: both point at a reserved port with
+    // nothing listening yet, so each worker's reconnect loop survives
+    // at least one real outage before its first lease. A short
+    // backoff base keeps the test quick.
+    let addr = format!("tcp:127.0.0.1:{}", reserve_port());
+    let workers: Vec<Reap> = (0..2)
+        .map(|_| {
+            Reap(
+                Command::new(exe)
+                    .args(["work", "--connect", &addr, "--backoff", "25"])
+                    .stdout(Stdio::null())
+                    .stderr(Stdio::null())
+                    .spawn()
+                    .expect("spawn worker"),
+            )
+        })
+        .collect();
+    // Let both workers fail against the unbound port at least once.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+
+    // Now the scheduler-only daemon appears at that address; the
+    // workers' next retry finds it.
+    let mut daemon = Command::new(exe)
+        .args(["serve", &store, "--addr", &addr, "--no-local-workers"])
+        .stderr(Stdio::piped())
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn daemon");
+    {
+        let stderr = daemon.stderr.take().expect("daemon stderr");
+        let mut line = String::new();
+        BufReader::new(stderr)
+            .read_line(&mut line)
+            .expect("daemon announces itself");
+        assert!(
+            line.trim().strip_prefix("daemon listening at ").is_some(),
+            "unexpected announcement: {line:?}"
+        );
+    }
+    let mut daemon = Reap(daemon);
+
+    // Submit the chaos campaign and watch it drain: every trial is
+    // computed by a recovered-from-outage worker, under link faults.
+    let watched = call(&["submit", &chaos_toml, "--addr", &addr, "--watch"]).expect("submit");
+    assert!(
+        watched.contains("computed 6 trials (0 skipped via store)"),
+        "{watched}"
+    );
+
+    // The daemon's ledger: all six leased out and completed, and the
+    // piggybacked worker telemetry recorded the pre-daemon outages.
+    let stats = call(&["stats", "--addr", &addr]).expect("stats");
+    assert!(stats.contains("leases_completed: 6"), "{stats}");
+    assert!(stats.contains("leases_outstanding: 0"), "{stats}");
+    let reconnects: u64 = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("worker_reconnects: "))
+        .expect("stats lists worker_reconnects")
+        .trim()
+        .parse()
+        .expect("worker_reconnects is a number");
+    assert!(
+        reconnects > 0,
+        "the workers must have survived at least one outage: {stats}"
+    );
+
+    call(&["shutdown", "--addr", &addr]).expect("shutdown");
+    let status = daemon.0.wait().expect("daemon exit");
+    assert!(status.success(), "daemon exited {status}");
+    drop(workers);
+
+    // Acceptance: chaos changed nothing. The distributed faulted
+    // store reports byte-identically to a fault-free in-process run.
+    let remote_csv = call(&["report", &store, "--format", "csv"]).expect("offline report");
+    let local_csv = call(&["run", &clean_toml, "--format", "csv"]).expect("in-process run");
+    assert_eq!(
+        remote_csv, local_csv,
+        "fault injection must be invisible in the records"
+    );
+}

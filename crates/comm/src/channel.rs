@@ -112,6 +112,19 @@ pub fn endpoint_pair_on(kind: TransportKind, meter: Meter) -> (Endpoint, Endpoin
         .transport()
         .pair()
         .unwrap_or_else(|e| panic!("cannot set up {kind} transport: {e}"));
+    endpoint_pair_from_links(a_link, b_link, meter)
+}
+
+/// Creates a connected pair of endpoints over pre-built link halves —
+/// the constructor the fault-injection layer uses to slide a
+/// [`FaultyLink`](crate::fault::FaultyLink) pair under a session.
+/// Metering is unchanged: it happens in [`Endpoint::exchange`] above
+/// whatever links are supplied.
+pub fn endpoint_pair_from_links(
+    a_link: LinkBox,
+    b_link: LinkBox,
+    meter: Meter,
+) -> (Endpoint, Endpoint) {
     let alice = Endpoint {
         side: Side::Alice,
         link: RefCell::new(a_link),

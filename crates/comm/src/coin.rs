@@ -40,8 +40,9 @@ pub struct PublicCoin {
 }
 
 /// SplitMix64 finalizer — a high-quality 64-bit mixer used to fold
-/// stream ids into the seed.
-fn splitmix64(mut z: u64) -> u64 {
+/// stream ids into the seed (and, in the fault layer, to derive
+/// deterministic corruption positions and backoff jitter).
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -19,9 +19,15 @@
 //! * [`session`] — runs Alice's and Bob's protocol code on two OS
 //!   threads joined by std mpsc channels.
 //! * [`transport`] — pluggable wires under the session: the in-process
-//!   exchange, OS pipes, or loopback TCP with length-prefixed frames.
-//!   The meter counts bits and rounds *above* the transport, so the
-//!   recorded `CommStats` are identical whichever wire carries them.
+//!   exchange, OS pipes, or loopback TCP with length-prefixed,
+//!   checksummed frames. The meter counts bits and rounds *above* the
+//!   transport, so the recorded `CommStats` are identical whichever
+//!   wire carries them.
+//! * [`fault`] — deterministic fault injection below the meter:
+//!   seed-reproducible severed connections, corrupted frames
+//!   (detected, never delivered), delays, and short reads/writes,
+//!   with transparent recovery — reports stay byte-identical to the
+//!   fault-free run.
 //! * [`machine`] — sans-io round machines plus a lock-step driver, so
 //!   many per-vertex subprotocols can share each round's message, the
 //!   way Algorithm 1 runs all `Color-Sample` instances "in parallel".
@@ -66,6 +72,7 @@
 pub mod budget;
 pub mod channel;
 pub mod coin;
+pub mod fault;
 pub mod machine;
 pub mod meter;
 pub mod newman;
@@ -76,8 +83,9 @@ pub mod wire;
 pub use budget::{intra_budget, with_intra_budget};
 pub use channel::Endpoint;
 pub use coin::PublicCoin;
+pub use fault::{with_session_faults, FaultPlan};
 pub use meter::CommStats;
-pub use transport::{with_session_transport, Transport, TransportKind};
+pub use transport::{with_session_transport, Transport, TransportError, TransportKind};
 pub use wire::{BitReader, BitWriter, Message};
 
 /// Which party an endpoint belongs to.

@@ -1,7 +1,8 @@
 //! Running both parties on two OS threads.
 
-use crate::channel::{endpoint_pair_on, Endpoint};
+use crate::channel::{endpoint_pair_from_links, endpoint_pair_on, Endpoint};
 use crate::coin::PublicCoin;
+use crate::fault;
 use crate::meter::{CommStats, Meter};
 use crate::transport::{self, TransportKind};
 
@@ -80,7 +81,19 @@ where
     RB: Send,
 {
     let meter = Meter::new();
-    let (a_ep, b_ep) = endpoint_pair_on(kind, meter.clone());
+    // An ambient fault plan slides a FaultyLink pair under the
+    // endpoints; metering sits above either way, so CommStats (and
+    // every report derived from them) are identical with faults on
+    // or off. Corruption positions derive from the trial seed, so
+    // the injected faults are as reproducible as the trial itself.
+    let plan = fault::session_faults();
+    let (a_ep, b_ep) = if plan.is_noop() {
+        endpoint_pair_on(kind, meter.clone())
+    } else {
+        let (a_link, b_link) = fault::faulty_pair(kind, &plan, seed)
+            .unwrap_or_else(|e| panic!("cannot set up faulty {kind} transport: {e}"));
+        endpoint_pair_from_links(a_link, b_link, meter.clone())
+    };
     let coin = PublicCoin::new(seed);
     // The trial's budget is read on the *calling* thread (thread-locals
     // don't cross into Bob's spawned thread) and split between the two

@@ -40,6 +40,7 @@ use crate::protocol::Protocol;
 use crate::registry::registry;
 use crate::seeds;
 use crate::table::Table;
+use bichrome_comm::fault::{with_session_faults, FaultPlan};
 use bichrome_comm::transport::{with_session_transport, TransportKind};
 use bichrome_graph::partition::Partitioner;
 use bichrome_store::{Store, StoreError, TrialKey};
@@ -78,6 +79,7 @@ pub struct Campaign {
     baseline: Option<String>,
     store: Option<StoreTarget>,
     transport: TransportKind,
+    fault: FaultPlan,
 }
 
 impl Default for Campaign {
@@ -99,6 +101,7 @@ impl Campaign {
             baseline: None,
             store: None,
             transport: TransportKind::InProc,
+            fault: FaultPlan::new(),
         }
     }
 
@@ -194,6 +197,19 @@ impl Campaign {
     /// TCP warms the store for an in-process re-run and vice versa.
     pub fn transport(mut self, kind: TransportKind) -> Self {
         self.transport = kind;
+        self
+    }
+
+    /// Injects a deterministic [`FaultPlan`] under every trial's
+    /// session link (default: none). Like the transport, faults are
+    /// plumbing, not protocol: the fault layer detects corruption,
+    /// deduplicates retransmits, and reconnects severed links *below*
+    /// the meter, so records — and therefore stored [`TrialKey`]
+    /// identities — are byte-identical to the fault-free run. A
+    /// chaos campaign warms the store for a clean re-run and vice
+    /// versa.
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
         self
     }
 
@@ -480,6 +496,7 @@ impl Campaign {
             baseline: self.baseline,
             parallel: self.parallel,
             transport: self.transport,
+            fault: self.fault,
         })
     }
 }
@@ -512,6 +529,7 @@ pub struct PreparedRun {
     baseline: Option<String>,
     parallel: bool,
     transport: TransportKind,
+    fault: FaultPlan,
 }
 
 impl PreparedRun {
@@ -542,6 +560,13 @@ impl PreparedRun {
         self.transport
     }
 
+    /// The fault plan this campaign's sessions run under (what the
+    /// daemon hands remote workers in trial descriptors; the no-op
+    /// plan unless the campaign set one).
+    pub fn fault(&self) -> &FaultPlan {
+        &self.fault
+    }
+
     /// The canonical identity of pending trial `i` (in `0..pending()`).
     pub fn pending_key(&self, i: usize) -> &TrialKey {
         &self.queue_keys[i]
@@ -552,8 +577,9 @@ impl PreparedRun {
     /// [`PreparedRun::commit`]. Safe to call from any thread; each
     /// `i` should be run once.
     pub fn run_pending(&self, i: usize, cache: &InstanceCache) -> TrialRecord {
-        let (record, nanos) =
-            with_session_transport(self.transport, || exec::run_item(&self.queue[i], cache));
+        let (record, nanos) = with_session_transport(self.transport, || {
+            with_session_faults(&self.fault, || exec::run_item(&self.queue[i], cache))
+        });
         self.run_nanos.fetch_add(nanos, Ordering::Relaxed);
         record
     }
@@ -646,7 +672,8 @@ fn partitioner_axis_label(p: Option<Partitioner>) -> String {
 /// [`Campaign::with_store`]), so the returned record is bit-identical
 /// to what [`PreparedRun::run_pending`] produces for the same key in
 /// the daemon's own process, whatever `transport` carries the
-/// session's bytes.
+/// session's bytes and whatever `fault` plan flakes the link under
+/// them (the fault layer recovers below the meter).
 ///
 /// Only registry protocols can travel as descriptors — a campaign
 /// built from closures via [`Campaign::protocol_labeled`] has no
@@ -660,6 +687,7 @@ fn partitioner_axis_label(p: Option<Partitioner>) -> String {
 pub fn compute_trial(
     key: &TrialKey,
     transport: TransportKind,
+    fault: &FaultPlan,
     cache: &InstanceCache,
 ) -> Result<TrialRecord, String> {
     let protocol = registry().get(&key.protocol).ok_or_else(|| {
@@ -691,7 +719,9 @@ pub fn compute_trial(
         },
         threads: rayon::current_num_threads().max(1),
     };
-    let (record, _nanos) = with_session_transport(transport, || exec::run_item(&item, cache));
+    let (record, _nanos) = with_session_transport(transport, || {
+        with_session_faults(fault, || exec::run_item(&item, cache))
+    });
     Ok(record)
 }
 
@@ -709,6 +739,7 @@ impl std::fmt::Debug for Campaign {
             .field("parallel", &self.parallel)
             .field("baseline", &self.baseline)
             .field("transport", &self.transport)
+            .field("fault", &self.fault.to_string())
             .field(
                 "store",
                 &match &self.store {
@@ -1473,6 +1504,45 @@ mod tests {
     }
 
     #[test]
+    fn campaign_reports_are_bit_identical_under_any_recoverable_fault_plan() {
+        // The acceptance invariant of the chaos layer: any fault plan
+        // that eventually lets traffic through (every FaultPlan is
+        // recoverable by construction) leaves the campaign report
+        // byte-identical to the fault-free run, on every transport.
+        // Metering happens above the faulty link and recovery below
+        // it, so severs, corruptions, delays, and short I/O are all
+        // invisible to the recorded bits, rounds, and colorings.
+        let grid = |t: TransportKind, fault: FaultPlan| {
+            Campaign::new()
+                .protocol_keys(["edge/theorem2", "vertex/theorem1"])
+                .graphs([GraphSpec::NearRegular { n: 20, d: 4 }])
+                .seeds(0..2)
+                .transport(t)
+                .fault(fault)
+                .run()
+        };
+        let baseline = grid(TransportKind::InProc, FaultPlan::new());
+        assert!(baseline.all_valid());
+        let plans = [
+            FaultPlan::new().sever_at(1),
+            FaultPlan::new().corrupt_at(2),
+            FaultPlan::new().sever_at(2).corrupt_at(1).delay_ms(1),
+            FaultPlan::new().short(3).sever_at(3),
+        ];
+        for plan in plans {
+            for kind in TransportKind::ALL {
+                let spec = plan.to_string();
+                assert_eq!(grid(kind, plan.clone()), baseline, "{spec} over {kind}");
+            }
+        }
+        // Byte-identical, not merely structurally equal.
+        assert_eq!(
+            grid(TransportKind::Tcp, FaultPlan::new().sever_at(1).delay_ms(1)).to_json(),
+            baseline.to_json(),
+        );
+    }
+
+    #[test]
     fn compute_trial_matches_the_prepared_run_for_the_same_key() {
         // The remote-worker path: reconstructing a trial from its
         // TrialKey alone must reproduce run_pending bit for bit,
@@ -1496,8 +1566,8 @@ mod tests {
                 let local = prepared.run_pending(i, &cache);
                 let key = prepared.pending_key(i);
                 for kind in TransportKind::ALL {
-                    let remote =
-                        compute_trial(key, kind, &InstanceCache::new()).expect("key resolves");
+                    let remote = compute_trial(key, kind, &FaultPlan::new(), &InstanceCache::new())
+                        .expect("key resolves");
                     assert_eq!(remote, local, "{key:?} over {kind}");
                 }
             }
@@ -1513,21 +1583,25 @@ mod tests {
             partitioner: DEFAULT_PARTITIONER_LABEL.into(),
             seed: 0,
         };
-        let err = compute_trial(&bad_protocol, TransportKind::InProc, &cache).expect_err("bad");
+        let no_fault = FaultPlan::new();
+        let err = compute_trial(&bad_protocol, TransportKind::InProc, &no_fault, &cache)
+            .expect_err("bad");
         assert!(err.contains("unknown protocol key"), "{err}");
         let bad_graph = TrialKey {
             protocol: "edge/theorem2".into(),
             graph: "klein-bottle(n=4)".into(),
             ..bad_protocol.clone()
         };
-        let err = compute_trial(&bad_graph, TransportKind::InProc, &cache).expect_err("bad");
+        let err =
+            compute_trial(&bad_graph, TransportKind::InProc, &no_fault, &cache).expect_err("bad");
         assert!(err.contains("bad graph spec"), "{err}");
         let bad_partitioner = TrialKey {
             graph: "path(n=4)".into(),
             partitioner: "coin-flip".into(),
             ..bad_graph
         };
-        let err = compute_trial(&bad_partitioner, TransportKind::InProc, &cache).expect_err("bad");
+        let err = compute_trial(&bad_partitioner, TransportKind::InProc, &no_fault, &cache)
+            .expect_err("bad");
         assert!(err.contains("bad partitioner"), "{err}");
     }
 }

@@ -14,11 +14,13 @@
 //! store        = "results/store"     # optional: persistent result store
 //! parallel     = true                # optional: default true
 //! transport    = "inproc"            # optional: inproc | pipe | tcp
+//! fault        = "sever@3,delay:1"   # optional: deterministic link faults
 //! ```
 
 use crate::registry::registry;
 use crate::toml::{self, TomlValue};
 use crate::{Campaign, GraphSpec};
+use bichrome_comm::fault::FaultPlan;
 use bichrome_comm::transport::TransportKind;
 use bichrome_graph::partition::Partitioner;
 
@@ -45,6 +47,10 @@ pub struct CampaignFile {
     /// in-process; the recorded bits and rounds are the same either
     /// way).
     pub transport: TransportKind,
+    /// Deterministic link faults injected under every trial (default
+    /// none; reports stay byte-identical because faults are recovered
+    /// below the meter).
+    pub fault: FaultPlan,
 }
 
 impl CampaignFile {
@@ -72,6 +78,7 @@ impl CampaignFile {
                     | "store"
                     | "parallel"
                     | "transport"
+                    | "fault"
             ) {
                 return Err(format!("[campaign] has unknown key {key:?}"));
             }
@@ -188,6 +195,13 @@ impl CampaignFile {
                 .map_err(|e| format!("transport {s:?}: {e}"))?,
         };
 
+        let fault = match opt_str("fault")? {
+            None => FaultPlan::new(),
+            Some(s) => s
+                .parse::<FaultPlan>()
+                .map_err(|e| format!("fault {s:?}: {e}"))?,
+        };
+
         Ok(CampaignFile {
             protocols,
             graphs,
@@ -198,6 +212,7 @@ impl CampaignFile {
             store: opt_str("store")?,
             parallel,
             transport,
+            fault,
         })
     }
 
@@ -211,7 +226,8 @@ impl CampaignFile {
             .partitioners(self.partitioners.iter().copied())
             .seeds(self.seeds.iter().copied())
             .parallel(self.parallel)
-            .transport(self.transport);
+            .transport(self.transport)
+            .fault(self.fault.clone());
         if let Some(b) = &self.baseline {
             c = c.baseline(b.clone());
         }
@@ -265,6 +281,7 @@ mod tests {
         store        = "out/store"
         parallel     = false
         transport    = "pipe"
+        fault        = "delay:1,sever@2"
     "#;
 
     #[test]
@@ -279,6 +296,7 @@ mod tests {
         assert_eq!(f.store.as_deref(), Some("out/store"));
         assert!(!f.parallel);
         assert_eq!(f.transport, TransportKind::Pipe);
+        assert_eq!(f.fault, FaultPlan::new().sever_at(2).delay_ms(1));
         let campaign = f.to_campaign(None);
         assert_eq!(campaign.cell_count(), 2 * 4 * 2);
     }
@@ -298,6 +316,20 @@ mod tests {
         assert!(f.parallel, "parallel defaults to true");
         assert_eq!(f.store, None);
         assert_eq!(f.transport, TransportKind::InProc, "inproc by default");
+        assert!(f.fault.is_noop(), "no faults by default");
+    }
+
+    #[test]
+    fn fault_plans_parse_and_typos_error() {
+        let f = CampaignFile::parse(
+            &GOOD.replace("\"delay:1,sever@2\"", "\"sever@3,corrupt@1,short:2\""),
+        )
+        .expect("parses");
+        assert_eq!(f.fault, FaultPlan::new().sever_at(3).corrupt_at(1).short(2));
+        let err = CampaignFile::parse(&GOOD.replace("\"delay:1,sever@2\"", "\"gremlins\""))
+            .expect_err("unknown fault clause");
+        assert!(err.contains("fault"), "{err}");
+        assert!(err.contains("gremlins"), "{err}");
     }
 
     #[test]

@@ -102,6 +102,10 @@ pub mod seeds;
 pub mod table;
 pub mod toml;
 
+/// The deterministic fault plan a chaos campaign injects under every
+/// trial, re-exported from its home in `bichrome_comm` (campaigns
+/// carry it; trial leases ship it to remote workers).
+pub use bichrome_comm::fault::FaultPlan;
 /// The session-transport axis value, re-exported from its home in
 /// `bichrome_comm` (campaigns carry it; trial descriptors ship it to
 /// remote workers).

@@ -1,8 +1,14 @@
 //! A blocking client for the daemon's wire protocol: one connection,
 //! one request, line-delimited JSON back.
+//!
+//! Every method returns [`ProtoError`], which splits failures by what
+//! the caller should do: [`ProtoError::is_retryable`] is true for a
+//! daemon that is unreachable or draining (back off and try again)
+//! and false for malformed traffic or refused requests (give up).
+//! `bichrome work`'s reconnect loop is built directly on this split.
 
 use crate::net::{Addr, Stream};
-use crate::proto::{Format, Request};
+use crate::proto::{Format, ProtoError, Request};
 use bichrome_store::json::Value;
 use std::io::{BufRead, BufReader, Write};
 
@@ -21,18 +27,21 @@ impl Client {
 
     /// Sends one request and returns the reader positioned after it,
     /// plus the first (decoded) response line.
-    fn request(&self, req: &Request) -> Result<(BufReader<Stream>, Value), String> {
-        let mut conn =
-            Stream::connect(&self.addr).map_err(|e| format!("connecting {}: {e}", self.addr))?;
-        writeln!(conn, "{}", req.encode()).map_err(|e| format!("send: {e}"))?;
-        conn.flush().map_err(|e| format!("send: {e}"))?;
+    fn request(&self, req: &Request) -> Result<(BufReader<Stream>, Value), ProtoError> {
+        let mut conn = Stream::connect(&self.addr)
+            .map_err(|e| ProtoError::Unreachable(format!("connecting {}: {e}", self.addr)))?;
+        writeln!(conn, "{}", req.encode())
+            .and_then(|()| conn.flush())
+            .map_err(|e| ProtoError::Unreachable(format!("send: {e}")))?;
         let mut reader = BufReader::new(conn);
-        let first = read_value(&mut reader)?.ok_or("daemon closed the connection")?;
+        let first = read_value(&mut reader)?.ok_or(ProtoError::Unreachable(
+            "daemon closed the connection".into(),
+        ))?;
         Ok((reader, first))
     }
 
     /// Sends one request expecting a single `{"ok":...}` line.
-    fn roundtrip(&self, req: &Request) -> Result<Value, String> {
+    fn roundtrip(&self, req: &Request) -> Result<Value, ProtoError> {
         let (_, v) = self.request(req)?;
         check_ok(v)
     }
@@ -46,8 +55,8 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Transport failures and daemon-side rejections, rendered.
-    pub fn submit(&self, campaign_toml: &str) -> Result<u64, String> {
+    /// Transport failures and daemon-side rejections, typed.
+    pub fn submit(&self, campaign_toml: &str) -> Result<u64, ProtoError> {
         let v = self.roundtrip(&Request::Submit {
             campaign: campaign_toml.to_string(),
         })?;
@@ -59,7 +68,7 @@ impl Client {
     /// # Errors
     ///
     /// Transport failures and unknown job ids.
-    pub fn status(&self, job: u64) -> Result<Value, String> {
+    pub fn status(&self, job: u64) -> Result<Value, ProtoError> {
         self.roundtrip(&Request::Status { job })
     }
 
@@ -68,11 +77,11 @@ impl Client {
     /// # Errors
     ///
     /// Transport failures.
-    pub fn jobs(&self) -> Result<Vec<Value>, String> {
+    pub fn jobs(&self) -> Result<Vec<Value>, ProtoError> {
         let v = self.roundtrip(&Request::Jobs)?;
         match v.as_object().and_then(|o| o.get("jobs")) {
             Some(Value::Array(items)) => Ok(items.clone()),
-            _ => Err("malformed jobs response".to_string()),
+            _ => Err(ProtoError::Malformed("malformed jobs response".into())),
         }
     }
 
@@ -82,7 +91,7 @@ impl Client {
     /// # Errors
     ///
     /// Transport failures and unknown job ids.
-    pub fn watch(&self, job: u64, mut on_event: impl FnMut(&Value)) -> Result<Value, String> {
+    pub fn watch(&self, job: u64, mut on_event: impl FnMut(&Value)) -> Result<Value, ProtoError> {
         let (mut reader, ack) = self.request(&Request::Watch { job })?;
         check_ok(ack)?;
         while let Some(event) = read_value(&mut reader)? {
@@ -97,7 +106,9 @@ impl Client {
             }
             on_event(&event);
         }
-        Err("watch stream ended without an end event".to_string())
+        Err(ProtoError::Unreachable(
+            "watch stream ended without an end event".into(),
+        ))
     }
 
     /// Renders a report of one finished job (`Some(id)`) or of the
@@ -106,7 +117,7 @@ impl Client {
     /// # Errors
     ///
     /// Transport failures, unknown/unfinished jobs.
-    pub fn report(&self, job: Option<u64>, format: Format) -> Result<String, String> {
+    pub fn report(&self, job: Option<u64>, format: Format) -> Result<String, ProtoError> {
         let v = self.roundtrip(&Request::Report { job, format })?;
         field_str(&v, "output")
     }
@@ -116,7 +127,7 @@ impl Client {
     /// # Errors
     ///
     /// Transport failures, unknown/unfinished jobs.
-    pub fn diff(&self, a: u64, b: u64) -> Result<String, String> {
+    pub fn diff(&self, a: u64, b: u64) -> Result<String, ProtoError> {
         let v = self.roundtrip(&Request::Diff { a, b })?;
         field_str(&v, "output")
     }
@@ -126,7 +137,7 @@ impl Client {
     /// # Errors
     ///
     /// Transport failures and unknown job ids.
-    pub fn cancel(&self, job: u64) -> Result<(), String> {
+    pub fn cancel(&self, job: u64) -> Result<(), ProtoError> {
         self.roundtrip(&Request::Cancel { job }).map(|_| ())
     }
 
@@ -135,7 +146,7 @@ impl Client {
     /// # Errors
     ///
     /// Transport failures.
-    pub fn stats(&self) -> Result<Value, String> {
+    pub fn stats(&self) -> Result<Value, ProtoError> {
         self.roundtrip(&Request::Stats)
     }
 
@@ -146,12 +157,12 @@ impl Client {
     /// # Errors
     ///
     /// Transport failures.
-    pub fn metrics(&self) -> Result<Value, String> {
+    pub fn metrics(&self) -> Result<Value, ProtoError> {
         let v = self.roundtrip(&Request::Metrics)?;
         v.as_object()
             .and_then(|o| o.get("metrics"))
             .cloned()
-            .ok_or("malformed metrics response".to_string())
+            .ok_or(ProtoError::Malformed("malformed metrics response".into()))
     }
 
     /// Asks the daemon to drain, checkpoint, and exit; returns once
@@ -160,7 +171,7 @@ impl Client {
     /// # Errors
     ///
     /// Transport failures.
-    pub fn shutdown(&self) -> Result<(), String> {
+    pub fn shutdown(&self) -> Result<(), ProtoError> {
         self.roundtrip(&Request::Shutdown).map(|_| ())
     }
 
@@ -169,9 +180,34 @@ impl Client {
     /// # Errors
     ///
     /// Transport failures and malformed descriptors.
-    pub fn lease(&self) -> Result<LeaseGrant, String> {
-        let v = self.roundtrip(&Request::Lease)?;
-        let obj = v.as_object().ok_or("malformed lease response")?;
+    pub fn lease(&self) -> Result<LeaseGrant, ProtoError> {
+        self.lease_reporting(0, 0)
+    }
+
+    /// [`Client::lease`] carrying the worker's self-healing telemetry
+    /// since its last accepted request: `reconnects` outages survived
+    /// and `backoff_ns` cumulative backoff slept. The daemon folds
+    /// both into its metrics registry
+    /// (`bichrome_worker_reconnects_total`,
+    /// `bichrome_worker_backoff_nanos`), so fleet-wide reconnect
+    /// behaviour shows up in `bichrome stats` without a separate
+    /// reporting channel.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and malformed descriptors.
+    pub fn lease_reporting(
+        &self,
+        reconnects: u64,
+        backoff_ns: u64,
+    ) -> Result<LeaseGrant, ProtoError> {
+        let v = self.roundtrip(&Request::Lease {
+            reconnects,
+            backoff_ns,
+        })?;
+        let obj = v
+            .as_object()
+            .ok_or(ProtoError::Malformed("malformed lease response".into()))?;
         if matches!(obj.get("stop"), Some(Value::Bool(true))) {
             return Ok(LeaseGrant::Stop);
         }
@@ -184,10 +220,17 @@ impl Client {
             protocol: field_str(&v, "protocol")?,
             graph: field_str(&v, "graph")?,
             partitioner: field_str(&v, "partitioner")?,
-            seed: seed_text
-                .parse()
-                .map_err(|_| format!("lease seed {seed_text:?} is not a u64"))?,
+            seed: seed_text.parse().map_err(|_| {
+                ProtoError::Malformed(format!("lease seed {seed_text:?} is not a u64"))
+            })?,
             transport: field_str(&v, "transport")?,
+            // Absent on the wire (the overwhelmingly common case)
+            // means the fault-free plan.
+            fault: obj
+                .get("fault")
+                .and_then(Value::as_str)
+                .unwrap_or("none")
+                .to_string(),
         }))
     }
 
@@ -198,12 +241,14 @@ impl Client {
     /// # Errors
     ///
     /// Transport failures and rejected (re-queued) records.
-    pub fn complete(&self, lease: u64, record_json: &str) -> Result<bool, String> {
+    pub fn complete(&self, lease: u64, record_json: &str) -> Result<bool, ProtoError> {
         let v = self.roundtrip(&Request::Complete {
             lease,
             record: record_json.to_string(),
         })?;
-        let obj = v.as_object().ok_or("malformed complete response")?;
+        let obj = v
+            .as_object()
+            .ok_or(ProtoError::Malformed("malformed complete response".into()))?;
         Ok(matches!(obj.get("accepted"), Some(Value::Bool(true))))
     }
 }
@@ -220,8 +265,8 @@ pub enum LeaseGrant {
 }
 
 /// One leased trial descriptor: the [`TrialKey`] fields plus the
-/// session transport the campaign asked for and the lease token to
-/// complete against.
+/// session transport and fault plan the campaign asked for and the
+/// lease token to complete against.
 ///
 /// [`TrialKey`]: bichrome_store::TrialKey
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -238,44 +283,65 @@ pub struct TrialLease {
     pub seed: u64,
     /// Transport name (`inproc` / `pipe` / `tcp`).
     pub transport: String,
+    /// Fault-plan spec to inject under the trial's session (`"none"`
+    /// unless the campaign declared chaos). Faults are recovered
+    /// below the meter, so the record is bit-identical either way —
+    /// this field makes the worker reproduce the daemon's exact
+    /// execution, chaos included.
+    pub fault: String,
 }
 
 /// Reads and parses one response line (`None` on clean EOF).
-fn read_value(reader: &mut BufReader<Stream>) -> Result<Option<Value>, String> {
+fn read_value(reader: &mut BufReader<Stream>) -> Result<Option<Value>, ProtoError> {
     let mut line = String::new();
     let n = reader
         .read_line(&mut line)
-        .map_err(|e| format!("recv: {e}"))?;
+        .map_err(|e| ProtoError::Unreachable(format!("recv: {e}")))?;
     if n == 0 {
         return Ok(None);
     }
-    Value::parse(line.trim()).map(Some)
+    Value::parse(line.trim())
+        .map(Some)
+        .map_err(ProtoError::Malformed)
 }
 
-/// Unwraps `{"ok":true,...}` or surfaces the daemon's error.
-fn check_ok(v: Value) -> Result<Value, String> {
-    let obj = v.as_object().ok_or("malformed response")?;
+/// Unwraps `{"ok":true,...}` or surfaces the daemon's error, typed
+/// by the optional machine-readable `kind` tag.
+fn check_ok(v: Value) -> Result<Value, ProtoError> {
+    let obj = v
+        .as_object()
+        .ok_or(ProtoError::Malformed("malformed response".into()))?;
     match obj.get("ok") {
         Some(Value::Bool(true)) => Ok(v),
-        _ => Err(obj
-            .get("error")
-            .and_then(Value::as_str)
-            .unwrap_or("malformed response")
-            .to_string()),
+        _ => {
+            let msg = obj
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("malformed response")
+                .to_string();
+            match obj.get("kind").and_then(Value::as_str) {
+                Some("draining") => Err(ProtoError::Draining(msg)),
+                _ => Err(ProtoError::Rejected(msg)),
+            }
+        }
     }
 }
 
-fn field_u64(v: &Value, field: &str) -> Result<u64, String> {
+fn field_u64(v: &Value, field: &str) -> Result<u64, ProtoError> {
     v.as_object()
         .and_then(|o| o.get(field))
         .and_then(Value::as_u64)
-        .ok_or(format!("response has no integer {field:?}"))
+        .ok_or(ProtoError::Malformed(format!(
+            "response has no integer {field:?}"
+        )))
 }
 
-fn field_str(v: &Value, field: &str) -> Result<String, String> {
+fn field_str(v: &Value, field: &str) -> Result<String, ProtoError> {
     v.as_object()
         .and_then(|o| o.get(field))
         .and_then(Value::as_str)
         .map(str::to_string)
-        .ok_or(format!("response has no string {field:?}"))
+        .ok_or(ProtoError::Malformed(format!(
+            "response has no string {field:?}"
+        )))
 }

@@ -80,5 +80,5 @@ pub use bichrome_store::json;
 pub use client::{Client, LeaseGrant, TrialLease};
 pub use http::spawn_metrics_http;
 pub use net::{Addr, Listener, Stream};
-pub use proto::{Format, Request};
+pub use proto::{Format, ProtoError, Request};
 pub use server::{Daemon, DaemonConfig};

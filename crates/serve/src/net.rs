@@ -154,6 +154,30 @@ impl Stream {
             Stream::Tcp(s) => Ok(Stream::Tcp(s.try_clone()?)),
         }
     }
+
+    /// Arms (or with `None` disarms) both the read and write timeout
+    /// on this connection. A blocked read/write past the deadline
+    /// fails with `WouldBlock`/`TimedOut` instead of pinning its
+    /// thread forever — the daemon sets this on every accepted
+    /// connection ([`crate::DaemonConfig::io_timeout`]) so a silent
+    /// or severed peer costs a handler thread only briefly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-option failure (`timeout` of zero is
+    /// rejected by the OS; pass `None` to disable).
+    pub fn set_timeouts(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+            Stream::Tcp(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+        }
+    }
 }
 
 impl Read for Stream {

@@ -41,6 +41,56 @@ impl Format {
     }
 }
 
+/// Why a daemon interaction failed, split by what the caller should
+/// do about it: [`ProtoError::is_retryable`] separates transient
+/// conditions (daemon unreachable or draining — back off and try
+/// again) from permanent ones (malformed traffic, rejected requests —
+/// retrying the same bytes can only fail the same way). The
+/// self-healing worker loop branches on exactly this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// No daemon answered (connect/send/recv failed). Retryable: the
+    /// daemon may be restarting, or the network flaking.
+    Unreachable(String),
+    /// The daemon answered but is shutting down. Retryable: a
+    /// replacement daemon often comes up at the same address.
+    Draining(String),
+    /// A line failed to parse, or a response was missing required
+    /// fields. Fatal: a protocol bug, not a transient condition.
+    Malformed(String),
+    /// The daemon processed the request and said no. Fatal: the same
+    /// request would be refused again.
+    Rejected(String),
+}
+
+impl ProtoError {
+    /// Whether backing off and retrying the same request can succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ProtoError::Unreachable(_) | ProtoError::Draining(_))
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Unreachable(msg) => write!(f, "daemon unreachable: {msg}"),
+            ProtoError::Draining(msg) => write!(f, "daemon draining: {msg}"),
+            ProtoError::Malformed(msg) => write!(f, "malformed protocol traffic: {msg}"),
+            ProtoError::Rejected(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Renders for the CLI's `Result<_, String>` surfaces; the typed
+/// variant stays available to callers that branch on retryability.
+impl From<ProtoError> for String {
+    fn from(e: ProtoError) -> String {
+        e.to_string()
+    }
+}
+
 /// One decoded client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -98,8 +148,18 @@ pub enum Request {
     /// answers with a trial descriptor plus a lease token, with
     /// `{"idle": true}` when the queue is empty, or with
     /// `{"stop": true}` when it is draining with an empty queue and
-    /// workers should exit.
-    Lease,
+    /// workers should exit. The request piggybacks the worker's
+    /// self-healing telemetry since its last successful contact, so
+    /// the daemon's registry aggregates reconnect behaviour across
+    /// the whole fleet without a separate reporting channel.
+    Lease {
+        /// Outages survived since the last accepted request (absent
+        /// on the wire = 0).
+        reconnects: u64,
+        /// Cumulative backoff slept during those outages, in
+        /// nanoseconds (absent on the wire = 0).
+        backoff_ns: u64,
+    },
     /// A remote worker returns a leased trial's computed record
     /// (the `TrialRecord` JSON, carried as a string).
     Complete {
@@ -127,7 +187,7 @@ impl Request {
             Request::Metrics => "metrics",
             Request::Ping => "ping",
             Request::Shutdown => "shutdown",
-            Request::Lease => "lease",
+            Request::Lease { .. } => "lease",
             Request::Complete { .. } => "complete",
         }
     }
@@ -191,7 +251,20 @@ impl Request {
             "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
-            "lease" => Ok(Request::Lease),
+            "lease" => {
+                let opt_u64 = |field: &str| -> Result<u64, String> {
+                    match obj.get(field) {
+                        None => Ok(0),
+                        Some(v) => v
+                            .as_u64()
+                            .ok_or(format!("\"lease\" {field} field must be an integer")),
+                    }
+                };
+                Ok(Request::Lease {
+                    reconnects: opt_u64("reconnects")?,
+                    backoff_ns: opt_u64("backoff_ns")?,
+                })
+            }
             "complete" => Ok(Request::Complete {
                 lease: job_field("lease")?,
                 record: obj
@@ -248,7 +321,18 @@ impl Request {
             Request::Metrics => w.field_str("op", "metrics"),
             Request::Ping => w.field_str("op", "ping"),
             Request::Shutdown => w.field_str("op", "shutdown"),
-            Request::Lease => w.field_str("op", "lease"),
+            Request::Lease {
+                reconnects,
+                backoff_ns,
+            } => {
+                w.field_str("op", "lease");
+                if *reconnects > 0 {
+                    w.field_u64("reconnects", *reconnects);
+                }
+                if *backoff_ns > 0 {
+                    w.field_u64("backoff_ns", *backoff_ns);
+                }
+            }
             Request::Complete { lease, record } => {
                 w.field_str("op", "complete");
                 w.field_u64("lease", *lease);
@@ -264,6 +348,18 @@ pub fn error_line(msg: &str) -> String {
     let mut w = json::Writer::object();
     w.field_bool("ok", false);
     w.field_str("error", msg);
+    w.finish()
+}
+
+/// An error line tagged with a machine-readable `kind`, so clients
+/// can classify without string-matching the human text. The only
+/// kind emitted today is `"draining"` (see [`ProtoError::Draining`]);
+/// untagged error lines decode as [`ProtoError::Rejected`].
+pub fn error_line_kind(msg: &str, kind: &str) -> String {
+    let mut w = json::Writer::object();
+    w.field_bool("ok", false);
+    w.field_str("error", msg);
+    w.field_str("kind", kind);
     w.finish()
 }
 
@@ -294,7 +390,14 @@ mod tests {
             Request::Metrics,
             Request::Ping,
             Request::Shutdown,
-            Request::Lease,
+            Request::Lease {
+                reconnects: 0,
+                backoff_ns: 0,
+            },
+            Request::Lease {
+                reconnects: 3,
+                backoff_ns: 700_000_000,
+            },
             Request::Complete {
                 lease: 41,
                 record: "{\"label\":\"near-regular(n=6,d=2)\",\"seed\":\"3\"}".to_string(),
@@ -329,6 +432,40 @@ mod tests {
                 "{line}: {err}"
             );
         }
+    }
+
+    #[test]
+    fn bare_lease_lines_decode_with_zeroed_telemetry() {
+        // Wire compatibility: a worker that predates the telemetry
+        // fields sends a bare {"op":"lease"} — absent means zero.
+        assert_eq!(
+            Request::parse("{\"op\":\"lease\"}").expect("parses"),
+            Request::Lease {
+                reconnects: 0,
+                backoff_ns: 0,
+            }
+        );
+        let err = Request::parse("{\"op\":\"lease\",\"reconnects\":\"many\"}").expect_err("typed");
+        assert!(err.contains("integer"), "{err}");
+    }
+
+    #[test]
+    fn retryability_splits_transient_from_fatal() {
+        assert!(ProtoError::Unreachable("x".into()).is_retryable());
+        assert!(ProtoError::Draining("x".into()).is_retryable());
+        assert!(!ProtoError::Malformed("x".into()).is_retryable());
+        assert!(!ProtoError::Rejected("x".into()).is_retryable());
+        let rendered: String = ProtoError::Unreachable("no route".into()).into();
+        assert!(rendered.contains("no route"), "{rendered}");
+    }
+
+    #[test]
+    fn tagged_error_lines_carry_their_kind() {
+        let v = Value::parse(&error_line_kind("going away", "draining")).expect("parses");
+        let obj = v.as_object().expect("object");
+        assert_eq!(obj["ok"], Value::Bool(false));
+        assert_eq!(obj["kind"].as_str(), Some("draining"));
+        assert_eq!(obj["error"].as_str(), Some("going away"));
     }
 
     #[test]

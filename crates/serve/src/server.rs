@@ -33,7 +33,7 @@
 //! store mid-write at a random byte and proves resume convergence).
 
 use crate::net::{Addr, Listener, Stream};
-use crate::proto::{error_line, Format, Request};
+use crate::proto::{error_line, error_line_kind, Format, Request};
 use bichrome_runner::{
     diff_reports, CacheStats, CampaignFile, CampaignReport, ExecStats, InstanceCache, PreparedRun,
     TrialRecord,
@@ -63,6 +63,12 @@ pub struct DaemonConfig {
     /// safe — a trial is a pure function of its key, so whichever copy
     /// commits first wins and a late duplicate is discarded.
     pub lease_timeout: Duration,
+    /// Per-connection socket read/write timeout. A worker that dials
+    /// in and then hangs (or a connection severed without a FIN)
+    /// would otherwise pin its handler thread forever; with the
+    /// timeout the read errors out and the thread retires. Zero
+    /// disables the timeouts.
+    pub io_timeout: Duration,
     /// Store tuning; the default batches appends (`flush_every: 64`)
     /// since the daemon re-flushes at every job boundary anyway.
     pub store: StoreConfig,
@@ -74,6 +80,7 @@ impl Default for DaemonConfig {
             workers: 0,
             local_pool: true,
             lease_timeout: Duration::from_secs(30),
+            io_timeout: Duration::from_secs(30),
             store: StoreConfig {
                 flush_every: 64,
                 ..StoreConfig::default()
@@ -81,6 +88,10 @@ impl Default for DaemonConfig {
         }
     }
 }
+
+/// The drain-rejection message — compared against in the connection
+/// handler to tag the error line `kind:"draining"` (retryable).
+const DRAINING_MSG: &str = "daemon is shutting down";
 
 /// One schedulable unit: pending trial `idx` of `job`.
 struct Task {
@@ -253,6 +264,7 @@ pub struct Daemon {
     leases: Mutex<HashMap<u64, Lease>>,
     next_lease: AtomicU64,
     lease_timeout: Duration,
+    io_timeout: Duration,
     /// The reaper parks on this between scans; shutdown pokes it.
     reaper_mx: Mutex<()>,
     reaper_cv: Condvar,
@@ -288,6 +300,7 @@ impl Daemon {
             leases: Mutex::new(HashMap::new()),
             next_lease: AtomicU64::new(0),
             lease_timeout: config.lease_timeout,
+            io_timeout: config.io_timeout,
             reaper_mx: Mutex::new(()),
             reaper_cv: Condvar::new(),
             leases_issued: AtomicU64::new(0),
@@ -323,7 +336,7 @@ impl Daemon {
     /// shutdown.
     pub fn submit(&self, campaign_toml: &str) -> Result<u64, String> {
         if self.draining.load(Ordering::SeqCst) {
-            return Err("daemon is shutting down".to_string());
+            return Err(DRAINING_MSG.to_string());
         }
         let file = CampaignFile::parse(campaign_toml)?;
         let prepared = file
@@ -534,6 +547,7 @@ impl Daemon {
         };
         let queue = bichrome_obs::histogram("bichrome_lease_queue_nanos");
         let service = bichrome_obs::histogram("bichrome_lease_service_nanos");
+        let backoff = bichrome_obs::histogram("bichrome_worker_backoff_nanos");
         let mut w = json::Writer::object();
         w.field_bool("ok", true);
         w.field_u64("graphs_requested", cs.graphs_requested);
@@ -553,6 +567,24 @@ impl Daemon {
             self.leases_completed.load(Ordering::SeqCst),
         );
         w.field_u64("leases_expired", self.leases_expired.load(Ordering::SeqCst));
+        // The chaos ledger: how often trials bounced back to the
+        // queue, how many late answers were dropped, and how hard the
+        // worker fleet had to fight to stay connected.
+        w.field_u64(
+            "lease_requeues",
+            bichrome_obs::counter("bichrome_lease_requeues_total").get(),
+        );
+        w.field_u64(
+            "completes_discarded",
+            bichrome_obs::counter("bichrome_completes_discarded_total").get(),
+        );
+        w.field_u64(
+            "worker_reconnects",
+            bichrome_obs::counter("bichrome_worker_reconnects_total").get(),
+        );
+        w.field_f64("worker_backoff_ns_p50", backoff.percentile(50.0));
+        w.field_f64("worker_backoff_ns_p95", backoff.percentile(95.0));
+        w.field_f64("worker_backoff_ns_p99", backoff.percentile(99.0));
         w.field_u64("lease_age_ns_p50", age_pct(50.0));
         w.field_u64("lease_age_ns_p95", age_pct(95.0));
         w.field_u64("lease_age_ns_p99", age_pct(99.0));
@@ -711,7 +743,19 @@ impl Daemon {
     /// empty (the worker's cue to exit). Queued trials are still
     /// handed out during a drain — with no local pool they are the
     /// only way the drain can finish.
-    pub fn lease_line(&self) -> String {
+    ///
+    /// `reconnects` / `backoff_ns` are the worker's piggybacked
+    /// self-healing telemetry (outages survived and backoff slept
+    /// since its last accepted request); the daemon folds them into
+    /// the process registry so `bichrome stats` sees the whole
+    /// fleet's reconnect behaviour.
+    pub fn lease_line(&self, reconnects: u64, backoff_ns: u64) -> String {
+        if reconnects > 0 {
+            bichrome_obs::counter("bichrome_worker_reconnects_total").add(reconnects);
+        }
+        if backoff_ns > 0 {
+            bichrome_obs::histogram("bichrome_worker_backoff_nanos").observe(backoff_ns);
+        }
         let Some(task) = self.pop_task() else {
             let mut w = json::Writer::object();
             w.field_bool("ok", true);
@@ -736,6 +780,13 @@ impl Daemon {
         // Seeds are full-range u64; strings dodge the f64 wire format.
         w.field_str("seed", &key.seed.to_string());
         w.field_str("transport", task.job.prepared.transport().name());
+        // Chaos campaigns ship their fault plan so the worker injects
+        // the daemon's exact faults (recovered below the meter — the
+        // record comes back bit-identical regardless).
+        let fault = task.job.prepared.fault();
+        if !fault.is_noop() {
+            w.field_str("fault", &fault.to_string());
+        }
         let line = w.finish();
         self.leases.lock().expect("leases poisoned").insert(
             token,
@@ -759,6 +810,10 @@ impl Daemon {
     pub fn complete_line(&self, token: u64, record_json: &str) -> String {
         let lease = self.leases.lock().expect("leases poisoned").remove(&token);
         let Some(lease) = lease else {
+            // A worker presumed dead limped back with its answer
+            // after the reaper re-queued its trial: the bit-identical
+            // replacement is (or will be) committed by someone else.
+            bichrome_obs::counter("bichrome_completes_discarded_total").inc();
             let mut w = json::Writer::object();
             w.field_bool("ok", true);
             w.field_bool("accepted", false);
@@ -878,6 +933,14 @@ impl Daemon {
             if self.done_serving.load(Ordering::SeqCst) {
                 return Ok(());
             }
+            // Bound every accepted connection's blocking reads and
+            // writes: a client that dials in and goes silent (or a
+            // connection severed without a FIN) must not pin this
+            // handler thread forever. Failure to arm the timeout is
+            // not fatal — the handler just runs unbounded.
+            if !self.io_timeout.is_zero() {
+                let _ = conn.set_timeouts(Some(self.io_timeout));
+            }
             let daemon = Arc::clone(self);
             let wake = addr.clone();
             thread::spawn(move || daemon.handle_connection(conn, &wake));
@@ -916,6 +979,11 @@ impl Daemon {
                     w.field_bool("ok", true);
                     w.field_u64("job", id);
                     reply(&mut writer, &w.finish());
+                }
+                // Tag the drain rejection so clients classify it as
+                // retryable without matching the human-readable text.
+                Err(e) if e == DRAINING_MSG => {
+                    reply(&mut writer, &error_line_kind(&e, "draining"));
                 }
                 Err(e) => reply(&mut writer, &error_line(&e)),
             },
@@ -960,7 +1028,10 @@ impl Daemon {
             },
             Request::Stats => reply(&mut writer, &self.stats_line()),
             Request::Metrics => reply(&mut writer, &self.metrics_line()),
-            Request::Lease => reply(&mut writer, &self.lease_line()),
+            Request::Lease {
+                reconnects,
+                backoff_ns,
+            } => reply(&mut writer, &self.lease_line(reconnects, backoff_ns)),
             Request::Complete { lease, record } => {
                 reply(&mut writer, &self.complete_line(lease, &record));
             }

@@ -4,7 +4,7 @@
 //! nothing — its lease expires, the trial re-queues, and the stale
 //! completion is discarded.
 
-use bichrome_runner::{compute_trial, CampaignFile, InstanceCache, TransportKind};
+use bichrome_runner::{compute_trial, CampaignFile, FaultPlan, InstanceCache, TransportKind};
 use bichrome_serve::{Addr, Client, Daemon, DaemonConfig, Format, LeaseGrant, Listener};
 use bichrome_store::TrialKey;
 use std::path::PathBuf;
@@ -74,7 +74,8 @@ fn work_one(client: &Client, cache: &InstanceCache) -> Option<LeaseGrant> {
                 seed: t.seed,
             };
             let kind: TransportKind = t.transport.parse().expect("transport name");
-            let record = compute_trial(&key, kind, cache).expect("descriptor resolves");
+            let fault: FaultPlan = t.fault.parse().expect("fault spec");
+            let record = compute_trial(&key, kind, &fault, cache).expect("descriptor resolves");
             assert!(
                 client
                     .complete(t.lease, &record.to_json())
@@ -186,7 +187,8 @@ fn an_abandoned_lease_expires_requeues_and_the_late_complete_is_discarded() {
         partitioner: stale.partitioner.clone(),
         seed: stale.seed,
     };
-    let record = compute_trial(&key, TransportKind::Tcp, &cache).expect("recompute");
+    let record =
+        compute_trial(&key, TransportKind::Tcp, &FaultPlan::new(), &cache).expect("recompute");
     assert!(
         !client
             .complete(stale.lease, &record.to_json())
@@ -235,7 +237,11 @@ fn malformed_or_mismatched_records_requeue_the_trial() {
     let err = client
         .complete(t.lease, "this is not json")
         .expect_err("garbage record");
-    assert!(err.contains("re-queued"), "{err}");
+    assert!(err.to_string().contains("re-queued"), "{err}");
+    assert!(
+        !err.is_retryable(),
+        "a rejected record is the worker's fault"
+    );
 
     // Right shape, wrong trial: also rejected and re-queued.
     let t2 = match client.lease().expect("lease") {
@@ -249,14 +255,81 @@ fn malformed_or_mismatched_records_requeue_the_trial() {
         partitioner: t2.partitioner.clone(),
         seed: t2.seed.wrapping_add(1_000_000),
     };
-    let wrong = compute_trial(&wrong_key, TransportKind::InProc, &cache).expect("compute");
+    let wrong = compute_trial(&wrong_key, TransportKind::InProc, &FaultPlan::new(), &cache)
+        .expect("compute");
     let err = client
         .complete(t2.lease, &wrong.to_json())
         .expect_err("mismatched record");
-    assert!(err.contains("re-queued"), "{err}");
+    assert!(err.to_string().contains("re-queued"), "{err}");
 
     // Both trials are back in the queue: an honest worker finishes.
     assert_eq!(work_until_done(&addr, job), 6);
+    client.shutdown().expect("shutdown");
+    server.join().expect("server");
+}
+
+/// A campaign that declares chaos ships its fault plan inside every
+/// lease, the worker re-injects it, and — because every declared
+/// fault is recovered below the meter — the report still matches a
+/// fault-free in-process run byte for byte. The worker's reconnect
+/// telemetry, piggybacked on the lease request, lands in `stats`.
+#[test]
+fn faulted_campaigns_ship_the_chaos_plan_with_every_lease() {
+    const FAULTED: &str = r#"
+        [campaign]
+        protocols = ["edge/theorem2", "baseline/send-everything"]
+        graphs    = ["near-regular(n=24,d=4)"]
+        seeds     = "0..3"
+        transport = "tcp"
+        fault     = "sever@2,corrupt@1"
+    "#;
+    let tmp = TempDir::new("chaos");
+    let (_daemon, addr, server) = pure_scheduler(&tmp, Duration::from_secs(30));
+    let client = Client::new(addr.clone());
+    let job = client.submit(FAULTED).expect("submit");
+
+    // This worker claims it survived two outages getting here; the
+    // telemetry rides the lease request itself.
+    let t = match client.lease_reporting(2, 5_000_000).expect("lease") {
+        LeaseGrant::Trial(t) => t,
+        other => panic!("expected a trial, got {other:?}"),
+    };
+    assert_eq!(
+        t.fault, "sever@2,corrupt@1",
+        "the lease must carry the campaign's fault plan"
+    );
+    let key = TrialKey {
+        protocol: t.protocol.clone(),
+        graph: t.graph.clone(),
+        partitioner: t.partitioner.clone(),
+        seed: t.seed,
+    };
+    let kind: TransportKind = t.transport.parse().expect("transport name");
+    let fault: FaultPlan = t.fault.parse().expect("fault spec");
+    let cache = InstanceCache::new();
+    let record = compute_trial(&key, kind, &fault, &cache).expect("compute under faults");
+    assert!(client
+        .complete(t.lease, &record.to_json())
+        .expect("complete"));
+
+    // `work_one` drains the rest, re-injecting each lease's plan.
+    assert_eq!(work_until_done(&addr, job), 5);
+
+    // Chaos recovered below the meter: byte-identical to a fault-free
+    // in-process run of the same grid.
+    let remote_csv = client.report(Some(job), Format::Csv).expect("report");
+    let local_csv = CampaignFile::parse(CAMPAIGN)
+        .expect("toml")
+        .to_campaign(None)
+        .run()
+        .to_csv();
+    assert_eq!(remote_csv, local_csv, "faults must not change results");
+
+    // The piggybacked outage count surfaced in the daemon's stats.
+    let stats = client.stats().expect("stats");
+    let stats = stats.as_object().expect("object");
+    assert_eq!(stats["worker_reconnects"].as_u64(), Some(2), "{stats:?}");
+
     client.shutdown().expect("shutdown");
     server.join().expect("server");
 }

@@ -246,6 +246,33 @@ pub struct Entry {
     pub record_json: String,
 }
 
+/// A one-shot injectable I/O failure, armed with
+/// [`Store::inject_fault`] and consumed by the next operation it
+/// applies to. This is the store's end of the workspace chaos layer
+/// (`bichrome-comm`'s `FaultPlan` is the wire's): crash-recovery
+/// tests get a *deterministic* torn write or failed rename at an
+/// exact point instead of relying on `kill -9` timing, and every
+/// firing is counted in `bichrome_store_faults_injected_total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFault {
+    /// The next [`Store::append`] writes only the first `keep_bytes`
+    /// of its frame to the active segment (then fails), exactly what
+    /// a crash mid-write leaves behind. The record is *not* indexed —
+    /// as far as the producer knows, the append failed — and the next
+    /// open salvages the segment back to its good prefix. Drop the
+    /// handle after the tear, as the crashed process would have: more
+    /// appends would extend the torn tail.
+    TornAppend {
+        /// Frame bytes that reach the disk before the "crash".
+        keep_bytes: usize,
+    },
+    /// The next [`Store::checkpoint`] writes `meta.json`'s temp file
+    /// but fails before the rename installs it — the atomic-write
+    /// crash window. The store directory keeps its old (valid) meta,
+    /// so a reopen must load everything the checkpoint had flushed.
+    FailRename,
+}
+
 /// Tuning knobs for a [`Store`]. The defaults reproduce the original
 /// durability behavior (flush every record) with 8 MiB segments.
 #[derive(Debug, Clone, Copy)]
@@ -336,6 +363,8 @@ pub struct Store {
     next_segment: u64,
     /// Cached observability handles (see [`StoreMetrics`]).
     metrics: StoreMetrics,
+    /// The armed one-shot fault, if any (see [`StoreFault`]).
+    fault: Option<StoreFault>,
 }
 
 impl Store {
@@ -378,6 +407,7 @@ impl Store {
             tail: None,
             next_segment: 0,
             metrics: StoreMetrics::new(),
+            fault: None,
         };
         store.load()?;
         Ok(store)
@@ -467,6 +497,23 @@ impl Store {
         self.salvage.as_ref()
     }
 
+    /// Arms a one-shot [`StoreFault`]: the next operation it applies
+    /// to fires it (once) and fails as the real I/O failure would.
+    /// Arming again replaces an unfired fault.
+    pub fn inject_fault(&mut self, fault: StoreFault) {
+        self.fault = Some(fault);
+    }
+
+    /// Fires the armed fault if it matches, consuming it.
+    fn take_fault(&mut self, want: impl Fn(&StoreFault) -> bool) -> Option<StoreFault> {
+        if self.fault.as_ref().is_some_and(want) {
+            let fault = self.fault.take();
+            bichrome_obs::counter("bichrome_store_faults_injected_total").inc();
+            return fault;
+        }
+        None
+    }
+
     /// The store's v2 segment files, oldest first (the active segment
     /// included once it has received an append).
     pub fn segments(&self) -> Result<Vec<PathBuf>, StoreError> {
@@ -490,6 +537,32 @@ impl Store {
                 std::io::Error::new(std::io::ErrorKind::InvalidData, msg),
             )
         })?;
+        if let Some(StoreFault::TornAppend { keep_bytes }) =
+            self.take_fault(|f| matches!(f, StoreFault::TornAppend { .. }))
+        {
+            // The "crash": part of the frame reaches the disk, the
+            // append fails, and the record is never indexed. The next
+            // open salvages the segment back to its good prefix.
+            let keep = keep_bytes.min(frame.len());
+            let active = self.ensure_active()?;
+            let path = active.path.clone();
+            active
+                .writer
+                .write_all(&frame[..keep])
+                .and_then(|()| active.writer.flush())
+                .map_err(|e| StoreError::Io(path.clone(), e))?;
+            active.bytes += keep;
+            return Err(StoreError::Io(
+                path,
+                std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    format!(
+                        "injected fault: append torn after {keep} of {} frame bytes",
+                        frame.len()
+                    ),
+                ),
+            ));
+        }
         if let Some(active) = &self.active {
             if active.bytes + frame.len() > self.config.segment_bytes
                 && active.bytes > segment::SEGMENT_MAGIC.len()
@@ -559,7 +632,27 @@ impl Store {
         let mut w = json::Writer::object();
         w.field_str("magic", MAGIC);
         w.field_u64("format_version", FORMAT_VERSION);
-        atomic_write(&self.dir.join(META_FILE), (w.finish() + "\n").as_bytes())?;
+        let meta = self.dir.join(META_FILE);
+        if self
+            .take_fault(|f| matches!(f, StoreFault::FailRename))
+            .is_some()
+        {
+            // The "crash": the temp file is written but the rename
+            // never installs it — the atomic-write window. The old
+            // meta.json stays valid, so a reopen loads everything the
+            // roll above already flushed.
+            let tmp = meta.with_extension("tmp");
+            fs::write(&tmp, (w.finish() + "\n").as_bytes())
+                .map_err(|e| StoreError::Io(tmp.clone(), e))?;
+            return Err(StoreError::Io(
+                meta,
+                std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    "injected fault: meta.json rename failed",
+                ),
+            ));
+        }
+        atomic_write(&meta, (w.finish() + "\n").as_bytes())?;
         self.maybe_compact()?;
         Ok(())
     }
@@ -1183,6 +1276,73 @@ mod tests {
         let store = Store::open_or_create(&tmp.0).expect("after repair");
         assert_eq!(store.len(), 4);
         assert!(store.salvage().is_none(), "repaired segment loads clean");
+    }
+
+    #[test]
+    fn injected_torn_append_salvages_and_resume_recomputes_the_lost_tail() {
+        let tmp = TempDir::new("inject-torn");
+        let mut store = Store::open_or_create(&tmp.0).expect("create");
+        for seed in 0..3 {
+            store
+                .append(key(seed), format!(r#"{{"seed":{seed}}}"#))
+                .expect("append");
+        }
+
+        // The chaos point: the next append "crashes" nine bytes in.
+        store.inject_fault(StoreFault::TornAppend { keep_bytes: 9 });
+        let err = store
+            .append(key(3), r#"{"seed":3}"#.to_string())
+            .expect_err("injected tear must surface as an append failure");
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        assert_eq!(store.get(&key(3)), None, "the torn record is not indexed");
+        drop(store);
+
+        // Reopen: the salvage keeps exactly the pre-tear records and
+        // truncates the partial frame away.
+        let mut store = Store::open_or_create(&tmp.0).expect("reopen");
+        assert_eq!(store.len(), 3, "good prefix survives the tear");
+        let salvage = store.salvage().expect("salvage reported");
+        assert_eq!(salvage.kept, 3);
+        assert_eq!(salvage.dropped_bytes, 9, "exactly the torn bytes dropped");
+
+        // Resume recomputes exactly the lost tail: one append makes
+        // the store whole, and the next open is pristine.
+        store
+            .append(key(3), r#"{"seed":3}"#.to_string())
+            .expect("resume append");
+        drop(store);
+        let store = Store::open_or_create(&tmp.0).expect("after resume");
+        assert_eq!(store.len(), 4);
+        assert!(store.salvage().is_none(), "resumed store loads clean");
+        assert_eq!(store.get(&key(3)), Some(r#"{"seed":3}"#));
+    }
+
+    #[test]
+    fn injected_rename_failure_never_loses_flushed_records() {
+        let tmp = TempDir::new("inject-rename");
+        let mut store = Store::open_or_create(&tmp.0).expect("create");
+        for seed in 0..4 {
+            store
+                .append(key(seed), format!(r#"{{"seed":{seed}}}"#))
+                .expect("append");
+        }
+
+        // The chaos point: the checkpoint's meta.json install fails
+        // inside the atomic-write window (temp written, no rename).
+        store.inject_fault(StoreFault::FailRename);
+        let err = store
+            .checkpoint()
+            .expect_err("injected rename failure must surface");
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        drop(store);
+
+        // The old meta is still valid and the roll flushed every
+        // record: a reopen loses nothing.
+        let mut store = Store::open_or_create(&tmp.0).expect("reopen");
+        assert_eq!(store.len(), 4);
+        assert!(store.salvage().is_none());
+        // The fault was one-shot: the next checkpoint succeeds.
+        store.checkpoint().expect("clean checkpoint");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! gate is process-global and the property toggles it per case.
 
 use bichrome::obs;
-use bichrome::runner::{compute_trial, GraphSpec, InstanceCache, TransportKind};
+use bichrome::runner::{compute_trial, FaultPlan, GraphSpec, InstanceCache, TransportKind};
 use bichrome::store::TrialKey;
 use proptest::prelude::*;
 
@@ -35,10 +35,10 @@ proptest! {
                 seed,
             };
             obs::set_tracing(false);
-            let off = compute_trial(&trial, TransportKind::InProc, &cache)
+            let off = compute_trial(&trial, TransportKind::InProc, &FaultPlan::new(), &cache)
                 .expect("untraced trial computes");
             obs::set_tracing(true);
-            let on = compute_trial(&trial, TransportKind::InProc, &cache)
+            let on = compute_trial(&trial, TransportKind::InProc, &FaultPlan::new(), &cache)
                 .expect("traced trial computes");
             obs::set_tracing(false);
             prop_assert_eq!(

@@ -8,7 +8,9 @@
 use bichrome_comm::{with_session_transport, TransportKind};
 use bichrome_graph::partition::Partitioner;
 use bichrome_graph::{gen, Graph};
-use bichrome_runner::{compute_trial, registry, GraphSpec, Instance, InstanceCache, TrialRecord};
+use bichrome_runner::{
+    compute_trial, registry, FaultPlan, GraphSpec, Instance, InstanceCache, TrialRecord,
+};
 use bichrome_store::TrialKey;
 use proptest::prelude::*;
 
@@ -86,9 +88,12 @@ proptest! {
                 partitioner: "random(per-seed)".to_string(),
                 seed,
             };
+            let no_fault = FaultPlan::new();
             let records: Vec<TrialRecord> = TransportKind::ALL
                 .iter()
-                .map(|&kind| compute_trial(&trial, kind, &cache).expect("descriptor resolves"))
+                .map(|&kind| {
+                    compute_trial(&trial, kind, &no_fault, &cache).expect("descriptor resolves")
+                })
                 .collect();
             prop_assert_eq!(
                 &records[1], &records[0],
@@ -97,6 +102,15 @@ proptest! {
             prop_assert_eq!(
                 &records[2], &records[0],
                 "{} tcp record differs from inproc", key
+            );
+            // A recoverable fault plan on the harshest wire changes
+            // nothing either: retransmits happen below the meter.
+            let plan = FaultPlan::new().sever_at(1 + seed % 3).corrupt_at(2);
+            let faulted = compute_trial(&trial, TransportKind::Tcp, &plan, &cache)
+                .expect("descriptor resolves under faults");
+            prop_assert_eq!(
+                &faulted, &records[0],
+                "{} record changed under {}", key, plan
             );
         }
     }
